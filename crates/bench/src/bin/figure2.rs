@@ -1,0 +1,49 @@
+//! Figure 2: the exploration structure — super-epochs explored in parallel,
+//! epochs prefix-wise within a super-epoch, equivalence classes within an
+//! epoch. Prints the structure Astra builds for the SC-RNN model.
+
+use astra_core::{build_units, enumerate::partition_units, ExecConfig, PlanContext};
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    let _dev = DeviceSpec::p100();
+    let built = Model::Scrnn.build(&Model::Scrnn.default_config(16));
+    let ctx = PlanContext::new(&built.graph);
+    // Full-fusion configuration, as the stream phase would see it.
+    let mut cfg = ExecConfig::baseline();
+    for set in &ctx.sets {
+        cfg.chunks.insert(
+            set.id.clone(),
+            (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+        );
+    }
+    let units = match build_units(&ctx, &cfg) {
+        Ok(u) => u,
+        Err(_) => build_units(&ctx, &ExecConfig::baseline()).expect("baseline builds"),
+    };
+    let total_flops: f64 = units.iter().map(|u| u.flops).sum();
+    let partition = partition_units(&units, total_flops / 8.0);
+
+    println!("Figure 2 — exploration structure for SC-RNN ({} units)", units.len());
+    println!();
+    for (sei, se) in partition.super_epochs.iter().enumerate() {
+        println!("Super-epoch {sei}  [explored in PARALLEL with other super-epochs; barrier at end]");
+        for (ei, epoch) in se.epochs.iter().enumerate() {
+            let classes: Vec<String> = epoch
+                .classes
+                .iter()
+                .map(|c| format!("{}x {}", c.units.len(), c.key))
+                .collect();
+            println!(
+                "  epoch {ei:<3} [PREFIX] {:>3} units: {}",
+                epoch.units.len(),
+                classes.join(", ")
+            );
+        }
+        if sei >= 2 {
+            println!("  ... ({} more super-epochs)", partition.super_epochs.len() - 3);
+            break;
+        }
+    }
+}

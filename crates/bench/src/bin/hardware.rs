@@ -1,0 +1,24 @@
+//! §6.7 / §7: hardware implications. On a faster device (V100-class) with
+//! the same fixed launch overheads, even larger operations become
+//! overhead-bound — so Astra's relative benefit *grows* with hardware
+//! speed, and the same adaptation library transfers with zero cost-model
+//! work (that is the point of measurement-driven optimization).
+
+use astra_bench::{build, f2, optimize, print_row};
+use astra_core::Dims;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    println!("Astra_FKS speedup over native, P100-class vs V100-class simulator");
+    print_row(&["Model(batch)", "P100", "V100"].map(String::from));
+    for (model, batch) in [(Model::SubLstm, 32u64), (Model::SubLstm, 128), (Model::Scrnn, 128)] {
+        let built = build(model, batch);
+        let p100 = optimize(&built.graph, &DeviceSpec::p100(), Dims::fks()).speedup();
+        let v100 = optimize(&built.graph, &DeviceSpec::v100(), Dims::fks()).speedup();
+        print_row(&[format!("{} ({batch})", model.name()), f2(p100), f2(v100)]);
+    }
+    println!();
+    println!("paper (§6.7): with faster hardware even convolutions become 'cheap',");
+    println!("widening the regime where cross-layer fusion and streams pay off.");
+}

@@ -1,0 +1,70 @@
+//! §3.4 extension: trading computation for memory. For each checkpoint
+//! segment length, the schedule with real recompute kernels is *measured*
+//! (time) and its activation liveness analysed (peak bytes) — then a memory
+//! cap picks the fastest feasible configuration, including the paper's
+//! "2x mini-batch via recompute" scenario.
+
+use astra_bench::print_row;
+use astra_core::{explore_recompute, ExecConfig, PlanContext};
+use astra_gpu::DeviceSpec;
+use astra_models::{Model, ModelConfig};
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    let model = Model::SubLstm;
+    // Activation-dominated regime: a long unroll with a small output head
+    // (encoder-style). With a 10k-vocab LM head, weight-gradient buffers
+    // floor the peak and checkpointing has nothing to free.
+    let mk = |batch: u64| ModelConfig {
+        seq_len: 48,
+        vocab: 512,
+        ..model.default_config(batch)
+    };
+
+    // Recompute is explored on the *unfused* dispatch: cross-timestep
+    // fusion turns most activations into segment-crossing checkpoints,
+    // leaving checkpointing nothing to free — a genuine tension between the
+    // fusion and memory dimensions that the measured exploration exposes.
+    println!("Recompute/memory tradeoff — {} (batch 16, 48 steps, small head)", model.name());
+    print_row(&["segment", "time(ms)", "peak(MB)", "re-launches"].map(String::from));
+    let built = model.build(&mk(16));
+    let ctx = PlanContext::new(&built.graph);
+    let r = explore_recompute(&ctx, &ExecConfig::baseline(), &dev, &[u32::MAX, 16, 8, 4, 2])
+        .expect("exploration runs");
+    for p in &r.points {
+        let seg = if p.segment_steps == u32::MAX { "off".to_owned() } else { p.segment_steps.to_string() };
+        print_row(&[
+            seg,
+            format!("{:.2}", p.time_ns / 1e6),
+            format!("{:.1}", p.peak_bytes / 1e6),
+            p.recompute_launches.to_string(),
+        ]);
+    }
+
+    // The 2x-batch scenario: a cap that fits batch 16 plain forces batch 32
+    // into checkpointing; per-sample time decides the winner.
+    let cap = r.points[0].peak_bytes * 1.25;
+    println!();
+    println!("Memory cap: {:.1} MB (fits batch 16 without recompute)", cap / 1e6);
+    let big = model.build(&mk(32));
+    let ctx_big = PlanContext::new(&big.graph);
+    let rb = explore_recompute(&ctx_big, &ExecConfig::baseline(), &dev, &[u32::MAX, 8, 4, 2])
+        .expect("exploration runs");
+    print_row(&["batch", "config", "time(ms)", "us/sample"].map(String::from));
+    let b16 = r.fastest_within(cap).expect("batch 16 fits");
+    print_row(&[
+        "16".into(),
+        if b16.segment_steps == u32::MAX { "plain".into() } else { format!("seg={}", b16.segment_steps) },
+        format!("{:.2}", b16.time_ns / 1e6),
+        format!("{:.1}", b16.time_ns / 16.0 / 1e3),
+    ]);
+    match rb.fastest_within(cap) {
+        Some(b32) => print_row(&[
+            "32".into(),
+            if b32.segment_steps == u32::MAX { "plain".into() } else { format!("seg={}", b32.segment_steps) },
+            format!("{:.2}", b32.time_ns / 1e6),
+            format!("{:.1}", b32.time_ns / 32.0 / 1e3),
+        ]),
+        None => print_row(&["32".into(), "does not fit".into(), "-".into(), "-".into()]),
+    }
+}

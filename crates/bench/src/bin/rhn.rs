@@ -1,0 +1,12 @@
+//! Extension: the Recurrent Highway Network — named in the paper's
+//! introduction (alongside MI-LSTM and SC-RNN) as exactly the kind of novel
+//! structure researchers invent that no hand-coded accelerator covers.
+//! Astra speeds it up with the same adaptation library, untouched.
+
+use astra_bench::print_ablation_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_ablation_table(Model::Rhn, &DeviceSpec::p100());
+}

@@ -1,0 +1,25 @@
+//! Table 1: GEMM times (ms) for the two shapes of the paper, per library.
+//!
+//! Paper values (P100): 64x1024x4096 — cuBlas 0.156, OAI_1 0.125,
+//! OAI_2 0.938; 64x4096x1024 — cuBlas 0.138, OAI_1 0.172, OAI_2 0.141.
+//! The reproduction target is the per-shape *ordering* (the best library
+//! depends on the shape, §3.1).
+
+use astra_bench::{f2, print_row};
+use astra_gpu::{DeviceSpec, GemmLibrary, GemmShape, time_gemm};
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    println!("Table 1 — GEMM time (ms) per library on {}", dev.name);
+    print_row(&["Size", "cuBlas", "OAI_1", "OAI_2"].map(String::from));
+    for shape in [GemmShape::new(64, 1024, 4096), GemmShape::new(64, 4096, 1024)] {
+        let mut cells = vec![shape.to_string()];
+        for lib in GemmLibrary::all() {
+            cells.push(f2((time_gemm(shape, lib, &dev).time_ns + dev.launch_overhead_ns) / 1e6).to_string());
+        }
+        print_row(&cells);
+    }
+    println!();
+    println!("paper:   64x1024x4096   0.156  0.125  0.938");
+    println!("paper:   64x4096x1024   0.138  0.172  0.141");
+}

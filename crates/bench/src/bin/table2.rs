@@ -1,0 +1,10 @@
+//! Table 2: SC-RNN (PTB) speedups relative to native PyTorch, with the
+//! ablation columns Astra_F / Astra_FK / Astra_FKS / Astra_all.
+
+use astra_bench::print_ablation_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_ablation_table(Model::Scrnn, &DeviceSpec::p100());
+}

@@ -1,0 +1,9 @@
+//! Table 3: MI-LSTM (Hutter challenge) speedups relative to native PyTorch.
+
+use astra_bench::print_ablation_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_ablation_table(Model::MiLstm, &DeviceSpec::p100());
+}

@@ -1,0 +1,10 @@
+//! Table 4: subLSTM (PTB) speedups relative to native PyTorch (the paper's
+//! headline up-to-3x model).
+
+use astra_bench::print_ablation_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_ablation_table(Model::SubLstm, &DeviceSpec::p100());
+}

@@ -1,0 +1,11 @@
+//! Table 5: PTB Stacked LSTM ("large", hidden 1500) relative to the
+//! cuDNN-like hand-optimized accelerator — the "how close to
+//! hand-optimization" experiment (§6.3).
+
+use astra_bench::print_cudnn_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_cudnn_table(Model::StackedLstm, &DeviceSpec::p100());
+}

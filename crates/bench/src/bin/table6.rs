@@ -1,0 +1,10 @@
+//! Table 6: GNMT relative to the cuDNN-like accelerator. GNMT's LSTM stacks
+//! are covered; the attention module is not (§6.3).
+
+use astra_bench::print_cudnn_table;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    print_cudnn_table(Model::Gnmt, &DeviceSpec::p100());
+}

@@ -1,0 +1,41 @@
+//! Table 8: dynamic graphs — Astra with bucketed adaptation vs the native
+//! dynamic-graph baseline (§6.5). Sequence lengths follow a PTB-like
+//! distribution; buckets are the paper's 13/18/24/30/83 (scaled to the
+//! simulated sequence range).
+
+use astra_bench::print_row;
+use astra_core::{optimize_bucketed, AstraOptions, Dims};
+use astra_gpu::DeviceSpec;
+use astra_models::{LengthSampler, Model};
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    // Scale the paper's buckets into this build's unrolled range (the
+    // simulator unrolls up to ~30 steps).
+    let buckets: [u32; 5] = [13, 18, 24, 30, 36];
+    let mut sampler = LengthSampler::new(17);
+    let lengths: Vec<u32> =
+        sampler.sample_n(10).into_iter().map(|l| l.clamp(4, 36)).collect();
+
+    println!("Table 8 — speedup of Astra+bucketing over native dynamic graphs");
+    print_row(&["Model", "Dynamic", "Astra+buckets"].map(String::from));
+    for model in [Model::Scrnn, Model::SubLstm, Model::StackedLstm] {
+        for batch in [16u64, 32] {
+            let base_cfg = model.default_config(batch);
+            let build_fn = |seq: u32| {
+                let cfg = base_cfg.clone().with_seq_len(seq);
+                model.build(&cfg).graph
+            };
+            let opts = AstraOptions { dims: Dims::fks(), ..Default::default() };
+            let r = optimize_bucketed(build_fn, &lengths, &buckets, &dev, &opts)
+                .expect("bucketed optimization runs");
+            print_row(&[
+                format!("{}-{batch}", model.name()),
+                "1".to_owned(),
+                format!("{:.2}", r.speedup()),
+            ]);
+        }
+    }
+    println!();
+    println!("paper: SCRNN 1.61/1.43, subLSTM 2.47/2.13, StackedLSTM 2.44/2.22 (batch 16/32)");
+}

@@ -1,0 +1,49 @@
+//! Table 9: the Tensorflow prototype — Astra_FK vs XLA vs native TF, on
+//! model variants with the embedding removed (§6.6). Also demonstrates the
+//! embedding pathology that makes XLA *slower than native* on the original
+//! models.
+
+use astra_bench::{build, build_no_embedding, f2, native_ns, cudnn_ns, optimize, print_row, xla_ns};
+use astra_core::Dims;
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    println!("Table 9 — factor speedups relative to native TF (embeddings removed).");
+    println!("Astra_FK column shows speedup over TF, with speedup over XLA in parens.");
+    print_row(&["Model", "TF", "TF+XLA", "Astra_FK", "(vs XLA)", "cuDNN"].map(String::from));
+    let models = [Model::Scrnn, Model::MiLstm, Model::SubLstm, Model::StackedLstm, Model::Gnmt];
+    for model in models {
+        for batch in [16u64, 32] {
+            let built = build_no_embedding(model, batch);
+            let tf = native_ns(&built.graph, &dev);
+            let xla = xla_ns(&built.graph, &dev);
+            let astra = optimize(&built.graph, &dev, Dims::fk()).steady_ns;
+            let cud = if model.cudnn_covered() {
+                f2(tf / cudnn_ns(&built.graph, &dev))
+            } else {
+                "-".to_owned()
+            };
+            print_row(&[
+                format!("{} ({batch})", model.name()),
+                "1".to_owned(),
+                f2(tf / xla),
+                f2(tf / astra),
+                format!("({})", f2(xla / astra)),
+                cud,
+            ]);
+        }
+    }
+
+    println!();
+    println!("Embedding pathology (§6.6): XLA on the *original* (embedding) models:");
+    print_row(&["Model", "TF", "TF+XLA"].map(String::from));
+    for model in [Model::Scrnn, Model::SubLstm] {
+        let built = build(model, 16);
+        let tf = native_ns(&built.graph, &dev);
+        let xla = xla_ns(&built.graph, &dev);
+        print_row(&[format!("{} (16)", model.name()), "1".to_owned(), f2(tf / xla)]);
+    }
+    println!("paper: XLA was up to 3x WORSE than native TF on embedding models");
+}

@@ -1,0 +1,38 @@
+//! Export Chrome-tracing JSON of one mini-batch: native single-stream vs
+//! the Astra-optimized multi-stream schedule. Open the files in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to *see* the fusion and the
+//! stream overlap.
+
+use astra_core::{Astra, AstraOptions, Dims};
+use astra_exec::{lower, native_schedule};
+use astra_gpu::{trace_json, DeviceSpec, Engine};
+use astra_models::Model;
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    let model = Model::SubLstm;
+    let built = model.build(&model.default_config(16));
+
+    let native = Engine::new(&dev)
+        .run(&native_schedule(&lower(&built.graph)))
+        .expect("native runs");
+    std::fs::write("trace_native.json", trace_json(&native, "native")).expect("write trace");
+
+    let mut astra =
+        Astra::new(&built.graph, &dev, AstraOptions { dims: Dims::all(), ..Default::default() });
+    let report = astra.optimize().expect("optimize runs");
+    // Re-run the best configuration once more to capture its spans.
+    let units = astra_core::build_units(astra.context(), &report.best).expect("best builds");
+    let (sched, _) = astra_core::emit_schedule(
+        astra.context(),
+        &report.best,
+        &units,
+        None,
+        &astra_core::ProbeSpec::none(),
+    );
+    let optimized = Engine::new(&dev).run(&sched).expect("optimized runs");
+    std::fs::write("trace_astra.json", trace_json(&optimized, "astra")).expect("write trace");
+
+    println!("wrote trace_native.json ({} spans)", native.spans.len());
+    println!("wrote trace_astra.json  ({} spans, {:.2}x faster)", optimized.spans.len(), report.speedup());
+}

@@ -1,0 +1,163 @@
+//! # astra-bench — the paper's evaluation harness
+//!
+//! One binary per table/figure of the Astra paper's §6 evaluation, plus the
+//! §6.4/§7 claims. Each binary regenerates the corresponding table's rows
+//! with this repository's simulator substrate. Absolute times differ from
+//! the authors' P100 testbed; the *shape* — who wins, by roughly what
+//! factor, where the crossovers fall — is the reproduction target (see
+//! EXPERIMENTS.md for paper-vs-measured).
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | GEMM library times (§3.1 Table 1) |
+//! | `figure1` | SC-RNN backward fusion/allocation conflict (Figure 1) |
+//! | `table2`..`table4` | SC-RNN / MI-LSTM / subLSTM speedups |
+//! | `table5`, `table6` | StackedLSTM / GNMT vs the cuDNN-like accelerator |
+//! | `table7` | exploration state-space size |
+//! | `table8` | dynamic graphs with bucketed adaptation |
+//! | `table9` | Tensorflow prototype vs XLA |
+//! | `figure2` | the exploration structure (super-epochs/epochs/classes) |
+//! | `overhead` | profiling overhead < 0.5% (§6.4) |
+//! | `predictability` | fixed-clock repeatability vs autoboost (§7) |
+
+use astra_core::{Astra, AstraOptions, Dims, Report};
+use astra_exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
+use astra_gpu::{DeviceSpec, Engine};
+use astra_ir::Graph;
+use astra_models::Model;
+
+/// The paper's mini-batch sweep.
+pub const BATCHES: [u64; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Mini-batch time of the native single-stream baseline (PyTorch/TF).
+pub fn native_ns(graph: &Graph, dev: &DeviceSpec) -> f64 {
+    let sched = native_schedule(&lower(graph));
+    Engine::new(dev).run(&sched).expect("native schedule runs").total_ns
+}
+
+/// Mini-batch time under the cuDNN-like accelerator (covered layers as
+/// compound kernels, the rest native).
+pub fn cudnn_ns(graph: &Graph, dev: &DeviceSpec) -> f64 {
+    let lowering = lower(graph);
+    let covered = detect_covered_layers(graph);
+    let sched = cudnn_schedule(graph, &lowering, &covered);
+    Engine::new(dev).run(&sched).expect("cudnn schedule runs").total_ns
+}
+
+/// Mini-batch time under the XLA-like static compiler.
+pub fn xla_ns(graph: &Graph, dev: &DeviceSpec) -> f64 {
+    let lowering = lower(graph);
+    let sched = xla_schedule(graph, &lowering);
+    Engine::new(dev).run(&sched).expect("xla schedule runs").total_ns
+}
+
+/// Runs a full Astra optimization with the given dimensions.
+pub fn optimize(graph: &Graph, dev: &DeviceSpec, dims: Dims) -> Report {
+    let mut astra = Astra::new(graph, dev, AstraOptions { dims, ..Default::default() });
+    astra.optimize().expect("optimization succeeds")
+}
+
+/// Builds a model at a batch size with the paper's defaults.
+pub fn build(model: Model, batch: u64) -> astra_models::BuiltModel {
+    model.build(&model.default_config(batch))
+}
+
+/// Builds the Table 9 variant (embedding removed).
+pub fn build_no_embedding(model: Model, batch: u64) -> astra_models::BuiltModel {
+    model.build(&model.default_config(batch).without_embedding())
+}
+
+/// Prints an aligned row: first cell width 12, rest width 10.
+pub fn print_row(cells: &[String]) {
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:<14}"));
+        } else {
+            line.push_str(&format!("{c:>10}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Formats a speedup factor like the paper's tables.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// The ablation speedup columns of Tables 2-4 for one model/batch:
+/// `[Astra_F, Astra_FK, Astra_FKS, Astra_all]` relative to native.
+pub fn ablation_speedups(model: Model, batch: u64, dev: &DeviceSpec) -> [f64; 4] {
+    let built = build(model, batch);
+    let variants = [Dims::f(), Dims::fk(), Dims::fks(), Dims::all()];
+    let mut out = [0.0; 4];
+    for (i, dims) in variants.into_iter().enumerate() {
+        out[i] = optimize(&built.graph, dev, dims).speedup();
+    }
+    out
+}
+
+/// Emits a standard Tables 2-4 style speedup table.
+pub fn print_ablation_table(model: Model, dev: &DeviceSpec) {
+    println!("{} — factor speedup relative to native (PyT = 1)", model.name());
+    print_row(
+        &["Mini-batch", "PyT", "Astra_F", "Astra_FK", "Astra_FKS", "Astra_all"]
+            .map(String::from),
+    );
+    for batch in BATCHES {
+        let s = ablation_speedups(model, batch, dev);
+        print_row(&[
+            batch.to_string(),
+            "1".to_owned(),
+            f2(s[0]),
+            f2(s[1]),
+            f2(s[2]),
+            f2(s[3]),
+        ]);
+    }
+}
+
+/// Emits a Tables 5-6 style comparison relative to the cuDNN baseline.
+pub fn print_cudnn_table(model: Model, dev: &DeviceSpec) {
+    println!("{} — performance relative to cuDNN (cuDNN = 1; higher is faster)", model.name());
+    print_row(
+        &["Mini-batch", "PyT", "cuDNN", "Astra_F", "Astra_FK", "Astra_all"].map(String::from),
+    );
+    for batch in BATCHES {
+        let built = build(model, batch);
+        let nat = native_ns(&built.graph, dev);
+        let cud = cudnn_ns(&built.graph, dev);
+        let f = optimize(&built.graph, dev, Dims::f()).steady_ns;
+        let fk = optimize(&built.graph, dev, Dims::fk()).steady_ns;
+        let all = optimize(&built.graph, dev, Dims::all()).steady_ns;
+        print_row(&[
+            batch.to_string(),
+            f2(cud / nat),
+            "1".to_owned(),
+            f2(cud / f),
+            f2(cud / fk),
+            f2(cud / all),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_models::ModelConfig;
+
+    #[test]
+    fn helpers_run_end_to_end() {
+        let dev = DeviceSpec::p100();
+        let mut cfg = ModelConfig::ptb(8);
+        cfg.hidden = 64;
+        cfg.input = 64;
+        cfg.vocab = 128;
+        cfg.seq_len = 2;
+        let built = Model::SubLstm.build(&cfg);
+        assert!(native_ns(&built.graph, &dev) > 0.0);
+        assert!(xla_ns(&built.graph, &dev) > 0.0);
+        let r = optimize(&built.graph, &dev, Dims::f());
+        assert!(r.speedup() > 0.5);
+    }
+}

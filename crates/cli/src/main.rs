@@ -1,0 +1,311 @@
+//! `astra-cli` — command-line front end for the Astra adaptive optimizer.
+//!
+//! ```text
+//! astra-cli optimize --model sublstm --batch 16 --dims all [--streams 4] [--v100]
+//! astra-cli compare  --model scrnn --batch 32        # native / XLA / cuDNN / Astra
+//! astra-cli trace    --model milstm --batch 16 --out t.json
+//! astra-cli scaling  --model sublstm --global-batch 256 --link nvlink
+//! astra-cli models                                    # list available models
+//! ```
+//!
+//! Argument parsing is hand-rolled (no dependencies beyond the workspace).
+
+use std::process::ExitCode;
+
+use astra_core::{Astra, AstraOptions, Dims};
+use astra_distrib::{explore_scaling, LinkSpec};
+use astra_exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
+use astra_gpu::{trace_json, DeviceSpec, Engine};
+use astra_models::Model;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "optimize" => cmd_optimize(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "scaling" => cmd_scaling(&args[1..]),
+        "models" => {
+            for m in Model::all() {
+                println!(
+                    "{:<12} {:<20} cuDNN-covered: {}",
+                    flag_name(m),
+                    m.name(),
+                    m.cudnn_covered()
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: astra-cli <command> [options]
+
+commands:
+  optimize  --model <name> --batch <n> [--dims f|fk|fks|all] [--streams <n>] [--v100] [--seq <n>]
+  compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
+  trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
+  scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
+  models                                        list the model zoo
+
+models: scrnn, milstm, sublstm, stackedlstm, gnmt, rhn";
+
+fn flag_name(m: Model) -> &'static str {
+    match m {
+        Model::Scrnn => "scrnn",
+        Model::MiLstm => "milstm",
+        Model::SubLstm => "sublstm",
+        Model::StackedLstm => "stackedlstm",
+        Model::Gnmt => "gnmt",
+        Model::Rhn => "rhn",
+    }
+}
+
+/// Minimal `--key value` / `--flag` parser.
+struct Opts<'a>(&'a [String]);
+
+impl<'a> Opts<'a> {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: {v}")),
+        }
+    }
+}
+
+fn parse_model(opts: &Opts<'_>) -> Result<Model, String> {
+    let name = opts.get("--model").ok_or("--model is required (see `astra models`)")?;
+    match name.to_ascii_lowercase().as_str() {
+        "scrnn" => Ok(Model::Scrnn),
+        "milstm" | "mi-lstm" => Ok(Model::MiLstm),
+        "sublstm" => Ok(Model::SubLstm),
+        "stackedlstm" | "stacked-lstm" | "lstm" => Ok(Model::StackedLstm),
+        "gnmt" => Ok(Model::Gnmt),
+        "rhn" => Ok(Model::Rhn),
+        other => Err(format!("unknown model '{other}' (see `astra models`)")),
+    }
+}
+
+fn parse_dims(opts: &Opts<'_>) -> Result<Dims, String> {
+    match opts.get("--dims").unwrap_or("all") {
+        "f" => Ok(Dims::f()),
+        "fk" => Ok(Dims::fk()),
+        "fks" => Ok(Dims::fks()),
+        "all" => Ok(Dims::all()),
+        other => Err(format!("invalid --dims '{other}' (f|fk|fks|all)")),
+    }
+}
+
+fn device(opts: &Opts<'_>) -> DeviceSpec {
+    if opts.flag("--v100") {
+        DeviceSpec::v100()
+    } else {
+        DeviceSpec::p100()
+    }
+}
+
+fn build(model: Model, opts: &Opts<'_>) -> Result<astra_models::BuiltModel, String> {
+    let batch: u64 = opts.parse("--batch", 16)?;
+    let mut cfg = model.default_config(batch);
+    if let Some(seq) = opts.get("--seq") {
+        cfg.seq_len = seq.parse().map_err(|_| format!("invalid --seq {seq}"))?;
+    }
+    Ok(model.build(&cfg))
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let model = parse_model(&opts)?;
+    let dims = parse_dims(&opts)?;
+    let dev = device(&opts);
+    let num_streams: usize = opts.parse("--streams", 4)?;
+    let built = build(model, &opts)?;
+
+    let mut astra = Astra::new(
+        &built.graph,
+        &dev,
+        AstraOptions { dims, num_streams, ..Default::default() },
+    );
+    println!(
+        "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
+        model.name(),
+        dev.name,
+        built.graph.nodes().len(),
+        astra.context().sets.len(),
+        astra.context().alloc.strategies.len()
+    );
+    let r = astra.optimize().map_err(|e| e.to_string())?;
+    println!("native:   {:>10.2} ms/mini-batch", r.native_ns / 1e6);
+    println!("Astra:    {:>10.2} ms/mini-batch", r.steady_ns / 1e6);
+    println!("speedup:  {:>10.2}x", r.speedup());
+    println!("explored: {:>10} configs ({} strategies, overhead {:.3}%)",
+        r.configs_explored, r.strategies_explored, r.profiling_overhead_frac * 100.0);
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let model = parse_model(&opts)?;
+    let dev = device(&opts);
+    let built = build(model, &opts)?;
+    let lowering = lower(&built.graph);
+    let run = |s: &astra_gpu::Schedule| -> Result<f64, String> {
+        Ok(Engine::new(&dev).run(s).map_err(|e| e.to_string())?.total_ns)
+    };
+    let native = run(&native_schedule(&lowering))?;
+    let xla = run(&xla_schedule(&built.graph, &lowering))?;
+    let covered = detect_covered_layers(&built.graph);
+    println!("native: {:>10.2} ms", native / 1e6);
+    println!("XLA:    {:>10.2} ms ({:.2}x)", xla / 1e6, native / xla);
+    if covered.is_empty() {
+        println!("cuDNN:  not applicable (no covered layers)");
+    } else {
+        let cud = run(&cudnn_schedule(&built.graph, &lowering, &covered))?;
+        println!("cuDNN:  {:>10.2} ms ({:.2}x)", cud / 1e6, native / cud);
+    }
+    let mut astra =
+        Astra::new(&built.graph, &dev, AstraOptions { dims: Dims::all(), ..Default::default() });
+    let r = astra.optimize().map_err(|e| e.to_string())?;
+    println!("Astra:  {:>10.2} ms ({:.2}x)", r.steady_ns / 1e6, r.speedup());
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let model = parse_model(&opts)?;
+    let dev = device(&opts);
+    let out = opts.get("--out").unwrap_or("trace.json").to_owned();
+    let built = build(model, &opts)?;
+    let mut astra =
+        Astra::new(&built.graph, &dev, AstraOptions { dims: Dims::all(), ..Default::default() });
+    let r = astra.optimize().map_err(|e| e.to_string())?;
+    let units = astra_core::build_units(astra.context(), &r.best).map_err(|e| e.to_string())?;
+    let (sched, _) = astra_core::emit_schedule(
+        astra.context(),
+        &r.best,
+        &units,
+        None,
+        &astra_core::ProbeSpec::none(),
+    );
+    let result = Engine::new(&dev).run(&sched).map_err(|e| e.to_string())?;
+    std::fs::write(&out, trace_json(&result, model.name())).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({} spans, {:.2}x over native)", result.spans.len(), r.speedup());
+    Ok(())
+}
+
+fn cmd_scaling(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let model = parse_model(&opts)?;
+    let dev = device(&opts);
+    let global: u64 = opts.parse("--global-batch", 256)?;
+    let link = match opts.get("--link").unwrap_or("nvlink") {
+        "nvlink" => LinkSpec::nvlink(),
+        "pcie3" | "pcie" => LinkSpec::pcie3(),
+        "ethernet" | "eth" => LinkSpec::ethernet(),
+        other => return Err(format!("unknown --link '{other}'")),
+    };
+    let base = model.default_config(global);
+    let build_fn = |b: u64| {
+        let mut c = base.clone();
+        c.batch = b;
+        model.build(&c).graph
+    };
+    let opts_a = AstraOptions { dims: Dims::fk(), ..Default::default() };
+    let report = explore_scaling(build_fn, global, &[1, 2, 4, 8], &dev, &link, &opts_a);
+    println!("{} at global batch {global} over {}:", model.name(), link.name);
+    for p in &report.points {
+        println!(
+            "  P={:<2} per-replica {:<4} compute {:>8.2}ms allreduce {:>7.2}ms -> {:>8.0} samples/s",
+            p.replicas,
+            p.per_replica_batch,
+            p.compute_ns / 1e6,
+            p.allreduce_ns / 1e6,
+            p.samples_per_sec
+        );
+    }
+    println!("measured best: P={}", report.best);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parser_reads_pairs_and_flags() {
+        let a = opts(&["--model", "rhn", "--batch", "32", "--v100"]);
+        let o = Opts(&a);
+        assert_eq!(o.get("--model"), Some("rhn"));
+        assert_eq!(o.parse::<u64>("--batch", 16).unwrap(), 32);
+        assert!(o.flag("--v100"));
+        assert!(!o.flag("--missing"));
+        assert_eq!(o.parse::<u64>("--absent", 7).unwrap(), 7);
+        assert!(o.parse::<u64>("--model", 0).is_err());
+    }
+
+    #[test]
+    fn every_zoo_model_parses_by_its_flag_name() {
+        for m in Model::all() {
+            let a = opts(&["--model", flag_name(m)]);
+            assert_eq!(parse_model(&Opts(&a)).unwrap(), m);
+        }
+        let bad = opts(&["--model", "resnet"]);
+        assert!(parse_model(&Opts(&bad)).is_err());
+        let none = opts(&[]);
+        assert!(parse_model(&Opts(&none)).is_err());
+    }
+
+    #[test]
+    fn dims_parse_all_levels() {
+        for (flag, dims) in
+            [("f", Dims::f()), ("fk", Dims::fk()), ("fks", Dims::fks()), ("all", Dims::all())]
+        {
+            let a = opts(&["--dims", flag]);
+            assert_eq!(parse_dims(&Opts(&a)).unwrap(), dims);
+        }
+        let a = opts(&["--dims", "everything"]);
+        assert!(parse_dims(&Opts(&a)).is_err());
+        let empty = opts(&[]);
+        assert_eq!(parse_dims(&Opts(&empty)).unwrap(), Dims::all());
+    }
+
+    #[test]
+    fn device_flag_selects_v100() {
+        let a = opts(&["--v100"]);
+        assert_eq!(device(&Opts(&a)).name, "tesla-v100-sim");
+        let b = opts(&[]);
+        assert_eq!(device(&Opts(&b)).name, "tesla-p100-sim");
+    }
+}

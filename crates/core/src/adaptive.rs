@@ -1,0 +1,420 @@
+//! Adaptive variables and the update tree (paper §4.4.2).
+//!
+//! The enumerator organises every tunable decision into an *adaptive
+//! variable* — `initialize` / `iterate` / `get_profile_value` — and arranges
+//! the variables in an *update tree* whose interior nodes are annotated with
+//! an exploration mode:
+//!
+//! * [`ExploreMode::Parallel`] — children iterate simultaneously; one trial
+//!   advances every unfinished child (fine-grained profiling makes their
+//!   measurements independent, §4.5.1). The state space is *additive*.
+//! * [`ExploreMode::Exhaustive`] — brute-force cartesian product (used for
+//!   small history-sensitive sets, §4.5.3).
+//! * [`ExploreMode::Prefix`] — children explored one at a time, in order;
+//!   a finished child is frozen at its best value before the next starts
+//!   (§4.5.4). The state space is additive in the number of children.
+//!
+//! The custom wirer drives the tree: each `advance` produces the next trial
+//! configuration; after running a mini-batch under it, per-variable metrics
+//! are reported back with [`UpdateTree::record`].
+
+use std::collections::BTreeMap;
+
+/// How an interior node explores its children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// All children advance together (independent measurements).
+    Parallel,
+    /// Cartesian product of children (odometer).
+    Exhaustive,
+    /// One child at a time; earlier children frozen at their best.
+    Prefix,
+}
+
+/// One node of the update tree.
+#[derive(Debug, Clone)]
+pub enum UpdateNode {
+    /// A leaf adaptive variable.
+    Var(AdaptiveVar),
+    /// An interior node exploring `children` under `mode`.
+    Group {
+        /// Exploration mode annotation from the enumerator.
+        mode: ExploreMode,
+        /// Child nodes.
+        children: Vec<UpdateNode>,
+        /// For [`ExploreMode::Prefix`]: index of the child currently
+        /// exploring.
+        active: usize,
+    },
+}
+
+/// A leaf adaptive variable: a named decision with `choices` options.
+#[derive(Debug, Clone)]
+pub struct AdaptiveVar {
+    id: String,
+    choices: usize,
+    current: usize,
+    best: Option<(usize, f64)>,
+    exhausted: bool,
+}
+
+impl AdaptiveVar {
+    /// Creates a variable with `choices` options, starting at option 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is zero.
+    pub fn new(id: impl Into<String>, choices: usize) -> Self {
+        assert!(choices > 0, "adaptive variable needs at least one choice");
+        AdaptiveVar { id: id.into(), choices, current: 0, best: None, exhausted: choices == 1 }
+    }
+
+    /// The variable's identity (also its profile-key entity).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Number of options.
+    pub fn choices(&self) -> usize {
+        self.choices
+    }
+
+    /// The option used in the current trial.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// The best (option, metric) observed so far.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.best
+    }
+
+    /// Resets to the default choice (paper's `initialize`).
+    pub fn initialize(&mut self) {
+        self.current = 0;
+        self.best = None;
+        self.exhausted = self.choices == 1;
+    }
+
+    fn record(&mut self, metric: f64) {
+        if self.best.map_or(true, |(_, b)| metric < b) {
+            self.best = Some((self.current, metric));
+        }
+    }
+
+    fn iterate(&mut self) -> bool {
+        if self.current + 1 < self.choices {
+            self.current += 1;
+            true
+        } else {
+            self.exhausted = true;
+            false
+        }
+    }
+
+    fn freeze_best(&mut self) {
+        if let Some((c, _)) = self.best {
+            self.current = c;
+        }
+    }
+}
+
+impl UpdateNode {
+    /// A leaf node.
+    pub fn var(id: impl Into<String>, choices: usize) -> Self {
+        UpdateNode::Var(AdaptiveVar::new(id, choices))
+    }
+
+    /// An interior node.
+    pub fn group(mode: ExploreMode, children: Vec<UpdateNode>) -> Self {
+        UpdateNode::Group { mode, children, active: 0 }
+    }
+
+    fn exhausted(&self) -> bool {
+        match self {
+            UpdateNode::Var(v) => v.exhausted,
+            UpdateNode::Group { mode, children, active } => match mode {
+                ExploreMode::Parallel | ExploreMode::Exhaustive => {
+                    children.iter().all(|c| c.exhausted())
+                }
+                ExploreMode::Prefix => *active >= children.len(),
+            },
+        }
+    }
+
+    /// Advances to the next configuration. Returns `false` when exhausted.
+    fn advance(&mut self) -> bool {
+        match self {
+            UpdateNode::Var(v) => v.iterate(),
+            UpdateNode::Group { mode, children, active } => match mode {
+                ExploreMode::Parallel => {
+                    let mut any = false;
+                    for c in children {
+                        if !c.exhausted() && c.advance() {
+                            any = true;
+                        }
+                    }
+                    any
+                }
+                ExploreMode::Exhaustive => {
+                    // Odometer: advance the first child that can; reset all
+                    // children before it.
+                    for i in 0..children.len() {
+                        if children[i].advance() {
+                            for c in children.iter_mut().take(i) {
+                                c.reset_choices();
+                            }
+                            return true;
+                        }
+                    }
+                    false
+                }
+                ExploreMode::Prefix => {
+                    while *active < children.len() {
+                        if children[*active].advance() {
+                            return true;
+                        }
+                        children[*active].freeze_best();
+                        *active += 1;
+                        // The next child starts from its initial choice,
+                        // which it already occupies; running one trial at
+                        // that position is handled by the caller's loop.
+                        if *active < children.len() {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            },
+        }
+    }
+
+    fn reset_choices(&mut self) {
+        match self {
+            UpdateNode::Var(v) => {
+                v.current = 0;
+                v.exhausted = v.choices == 1;
+            }
+            UpdateNode::Group { children, active, .. } => {
+                *active = 0;
+                for c in children {
+                    c.reset_choices();
+                }
+            }
+        }
+    }
+
+    fn freeze_best(&mut self) {
+        match self {
+            UpdateNode::Var(v) => v.freeze_best(),
+            UpdateNode::Group { children, .. } => {
+                for c in children {
+                    c.freeze_best();
+                }
+            }
+        }
+    }
+
+    fn visit_vars<'a>(&'a self, out: &mut Vec<&'a AdaptiveVar>) {
+        match self {
+            UpdateNode::Var(v) => out.push(v),
+            UpdateNode::Group { children, .. } => {
+                for c in children {
+                    c.visit_vars(out);
+                }
+            }
+        }
+    }
+
+    fn visit_vars_mut<'a>(&'a mut self, out: &mut Vec<&'a mut AdaptiveVar>) {
+        match self {
+            UpdateNode::Var(v) => out.push(v),
+            UpdateNode::Group { children, .. } => {
+                for c in children {
+                    c.visit_vars_mut(out);
+                }
+            }
+        }
+    }
+}
+
+/// The update tree: drives exploration trials and records metrics.
+#[derive(Debug, Clone)]
+pub struct UpdateTree {
+    root: UpdateNode,
+    started: bool,
+    trials: usize,
+}
+
+impl UpdateTree {
+    /// Wraps a root node.
+    pub fn new(root: UpdateNode) -> Self {
+        UpdateTree { root, started: false, trials: 0 }
+    }
+
+    /// The assignment (variable id → choice) for the next trial, or `None`
+    /// when the space is exhausted. The first call yields the initial
+    /// configuration; later calls advance the tree.
+    pub fn next_trial(&mut self) -> Option<BTreeMap<String, usize>> {
+        if self.started {
+            if !self.root.advance() {
+                return None;
+            }
+        } else {
+            self.started = true;
+        }
+        self.trials += 1;
+        Some(self.assignment())
+    }
+
+    /// The current assignment of every variable.
+    pub fn assignment(&self) -> BTreeMap<String, usize> {
+        let mut vars = Vec::new();
+        self.root.visit_vars(&mut vars);
+        vars.into_iter().map(|v| (v.id.clone(), v.current)).collect()
+    }
+
+    /// Reports the measured metric for a variable in the *current* trial.
+    pub fn record(&mut self, id: &str, metric: f64) {
+        let mut vars = Vec::new();
+        self.root.visit_vars_mut(&mut vars);
+        for v in vars {
+            if v.id == id {
+                v.record(metric);
+                return;
+            }
+        }
+    }
+
+    /// Freezes every variable at its best observed choice and returns the
+    /// final assignment.
+    pub fn best_assignment(&mut self) -> BTreeMap<String, usize> {
+        self.root.freeze_best();
+        self.assignment()
+    }
+
+    /// Number of trials issued so far.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Best metric for a variable, if recorded.
+    pub fn best_of(&self, id: &str) -> Option<(usize, f64)> {
+        let mut vars = Vec::new();
+        self.root.visit_vars(&mut vars);
+        vars.into_iter().find(|v| v.id == id).and_then(|v| v.best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a tree to exhaustion with a synthetic metric; returns the
+    /// number of trials.
+    fn drive(tree: &mut UpdateTree, metric: impl Fn(&BTreeMap<String, usize>, &str) -> f64) -> usize {
+        let mut n = 0;
+        while let Some(asg) = tree.next_trial() {
+            n += 1;
+            let ids: Vec<String> = asg.keys().cloned().collect();
+            for id in ids {
+                let m = metric(&asg, &id);
+                tree.record(&id, m);
+            }
+            assert!(n < 10_000, "runaway exploration");
+        }
+        n
+    }
+
+    #[test]
+    fn parallel_is_additive_not_multiplicative() {
+        // 5 groups x 6 choices: parallel exploration needs 6 trials, not 6^5
+        // (the paper's §4.5.1 example).
+        let children: Vec<UpdateNode> =
+            (0..5).map(|i| UpdateNode::var(format!("g{i}"), 6)).collect();
+        let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, children));
+        let trials = drive(&mut tree, |asg, id| (asg[id] as f64 - 3.0).abs());
+        assert_eq!(trials, 6);
+        // Every variable found its own optimum (choice 3).
+        let best = tree.best_assignment();
+        for i in 0..5 {
+            assert_eq!(best[&format!("g{i}")], 3);
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_multiplicative() {
+        let children = vec![UpdateNode::var("a", 3), UpdateNode::var("b", 4)];
+        let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Exhaustive, children));
+        let mut seen = std::collections::HashSet::new();
+        while let Some(asg) = tree.next_trial() {
+            seen.insert((asg["a"], asg["b"]));
+        }
+        assert_eq!(seen.len(), 12, "all 3x4 combinations visited");
+    }
+
+    #[test]
+    fn prefix_freezes_earlier_children() {
+        // Two children of 4 choices: prefix explores ~4 + 4 trials, and when
+        // the second child explores, the first sits at its best.
+        let children = vec![UpdateNode::var("e0", 4), UpdateNode::var("e1", 4)];
+        let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Prefix, children));
+        let mut e0_during_e1 = Vec::new();
+        let mut prev_e1 = None;
+        while let Some(asg) = tree.next_trial() {
+            // Metric: e0 best at 2, e1 best at 1.
+            tree.record("e0", (asg["e0"] as f64 - 2.0).abs());
+            tree.record("e1", (asg["e1"] as f64 - 1.0).abs());
+            if prev_e1.map_or(false, |p| p != asg["e1"]) {
+                e0_during_e1.push(asg["e0"]);
+            }
+            prev_e1 = Some(asg["e1"]);
+        }
+        assert!(tree.trials() <= 9, "prefix is additive: {} trials", tree.trials());
+        assert!(e0_during_e1.iter().all(|&c| c == 2), "e0 frozen at best while e1 explores");
+        assert_eq!(tree.best_assignment()["e1"], 1);
+    }
+
+    #[test]
+    fn nested_parallel_of_prefix_groups() {
+        // Two super-epochs in parallel, each a prefix over 2 epochs:
+        // trials = max over super-epochs of (sum of epoch choices), additive.
+        let se = |n: usize| {
+            UpdateNode::group(
+                ExploreMode::Prefix,
+                vec![
+                    UpdateNode::var(format!("se{n}.e0"), 3),
+                    UpdateNode::var(format!("se{n}.e1"), 3),
+                ],
+            )
+        };
+        let mut tree =
+            UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vec![se(0), se(1)]));
+        let trials = drive(&mut tree, |asg, id| asg[id] as f64);
+        assert!(trials <= 6, "nested additive exploration: {trials}");
+    }
+
+    #[test]
+    fn single_choice_space_yields_one_trial() {
+        let mut tree = UpdateTree::new(UpdateNode::var("only", 1));
+        assert!(tree.next_trial().is_some());
+        assert!(tree.next_trial().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn zero_choices_panics() {
+        let _ = AdaptiveVar::new("x", 0);
+    }
+
+    #[test]
+    fn initialize_resets() {
+        let mut v = AdaptiveVar::new("v", 3);
+        v.record(5.0);
+        assert!(v.iterate());
+        v.record(1.0);
+        v.initialize();
+        assert_eq!(v.current(), 0);
+        assert!(v.best().is_none());
+    }
+}

@@ -1,0 +1,14 @@
+//! The enumerator half of Astra's compiler-runtime split (paper §4.4).
+//!
+//! The enumerator uses static knowledge to produce the *state space* —
+//! fusion candidates, allocation strategies, and the epoch structure for
+//! stream exploration — but never ranks options; ranking is the custom
+//! wirer's job, by measurement.
+
+pub mod alloc;
+pub mod epochs;
+pub mod fusion;
+
+pub use alloc::{enumerate_alloc, AllocEnumeration, AllocStrategy};
+pub use epochs::{epoch_choices, partition_units, Epoch, EquivClass, Partition, SuperEpoch};
+pub use fusion::{enumerate_fusion, ColKind, FusionSet};

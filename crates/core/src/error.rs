@@ -1,0 +1,50 @@
+//! Error types for the Astra optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from enumeration or exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstraError {
+    /// The underlying GPU simulation failed.
+    Gpu(astra_gpu::GpuError),
+    /// The graph violates an assumption of the enumerator.
+    Enumeration(String),
+}
+
+impl fmt::Display for AstraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstraError::Gpu(e) => write!(f, "gpu simulation failed: {e}"),
+            AstraError::Enumeration(why) => write!(f, "enumeration failed: {why}"),
+        }
+    }
+}
+
+impl Error for AstraError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AstraError::Gpu(e) => Some(e),
+            AstraError::Enumeration(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<astra_gpu::GpuError> for AstraError {
+    fn from(e: astra_gpu::GpuError) -> Self {
+        AstraError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_source() {
+        let e = AstraError::from(astra_gpu::GpuError::Deadlock("stuck".into()));
+        assert!(e.to_string().contains("stuck"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,60 @@
+//! # astra-core — the Astra adaptive optimizer
+//!
+//! A from-scratch Rust reproduction of *Astra: Exploiting Predictability to
+//! Optimize Deep Learning* (Sivathanu, Chugh, Singapuram, Zhou — ASPLOS
+//! 2019). Astra splits optimization between an **enumerator** (the compiler
+//! half: finds fusion candidates, allocation strategies, and the stream
+//! exploration structure using static knowledge) and a **custom wirer** (the
+//! runtime half: explores the enumerated space online, one configuration per
+//! training mini-batch, using fine-grained profiling) — no cost model
+//! anywhere.
+//!
+//! * [`Astra`] / [`AstraOptions`] / [`Dims`] — the top-level optimizer and
+//!   its ablation switches (`Astra_F`, `Astra_FK`, `Astra_FKS`,
+//!   `Astra_all`).
+//! * [`enumerate`] — fusion sets (shared-argument + ladders, 2-D),
+//!   allocation conflicts/strategies, super-epochs/epochs/equivalence.
+//! * [`AdaptiveVar`] / [`UpdateTree`] / [`ExploreMode`] — the paper's
+//!   adaptive-variable interface and exploration modes.
+//! * [`ProfileKey`] / [`ProfileIndex`] — context-mangled profile indexing.
+//! * [`optimize_bucketed`] — dynamic-graph support via bucketed profiling.
+//! * [`explore_recompute`] — the §3.4 recompute-for-memory adaptation,
+//!   backed by a liveness analysis ([`peak_activation_bytes`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use astra_core::{Astra, AstraOptions, Dims};
+//! use astra_gpu::DeviceSpec;
+//! use astra_models::{Model, ModelConfig};
+//!
+//! let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64,
+//!                         ..ModelConfig::ptb(8) };
+//! let built = Model::SubLstm.build(&cfg);
+//! let dev = DeviceSpec::p100();
+//! let mut astra = Astra::new(&built.graph, &dev, AstraOptions {
+//!     dims: Dims::fk(),
+//!     ..Default::default()
+//! });
+//! let report = astra.optimize().unwrap();
+//! assert!(report.speedup() >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod astra;
+mod bucketing;
+pub mod enumerate;
+mod error;
+mod plan;
+mod profile;
+mod recompute;
+
+pub use adaptive::{AdaptiveVar, ExploreMode, UpdateNode, UpdateTree};
+pub use astra::{Astra, AstraOptions, Dims, Report};
+pub use bucketing::{optimize_bucketed, BucketedReport};
+pub use error::AstraError;
+pub use plan::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec, Probes, Unit, UnitId};
+pub use profile::{ProfileIndex, ProfileKey};
+pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};

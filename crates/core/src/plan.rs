@@ -1,0 +1,864 @@
+//! Configuration → executable schedule.
+//!
+//! A trial configuration ([`ExecConfig`]) binds every adaptive variable:
+//! per-set fusion chunk sizes, per-shape GEMM libraries, the allocation
+//! strategy, and the stream assignment. This module materializes a
+//! configuration as *units* — fused GEMM blocks, ladder-combine adds,
+//! element-wise chains, and remaining single kernels — topologically sorts
+//! them, inserts gather copies where the allocation strategy denied
+//! contiguity, and emits an [`astra_gpu::Schedule`] with events, barriers,
+//! and the profiling probes the custom wirer harvests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use astra_exec::{fuse_elementwise_chains, lower, EwChain, Lowering};
+use astra_gpu::{
+    AllocationPlan, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
+};
+use astra_ir::{Graph, NodeId, OpKind};
+
+use crate::enumerate::alloc::{enumerate_alloc, AllocEnumeration};
+use crate::enumerate::fusion::{enumerate_fusion, ColKind, FusionSet};
+use crate::error::AstraError;
+
+/// Identity of a schedulable unit, stable across rebuilds under the same
+/// chunk configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitId {
+    /// Fused GEMM block `(set, row-block, col-block)`.
+    Block {
+        /// Index of the fusion set.
+        set: u32,
+        /// Row-block index.
+        rb: u32,
+        /// Column-block index.
+        cb: u32,
+    },
+    /// Ladder partial-sum combine add for a row-block.
+    Combine {
+        /// Index of the fusion set.
+        set: u32,
+        /// Row-block index.
+        rb: u32,
+        /// Combine position within the row-block.
+        idx: u32,
+    },
+    /// A fused element-wise chain.
+    Chain(u32),
+    /// A single un-fused graph node.
+    Node(u32),
+}
+
+/// One schedulable unit.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Stable identity.
+    pub id: UnitId,
+    /// The kernel to launch.
+    pub kernel: KernelDesc,
+    /// Indices (into the unit vector) of units this one depends on.
+    pub deps: Vec<usize>,
+    /// GEMM shape, when the unit is a (fused) matmul.
+    pub gemm_shape: Option<GemmShape>,
+    /// Bytes that must be gather-copied before launch because the
+    /// allocation strategy left the fused operands non-contiguous.
+    pub pre_copy_bytes: f64,
+    /// Owning fusion set, for per-set profiling.
+    pub set_idx: Option<usize>,
+    /// Nominal FLOPs (for super-epoch budgeting and stream balancing).
+    pub flops: f64,
+    /// Bytes of activation output this unit materializes (drives the
+    /// liveness analysis behind the recompute/memory adaptation).
+    pub out_bytes: f64,
+    /// Which pass the unit belongs to.
+    pub pass: astra_ir::Pass,
+    /// Originating timestep, when the unit's members have one.
+    pub step: Option<u32>,
+}
+
+/// Everything derived once per (graph, enumeration) pair.
+#[derive(Debug)]
+pub struct PlanContext<'g> {
+    /// The training graph.
+    pub graph: &'g Graph,
+    /// Per-node default kernels and buffer aliasing.
+    pub lowering: Lowering,
+    /// Fusion candidates from the enumerator.
+    pub sets: Vec<FusionSet>,
+    /// Always-on element-wise chains (§5.3).
+    pub chains: Vec<EwChain>,
+    /// Allocation strategies (≥1).
+    pub alloc: AllocEnumeration,
+}
+
+impl<'g> PlanContext<'g> {
+    /// Runs the full static enumeration for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        let lowering = lower(graph);
+        let sets = enumerate_fusion(graph);
+        let chains = fuse_elementwise_chains(graph, &lowering);
+        let alloc = enumerate_alloc(graph, &lowering, &sets);
+        PlanContext { graph, lowering, sets, chains, alloc }
+    }
+}
+
+/// A complete binding of all adaptive variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// Per fusion set: (row chunk, col chunk) in member counts.
+    pub chunks: BTreeMap<String, (usize, usize)>,
+    /// Per realized GEMM shape: chosen kernel library.
+    pub libs: BTreeMap<GemmShape, GemmLibrary>,
+    /// Allocation strategy index into [`PlanContext::alloc`].
+    pub strategy: usize,
+    /// Number of streams (1 = no stream adaptation).
+    pub num_streams: usize,
+    /// Stream of each unit (missing units default to stream 0).
+    pub streams: BTreeMap<UnitId, usize>,
+}
+
+impl ExecConfig {
+    /// The unoptimized starting point: no fusion (chunks 1x1), default
+    /// library, default allocation, a single stream.
+    pub fn baseline() -> Self {
+        ExecConfig {
+            chunks: BTreeMap::new(),
+            libs: BTreeMap::new(),
+            strategy: 0,
+            num_streams: 1,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// The chunking for a set (default 1x1 = unfused).
+    pub fn chunk_for(&self, set_id: &str) -> (usize, usize) {
+        self.chunks.get(set_id).copied().unwrap_or((1, 1))
+    }
+
+    /// The library for a shape (default cuBLAS-like).
+    pub fn lib_for(&self, shape: GemmShape) -> GemmLibrary {
+        self.libs.get(&shape).copied().unwrap_or(astra_exec::DEFAULT_GEMM_LIB)
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}
+
+/// Builds the unit DAG for a configuration, topologically sorted.
+///
+/// # Errors
+///
+/// Returns [`AstraError::Enumeration`] if the chunk configuration induces a
+/// cyclic unit graph (a fusion block that would have to run both before and
+/// after another unit). The wirer treats such configurations as invalid.
+pub fn build_units(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> Result<Vec<Unit>, AstraError> {
+    let graph = ctx.graph;
+    let n_nodes = graph.nodes().len();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Owner {
+        Set(usize),
+        Chain(usize),
+        Absorbed, // ladder adds replaced by blocks/combines
+        Single,
+    }
+    let mut owner = vec![Owner::Single; n_nodes];
+    for (ci, chain) in ctx.chains.iter().enumerate() {
+        for &m in &chain.nodes {
+            owner[m.0 as usize] = Owner::Chain(ci);
+        }
+    }
+    for (si, set) in ctx.sets.iter().enumerate() {
+        for m in set.all_nodes() {
+            owner[m.0 as usize] = Owner::Set(si);
+        }
+        for adds in &set.ladder_adds {
+            for &a in adds {
+                owner[a.0 as usize] = Owner::Absorbed;
+            }
+        }
+    }
+
+    // ---- Create units (unordered), and map tensors to producing units. ----
+    let mut units: Vec<Unit> = Vec::new();
+    let mut unit_of_tensor: HashMap<u32, usize> = HashMap::new(); // tensor id -> unit idx
+    let mut members_of_unit: Vec<Vec<NodeId>> = Vec::new();
+
+    let push_unit = |units: &mut Vec<Unit>,
+                         members_of_unit: &mut Vec<Vec<NodeId>>,
+                         unit: Unit,
+                         members: Vec<NodeId>|
+     -> usize {
+        units.push(unit);
+        members_of_unit.push(members);
+        units.len() - 1
+    };
+
+    // Fusion-set blocks.
+    for (si, set) in ctx.sets.iter().enumerate() {
+        let (rc, cc) = cfg.chunk_for(&set.id);
+        let rows = set.rows();
+        let cols = set.cols();
+        let rc = rc.clamp(1, rows.max(1));
+        let cc = cc.clamp(1, cols.max(1));
+        let rbs = div_ceil(rows, rc);
+        let cbs = div_ceil(cols, cc);
+        for rb in 0..rbs {
+            let row_range = (rb * rc)..((rb * rc + rc).min(rows));
+            let mut row_block_units: Vec<usize> = Vec::new();
+            for cb in 0..cbs {
+                let col_range = (cb * cc)..((cb * cc + cc).min(cols));
+                let members: Vec<NodeId> = row_range
+                    .clone()
+                    .flat_map(|r| col_range.clone().map(move |c| (r, c)))
+                    .map(|(r, c)| set.nodes[r][c])
+                    .collect();
+                let shape = set.block_shape(row_range.len(), col_range.start, col_range.len());
+                let lib = cfg.lib_for(shape);
+                let kernel = KernelDesc::Gemm { shape, lib };
+                let flops = kernel.flops();
+                // SharedLeft blocks materialize every member's output
+                // (stacked along N); ladder blocks materialize only the
+                // partial sum — one output per row.
+                let out_bytes: u64 = match set.col_kind {
+                    ColKind::SharedLeft => {
+                        members.iter().map(|&m| graph.shape(graph.node(m).output).bytes()).sum()
+                    }
+                    ColKind::Ladder => row_range
+                        .clone()
+                        .map(|r| graph.shape(graph.node(set.nodes[r][0]).output).bytes())
+                        .sum(),
+                };
+                let first_prov = &graph.node(members[0]).prov;
+                let (upass, ustep) = (first_prov.pass, first_prov.timestep);
+                let idx = push_unit(
+                    &mut units,
+                    &mut members_of_unit,
+                    Unit {
+                        id: UnitId::Block { set: si as u32, rb: rb as u32, cb: cb as u32 },
+                        kernel,
+                        deps: Vec::new(),
+                        gemm_shape: Some(shape),
+                        pre_copy_bytes: 0.0,
+                        set_idx: Some(si),
+                        flops,
+                        out_bytes: out_bytes as f64,
+                        pass: upass,
+                        step: ustep,
+                    },
+                    members.clone(),
+                );
+                row_block_units.push(idx);
+                // Member outputs resolve to this block (SharedLeft), or to
+                // the row-block's final combine (Ladder, patched below).
+                for &m in &members {
+                    unit_of_tensor.insert(graph.node(m).output.0, idx);
+                }
+            }
+            if set.col_kind == ColKind::Ladder {
+                // Partial sums across col-blocks combine pairwise.
+                let out_elems: u64 = row_range
+                    .clone()
+                    .map(|r| graph.shape(graph.node(set.nodes[r][0]).output).elements())
+                    .sum();
+                let combine_prov = &graph.node(set.nodes[row_range.start][0]).prov;
+                let (cpass, cstep) = (combine_prov.pass, combine_prov.timestep);
+                let mut acc = row_block_units[0];
+                for (k, &blk) in row_block_units.iter().enumerate().skip(1) {
+                    let kernel = KernelDesc::Elementwise {
+                        elements: out_elems,
+                        flops_per_element: 1.0,
+                        inputs: 2,
+                        outputs: 1,
+                    };
+                    let flops = kernel.flops();
+                    let idx = push_unit(
+                        &mut units,
+                        &mut members_of_unit,
+                        Unit {
+                            id: UnitId::Combine {
+                                set: si as u32,
+                                rb: rb as u32,
+                                idx: (k - 1) as u32,
+                            },
+                            kernel,
+                            deps: vec![acc, blk],
+                            gemm_shape: None,
+                            pre_copy_bytes: 0.0,
+                            set_idx: Some(si),
+                            flops,
+                            out_bytes: (out_elems * 4) as f64,
+                            pass: cpass,
+                            step: cstep,
+                        },
+                        Vec::new(),
+                    );
+                    acc = idx;
+                }
+                // The ladder-root outputs of these rows resolve to `acc`.
+                for r in row_range {
+                    for &add in &set.ladder_adds[r] {
+                        unit_of_tensor.insert(graph.node(add).output.0, acc);
+                    }
+                    // Member mm outputs also resolve to the final sum
+                    // (their individual values no longer exist).
+                    for c in 0..cols {
+                        unit_of_tensor.insert(graph.node(set.nodes[r][c]).output.0, acc);
+                    }
+                }
+            }
+        }
+    }
+
+    // Element-wise chains.
+    for (ci, chain) in ctx.chains.iter().enumerate() {
+        let flops = chain.kernel.flops();
+        // Only outputs escaping the chain occupy memory.
+        let member_set: std::collections::HashSet<NodeId> =
+            chain.nodes.iter().copied().collect();
+        let out_bytes: u64 = chain
+            .nodes
+            .iter()
+            .filter(|&&m| {
+                let consumers = graph.consumers(graph.node(m).output);
+                consumers.is_empty() || consumers.iter().any(|c| !member_set.contains(c))
+            })
+            .map(|&m| graph.shape(graph.node(m).output).bytes())
+            .sum();
+        let idx = push_unit(
+            &mut units,
+            &mut members_of_unit,
+            Unit {
+                id: UnitId::Chain(ci as u32),
+                kernel: chain.kernel.clone(),
+                deps: Vec::new(),
+                gemm_shape: None,
+                pre_copy_bytes: 0.0,
+                set_idx: None,
+                flops,
+                out_bytes: out_bytes as f64,
+                pass: graph.node(chain.nodes[0]).prov.pass,
+                step: graph.node(chain.nodes[0]).prov.timestep,
+            },
+            chain.nodes.clone(),
+        );
+        for &m in &chain.nodes {
+            unit_of_tensor.insert(graph.node(m).output.0, idx);
+        }
+    }
+
+    // Singles.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if owner[i] != Owner::Single {
+            continue;
+        }
+        let Some(kernel) = ctx.lowering.ops()[i].kernel.clone() else {
+            continue; // elided (transpose): resolved through aliasing below
+        };
+        let (kernel, gemm_shape) = match kernel {
+            KernelDesc::Gemm { shape, .. } => {
+                (KernelDesc::Gemm { shape, lib: cfg.lib_for(shape) }, Some(shape))
+            }
+            k => (k, None),
+        };
+        let flops = kernel.flops();
+        let idx = push_unit(
+            &mut units,
+            &mut members_of_unit,
+            Unit {
+                id: UnitId::Node(i as u32),
+                kernel,
+                deps: Vec::new(),
+                gemm_shape,
+                pre_copy_bytes: 0.0,
+                set_idx: None,
+                flops,
+                out_bytes: graph.shape(node.output).bytes() as f64,
+                pass: node.prov.pass,
+                step: node.prov.timestep,
+            },
+            vec![NodeId(i as u32)],
+        );
+        unit_of_tensor.insert(node.output.0, idx);
+    }
+
+    // Resolve elided nodes (transposes): their outputs alias the producing
+    // unit of their input, transitively.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (_i, node) in graph.nodes().iter().enumerate() {
+            if matches!(node.op, OpKind::Transpose)
+                && !unit_of_tensor.contains_key(&node.output.0)
+            {
+                if let Some(&u) = unit_of_tensor.get(&node.inputs[0].0) {
+                    unit_of_tensor.insert(node.output.0, u);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // ---- Dependencies. ----
+    for ui in 0..units.len() {
+        let mut deps: HashSet<usize> = units[ui].deps.iter().copied().collect();
+        for &m in &members_of_unit[ui] {
+            for &inp in &graph.node(m).inputs {
+                if let Some(&p) = unit_of_tensor.get(&inp.0) {
+                    if p != ui {
+                        deps.insert(p);
+                    }
+                }
+            }
+        }
+        let mut deps: Vec<usize> = deps.into_iter().collect();
+        deps.sort_unstable();
+        units[ui].deps = deps;
+    }
+
+    // ---- Gather copies for non-contiguous fused operands. ----
+    let plan = allocation_plan(ctx, cfg);
+    for (si, set) in ctx.sets.iter().enumerate() {
+        let (rc, cc) = cfg.chunk_for(&set.id);
+        let rc = rc.clamp(1, set.rows().max(1));
+        let cc = cc.clamp(1, set.cols().max(1));
+        if rc == 1 && cc == 1 {
+            continue;
+        }
+        for unit in units.iter_mut() {
+            let UnitId::Block { set: s, rb, cb } = unit.id else { continue };
+            if s as usize != si {
+                continue;
+            }
+            let row_range = (rb as usize * rc)..((rb as usize * rc + rc).min(set.rows()));
+            let col_range = (cb as usize * cc)..((cb as usize * cc + cc).min(set.cols()));
+            let mut lists: Vec<Vec<astra_ir::TensorId>> = Vec::new();
+            match set.col_kind {
+                ColKind::SharedLeft => {
+                    if col_range.len() > 1 {
+                        lists.push(
+                            col_range
+                                .clone()
+                                .map(|c| graph.node(set.nodes[row_range.start][c]).inputs[1])
+                                .collect(),
+                        );
+                    }
+                    if row_range.len() > 1 {
+                        lists.push(
+                            row_range
+                                .clone()
+                                .map(|r| graph.node(set.nodes[r][col_range.start]).inputs[0])
+                                .collect(),
+                        );
+                    }
+                }
+                ColKind::Ladder => {
+                    if col_range.len() > 1 {
+                        for r in row_range.clone() {
+                            lists.push(
+                                col_range.clone().map(|c| graph.node(set.nodes[r][c]).inputs[0]).collect(),
+                            );
+                            lists.push(
+                                col_range.clone().map(|c| graph.node(set.nodes[r][c]).inputs[1]).collect(),
+                            );
+                        }
+                    }
+                    if row_range.len() > 1 {
+                        for c in col_range.clone() {
+                            lists.push(
+                                row_range.clone().map(|r| graph.node(set.nodes[r][c]).inputs[0]).collect(),
+                            );
+                        }
+                    }
+                }
+            }
+            for list in lists {
+                let bufs: Vec<_> = list.iter().map(|&t| ctx.lowering.buffer(t)).collect();
+                unit.pre_copy_bytes += plan.gather_bytes(&bufs) as f64;
+            }
+        }
+    }
+
+    // ---- Topological sort (Kahn, stable by creation index). ----
+    let n = units.len();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, u) in units.iter().enumerate() {
+        for &d in &u.deps {
+            out[d].push(i);
+            indeg[i] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut queued = vec![false; n];
+    for &r in &ready {
+        queued[r] = true;
+    }
+    while !ready.is_empty() {
+        ready.sort_unstable();
+        let next = ready.remove(0);
+        order.push(next);
+        for &c in &out[next] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 && !queued[c] {
+                queued[c] = true;
+                ready.push(c);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(AstraError::Enumeration(format!(
+            "chunk configuration induces a cyclic unit graph ({} of {n} sorted)",
+            order.len()
+        )));
+    }
+
+    // Re-index deps into the sorted order.
+    let mut pos = vec![0usize; n];
+    for (new_i, &old_i) in order.iter().enumerate() {
+        pos[old_i] = new_i;
+    }
+    let mut sorted: Vec<Unit> = order.iter().map(|&i| units[i].clone()).collect();
+    for u in &mut sorted {
+        for d in &mut u.deps {
+            *d = pos[*d];
+        }
+        u.deps.sort_unstable();
+    }
+    Ok(sorted)
+}
+
+/// Builds the device-memory plan for a strategy: granted adjacency groups
+/// first, then everything else.
+fn allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> AllocationPlan {
+    let mut plan = AllocationPlan::new();
+    let strategy = &ctx.alloc.strategies[cfg.strategy.min(ctx.alloc.strategies.len() - 1)];
+    for group in &strategy.granted {
+        let entries: Vec<_> = group
+            .iter()
+            .map(|&b| (b, ctx.graph.shape(astra_ir::TensorId(b.0 as u32)).bytes()))
+            .collect();
+        plan.place_group(&entries);
+    }
+    plan
+}
+
+/// What to instrument in an emitted schedule. Probing costs stream time
+/// (event records), so each exploration phase requests only the regions it
+/// harvests — that is how the <0.5% overhead bound of §6.4 is kept.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSpec {
+    /// Wrap the first block of each fusion set (phase F).
+    pub sets: bool,
+    /// Wrap the first GEMM of each distinct shape (phase K).
+    pub shapes: bool,
+    /// `(super-epoch, epoch)` pairs whose end should be marked per stream
+    /// (phase S probes only epochs that actually have choices).
+    pub epochs: std::collections::HashSet<(usize, usize)>,
+}
+
+impl ProbeSpec {
+    /// No instrumentation (playoff and steady-state runs).
+    pub fn none() -> Self {
+        ProbeSpec::default()
+    }
+
+    /// Fusion-set instrumentation only (phase F).
+    pub fn fusion_sets() -> Self {
+        ProbeSpec { sets: true, ..ProbeSpec::default() }
+    }
+
+    /// GEMM-shape instrumentation only (phase K).
+    pub fn gemm_shapes() -> Self {
+        ProbeSpec { shapes: true, ..ProbeSpec::default() }
+    }
+
+    /// Epoch instrumentation for the given epochs.
+    pub fn epochs(epochs: std::collections::HashSet<(usize, usize)>) -> Self {
+        ProbeSpec { epochs, ..ProbeSpec::default() }
+    }
+}
+
+/// Profiling probes of a built schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Probes {
+    /// Per fusion set: (set index, number of blocks, first-block region).
+    pub set_regions: Vec<(usize, usize, EventId, EventId)>,
+    /// Per distinct GEMM shape: first-occurrence region.
+    pub shape_regions: Vec<(GemmShape, EventId, EventId)>,
+    /// Start event of each probed super-epoch.
+    pub se_starts: BTreeMap<usize, EventId>,
+    /// End events (one per stream used) of each probed epoch.
+    pub epoch_ends: BTreeMap<(usize, usize), Vec<EventId>>,
+    /// Number of events recorded purely for profiling (excludes the
+    /// cross-stream synchronization events the schedule needs anyway).
+    pub probe_records: usize,
+}
+
+/// Emits the schedule for `units`, with optional stream partitioning and
+/// profiling probes.
+///
+/// When `partition` is `Some`, units are emitted super-epoch by super-epoch
+/// with device-wide barriers between super-epochs (§4.5.3); cross-stream
+/// dependencies synchronize through events.
+pub fn emit_schedule(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    units: &[Unit],
+    partition: Option<&crate::enumerate::epochs::Partition>,
+    probe: &ProbeSpec,
+) -> (Schedule, Probes) {
+    let num_streams = cfg.num_streams.max(1);
+    let mut sched = Schedule::new(num_streams);
+    let mut probes = Probes::default();
+
+    let stream_of = |u: &Unit| -> usize {
+        cfg.streams.get(&u.id).copied().unwrap_or(0).min(num_streams - 1)
+    };
+
+    // Which units need completion events (consumer on a different stream).
+    let mut needs_event = vec![false; units.len()];
+    if num_streams > 1 {
+        for u in units {
+            let s = stream_of(u);
+            for &d in &u.deps {
+                if stream_of(&units[d]) != s {
+                    needs_event[d] = true;
+                }
+            }
+        }
+    }
+
+    let mut done_event: Vec<Option<EventId>> = vec![None; units.len()];
+    let mut seen_sets: HashSet<usize> = HashSet::new();
+    let mut seen_shapes: HashSet<GemmShape> = HashSet::new();
+    let mut blocks_per_set: HashMap<usize, usize> = HashMap::new();
+    for u in units {
+        if let (Some(si), UnitId::Block { .. }) = (u.set_idx, u.id) {
+            *blocks_per_set.entry(si).or_insert(0) += 1;
+        }
+    }
+
+    let mut emit_unit = |sched: &mut Schedule, probes: &mut Probes, idx: usize, u: &Unit| {
+        let stream = StreamId(stream_of(u));
+        let waits: Vec<EventId> = u
+            .deps
+            .iter()
+            .filter_map(|&d| {
+                if stream_of(&units[d]) != stream.0 {
+                    done_event[d]
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // Profiling probes: first block of each set, first GEMM per shape.
+        // The region opens before any gather copy so that chunk metrics
+        // charge the copies a denied allocation forces.
+        let probe_set = probe.sets
+            && matches!(u.id, UnitId::Block { .. })
+            && u.set_idx.map_or(false, |si| !seen_sets.contains(&si));
+        let probe_shape = probe.shapes && u.gemm_shape.map_or(false, |s| !seen_shapes.contains(&s));
+        let start_ev = if probe_set || probe_shape {
+            probes.probe_records += 1;
+            Some(sched.record(stream))
+        } else {
+            None
+        };
+
+        if u.pre_copy_bytes > 0.0 {
+            sched.launch_after(
+                stream,
+                KernelDesc::MemCopy { bytes: u.pre_copy_bytes },
+                waits.clone(),
+            );
+        }
+        sched.launch_after(stream, u.kernel.clone(), if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits });
+
+        if needs_event[idx] {
+            done_event[idx] = Some(sched.record(stream));
+        }
+        if let Some(start) = start_ev {
+            let end = done_event[idx].unwrap_or_else(|| {
+                probes.probe_records += 1;
+                sched.record(stream)
+            });
+            done_event[idx] = Some(end);
+            if probe_set {
+                let si = u.set_idx.expect("probe_set implies set");
+                seen_sets.insert(si);
+                probes.set_regions.push((si, blocks_per_set[&si], start, end));
+            }
+            if probe_shape {
+                let shape = u.gemm_shape.expect("probe_shape implies gemm");
+                seen_shapes.insert(shape);
+                probes.shape_regions.push((shape, start, end));
+            }
+        }
+    };
+
+    match partition {
+        None => {
+            for (i, u) in units.iter().enumerate() {
+                emit_unit(&mut sched, &mut probes, i, u);
+            }
+        }
+        Some(part) => {
+            for (sei, se) in part.super_epochs.iter().enumerate() {
+                if sei > 0 {
+                    sched.barrier();
+                }
+                let se_probed = (0..se.epochs.len()).any(|ei| probe.epochs.contains(&(sei, ei)));
+                if se_probed {
+                    let ev = sched.record(StreamId(0));
+                    probes.probe_records += 1;
+                    probes.se_starts.insert(sei, ev);
+                }
+                for (ei, epoch) in se.epochs.iter().enumerate() {
+                    let mut streams_used: HashSet<usize> = HashSet::new();
+                    for &ui in &epoch.units {
+                        streams_used.insert(stream_of(&units[ui]));
+                        emit_unit(&mut sched, &mut probes, ui, &units[ui]);
+                    }
+                    if probe.epochs.contains(&(sei, ei)) {
+                        let mut ends = Vec::new();
+                        let mut su: Vec<usize> = streams_used.into_iter().collect();
+                        su.sort_unstable();
+                        for s in su {
+                            ends.push(sched.record(StreamId(s)));
+                            probes.probe_records += 1;
+                        }
+                        probes.epoch_ends.insert((sei, ei), ends);
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = ctx;
+    (sched, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_gpu::{DeviceSpec, Engine};
+    use astra_models::{Model, ModelConfig};
+
+    fn tiny_model() -> astra_models::BuiltModel {
+        let cfg = ModelConfig {
+            seq_len: 4,
+            hidden: 64,
+            input: 64,
+            vocab: 128,
+            ..ModelConfig::ptb(8)
+        };
+        Model::SubLstm.build(&cfg)
+    }
+
+    #[test]
+    fn baseline_units_match_lowering() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let units = build_units(&ctx, &ExecConfig::baseline()).unwrap();
+        // Baseline (1x1 chunks): every kernel appears (blocks are single
+        // members; chains fused; combines absent for cc=1... ladders with
+        // cc=1 emit per-member blocks plus no combines, so the ladder adds
+        // must be represented).
+        assert!(!units.is_empty());
+        // Topological order: every dep precedes its user.
+        for (i, u) in units.iter().enumerate() {
+            for &d in &u.deps {
+                assert!(d < i, "unit {i} depends on later unit {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_config_has_fewer_units() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let base = build_units(&ctx, &ExecConfig::baseline()).unwrap();
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            cfg.chunks.insert(
+                set.id.clone(),
+                (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+            );
+        }
+        let fused = build_units(&ctx, &cfg).unwrap();
+        assert!(
+            fused.len() < base.len(),
+            "full fusion {} should shrink unit count {}",
+            fused.len(),
+            base.len()
+        );
+    }
+
+    #[test]
+    fn fused_schedule_runs_and_is_faster() {
+        let dev = DeviceSpec::p100();
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+
+        let base_units = build_units(&ctx, &ExecConfig::baseline()).unwrap();
+        let (base_sched, _) = emit_schedule(&ctx, &ExecConfig::baseline(), &base_units, None, &ProbeSpec::none());
+        let base = Engine::new(&dev).run(&base_sched).unwrap().total_ns;
+
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            cfg.chunks.insert(
+                set.id.clone(),
+                (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+            );
+        }
+        let units = build_units(&ctx, &cfg).unwrap();
+        let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+        let fused = Engine::new(&dev).run(&sched).unwrap().total_ns;
+        assert!(fused < base, "fused {fused} should beat unfused {base}");
+    }
+
+    #[test]
+    fn probes_cover_sets_and_shapes() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let cfg = ExecConfig::baseline();
+        let units = build_units(&ctx, &cfg).unwrap();
+        let (sched, probes) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec { sets: true, shapes: true, ..ProbeSpec::default() });
+        assert_eq!(probes.set_regions.len(), ctx.sets.len());
+        assert!(!probes.shape_regions.is_empty());
+        let dev = DeviceSpec::p100();
+        let r = Engine::new(&dev).run(&sched).unwrap();
+        for (_, _, start, end) in &probes.set_regions {
+            let dt = r.elapsed(*start, *end).unwrap();
+            assert!(dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn gather_copies_appear_when_contiguity_denied() {
+        // Build with a strategy index beyond the granted ones? Instead:
+        // strategy 0 grants greedily; force copies by checking that a fused
+        // block whose requirement was NOT granted pays bytes. We simulate by
+        // constructing a context whose allocation has conflicts — if the
+        // model has none, pre_copy stays 0 and the test only asserts
+        // consistency.
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            cfg.chunks.insert(
+                set.id.clone(),
+                (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+            );
+        }
+        for strategy in 0..ctx.alloc.strategies.len() {
+            cfg.strategy = strategy;
+            let units = build_units(&ctx, &cfg).unwrap();
+            let copies: f64 = units.iter().map(|u| u.pre_copy_bytes).sum();
+            assert!(copies >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Profile indexing (paper §4.6).
+//!
+//! Astra manages its exploration by *indexing profile data*: every
+//! measurement is stored under a mangled key. The key's trailing part
+//! identifies the measured entity (a GEMM, a fusion group, an epoch) and the
+//! chosen option; *context prefixes* (allocation strategy, bucket id,
+//! higher-level bindings) are prepended so that changing a higher-level
+//! policy causes a *miss* and forces re-evaluation, while measurements in
+//! unaffected contexts stay valid.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A hierarchical profile key: context prefixes plus an entity/choice tail.
+///
+/// # Examples
+///
+/// ```
+/// use astra_core::ProfileKey;
+///
+/// let k = ProfileKey::entity("gemm:64x1024x1024", 2).in_context("alloc:1");
+/// assert_eq!(k.to_string(), "alloc:1/gemm:64x1024x1024#2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProfileKey {
+    contexts: Vec<String>,
+    entity: String,
+    choice: usize,
+}
+
+impl ProfileKey {
+    /// A context-free key for `entity` under option `choice`.
+    pub fn entity(entity: impl Into<String>, choice: usize) -> Self {
+        ProfileKey { contexts: Vec::new(), entity: entity.into(), choice }
+    }
+
+    /// Returns this key with `ctx` prepended (outermost context first).
+    pub fn in_context(mut self, ctx: impl Into<String>) -> Self {
+        self.contexts.insert(0, ctx.into());
+        self
+    }
+
+    /// The entity name (without contexts or choice).
+    pub fn entity_name(&self) -> &str {
+        &self.entity
+    }
+
+    /// The choice index this key measures.
+    pub fn choice(&self) -> usize {
+        self.choice
+    }
+}
+
+impl std::fmt::Display for ProfileKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.contexts {
+            write!(f, "{c}/")?;
+        }
+        write!(f, "{}#{}", self.entity, self.choice)
+    }
+}
+
+/// The measurement store: key → best observed metric (ns).
+///
+/// Re-measuring the same key keeps the *minimum* (measurements are
+/// repeatable under a fixed clock; min guards against profiling noise when
+/// autoboost is on).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileIndex {
+    map: BTreeMap<String, f64>,
+}
+
+impl ProfileIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a measurement for `key`.
+    pub fn record(&mut self, key: &ProfileKey, value_ns: f64) {
+        let k = key.to_string();
+        self.map
+            .entry(k)
+            .and_modify(|v| *v = v.min(value_ns))
+            .or_insert(value_ns);
+    }
+
+    /// Whether `key` has been measured (a hit means no re-run needed).
+    pub fn contains(&self, key: &ProfileKey) -> bool {
+        self.map.contains_key(&key.to_string())
+    }
+
+    /// The measurement for `key`, if present.
+    pub fn get(&self, key: &ProfileKey) -> Option<f64> {
+        self.map.get(&key.to_string()).copied()
+    }
+
+    /// The best (choice, value) among `choices` keys for an entity in a
+    /// context-mangled keyspace. Returns `None` if none are measured.
+    pub fn best_choice(
+        &self,
+        mk_key: impl Fn(usize) -> ProfileKey,
+        choices: usize,
+    ) -> Option<(usize, f64)> {
+        (0..choices)
+            .filter_map(|c| self.get(&mk_key(c)).map(|v| (c, v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Number of stored measurements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_mangling_causes_misses() {
+        let mut idx = ProfileIndex::new();
+        let plain = ProfileKey::entity("gemm:a", 0);
+        idx.record(&plain, 100.0);
+        assert!(idx.contains(&plain));
+        // Same entity under a different allocation context: miss.
+        let ctxed = ProfileKey::entity("gemm:a", 0).in_context("alloc:1");
+        assert!(!idx.contains(&ctxed));
+    }
+
+    #[test]
+    fn re_recording_keeps_minimum() {
+        let mut idx = ProfileIndex::new();
+        let k = ProfileKey::entity("e", 0);
+        idx.record(&k, 50.0);
+        idx.record(&k, 80.0);
+        assert_eq!(idx.get(&k), Some(50.0));
+        idx.record(&k, 20.0);
+        assert_eq!(idx.get(&k), Some(20.0));
+    }
+
+    #[test]
+    fn best_choice_picks_minimum() {
+        let mut idx = ProfileIndex::new();
+        for (c, v) in [(0, 30.0), (1, 10.0), (2, 20.0)] {
+            idx.record(&ProfileKey::entity("fuse:g", c), v);
+        }
+        let (c, v) = idx.best_choice(|c| ProfileKey::entity("fuse:g", c), 3).unwrap();
+        assert_eq!((c, v), (1, 10.0));
+        // Unmeasured choices are skipped, missing entity yields None.
+        assert!(idx.best_choice(|c| ProfileKey::entity("ghost", c), 3).is_none());
+    }
+
+    #[test]
+    fn display_orders_contexts_outermost_first() {
+        let k = ProfileKey::entity("epoch:3", 1)
+            .in_context("superepoch:0")
+            .in_context("bucket:24");
+        assert_eq!(k.to_string(), "bucket:24/superepoch:0/epoch:3#1");
+    }
+}

@@ -1,0 +1,102 @@
+//! Interconnect models for multi-GPU training.
+//!
+//! The paper's §3.4 lists distributed training as a natural further
+//! dimension of the Astra state space: "depending on the communication cost
+//! of the model and the physical characteristics of the network, the choice
+//! of ideal degree of parallelism ... could be taken in an automated manner
+//! with runtime measurement and adaptation." This module supplies those
+//! physical characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link between accelerators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Unidirectional bandwidth in GB/s (= bytes/ns).
+    pub gbps: f64,
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl LinkSpec {
+    /// PCIe 3.0 x16: ~12 GB/s effective, high latency.
+    pub fn pcie3() -> Self {
+        LinkSpec { name: "pcie3-x16".to_owned(), gbps: 12.0, latency_ns: 12_000.0 }
+    }
+
+    /// NVLink (P100 generation): ~18 GB/s per direction per link pair.
+    pub fn nvlink() -> Self {
+        LinkSpec { name: "nvlink1".to_owned(), gbps: 18.0, latency_ns: 4_000.0 }
+    }
+
+    /// A 25 GbE-ish cluster network: ~3 GB/s, very high latency.
+    pub fn ethernet() -> Self {
+        LinkSpec { name: "eth-25g".to_owned(), gbps: 3.0, latency_ns: 50_000.0 }
+    }
+
+    /// Bandwidth in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.gbps
+    }
+}
+
+/// Time for a ring all-reduce of `bytes` across `replicas` peers.
+///
+/// The standard cost model: `2 (P-1)/P * B` bytes cross each link, in
+/// `2 (P-1)` latency-bound steps.
+pub fn ring_allreduce_ns(bytes: f64, replicas: u32, link: &LinkSpec) -> f64 {
+    if replicas <= 1 {
+        return 0.0;
+    }
+    let p = f64::from(replicas);
+    let transfer = 2.0 * (p - 1.0) / p * bytes / link.bytes_per_ns();
+    let latency = 2.0 * (p - 1.0) * link.latency_ns;
+    transfer + latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_replica_is_free() {
+        assert_eq!(ring_allreduce_ns(1e9, 1, &LinkSpec::nvlink()), 0.0);
+    }
+
+    #[test]
+    fn transfer_term_saturates_with_replicas() {
+        // 2(P-1)/P approaches 2: doubling P beyond a few barely moves the
+        // bandwidth term, while latency keeps growing.
+        let link = LinkSpec::nvlink();
+        let t2 = ring_allreduce_ns(1e9, 2, &link);
+        let t8 = ring_allreduce_ns(1e9, 8, &link);
+        let t16 = ring_allreduce_ns(1e9, 16, &link);
+        assert!(t8 > t2);
+        assert!((t16 - t8) < (t8 - t2) * 2.0, "growth must flatten");
+    }
+
+    #[test]
+    fn allreduce_scales_linearly_in_bytes() {
+        let link = LinkSpec::nvlink();
+        let t1 = ring_allreduce_ns(1e8, 4, &link);
+        let t2 = ring_allreduce_ns(2e8, 4, &link);
+        // Latency term is constant; the bandwidth term doubles.
+        let latency = 2.0 * 3.0 * link.latency_ns;
+        assert!(((t2 - latency) / (t1 - latency) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_link_is_faster() {
+        let b = 512.0 * 1024.0 * 1024.0;
+        assert!(
+            ring_allreduce_ns(b, 4, &LinkSpec::nvlink())
+                < ring_allreduce_ns(b, 4, &LinkSpec::pcie3())
+        );
+        assert!(
+            ring_allreduce_ns(b, 4, &LinkSpec::pcie3())
+                < ring_allreduce_ns(b, 4, &LinkSpec::ethernet())
+        );
+    }
+}

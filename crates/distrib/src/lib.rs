@@ -1,0 +1,37 @@
+//! # astra-distrib — adaptive data-parallel scaling
+//!
+//! The paper's §3.4 names distributed training as a further dimension of
+//! the Astra state space: "the choice of ideal degree of parallelism from a
+//! cost-benefit perspective could be taken in an automated manner with
+//! runtime measurement and adaptation." This crate implements that
+//! extension: candidate replica counts are *measured* — each candidate's
+//! per-replica graph is Astra-optimized and its gradient all-reduce costed
+//! on a concrete interconnect — and the winner is picked by throughput,
+//! exactly the measured-playoff recipe the core applies everywhere else.
+//!
+//! ## Example
+//!
+//! ```
+//! use astra_core::{AstraOptions, Dims};
+//! use astra_distrib::{explore_scaling, LinkSpec};
+//! use astra_gpu::DeviceSpec;
+//! use astra_models::{Model, ModelConfig};
+//!
+//! let dev = DeviceSpec::p100();
+//! let build = |batch: u64| {
+//!     let cfg = ModelConfig { batch, seq_len: 2, hidden: 32, input: 32,
+//!                             vocab: 64, ..ModelConfig::ptb(batch) };
+//!     Model::SubLstm.build(&cfg).graph
+//! };
+//! let opts = AstraOptions { dims: Dims::f(), ..Default::default() };
+//! let report = explore_scaling(build, 32, &[1, 2], &dev, &LinkSpec::nvlink(), &opts);
+//! assert!(report.best >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod interconnect;
+mod scale;
+
+pub use interconnect::{ring_allreduce_ns, LinkSpec};
+pub use scale::{explore_scaling, gradient_bytes, ScalePoint, ScaleReport};

@@ -1,0 +1,210 @@
+//! Adaptive data-parallel scaling (paper §3.4).
+//!
+//! Given a global mini-batch and a machine (device + interconnect), the
+//! adaptation explores the degree of data parallelism `P`: each candidate
+//! splits the global batch into `P` per-replica mini-batches, optimizes the
+//! per-replica training graph with Astra (measurement, not a cost model —
+//! exactly the Astra recipe applied to a new dimension), and measures the
+//! resulting step time: per-replica compute plus a gradient ring all-reduce,
+//! partially overlapped with the backward pass.
+//!
+//! The crossover structure is the interesting part: small models or slow
+//! links favour low `P` (communication-bound); large batches favour high
+//! `P` (compute-bound). This is not statically obvious — which is why it
+//! belongs in Astra's measured state space.
+
+use astra_core::{Astra, AstraOptions};
+use astra_gpu::DeviceSpec;
+use astra_ir::{Graph, TensorKind};
+
+use crate::interconnect::{ring_allreduce_ns, LinkSpec};
+
+/// Fraction of the backward pass that gradient communication can hide
+/// under (per-bucket all-reduce overlapping, as in modern DDP stacks).
+const OVERLAP_FRACTION: f64 = 0.6;
+
+/// One candidate's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Degree of data parallelism.
+    pub replicas: u32,
+    /// Per-replica mini-batch size.
+    pub per_replica_batch: u64,
+    /// Astra-optimized per-replica compute time (ns).
+    pub compute_ns: f64,
+    /// Raw all-reduce time for the gradients (ns).
+    pub allreduce_ns: f64,
+    /// Step time after overlap (ns).
+    pub step_ns: f64,
+    /// Training throughput in samples per second.
+    pub samples_per_sec: f64,
+}
+
+/// Result of the scaling exploration.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// All measured candidates, in increasing `replicas`.
+    pub points: Vec<ScalePoint>,
+    /// The winning degree of parallelism.
+    pub best: u32,
+}
+
+impl ScaleReport {
+    /// The winning candidate's measurement.
+    pub fn best_point(&self) -> &ScalePoint {
+        self.points
+            .iter()
+            .find(|p| p.replicas == self.best)
+            .expect("best is one of the measured points")
+    }
+}
+
+/// Total gradient bytes of a training graph (= parameter bytes; every
+/// parameter gets a same-shaped gradient all-reduced each step).
+pub fn gradient_bytes(graph: &Graph) -> f64 {
+    (0..graph.num_tensors() as u32)
+        .map(astra_ir::TensorId)
+        .filter(|&t| graph.tensor(t).kind == TensorKind::Param)
+        .map(|t| graph.shape(t).bytes() as f64)
+        .sum()
+}
+
+/// Explores data-parallel degrees for a model whose training graph at a
+/// given per-replica batch size is produced by `build`.
+///
+/// `candidates` are the replica counts to try (1 is always worth including);
+/// candidates that do not divide `global_batch` are skipped.
+///
+/// # Panics
+///
+/// Panics if no candidate divides `global_batch`.
+pub fn explore_scaling(
+    build: impl Fn(u64) -> Graph,
+    global_batch: u64,
+    candidates: &[u32],
+    dev: &DeviceSpec,
+    link: &LinkSpec,
+    opts: &AstraOptions,
+) -> ScaleReport {
+    let mut points = Vec::new();
+    for &p in candidates {
+        let pp = u64::from(p);
+        if p == 0 || global_batch % pp != 0 {
+            continue;
+        }
+        let per_replica = global_batch / pp;
+        let graph = build(per_replica);
+        let grad_bytes = gradient_bytes(&graph);
+        let mut astra = Astra::new(&graph, dev, opts.clone());
+        let report = astra.optimize().expect("per-replica optimization succeeds");
+        let compute_ns = report.steady_ns;
+        let allreduce_ns = ring_allreduce_ns(grad_bytes, p, link);
+        // Overlap: communication hides under a fraction of the backward
+        // pass (~2/3 of compute, §5.1); the un-hidden remainder serializes.
+        let hideable = compute_ns * (2.0 / 3.0) * OVERLAP_FRACTION;
+        let exposed = (allreduce_ns - hideable).max(0.0);
+        let step_ns = compute_ns + exposed;
+        points.push(ScalePoint {
+            replicas: p,
+            per_replica_batch: per_replica,
+            compute_ns,
+            allreduce_ns,
+            step_ns,
+            samples_per_sec: global_batch as f64 / (step_ns / 1e9),
+        });
+    }
+    assert!(!points.is_empty(), "no candidate divides the global batch");
+    let best = points
+        .iter()
+        .max_by(|a, b| a.samples_per_sec.total_cmp(&b.samples_per_sec))
+        .expect("non-empty")
+        .replicas;
+    ScaleReport { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_core::Dims;
+    use astra_models::Model;
+
+    fn build_graph(model: Model, batch: u64) -> Graph {
+        let mut c = model.default_config(batch);
+        c.hidden = 128;
+        c.input = 128;
+        c.vocab = 256;
+        c.seq_len = 4;
+        model.build(&c).graph
+    }
+
+    fn opts() -> AstraOptions {
+        AstraOptions { dims: Dims::f(), ..Default::default() }
+    }
+
+    #[test]
+    fn gradient_bytes_counts_params_only() {
+        let g = build_graph(Model::SubLstm, 8);
+        let bytes = gradient_bytes(&g);
+        // 4 gates x (input + recurrent + bias) + embedding + projection.
+        assert!(bytes > 0.0);
+        // Batch size must not change parameter bytes.
+        let g2 = build_graph(Model::SubLstm, 32);
+        assert_eq!(bytes, gradient_bytes(&g2));
+    }
+
+    #[test]
+    fn scaling_explores_and_picks_a_winner() {
+        let dev = DeviceSpec::p100();
+        let r = explore_scaling(
+            |b| build_graph(Model::SubLstm, b),
+            64,
+            &[1, 2, 4],
+            &dev,
+            &LinkSpec::nvlink(),
+            &opts(),
+        );
+        assert_eq!(r.points.len(), 3);
+        assert!(r.points.iter().any(|p| p.replicas == r.best));
+        // Throughput of the winner is maximal.
+        let best = r.best_point().samples_per_sec;
+        assert!(r.points.iter().all(|p| p.samples_per_sec <= best + 1e-9));
+    }
+
+    #[test]
+    fn slow_links_favor_fewer_replicas() {
+        let dev = DeviceSpec::p100();
+        let run = |link: &LinkSpec| {
+            explore_scaling(
+                |b| build_graph(Model::SubLstm, b),
+                64,
+                &[1, 2, 4, 8],
+                &dev,
+                link,
+                &opts(),
+            )
+        };
+        let eth = run(&LinkSpec::ethernet());
+        let nv = run(&LinkSpec::nvlink());
+        assert!(
+            eth.best <= nv.best,
+            "ethernet best {} should not exceed nvlink best {}",
+            eth.best,
+            nv.best
+        );
+    }
+
+    #[test]
+    fn non_dividing_candidates_are_skipped() {
+        let dev = DeviceSpec::p100();
+        let r = explore_scaling(
+            |b| build_graph(Model::Scrnn, b),
+            48,
+            &[1, 5, 3],
+            &dev,
+            &LinkSpec::nvlink(),
+            &opts(),
+        );
+        let measured: Vec<u32> = r.points.iter().map(|p| p.replicas).collect();
+        assert_eq!(measured, vec![1, 3]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Element-wise chain fusion (paper §5.3).
+//!
+//! Both Astra (via the frameworks' JIT support) and XLA fuse chains of
+//! element-wise operations so that intermediates stay in registers instead of
+//! round-tripping through HBM, and the chain launches as one kernel. This
+//! module implements the safe producer→consumer form: a node joins its
+//! producer's chain when the producer is element-wise, has no other
+//! consumer, and operates on the same element count. Single-consumer
+//! chaining is cycle-free by construction.
+
+use astra_gpu::KernelDesc;
+use astra_ir::{Graph, NodeId};
+
+use crate::lowering::Lowering;
+
+/// Maximum distinct external input tensors a fused chain may read. A fused
+/// kernel needs all of its external inputs resident at once; unbounded
+/// chains (e.g. a whole gradient-accumulation chain) would hold every
+/// contribution alive simultaneously — a silent peak-memory explosion.
+const MAX_CHAIN_EXTERNAL_INPUTS: usize = 4;
+
+/// A fused chain of element-wise nodes (possibly a singleton).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwChain {
+    /// Member nodes in topological order.
+    pub nodes: Vec<NodeId>,
+    /// The fused kernel replacing the members' individual kernels.
+    pub kernel: KernelDesc,
+}
+
+/// Groups the element-wise nodes of `graph` into fusable chains.
+///
+/// Returns chains covering *every* element-wise node exactly once;
+/// non-element-wise nodes are not included.
+pub fn fuse_elementwise_chains(graph: &Graph, lowering: &Lowering) -> Vec<EwChain> {
+    let nodes = graph.nodes();
+    // chain id per node (for elementwise nodes).
+    let mut chain_of: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut chains: Vec<Vec<NodeId>> = Vec::new();
+
+    for (i, node) in nodes.iter().enumerate() {
+        if !node.op.is_elementwise() {
+            continue;
+        }
+        let elements = graph.shape(node.output).elements();
+        // Find an elementwise producer with a single consumer and equal
+        // size, whose chain would stay within the external-input bound.
+        let mut joined = None;
+        for &inp in &node.inputs {
+            let Some(p) = graph.producer(inp) else { continue };
+            if !nodes[p.0 as usize].op.is_elementwise() {
+                continue;
+            }
+            if graph.shape(inp).elements() != elements {
+                continue;
+            }
+            if graph.consumers(inp).len() != 1 {
+                continue;
+            }
+            if let Some(cid) = chain_of[p.0 as usize] {
+                if chain_external_inputs(graph, &chains[cid], NodeId(i as u32))
+                    <= MAX_CHAIN_EXTERNAL_INPUTS
+                {
+                    joined = Some(cid);
+                }
+                break;
+            }
+        }
+        match joined {
+            Some(cid) => {
+                chains[cid].push(NodeId(i as u32));
+                chain_of[i] = Some(cid);
+            }
+            None => {
+                chain_of[i] = Some(chains.len());
+                chains.push(vec![NodeId(i as u32)]);
+            }
+        }
+    }
+
+    chains
+        .into_iter()
+        .map(|members| {
+            let kernel = fused_kernel(graph, lowering, &members);
+            EwChain { nodes: members, kernel }
+        })
+        .collect()
+}
+
+/// Distinct external inputs of `members + candidate`.
+fn chain_external_inputs(graph: &Graph, members: &[NodeId], candidate: NodeId) -> usize {
+    let member_set: std::collections::HashSet<NodeId> =
+        members.iter().copied().chain(std::iter::once(candidate)).collect();
+    let mut ext = std::collections::HashSet::new();
+    for &m in member_set.iter() {
+        for &inp in &graph.node(m).inputs {
+            let internal = graph.producer(inp).map_or(false, |p| member_set.contains(&p));
+            if !internal {
+                ext.insert(inp);
+            }
+        }
+    }
+    ext.len()
+}
+
+/// Builds the fused kernel for a chain: external reads + external writes
+/// count toward HBM traffic, internal edges are free.
+fn fused_kernel(graph: &Graph, _lowering: &Lowering, members: &[NodeId]) -> KernelDesc {
+    let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let mut flops = 0.0;
+    let mut elements = 0u64;
+    let mut ext_inputs = 0u32;
+    let mut ext_outputs = 0u32;
+    for &m in members {
+        let node = graph.node(m);
+        let out_elems = graph.shape(node.output).elements();
+        elements = elements.max(out_elems);
+        flops += node.op.flops_per_element();
+        for &inp in &node.inputs {
+            let internal = graph.producer(inp).map_or(false, |p| member_set.contains(&p));
+            if !internal {
+                ext_inputs += 1;
+            }
+        }
+        let escapes = graph
+            .consumers(node.output)
+            .iter()
+            .any(|c| !member_set.contains(c));
+        if escapes || graph.consumers(node.output).is_empty() {
+            ext_outputs += 1;
+        }
+    }
+    KernelDesc::Elementwise {
+        elements,
+        flops_per_element: flops,
+        inputs: ext_inputs,
+        outputs: ext_outputs.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering::lower;
+    use astra_gpu::DeviceSpec;
+    use astra_ir::Shape;
+
+    #[test]
+    fn linear_chain_fuses_to_one_kernel() {
+        // add -> sigmoid -> mul-by-self? build: a=x+y; b=sigmoid(a); c=tanh(b)
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(16, 16), "x");
+        let y = g.input(Shape::matrix(16, 16), "y");
+        let a = g.add(x, y);
+        let b = g.sigmoid(a);
+        let _c = g.tanh(b);
+        let l = lower(&g);
+        let chains = fuse_elementwise_chains(&g, &l);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].nodes.len(), 3);
+    }
+
+    #[test]
+    fn multi_consumer_breaks_chain() {
+        // a = sigmoid(x); used by two consumers -> a cannot fuse into either.
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 8), "x");
+        let a = g.sigmoid(x);
+        let b = g.tanh(a);
+        let c = g.relu(a);
+        let _ = g.mul(b, c);
+        let l = lower(&g);
+        let chains = fuse_elementwise_chains(&g, &l);
+        // a alone; b alone (producer a multi-consumer); c alone; mul joins b or c.
+        let sizes: Vec<usize> = chains.iter().map(|c| c.nodes.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        assert!(chains.len() >= 3);
+    }
+
+    #[test]
+    fn fused_chain_is_cheaper_than_parts() {
+        let dev = DeviceSpec::p100();
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(256, 1024), "x");
+        let a = g.sigmoid(x);
+        let b = g.tanh(a);
+        let _c = g.relu(b);
+        let l = lower(&g);
+        let chains = fuse_elementwise_chains(&g, &l);
+        assert_eq!(chains.len(), 1);
+        let fused_cost = chains[0].kernel.cost(&dev).exec_ns + dev.launch_overhead_ns;
+        let solo_cost: f64 = l
+            .ops()
+            .iter()
+            .filter_map(|o| o.kernel.as_ref())
+            .map(|k| k.cost(&dev).exec_ns + dev.launch_overhead_ns)
+            .sum();
+        assert!(fused_cost < solo_cost);
+    }
+
+    #[test]
+    fn gemms_never_in_chains() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 8), "x");
+        let w = g.param(Shape::matrix(8, 8), "w");
+        let m = g.mm(x, w);
+        let _ = g.sigmoid(m);
+        let l = lower(&g);
+        let chains = fuse_elementwise_chains(&g, &l);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].nodes.len(), 1, "sigmoid alone; mm not fusible");
+    }
+}

@@ -1,0 +1,206 @@
+//! Lowering: data-flow graph nodes → launchable GPU kernels.
+//!
+//! One node maps to one default kernel (the way native PyTorch dispatches,
+//! §2.2): GEMMs go to the cuBLAS-like library, element-wise ops become
+//! individual element-wise kernels. Two exceptions mirror real frameworks:
+//!
+//! * `Transpose` nodes are *elided* — frameworks implement `t()` as a view
+//!   and GEMM libraries take strided operands, so a transpose costs nothing
+//!   and its consumers read the base tensor's buffer;
+//! * tensors are mapped to logical buffers ([`BufId`]), with transpose
+//!   aliases resolved, so memory-allocation strategies can reason about
+//!   which physical buffers must be contiguous for fusion.
+
+use astra_gpu::{BufId, GemmLibrary, GemmShape, KernelDesc};
+use astra_ir::{Graph, NodeId, OpKind, TensorId};
+
+/// One lowered graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredOp {
+    /// The originating node.
+    pub node: NodeId,
+    /// The default kernel (None for elided ops like `Transpose`).
+    pub kernel: Option<KernelDesc>,
+    /// GEMM shape when the node is a matmul (drives fusion/kernel choice).
+    pub gemm: Option<GemmShape>,
+}
+
+/// A lowered graph: per-node kernels plus buffer aliasing.
+#[derive(Debug, Clone)]
+pub struct Lowering {
+    ops: Vec<LoweredOp>,
+    /// Physical buffer of each tensor (transpose aliases resolved).
+    buffer: Vec<BufId>,
+}
+
+impl Lowering {
+    /// Lowered ops, in graph (topological) order.
+    pub fn ops(&self) -> &[LoweredOp] {
+        &self.ops
+    }
+
+    /// The physical buffer a tensor lives in.
+    pub fn buffer(&self, t: TensorId) -> BufId {
+        self.buffer[t.0 as usize]
+    }
+
+    /// Number of real (non-elided) kernels.
+    pub fn num_kernels(&self) -> usize {
+        self.ops.iter().filter(|o| o.kernel.is_some()).count()
+    }
+
+    /// Total nominal FLOPs of the lowered graph.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().filter_map(|o| o.kernel.as_ref()).map(|k| k.flops()).sum()
+    }
+}
+
+/// The default GEMM library of unoptimized frameworks (cuBLAS).
+pub const DEFAULT_GEMM_LIB: GemmLibrary = GemmLibrary::CublasLike;
+
+/// Lowers every node of `graph` to its default kernel.
+///
+/// # Examples
+///
+/// ```
+/// use astra_exec::lower;
+/// use astra_ir::{Graph, Shape};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Shape::matrix(8, 16), "x");
+/// let w = g.param(Shape::matrix(16, 4), "w");
+/// let _ = g.mm(x, w);
+/// let lowered = lower(&g);
+/// assert_eq!(lowered.num_kernels(), 1);
+/// ```
+pub fn lower(graph: &Graph) -> Lowering {
+    let mut buffer: Vec<BufId> = (0..graph.num_tensors() as u64).map(BufId).collect();
+    let mut ops = Vec::with_capacity(graph.nodes().len());
+
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let out_shape = graph.shape(node.output);
+        let elements = out_shape.elements();
+        let kernel = match &node.op {
+            OpKind::MatMul => {
+                let a = graph.shape(node.inputs[0]);
+                let b = graph.shape(node.inputs[1]);
+                let shape = GemmShape::new(a.dims()[0], a.dims()[1], b.dims()[1]);
+                ops.push(LoweredOp {
+                    node: NodeId(i as u32),
+                    kernel: Some(KernelDesc::Gemm { shape, lib: DEFAULT_GEMM_LIB }),
+                    gemm: Some(shape),
+                });
+                continue;
+            }
+            OpKind::Transpose => {
+                // View, not a kernel: alias the output buffer to the input's.
+                buffer[node.output.0 as usize] = buffer[node.inputs[0].0 as usize];
+                None
+            }
+            op if op.is_elementwise() => Some(KernelDesc::Elementwise {
+                elements,
+                flops_per_element: op.flops_per_element(),
+                inputs: node.inputs.len() as u32,
+                outputs: 1,
+            }),
+            OpKind::Softmax | OpKind::SoftmaxGrad => Some(KernelDesc::Softmax {
+                rows: out_shape.leading(),
+                cols: out_shape.last(),
+            }),
+            OpKind::Embedding => Some(KernelDesc::EmbeddingLookup {
+                rows: out_shape.leading(),
+                width: out_shape.last(),
+            }),
+            OpKind::EmbeddingGrad { .. } => {
+                // Scatter-add costs like a gather of the incoming rows.
+                let dy = graph.shape(node.inputs[0]);
+                Some(KernelDesc::EmbeddingLookup { rows: dy.leading(), width: dy.last() })
+            }
+            OpKind::Concat { .. } | OpKind::Slice { .. } => {
+                Some(KernelDesc::MemCopy { bytes: out_shape.bytes() as f64 })
+            }
+            OpKind::ReduceSum | OpKind::ReduceRows | OpKind::ReduceCols => {
+                let in_elems = graph.shape(node.inputs[0]).elements();
+                Some(KernelDesc::Elementwise {
+                    elements: in_elems,
+                    flops_per_element: 1.0,
+                    inputs: 1,
+                    outputs: 1,
+                })
+            }
+            OpKind::BroadcastScalar { .. } | OpKind::BroadcastCol { .. } => {
+                Some(KernelDesc::Elementwise {
+                    elements,
+                    flops_per_element: 0.0,
+                    inputs: 1,
+                    outputs: 1,
+                })
+            }
+            OpKind::Conv2d(d) => Some(KernelDesc::Conv {
+                batch: graph.shape(node.inputs[0]).dims()[0],
+                gemm_m: graph.shape(node.inputs[0]).dims()[0] * d.h_out() * d.w_out(),
+                gemm_k: d.c_in * d.kh * d.kw,
+                gemm_n: d.c_out,
+            }),
+            OpKind::Conv2dGradInput(d) => Some(KernelDesc::Conv {
+                batch: out_shape.dims()[0],
+                gemm_m: out_shape.dims()[0] * d.h_out() * d.w_out(),
+                gemm_k: d.c_out,
+                gemm_n: d.c_in * d.kh * d.kw,
+            }),
+            OpKind::Conv2dGradWeight(d) => Some(KernelDesc::Conv {
+                batch: graph.shape(node.inputs[0]).dims()[0],
+                gemm_m: d.c_out,
+                gemm_k: graph.shape(node.inputs[0]).dims()[0] * d.h_out() * d.w_out(),
+                gemm_n: d.c_in * d.kh * d.kw,
+            }),
+            other => unreachable!("op {other:?} not classified by is_elementwise"),
+        };
+        ops.push(LoweredOp { node: NodeId(i as u32), kernel, gemm: None });
+    }
+
+    Lowering { ops, buffer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_ir::Shape;
+
+    #[test]
+    fn transpose_is_elided_and_aliased() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(4, 8), "x");
+        let xt = g.transpose(x);
+        let w = g.param(Shape::matrix(4, 2), "w");
+        let _ = g.mm(xt, w);
+        let l = lower(&g);
+        assert_eq!(l.num_kernels(), 1, "only the GEMM is a kernel");
+        assert_eq!(l.buffer(xt), l.buffer(x), "transpose aliases its input buffer");
+    }
+
+    #[test]
+    fn gemm_shape_captured() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 16), "x");
+        let w = g.param(Shape::matrix(16, 4), "w");
+        let _ = g.mm(x, w);
+        let l = lower(&g);
+        let op = l.ops().iter().find(|o| o.gemm.is_some()).unwrap();
+        assert_eq!(op.gemm.unwrap(), GemmShape::new(8, 16, 4));
+    }
+
+    #[test]
+    fn every_non_transpose_node_gets_a_kernel() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 8), "x");
+        let a = g.sigmoid(x);
+        let b = g.tanh(x);
+        let c = g.mul(a, b);
+        let d = g.softmax(c);
+        let _ = g.reduce_sum(d);
+        let l = lower(&g);
+        assert_eq!(l.num_kernels(), 5);
+        assert!(l.total_flops() > 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The native (PyTorch-like) dispatcher baseline.
+//!
+//! Frameworks dispatch one kernel per graph node, in data-flow order, on a
+//! single stream (§2.2, §3.3: "Tensorflow and PyTorch do not take advantage
+//! of streams"). This is the `PyT` / `TF` column of every table.
+
+use astra_gpu::{Schedule, StreamId};
+
+use crate::lowering::Lowering;
+
+/// Builds the single-stream, one-kernel-per-op baseline schedule.
+///
+/// # Examples
+///
+/// ```
+/// use astra_exec::{lower, native_schedule};
+/// use astra_ir::{Graph, Shape};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Shape::matrix(8, 16), "x");
+/// let w = g.param(Shape::matrix(16, 4), "w");
+/// let _ = g.mm(x, w);
+/// let sched = native_schedule(&lower(&g));
+/// assert_eq!(sched.num_launches(), 1);
+/// ```
+pub fn native_schedule(lowering: &Lowering) -> Schedule {
+    let mut sched = Schedule::new(1);
+    for op in lowering.ops() {
+        if let Some(kernel) = &op.kernel {
+            sched.launch(StreamId(0), kernel.clone());
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowering::lower;
+    use astra_gpu::{DeviceSpec, Engine};
+    use astra_models::{Model, ModelConfig};
+
+    #[test]
+    fn native_runs_every_kernel_sequentially() {
+        let cfg = ModelConfig {
+            seq_len: 2,
+            hidden: 64,
+            input: 64,
+            vocab: 100,
+            ..ModelConfig::ptb(8)
+        };
+        let built = Model::SubLstm.build(&cfg);
+        let lowering = lower(&built.graph);
+        let sched = native_schedule(&lowering);
+        assert_eq!(sched.num_launches(), lowering.num_kernels());
+        let dev = DeviceSpec::p100();
+        let r = Engine::new(&dev).run(&sched).unwrap();
+        assert_eq!(r.spans.len(), lowering.num_kernels());
+        // Single stream: spans must not overlap.
+        let mut spans = r.spans.clone();
+        spans.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        for w in spans.windows(2) {
+            assert!(w[1].start_ns >= w[0].end_ns - 1e-6);
+        }
+    }
+
+    #[test]
+    fn small_batch_is_overhead_bound() {
+        // At batch 8, the *typical* RNN kernel is smaller than its launch
+        // overhead: this is the regime where Astra's fusion wins (§2.3).
+        // (The vocab projection GEMMs are large, but they are few.)
+        let dev = DeviceSpec::p100();
+        let cfg = ModelConfig { seq_len: 2, ..ModelConfig::ptb(8) };
+        let built = Model::Scrnn.build(&cfg);
+        let lowering = lower(&built.graph);
+        let mut execs: Vec<f64> = lowering
+            .ops()
+            .iter()
+            .filter_map(|o| o.kernel.as_ref())
+            .map(|k| k.cost(&dev).exec_ns)
+            .collect();
+        execs.sort_by(f64::total_cmp);
+        let median = execs[execs.len() / 2];
+        assert!(
+            median < dev.launch_overhead_ns,
+            "median kernel {median}ns should be below launch overhead"
+        );
+    }
+}

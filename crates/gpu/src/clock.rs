@@ -1,0 +1,134 @@
+//! Clock behaviour of the simulated GPU.
+//!
+//! The paper's §7 observes that GPU *autoboost* (dynamic clock scaling)
+//! destroys the fine-grained repeatability that Astra's profiling relies on,
+//! and that the authors pin the clock to its base frequency via `nvidia-smi`.
+//!
+//! [`ClockMode::Fixed`] gives perfectly repeatable kernel timings.
+//! [`ClockMode::Autoboost`] injects deterministic-seeded multiplicative jitter
+//! into every kernel duration, emulating the measurement variance that makes
+//! single-sample profiling unsound. The `predictability` bench regenerates the
+//! §7 observation from these two modes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Clock frequency policy for a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClockMode {
+    /// Base clock pinned: every kernel execution is exactly repeatable.
+    Fixed,
+    /// Autoboost: clock wanders; kernel durations get multiplicative jitter.
+    /// The seed makes simulation runs reproducible while still exhibiting
+    /// *sample-to-sample* variance within a run.
+    Autoboost {
+        /// RNG seed for the jitter sequence.
+        seed: u64,
+    },
+}
+
+impl Default for ClockMode {
+    fn default() -> Self {
+        ClockMode::Fixed
+    }
+}
+
+/// Stateful jitter source derived from a [`ClockMode`].
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::{Clock, ClockMode};
+///
+/// let mut fixed = Clock::new(ClockMode::Fixed);
+/// assert_eq!(fixed.jitter_factor(), 1.0);
+///
+/// let mut boosty = Clock::new(ClockMode::Autoboost { seed: 7 });
+/// let f = boosty.jitter_factor();
+/// assert!(f > 0.9 && f < 1.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clock {
+    mode: ClockMode,
+    rng: Option<StdRng>,
+}
+
+/// Maximum relative slowdown injected by autoboost jitter.
+const AUTOBOOST_SPREAD: f64 = 0.12;
+
+impl Clock {
+    /// Creates a clock in the given mode.
+    pub fn new(mode: ClockMode) -> Self {
+        let rng = match mode {
+            ClockMode::Fixed => None,
+            ClockMode::Autoboost { seed } => Some(StdRng::seed_from_u64(seed)),
+        };
+        Clock { mode, rng }
+    }
+
+    /// The mode this clock was created with.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Multiplicative factor to apply to the next kernel's duration.
+    ///
+    /// Returns exactly `1.0` under [`ClockMode::Fixed`]; a value in
+    /// `[1.0, 1.0 + AUTOBOOST_SPREAD)` under autoboost (the boost clock is
+    /// the *fast* state, so wandering away from it only slows kernels
+    /// relative to the best observed sample).
+    pub fn jitter_factor(&mut self) -> f64 {
+        match &mut self.rng {
+            None => 1.0,
+            Some(rng) => 1.0 + rng.gen::<f64>() * AUTOBOOST_SPREAD,
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new(ClockMode::Fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_clock_is_repeatable() {
+        let mut c = Clock::new(ClockMode::Fixed);
+        for _ in 0..100 {
+            assert_eq!(c.jitter_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn autoboost_varies_within_bounds() {
+        let mut c = Clock::new(ClockMode::Autoboost { seed: 42 });
+        let samples: Vec<f64> = (0..200).map(|_| c.jitter_factor()).collect();
+        assert!(samples.iter().all(|&f| (1.0..1.0 + AUTOBOOST_SPREAD).contains(&f)));
+        // Variance must be non-trivial: not all samples equal.
+        let first = samples[0];
+        assert!(samples.iter().any(|&f| (f - first).abs() > 1e-6));
+    }
+
+    #[test]
+    fn autoboost_is_seed_deterministic() {
+        let mut a = Clock::new(ClockMode::Autoboost { seed: 9 });
+        let mut b = Clock::new(ClockMode::Autoboost { seed: 9 });
+        for _ in 0..50 {
+            assert_eq!(a.jitter_factor(), b.jitter_factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Clock::new(ClockMode::Autoboost { seed: 1 });
+        let mut b = Clock::new(ClockMode::Autoboost { seed: 2 });
+        let sa: Vec<f64> = (0..10).map(|_| a.jitter_factor()).collect();
+        let sb: Vec<f64> = (0..10).map(|_| b.jitter_factor()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,153 @@
+//! GPU device models.
+//!
+//! A [`DeviceSpec`] captures the coarse architectural parameters the Astra
+//! cost model depends on: parallelism (SM count and resident blocks per SM),
+//! peak arithmetic throughput, memory bandwidth, and the fixed overheads of
+//! the CUDA-style execution model (kernel launch, event record, stream
+//! synchronization, host round trips).
+//!
+//! The paper's evaluation runs on a Tesla P100; [`DeviceSpec::p100`] is the
+//! calibration target used by the benchmark harness. [`DeviceSpec::v100`] is
+//! provided to exercise the paper's §6.7 claim that faster hardware makes even
+//! large operations launch-overhead-bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU.
+///
+/// All times are in nanoseconds, throughput in GFLOP/s, bandwidth in GB/s.
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::DeviceSpec;
+///
+/// let dev = DeviceSpec::p100();
+/// assert!(dev.total_slots() > 0);
+/// assert!(dev.peak_gflops > 1_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Thread blocks resident concurrently per SM.
+    pub blocks_per_sm: u32,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_gbps: f64,
+    /// Fixed GPU-side cost to launch any kernel (ns). The paper cites
+    /// 5-10 us; this is the dominant cost for small RNN operations.
+    pub launch_overhead_ns: f64,
+    /// CPU-side cost for the dispatcher to issue one asynchronous launch (ns).
+    pub dispatch_cost_ns: f64,
+    /// Cost of recording a cudaEvent on a stream (ns). Charged to the stream
+    /// timeline, so heavy profiling has measurable (but small) overhead.
+    pub event_record_cost_ns: f64,
+    /// Extra latency when a kernel waits on an event recorded in a
+    /// *different* stream (cross-stream synchronization, ns).
+    pub stream_sync_cost_ns: f64,
+    /// Cost of a device-wide barrier across all streams (ns); paid at
+    /// super-epoch boundaries.
+    pub barrier_sync_cost_ns: f64,
+    /// Penalty for a synchronous host round trip (ns). Used to model XLA's
+    /// embedding pathology where lookups bounce between CPU and GPU.
+    pub host_roundtrip_ns: f64,
+}
+
+impl DeviceSpec {
+    /// Tesla P100 model: 56 SMs, ~9 TFLOP/s single precision, 732 GB/s HBM.
+    ///
+    /// These constants are calibrated so that the GEMM library crossovers of
+    /// the paper's Table 1 reproduce (see `astra-bench` `table1`).
+    pub fn p100() -> Self {
+        DeviceSpec {
+            name: "tesla-p100-sim".to_owned(),
+            sm_count: 56,
+            blocks_per_sm: 2,
+            peak_gflops: 9_300.0,
+            hbm_gbps: 732.0,
+            launch_overhead_ns: 7_500.0,
+            dispatch_cost_ns: 2_000.0,
+            event_record_cost_ns: 100.0,
+            stream_sync_cost_ns: 800.0,
+            barrier_sync_cost_ns: 3_000.0,
+            host_roundtrip_ns: 60_000.0,
+        }
+    }
+
+    /// Tesla V100 model: more SMs and much higher throughput, same fixed
+    /// overheads — which makes even medium-size kernels overhead-bound, the
+    /// regime the paper argues favours Astra-style adaptation (§6.7).
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "tesla-v100-sim".to_owned(),
+            sm_count: 80,
+            blocks_per_sm: 2,
+            peak_gflops: 15_700.0,
+            hbm_gbps: 900.0,
+            launch_overhead_ns: 7_500.0,
+            dispatch_cost_ns: 2_000.0,
+            event_record_cost_ns: 100.0,
+            stream_sync_cost_ns: 800.0,
+            barrier_sync_cost_ns: 3_000.0,
+            host_roundtrip_ns: 60_000.0,
+        }
+    }
+
+    /// Total number of concurrently resident thread blocks ("slots").
+    ///
+    /// A kernel whose grid is smaller than this under-utilizes the device;
+    /// a grid larger than this executes in multiple waves.
+    pub fn total_slots(&self) -> u32 {
+        self.sm_count * self.blocks_per_sm
+    }
+
+    /// Peak throughput in FLOP/ns (convenience for the cost model).
+    pub fn peak_flops_per_ns(&self) -> f64 {
+        self.peak_gflops
+    }
+
+    /// Bandwidth in bytes/ns.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.hbm_gbps
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::p100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_slots() {
+        let d = DeviceSpec::p100();
+        assert_eq!(d.total_slots(), 112);
+    }
+
+    #[test]
+    fn v100_faster_than_p100() {
+        assert!(DeviceSpec::v100().peak_gflops > DeviceSpec::p100().peak_gflops);
+    }
+
+    #[test]
+    fn unit_conversions_consistent() {
+        let d = DeviceSpec::p100();
+        // 9300 GFLOP/s == 9300 FLOP/ns.
+        assert!((d.peak_flops_per_ns() - 9_300.0).abs() < 1e-9);
+        // 732 GB/s == 732 bytes/ns.
+        assert!((d.bytes_per_ns() - 732.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_p100() {
+        assert_eq!(DeviceSpec::default(), DeviceSpec::p100());
+    }
+}

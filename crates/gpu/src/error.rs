@@ -1,0 +1,44 @@
+//! Error types for the GPU simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from executing a schedule on the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// The schedule can make no further progress: some stream waits on an
+    /// event that will never fire, or a barrier can never release.
+    Deadlock(String),
+    /// The schedule is structurally invalid.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::Deadlock(why) => write!(f, "schedule deadlocked: {why}"),
+            GpuError::InvalidSchedule(why) => write!(f, "invalid schedule: {why}"),
+        }
+    }
+}
+
+impl Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GpuError::Deadlock("stream 0 waits on unfired event".into());
+        let s = e.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("stream 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpuError>();
+    }
+}

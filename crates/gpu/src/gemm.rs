@@ -1,0 +1,400 @@
+//! Analytic GEMM cost model with multiple kernel libraries.
+//!
+//! The paper's kernel-selection dimension (§3.1, Table 1) rests on the fact
+//! that the best GEMM library depends on the operand shapes: cuBLAS wins some
+//! shapes, the OpenAI kernels win others, and the loser can be many times
+//! slower. This module reproduces that structure with three parameterised
+//! library models:
+//!
+//! * [`GemmLibrary::CublasLike`] — adaptive tile menu plus split-K, moderate
+//!   efficiency: a robust all-rounder.
+//! * [`GemmLibrary::OaiWide`] — fixed wide tile (32x128), high efficiency,
+//!   split-K, but degrades when the reduction dimension `k` is large.
+//! * [`GemmLibrary::OaiTall`] — fixed tall tile (64x32), good on narrow
+//!   outputs, collapses when `n` is large.
+//!
+//! The timing model is occupancy-based: a kernel's grid of thread blocks is
+//! scheduled onto the device's resident-block *slots*; grids smaller than one
+//! wave under-utilize the device, grids slightly larger than a wave pay a
+//! *performance cliff* (a nearly-empty tail wave). Utilization enters the
+//! rate sub-linearly (square root) to model latency hiding. A memory-
+//! bandwidth floor covers bandwidth-bound shapes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+
+/// Dimensions of a single GEMM: `(m x k) * (k x n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of the left operand and the output.
+    pub m: u64,
+    /// Inner (reduction) dimension.
+    pub k: u64,
+    /// Columns of the right operand and the output.
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Creates a shape; all dimensions must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dimensions must be non-zero");
+        GemmShape { m, k, n }
+    }
+
+    /// Multiply-add FLOP count (`2 * m * k * n`).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Bytes moved assuming one read of each operand and one write of the
+    /// output, 4 bytes/element (fp32).
+    pub fn bytes(&self) -> f64 {
+        4.0 * (self.m * self.k + self.k * self.n + self.m * self.n) as f64
+    }
+
+    /// Shape of `count` copies of this GEMM fused by stacking left operands
+    /// (row fusion): `(count*m x k) * (k x n)`.
+    pub fn fused_rows(&self, count: u64) -> GemmShape {
+        GemmShape::new(self.m * count.max(1), self.k, self.n)
+    }
+
+    /// Shape of `count` copies of this GEMM fused by stacking right operands
+    /// (column fusion): `(m x k) * (k x count*n)`.
+    pub fn fused_cols(&self, count: u64) -> GemmShape {
+        GemmShape::new(self.m, self.k, self.n * count.max(1))
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// A GEMM kernel library the runtime can choose among (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GemmLibrary {
+    /// cuBLAS-style adaptive library: tile menu + split-K, moderate efficiency.
+    CublasLike,
+    /// OpenAI-style wide-tile kernel: high efficiency, penalised for large k.
+    OaiWide,
+    /// OpenAI-style tall-tile kernel: good for narrow n, collapses otherwise.
+    OaiTall,
+}
+
+impl GemmLibrary {
+    /// All libraries, in a stable order (the kernel-selection search space).
+    pub fn all() -> [GemmLibrary; 3] {
+        [GemmLibrary::CublasLike, GemmLibrary::OaiWide, GemmLibrary::OaiTall]
+    }
+
+    /// Short display name matching the paper's Table 1 column headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GemmLibrary::CublasLike => "cuBlas",
+            GemmLibrary::OaiWide => "OAI_1",
+            GemmLibrary::OaiTall => "OAI_2",
+        }
+    }
+}
+
+impl std::fmt::Display for GemmLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of costing one GEMM under one library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmTiming {
+    /// Solo execution time in nanoseconds (excluding launch overhead).
+    pub time_ns: f64,
+    /// Total thread blocks in the kernel's grid (uncapped); this is the
+    /// kernel's *demand* in the processor-sharing engine, where concurrent
+    /// kernels pack each other's tail waves.
+    pub demand_blocks: u32,
+    /// Tile `(tile_m, tile_n)` the library chose.
+    pub tile: (u64, u64),
+    /// Split-K factor used (1 = no split).
+    pub split_k: u32,
+}
+
+/// Base arithmetic efficiency of the cuBLAS-like library.
+const CUBLAS_EFF: f64 = 0.47;
+/// Base arithmetic efficiency of the OAI wide-tile kernel.
+const OAI_WIDE_EFF: f64 = 0.68;
+/// Base arithmetic efficiency of the OAI tall-tile kernel.
+const OAI_TALL_EFF: f64 = 0.75;
+/// `k` above which the wide-tile kernel starts paying register pressure.
+const OAI_WIDE_K_KNEE: f64 = 2048.0;
+/// `n` above which the tall-tile kernel collapses.
+const OAI_TALL_N_KNEE: f64 = 1024.0;
+/// Minimum k assigned to each split-K slice.
+const SPLIT_K_MIN_SLICE: u64 = 256;
+/// Maximum split-K factor.
+const SPLIT_K_MAX: u64 = 8;
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    (a + b - 1) / b
+}
+
+/// Sub-linear utilization of `blocks` thread blocks on a device, including
+/// the tail-wave performance cliff.
+fn utilization(blocks: u64, dev: &DeviceSpec) -> f64 {
+    let slots = dev.total_slots() as u64;
+    let waves = div_ceil(blocks, slots).max(1);
+    ((blocks as f64) / ((waves * slots) as f64)).sqrt()
+}
+
+/// Costs a GEMM with an explicit tile / split / efficiency choice.
+fn cost_with(shape: GemmShape, tile: (u64, u64), split: u64, eff: f64, dev: &DeviceSpec) -> GemmTiming {
+    let (tm, tn) = tile;
+    // Libraries pad m/n up to the tile; padded work is wasted but still paid.
+    let padded_m = div_ceil(shape.m, tm) * tm;
+    let padded_n = div_ceil(shape.n, tn) * tn;
+    let blocks = div_ceil(padded_m, tm) * div_ceil(padded_n, tn) * split;
+    let padded_flops = 2.0 * padded_m as f64 * shape.k as f64 * padded_n as f64;
+    let util = utilization(blocks, dev);
+    let compute_ns = padded_flops / (dev.peak_flops_per_ns() * eff * util);
+    // Split-K needs an extra reduction pass over `split` partial outputs.
+    let reduce_ns = if split > 1 {
+        (split as f64) * 4.0 * (shape.m * shape.n) as f64 / dev.bytes_per_ns()
+    } else {
+        0.0
+    };
+    let mem_floor_ns = shape.bytes() / dev.bytes_per_ns();
+    GemmTiming {
+        time_ns: compute_ns.max(mem_floor_ns) + reduce_ns,
+        demand_blocks: blocks.min(u64::from(u32::MAX)) as u32,
+        tile,
+        split_k: split as u32,
+    }
+}
+
+/// Best split-K factor: grow blocks toward one full wave without making
+/// slices thinner than [`SPLIT_K_MIN_SLICE`].
+fn split_for(shape: GemmShape, base_blocks: u64, dev: &DeviceSpec) -> u64 {
+    let slots = dev.total_slots() as u64;
+    if base_blocks >= slots {
+        return 1;
+    }
+    let by_occupancy = div_ceil(slots, base_blocks);
+    let by_k = (shape.k / SPLIT_K_MIN_SLICE).max(1);
+    by_occupancy.min(by_k).min(SPLIT_K_MAX).max(1)
+}
+
+/// Times one GEMM under one library on a device.
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::{DeviceSpec, GemmLibrary, GemmShape, time_gemm};
+///
+/// let dev = DeviceSpec::p100();
+/// let t = time_gemm(GemmShape::new(64, 1024, 4096), GemmLibrary::OaiWide, &dev);
+/// assert!(t.time_ns > 0.0);
+/// ```
+pub fn time_gemm(shape: GemmShape, lib: GemmLibrary, dev: &DeviceSpec) -> GemmTiming {
+    match lib {
+        GemmLibrary::CublasLike => {
+            // Adaptive: pick the best over a tile menu, with split-K.
+            let menu: [(u64, u64); 4] = [(128, 64), (64, 64), (64, 32), (32, 32)];
+            let mut best: Option<GemmTiming> = None;
+            for tile in menu {
+                let base = div_ceil(shape.m, tile.0) * div_ceil(shape.n, tile.1);
+                let split = split_for(shape, base, dev);
+                for s in [1, split] {
+                    let t = cost_with(shape, tile, s, CUBLAS_EFF, dev);
+                    if best.map_or(true, |b| t.time_ns < b.time_ns) {
+                        best = Some(t);
+                    }
+                }
+            }
+            best.expect("non-empty tile menu")
+        }
+        GemmLibrary::OaiWide => {
+            let tile = (32, 128);
+            let eff = if (shape.k as f64) > OAI_WIDE_K_KNEE {
+                OAI_WIDE_EFF * (OAI_WIDE_K_KNEE / shape.k as f64).powf(0.8)
+            } else {
+                OAI_WIDE_EFF
+            };
+            let base = div_ceil(shape.m, tile.0) * div_ceil(shape.n, tile.1);
+            let split = split_for(shape, base, dev);
+            let no_split = cost_with(shape, tile, 1, eff, dev);
+            let with_split = cost_with(shape, tile, split, eff, dev);
+            if with_split.time_ns < no_split.time_ns {
+                with_split
+            } else {
+                no_split
+            }
+        }
+        GemmLibrary::OaiTall => {
+            let tile = (64, 32);
+            let eff = if (shape.n as f64) > OAI_TALL_N_KNEE {
+                OAI_TALL_EFF * (OAI_TALL_N_KNEE / shape.n as f64).powf(1.6)
+            } else {
+                OAI_TALL_EFF
+            };
+            cost_with(shape, tile, 1, eff, dev)
+        }
+    }
+}
+
+/// The fastest library for a shape (what an oracle would pick; Astra finds
+/// this by measurement instead).
+pub fn best_library(shape: GemmShape, dev: &DeviceSpec) -> (GemmLibrary, GemmTiming) {
+    GemmLibrary::all()
+        .into_iter()
+        .map(|lib| (lib, time_gemm(shape, lib, dev)))
+        .min_by(|a, b| a.1.time_ns.total_cmp(&b.1.time_ns))
+        .expect("at least one library")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(t: GemmTiming) -> f64 {
+        t.time_ns / 1_000.0
+    }
+
+    /// Calibration against the paper's Table 1 (times in ms on a P100):
+    /// 64x1024x4096: cuBlas 0.156, OAI_1 0.125, OAI_2 0.938
+    /// 64x4096x1024: cuBlas 0.138, OAI_1 0.172, OAI_2 0.141
+    /// We require the *ordering* to match exactly and magnitudes to be within
+    /// ~40% — the substrate is a simulator, not the authors' testbed.
+    #[test]
+    fn table1_orderings_reproduce() {
+        let dev = DeviceSpec::p100();
+        let s1 = GemmShape::new(64, 1024, 4096);
+        let s2 = GemmShape::new(64, 4096, 1024);
+
+        let c1 = us(time_gemm(s1, GemmLibrary::CublasLike, &dev));
+        let w1 = us(time_gemm(s1, GemmLibrary::OaiWide, &dev));
+        let t1 = us(time_gemm(s1, GemmLibrary::OaiTall, &dev));
+        // Shape 1: OAI_1 < cuBlas << OAI_2
+        assert!(w1 < c1, "OaiWide {w1} should beat cublas {c1} on shape1");
+        assert!(c1 < t1, "cublas {c1} should beat OaiTall {t1} on shape1");
+        assert!(t1 > 3.0 * c1, "OaiTall should collapse on shape1: {t1} vs {c1}");
+
+        let c2 = us(time_gemm(s2, GemmLibrary::CublasLike, &dev));
+        let w2 = us(time_gemm(s2, GemmLibrary::OaiWide, &dev));
+        let t2 = us(time_gemm(s2, GemmLibrary::OaiTall, &dev));
+        // Shape 2: cuBlas < OAI_2 < OAI_1
+        assert!(c2 < t2, "cublas {c2} should beat OaiTall {t2} on shape2");
+        assert!(t2 < w2, "OaiTall {t2} should beat OaiWide {w2} on shape2");
+
+        // Rough magnitudes (paper values +-40%).
+        for (got, want) in [(c1, 156.0), (w1, 125.0), (c2, 138.0), (w2, 172.0), (t2, 141.0)] {
+            assert!(
+                (got - want).abs() / want < 0.4,
+                "calibration drift: got {got}us want {want}us"
+            );
+        }
+    }
+
+    #[test]
+    fn flops_and_bytes() {
+        let s = GemmShape::new(2, 3, 4);
+        assert_eq!(s.flops(), 48.0);
+        assert_eq!(s.bytes(), 4.0 * (6 + 12 + 8) as f64);
+    }
+
+    #[test]
+    fn fusion_shapes() {
+        let s = GemmShape::new(8, 16, 32);
+        assert_eq!(s.fused_rows(4), GemmShape::new(32, 16, 32));
+        assert_eq!(s.fused_cols(2), GemmShape::new(8, 16, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn fused_gemm_faster_than_parts_when_small() {
+        // Fusing 4 small GEMMs must beat 4 sequential ones (core fusion win).
+        let dev = DeviceSpec::p100();
+        let small = GemmShape::new(16, 256, 256);
+        let lib = GemmLibrary::CublasLike;
+        let t_small = time_gemm(small, lib, &dev).time_ns + dev.launch_overhead_ns;
+        let fused = small.fused_rows(4);
+        let t_fused = time_gemm(fused, lib, &dev).time_ns + dev.launch_overhead_ns;
+        assert!(
+            t_fused < 4.0 * t_small,
+            "fused {t_fused} should beat sequential {}",
+            4.0 * t_small
+        );
+    }
+
+    #[test]
+    fn fusion_has_diminishing_returns() {
+        // Per-GEMM cost reduction from 8->16 fusion is smaller than 1->2.
+        let dev = DeviceSpec::p100();
+        let s = GemmShape::new(16, 512, 512);
+        let lib = GemmLibrary::CublasLike;
+        let per = |c: u64| {
+            (time_gemm(s.fused_rows(c), lib, &dev).time_ns + dev.launch_overhead_ns) / c as f64
+        };
+        let gain_early = per(1) - per(2);
+        let gain_late = per(8) - per(16);
+        assert!(gain_early > gain_late);
+    }
+
+    #[test]
+    fn utilization_cliff_exists() {
+        // A grid of slots+1 blocks is less efficient than a grid of slots.
+        let dev = DeviceSpec::p100();
+        let slots = dev.total_slots() as u64;
+        assert!(utilization(slots, &dev) > utilization(slots + 1, &dev));
+        assert!((utilization(slots, &dev) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_monotonic_in_k() {
+        let dev = DeviceSpec::p100();
+        for lib in GemmLibrary::all() {
+            let t1 = time_gemm(GemmShape::new(64, 512, 512), lib, &dev).time_ns;
+            let t2 = time_gemm(GemmShape::new(64, 1024, 512), lib, &dev).time_ns;
+            assert!(t2 > t1, "{lib}: {t2} !> {t1}");
+        }
+    }
+
+    #[test]
+    fn best_library_is_min() {
+        let dev = DeviceSpec::p100();
+        let s = GemmShape::new(64, 1024, 4096);
+        let (lib, t) = best_library(s, &dev);
+        for other in GemmLibrary::all() {
+            assert!(t.time_ns <= time_gemm(s, other, &dev).time_ns);
+        }
+        assert_eq!(lib, GemmLibrary::OaiWide);
+    }
+
+    #[test]
+    fn demand_reflects_grid_size() {
+        let dev = DeviceSpec::p100();
+        let small = time_gemm(GemmShape::new(64, 1024, 64), GemmLibrary::CublasLike, &dev);
+        let big = time_gemm(GemmShape::new(4096, 1024, 4096), GemmLibrary::CublasLike, &dev);
+        assert!(big.demand_blocks > dev.total_slots(), "large grids exceed one wave");
+        assert!(small.demand_blocks < big.demand_blocks);
+    }
+
+    #[test]
+    fn mem_floor_binds_for_skinny_gemm() {
+        // A (1 x 8M) * (8M x 1) dot product is bandwidth-bound.
+        let dev = DeviceSpec::p100();
+        let s = GemmShape::new(1, 1 << 23, 1);
+        let t = time_gemm(s, GemmLibrary::CublasLike, &dev);
+        let floor = s.bytes() / dev.bytes_per_ns();
+        assert!(t.time_ns >= floor);
+    }
+}

@@ -1,0 +1,191 @@
+//! Device memory planning.
+//!
+//! GEMM fusion requires the fused operands to be *contiguous* in GPU memory
+//! (§3.2); otherwise the runtime must first gather them with a copy. An
+//! [`AllocationPlan`] records where each logical buffer lives in the device
+//! arena, and answers the contiguity queries the enumerator and custom wirer
+//! use to decide whether a fusion choice is free or needs a
+//! [`KernelDesc::MemCopy`](crate::kernel::KernelDesc::MemCopy).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a logical device buffer (one tensor's storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BufId(pub u64);
+
+/// Placement of one buffer in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Byte offset from the arena base.
+    pub offset: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// A concrete assignment of buffers to arena offsets.
+///
+/// Built by placing *groups*: buffers within a group are laid out adjacently
+/// (so a fused kernel can treat them as one operand); distinct groups are
+/// placed one after another with alignment padding.
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::{AllocationPlan, BufId};
+///
+/// let mut plan = AllocationPlan::new();
+/// plan.place_group(&[(BufId(0), 1024), (BufId(1), 1024)]);
+/// plan.place_group(&[(BufId(2), 4096)]);
+/// assert!(plan.are_contiguous(&[BufId(0), BufId(1)]));
+/// assert!(!plan.are_contiguous(&[BufId(1), BufId(2)]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocationPlan {
+    placements: HashMap<BufId, Placement>,
+    cursor: u64,
+}
+
+/// Arena alignment between groups (bytes).
+const GROUP_ALIGN: u64 = 256;
+
+impl AllocationPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places `bufs` adjacently, in order. Buffers already placed are
+    /// skipped (first placement wins) — callers resolve conflicts *before*
+    /// building a plan; this makes plans deterministic under re-placement.
+    ///
+    /// Returns the number of buffers newly placed.
+    pub fn place_group(&mut self, bufs: &[(BufId, u64)]) -> usize {
+        // Separate groups by an alignment gap so that members of different
+        // groups are never accidentally adjacent (and thus never spuriously
+        // fusible without a copy).
+        if self.cursor > 0 {
+            self.cursor += GROUP_ALIGN;
+        }
+        self.cursor = (self.cursor + GROUP_ALIGN - 1) / GROUP_ALIGN * GROUP_ALIGN;
+        let mut placed = 0;
+        for &(id, bytes) in bufs {
+            if self.placements.contains_key(&id) {
+                continue;
+            }
+            self.placements.insert(id, Placement { offset: self.cursor, bytes });
+            self.cursor += bytes;
+            placed += 1;
+        }
+        placed
+    }
+
+    /// Looks up a buffer's placement.
+    pub fn placement(&self, id: BufId) -> Option<Placement> {
+        self.placements.get(&id).copied()
+    }
+
+    /// Whether every buffer is placed and each directly follows the previous
+    /// one (zero-copy fusion is possible over the sequence).
+    pub fn are_contiguous(&self, bufs: &[BufId]) -> bool {
+        if bufs.len() < 2 {
+            return bufs.iter().all(|b| self.placements.contains_key(b));
+        }
+        let mut expected: Option<u64> = None;
+        for id in bufs {
+            let Some(p) = self.placements.get(id) else { return false };
+            if let Some(e) = expected {
+                if p.offset != e {
+                    return false;
+                }
+            }
+            expected = Some(p.offset + p.bytes);
+        }
+        true
+    }
+
+    /// Total bytes a group gather-copy would need if the buffers are *not*
+    /// contiguous (0 when they already are).
+    pub fn gather_bytes(&self, bufs: &[BufId]) -> u64 {
+        if self.are_contiguous(bufs) {
+            0
+        } else {
+            bufs.iter().filter_map(|b| self.placements.get(b)).map(|p| p.bytes).sum()
+        }
+    }
+
+    /// Number of placed buffers.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Total arena bytes consumed.
+    pub fn total_bytes(&self) -> u64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_members_are_contiguous() {
+        let mut plan = AllocationPlan::new();
+        plan.place_group(&[(BufId(1), 100), (BufId(2), 200), (BufId(3), 50)]);
+        assert!(plan.are_contiguous(&[BufId(1), BufId(2), BufId(3)]));
+        assert!(plan.are_contiguous(&[BufId(2), BufId(3)]));
+        // Order matters.
+        assert!(!plan.are_contiguous(&[BufId(2), BufId(1)]));
+    }
+
+    #[test]
+    fn cross_group_not_contiguous() {
+        let mut plan = AllocationPlan::new();
+        plan.place_group(&[(BufId(1), 100)]);
+        plan.place_group(&[(BufId(2), 100)]);
+        assert!(!plan.are_contiguous(&[BufId(1), BufId(2)]));
+    }
+
+    #[test]
+    fn first_placement_wins() {
+        let mut plan = AllocationPlan::new();
+        plan.place_group(&[(BufId(1), 100)]);
+        let first = plan.placement(BufId(1)).unwrap();
+        let placed = plan.place_group(&[(BufId(1), 100), (BufId(2), 100)]);
+        assert_eq!(placed, 1);
+        assert_eq!(plan.placement(BufId(1)).unwrap(), first);
+    }
+
+    #[test]
+    fn gather_bytes_zero_when_contiguous() {
+        let mut plan = AllocationPlan::new();
+        plan.place_group(&[(BufId(1), 128), (BufId(2), 128)]);
+        plan.place_group(&[(BufId(3), 64)]);
+        assert_eq!(plan.gather_bytes(&[BufId(1), BufId(2)]), 0);
+        assert_eq!(plan.gather_bytes(&[BufId(1), BufId(3)]), 192);
+    }
+
+    #[test]
+    fn missing_buffer_is_not_contiguous() {
+        let plan = AllocationPlan::new();
+        assert!(!plan.are_contiguous(&[BufId(7)]));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn alignment_applied_between_groups() {
+        let mut plan = AllocationPlan::new();
+        plan.place_group(&[(BufId(1), 10)]);
+        plan.place_group(&[(BufId(2), 10)]);
+        let p2 = plan.placement(BufId(2)).unwrap();
+        assert_eq!(p2.offset % GROUP_ALIGN, 0);
+        assert!(plan.total_bytes() >= 266);
+    }
+}

@@ -1,0 +1,198 @@
+//! Executable schedules: ordered command lists over multiple streams.
+//!
+//! A [`Schedule`] is what a dispatcher (native, XLA-like, or Astra's custom
+//! wirer) hands to the [`Engine`](crate::engine::Engine): a sequence of
+//! asynchronous kernel launches on numbered streams, cudaEvent-style records
+//! and waits, device-wide barriers (super-epoch boundaries), and synchronous
+//! host syncs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelDesc;
+
+/// Identifier of a GPU stream within a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub usize);
+
+/// Identifier of a cudaEvent-style event within a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+/// One dispatcher command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cmd {
+    /// Asynchronously launch `kernel` on `stream`, after all `waits` events
+    /// have fired.
+    Launch {
+        /// Target stream.
+        stream: StreamId,
+        /// The kernel to run.
+        kernel: KernelDesc,
+        /// Events that must fire before the kernel may start.
+        waits: Vec<EventId>,
+        /// Optional label used in span reports and profiling.
+        label: Option<String>,
+    },
+    /// Record `event` on `stream` once all prior work in the stream is done.
+    Record {
+        /// Stream whose completion the event captures.
+        stream: StreamId,
+        /// The event to record.
+        event: EventId,
+    },
+    /// Device-wide barrier: no stream proceeds past it until every stream
+    /// has drained to it (super-epoch boundary, paper §4.5.3).
+    Barrier,
+    /// The CPU blocks until the device is idle, then pays a host round trip.
+    HostSync,
+}
+
+/// An ordered multi-stream command list, plus the number of streams it uses.
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::{KernelDesc, Schedule, StreamId};
+///
+/// let mut s = Schedule::new(2);
+/// s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1024.0 });
+/// let ev = s.record(StreamId(0));
+/// s.launch_after(StreamId(1), KernelDesc::MemCopy { bytes: 1024.0 }, vec![ev]);
+/// assert_eq!(s.cmds().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    num_streams: usize,
+    cmds: Vec<Cmd>,
+    next_event: u32,
+}
+
+impl Schedule {
+    /// Creates an empty schedule over `num_streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_streams` is zero.
+    pub fn new(num_streams: usize) -> Self {
+        assert!(num_streams > 0, "a schedule needs at least one stream");
+        Schedule { num_streams, cmds: Vec::new(), next_event: 0 }
+    }
+
+    /// Number of streams the schedule dispatches onto.
+    pub fn num_streams(&self) -> usize {
+        self.num_streams
+    }
+
+    /// The commands, in dispatch order.
+    pub fn cmds(&self) -> &[Cmd] {
+        &self.cmds
+    }
+
+    /// Number of kernel launches in the schedule.
+    pub fn num_launches(&self) -> usize {
+        self.cmds.iter().filter(|c| matches!(c, Cmd::Launch { .. })).count()
+    }
+
+    /// Appends an unlabelled launch with no waits. Returns the command index.
+    pub fn launch(&mut self, stream: StreamId, kernel: KernelDesc) -> usize {
+        self.push_launch(stream, kernel, Vec::new(), None)
+    }
+
+    /// Appends a launch gated on `waits`. Returns the command index.
+    pub fn launch_after(
+        &mut self,
+        stream: StreamId,
+        kernel: KernelDesc,
+        waits: Vec<EventId>,
+    ) -> usize {
+        self.push_launch(stream, kernel, waits, None)
+    }
+
+    /// Appends a labelled launch gated on `waits`. Returns the command index.
+    pub fn launch_labeled(
+        &mut self,
+        stream: StreamId,
+        kernel: KernelDesc,
+        waits: Vec<EventId>,
+        label: impl Into<String>,
+    ) -> usize {
+        self.push_launch(stream, kernel, waits, Some(label.into()))
+    }
+
+    fn push_launch(
+        &mut self,
+        stream: StreamId,
+        kernel: KernelDesc,
+        waits: Vec<EventId>,
+        label: Option<String>,
+    ) -> usize {
+        self.check_stream(stream);
+        self.cmds.push(Cmd::Launch { stream, kernel, waits, label });
+        self.cmds.len() - 1
+    }
+
+    /// Records a fresh event on `stream` and returns its id.
+    pub fn record(&mut self, stream: StreamId) -> EventId {
+        self.check_stream(stream);
+        let ev = EventId(self.next_event);
+        self.next_event += 1;
+        self.cmds.push(Cmd::Record { stream, event: ev });
+        ev
+    }
+
+    /// Appends a device-wide barrier (super-epoch boundary).
+    pub fn barrier(&mut self) {
+        self.cmds.push(Cmd::Barrier);
+    }
+
+    /// Appends a blocking host synchronization.
+    pub fn host_sync(&mut self) {
+        self.cmds.push(Cmd::HostSync);
+    }
+
+    fn check_stream(&self, stream: StreamId) {
+        assert!(
+            stream.0 < self.num_streams,
+            "stream {} out of range (schedule has {})",
+            stream.0,
+            self.num_streams
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ids_are_unique() {
+        let mut s = Schedule::new(2);
+        let a = s.record(StreamId(0));
+        let b = s.record(StreamId(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn launch_on_bad_stream_panics() {
+        let mut s = Schedule::new(1);
+        s.launch(StreamId(1), KernelDesc::MemCopy { bytes: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        let _ = Schedule::new(0);
+    }
+
+    #[test]
+    fn launch_counting() {
+        let mut s = Schedule::new(1);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1.0 });
+        s.record(StreamId(0));
+        s.barrier();
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1.0 });
+        assert_eq!(s.num_launches(), 2);
+        assert_eq!(s.cmds().len(), 4);
+    }
+}

@@ -1,0 +1,575 @@
+//! Reference interpreter.
+//!
+//! Astra's optimizations are *value-preserving* (paper §6.7): fusing GEMMs,
+//! changing kernel libraries, or re-scheduling streams never changes what a
+//! mini-batch computes. This interpreter gives the repository a ground truth
+//! to state that property against: graphs (including generated backward
+//! passes) can be evaluated on real numbers, and the autodiff output is
+//! verified against finite differences in the test suite.
+//!
+//! It is intentionally simple (dense `Vec<f64>` row-major tensors, no
+//! performance goals) — correctness oracle, not execution engine.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::tensor::{Shape, TensorId};
+
+/// Tensor bindings for an evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    values: HashMap<TensorId, Vec<f64>>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds `t` to `value` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds only at evaluation time if the length does not
+    /// match the tensor's shape.
+    pub fn bind(&mut self, t: TensorId, value: Vec<f64>) {
+        self.values.insert(t, value);
+    }
+
+    /// Binds `t` to a constant-filled tensor of the right size for `g`.
+    pub fn bind_fill(&mut self, g: &Graph, t: TensorId, fill: f64) {
+        self.bind(t, vec![fill; g.shape(t).elements() as usize]);
+    }
+
+    /// The value of `t`, if computed or bound.
+    pub fn value(&self, t: TensorId) -> Option<&[f64]> {
+        self.values.get(&t).map(|v| v.as_slice())
+    }
+}
+
+/// Evaluates every node of `g` in order, filling `env` with outputs.
+///
+/// # Errors
+///
+/// Returns a message if a required input/param binding is missing or has the
+/// wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use astra_ir::{evaluate, Env, Graph, Shape};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Shape::matrix(1, 2), "x");
+/// let y = g.sigmoid(x);
+/// let mut env = Env::new();
+/// env.bind(x, vec![0.0, 100.0]);
+/// evaluate(&g, &mut env).unwrap();
+/// let v = env.value(y).unwrap();
+/// assert!((v[0] - 0.5).abs() < 1e-12 && v[1] > 0.999);
+/// ```
+pub fn evaluate(g: &Graph, env: &mut Env) -> Result<(), String> {
+    for (i, node) in g.nodes().iter().enumerate() {
+        let mut ins: Vec<&[f64]> = Vec::with_capacity(node.inputs.len());
+        for t in &node.inputs {
+            let v = env
+                .values
+                .get(t)
+                .ok_or_else(|| format!("node n{i}: missing value for {t}"))?;
+            if v.len() as u64 != g.shape(*t).elements() {
+                return Err(format!(
+                    "node n{i}: {t} bound with {} elements, shape {} needs {}",
+                    v.len(),
+                    g.shape(*t),
+                    g.shape(*t).elements()
+                ));
+            }
+            ins.push(v);
+        }
+        // Clone input slices out so we can mutate env.
+        let ins: Vec<Vec<f64>> = ins.into_iter().map(|s| s.to_vec()).collect();
+        let shapes: Vec<&Shape> = node.inputs.iter().map(|t| g.shape(*t)).collect();
+        let out = eval_op(&node.op, &ins, &shapes, g.shape(node.output));
+        env.values.insert(node.output, out);
+    }
+    Ok(())
+}
+
+fn eval_op(op: &OpKind, ins: &[Vec<f64>], shapes: &[&Shape], out_shape: &Shape) -> Vec<f64> {
+    match op {
+        OpKind::MatMul => {
+            let (m, k) = (shapes[0].dims()[0] as usize, shapes[0].dims()[1] as usize);
+            let n = shapes[1].dims()[1] as usize;
+            let (a, b) = (&ins[0], &ins[1]);
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[i * n + j] += av * b[p * n + j];
+                    }
+                }
+            }
+            out
+        }
+        OpKind::Add => broadcast_binop(&ins[0], &ins[1], shapes, |a, b| a + b),
+        OpKind::Sub => broadcast_binop(&ins[0], &ins[1], shapes, |a, b| a - b),
+        OpKind::Mul => broadcast_binop(&ins[0], &ins[1], shapes, |a, b| a * b),
+        OpKind::ReduceCols => {
+            let cols = shapes[0].dims()[1] as usize;
+            ins[0].chunks(cols).map(|row| row.iter().sum()).collect()
+        }
+        OpKind::BroadcastCol { cols } => {
+            let mut out = Vec::with_capacity(ins[0].len() * *cols as usize);
+            for &v in &ins[0] {
+                out.extend(std::iter::repeat(v).take(*cols as usize));
+            }
+            out
+        }
+        OpKind::Neg => ins[0].iter().map(|v| -v).collect(),
+        OpKind::Scale(c) => ins[0].iter().map(|v| v * c).collect(),
+        OpKind::Sigmoid => ins[0].iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect(),
+        OpKind::Tanh => ins[0].iter().map(|v| v.tanh()).collect(),
+        OpKind::Relu => ins[0].iter().map(|v| v.max(0.0)).collect(),
+        OpKind::Softmax => {
+            let cols = shapes[0].last() as usize;
+            let mut out = ins[0].clone();
+            for row in out.chunks_mut(cols) {
+                let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - mx).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            out
+        }
+        OpKind::Concat { axis } => {
+            let rank = shapes[0].rank();
+            assert!(rank <= 2, "interpreter supports concat of rank <= 2");
+            if rank == 1 || *axis == 0 {
+                let mut out = Vec::new();
+                for v in ins {
+                    out.extend_from_slice(v);
+                }
+                out
+            } else {
+                // axis == 1 on matrices: interleave rows.
+                let rows = shapes[0].dims()[0] as usize;
+                let mut out = Vec::with_capacity(out_shape.elements() as usize);
+                for r in 0..rows {
+                    for (v, s) in ins.iter().zip(shapes) {
+                        let c = s.dims()[1] as usize;
+                        out.extend_from_slice(&v[r * c..(r + 1) * c]);
+                    }
+                }
+                out
+            }
+        }
+        OpKind::Slice { axis, start, len } => {
+            let rank = shapes[0].rank();
+            assert!(rank <= 2, "interpreter supports slice of rank <= 2");
+            let (start, len) = (*start as usize, *len as usize);
+            if rank == 1 || *axis == 0 {
+                let cols = if rank == 1 { 1 } else { shapes[0].dims()[1] as usize };
+                ins[0][start * cols..(start + len) * cols].to_vec()
+            } else {
+                let cols = shapes[0].dims()[1] as usize;
+                let rows = shapes[0].dims()[0] as usize;
+                let mut out = Vec::with_capacity(rows * len);
+                for r in 0..rows {
+                    out.extend_from_slice(&ins[0][r * cols + start..r * cols + start + len]);
+                }
+                out
+            }
+        }
+        OpKind::Transpose => {
+            let (m, n) = (shapes[0].dims()[0] as usize, shapes[0].dims()[1] as usize);
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    out[j * m + i] = ins[0][i * n + j];
+                }
+            }
+            out
+        }
+        OpKind::Embedding => {
+            let width = shapes[1].dims()[1] as usize;
+            let mut out = Vec::with_capacity(ins[0].len() * width);
+            for &ix in &ins[0] {
+                let row = ix.round() as usize;
+                out.extend_from_slice(&ins[1][row * width..(row + 1) * width]);
+            }
+            out
+        }
+        OpKind::ReduceSum => vec![ins[0].iter().sum()],
+        OpKind::ReduceRows => {
+            let cols = shapes[0].dims()[1] as usize;
+            let mut out = vec![0.0; cols];
+            for row in ins[0].chunks(cols) {
+                for (o, v) in out.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+            out
+        }
+        OpKind::BroadcastScalar { rows, cols } => {
+            vec![ins[0][0]; (*rows * *cols) as usize]
+        }
+        OpKind::SigmoidGrad => {
+            ins[0].iter().zip(&ins[1]).map(|(dy, y)| dy * y * (1.0 - y)).collect()
+        }
+        OpKind::TanhGrad => {
+            ins[0].iter().zip(&ins[1]).map(|(dy, y)| dy * (1.0 - y * y)).collect()
+        }
+        OpKind::ReluGrad => {
+            ins[0].iter().zip(&ins[1]).map(|(dy, y)| if *y > 0.0 { *dy } else { 0.0 }).collect()
+        }
+        OpKind::SoftmaxGrad => {
+            let cols = shapes[0].last() as usize;
+            let (dy, y) = (&ins[0], &ins[1]);
+            let mut out = vec![0.0; dy.len()];
+            for r in 0..dy.len() / cols {
+                let row = r * cols;
+                let dot: f64 = (0..cols).map(|j| dy[row + j] * y[row + j]).sum();
+                for j in 0..cols {
+                    out[row + j] = y[row + j] * (dy[row + j] - dot);
+                }
+            }
+            out
+        }
+        OpKind::Conv2d(d) => {
+            let batch = shapes[0].dims()[0] as usize;
+            let (ci, h, w) = (d.c_in as usize, d.h as usize, d.w as usize);
+            let (co, kh, kw) = (d.c_out as usize, d.kh as usize, d.kw as usize);
+            let (ho, wo) = (d.h_out() as usize, d.w_out() as usize);
+            let (x, wt) = (&ins[0], &ins[1]);
+            let mut out = vec![0.0; batch * co * ho * wo];
+            for b in 0..batch {
+                for o in 0..co {
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let mut acc = 0.0;
+                            for c in 0..ci {
+                                for dy_ in 0..kh {
+                                    for dx_ in 0..kw {
+                                        let xi = x[b * ci * h * w + c * h * w + (oy + dy_) * w + (ox + dx_)];
+                                        let wi = wt[o * ci * kh * kw + c * kh * kw + dy_ * kw + dx_];
+                                        acc += xi * wi;
+                                    }
+                                }
+                            }
+                            out[b * co * ho * wo + o * ho * wo + oy * wo + ox] = acc;
+                        }
+                    }
+                }
+            }
+            out
+        }
+        OpKind::Conv2dGradInput(d) => {
+            let batch = shapes[0].dims()[0] as usize;
+            let (ci, h, w) = (d.c_in as usize, d.h as usize, d.w as usize);
+            let (co, kh, kw) = (d.c_out as usize, d.kh as usize, d.kw as usize);
+            let (ho, wo) = (d.h_out() as usize, d.w_out() as usize);
+            let (dy, wt) = (&ins[0], &ins[1]);
+            let mut out = vec![0.0; batch * ci * h * w];
+            for b in 0..batch {
+                for o in 0..co {
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let g = dy[b * co * ho * wo + o * ho * wo + oy * wo + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for c in 0..ci {
+                                for dy_ in 0..kh {
+                                    for dx_ in 0..kw {
+                                        let wi = wt[o * ci * kh * kw + c * kh * kw + dy_ * kw + dx_];
+                                        out[b * ci * h * w + c * h * w + (oy + dy_) * w + (ox + dx_)] += g * wi;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+        OpKind::Conv2dGradWeight(d) => {
+            let batch = shapes[0].dims()[0] as usize;
+            let (ci, h, w) = (d.c_in as usize, d.h as usize, d.w as usize);
+            let (co, kh, kw) = (d.c_out as usize, d.kh as usize, d.kw as usize);
+            let (ho, wo) = (d.h_out() as usize, d.w_out() as usize);
+            let (x, dy) = (&ins[0], &ins[1]);
+            let mut out = vec![0.0; co * ci * kh * kw];
+            for b in 0..batch {
+                for o in 0..co {
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let g = dy[b * co * ho * wo + o * ho * wo + oy * wo + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for c in 0..ci {
+                                for dy_ in 0..kh {
+                                    for dx_ in 0..kw {
+                                        let xi = x[b * ci * h * w + c * h * w + (oy + dy_) * w + (ox + dx_)];
+                                        out[o * ci * kh * kw + c * kh * kw + dy_ * kw + dx_] += g * xi;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+        OpKind::EmbeddingGrad { vocab } => {
+            let width = shapes[0].dims()[1] as usize;
+            let mut out = vec![0.0; (*vocab as usize) * width];
+            for (r, &ix) in ins[1].iter().enumerate() {
+                let row = ix.round() as usize;
+                for j in 0..width {
+                    out[row * width + j] += ins[0][r * width + j];
+                }
+            }
+            out
+        }
+    }
+}
+
+fn broadcast_binop(
+    a: &[f64],
+    b: &[f64],
+    shapes: &[&Shape],
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<f64> {
+    if shapes[0] == shapes[1] {
+        a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect()
+    } else if shapes[1].dims()[0] == 1 {
+        // Row-broadcast: b is [1, n].
+        let n = shapes[1].elements() as usize;
+        a.iter().enumerate().map(|(i, x)| f(*x, b[i % n])).collect()
+    } else {
+        // Column-broadcast: b is [m, 1].
+        let n = shapes[0].dims()[1] as usize;
+        a.iter().enumerate().map(|(i, x)| f(*x, b[i / n])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::{append_backward, param_grads};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn matmul_small_case() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::matrix(2, 2), "a");
+        let b = g.input(Shape::matrix(2, 2), "b");
+        let c = g.mm(a, b);
+        let mut env = Env::new();
+        env.bind(a, vec![1.0, 2.0, 3.0, 4.0]);
+        env.bind(b, vec![5.0, 6.0, 7.0, 8.0]);
+        evaluate(&g, &mut env).unwrap();
+        assert_eq!(env.value(c).unwrap(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(3, 5), "x");
+        let y = g.softmax(x);
+        let mut env = Env::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        env.bind(x, rand_vec(&mut rng, 15));
+        evaluate(&g, &mut env).unwrap();
+        for row in env.value(y).unwrap().chunks(5) {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips() {
+        let mut g = Graph::new();
+        let a = g.input(Shape::matrix(2, 2), "a");
+        let b = g.input(Shape::matrix(2, 3), "b");
+        let c = g.apply(OpKind::Concat { axis: 1 }, &[a, b]);
+        let s = g.apply(OpKind::Slice { axis: 1, start: 2, len: 3 }, &[c]);
+        let mut env = Env::new();
+        env.bind(a, vec![1.0, 2.0, 3.0, 4.0]);
+        env.bind(b, vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        evaluate(&g, &mut env).unwrap();
+        assert_eq!(env.value(s).unwrap(), env.value(b).unwrap());
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(1, 1), "x");
+        let _ = g.sigmoid(x);
+        let mut env = Env::new();
+        let err = evaluate(&g, &mut env).unwrap_err();
+        assert!(err.contains("missing value"));
+    }
+
+    /// Finite-difference check of the complete autodiff pipeline on a small
+    /// two-layer network with shared tensors, biases, and activations.
+    #[test]
+    fn autodiff_matches_finite_differences() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(3, 4), "x");
+        let w1 = g.param(Shape::matrix(4, 5), "w1");
+        let b1 = g.param(Shape::matrix(1, 5), "b1");
+        let w2 = g.param(Shape::matrix(5, 2), "w2");
+        let z1 = g.mm(x, w1);
+        let z1b = g.add(z1, b1);
+        let h = g.tanh(z1b);
+        let z2 = g.mm(h, w2);
+        let y = g.sigmoid(z2);
+        let loss = g.reduce_sum(y);
+        let back = append_backward(&mut g, loss);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let base: Vec<(TensorId, Vec<f64>)> = [x, w1, b1, w2]
+            .iter()
+            .map(|&t| (t, rand_vec(&mut rng, g.shape(t).elements() as usize)))
+            .collect();
+
+        let loss_at = |bindings: &[(TensorId, Vec<f64>)]| -> f64 {
+            let mut env = Env::new();
+            for (t, v) in bindings {
+                env.bind(*t, v.clone());
+            }
+            env.bind(back.seed, vec![1.0]);
+            evaluate(&g, &mut env).unwrap();
+            env.value(loss).unwrap()[0]
+        };
+
+        // Analytic gradients.
+        let mut env = Env::new();
+        for (t, v) in &base {
+            env.bind(*t, v.clone());
+        }
+        env.bind(back.seed, vec![1.0]);
+        evaluate(&g, &mut env).unwrap();
+
+        let eps = 1e-5;
+        for (pi, (param, _)) in base.iter().enumerate().skip(1) {
+            let analytic = env.value(back.grad(*param).unwrap()).unwrap().to_vec();
+            for elem in [0_usize, analytic.len() / 2, analytic.len() - 1] {
+                let mut plus = base.clone();
+                plus[pi].1[elem] += eps;
+                let mut minus = base.clone();
+                minus[pi].1[elem] -= eps;
+                let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);
+                assert!(
+                    (analytic[elem] - numeric).abs() < 1e-6 * (1.0 + numeric.abs()),
+                    "param {param} elem {elem}: analytic {} vs numeric {numeric}",
+                    analytic[elem]
+                );
+            }
+        }
+        let _ = param_grads(&g, &back);
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        use crate::op::ConvDims;
+        // 1x1 batch, 1 channel, 3x3 image, 2x2 kernel of ones: each output
+        // is the sum of its 2x2 window.
+        let d = ConvDims { c_in: 1, h: 3, w: 3, c_out: 1, kh: 2, kw: 2 };
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(1, 9), "x");
+        let w = g.param(Shape::matrix(1, 4), "w");
+        let y = g.conv2d(x, w, d);
+        let mut env = Env::new();
+        env.bind(x, (1..=9).map(f64::from).collect());
+        env.bind(w, vec![1.0; 4]);
+        evaluate(&g, &mut env).unwrap();
+        assert_eq!(env.value(y).unwrap(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_gradients_match_finite_differences() {
+        use crate::op::ConvDims;
+        let d = ConvDims { c_in: 2, h: 5, w: 4, c_out: 3, kh: 3, kw: 2 };
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(2, d.c_in * d.h * d.w), "x");
+        let w = g.param(Shape::matrix(d.c_out, d.c_in * d.kh * d.kw), "w");
+        let y = g.conv2d(x, w, d);
+        let act = g.tanh(y);
+        let loss = g.reduce_sum(act);
+        let back = append_backward(&mut g, loss);
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let base: Vec<(TensorId, Vec<f64>)> = [x, w]
+            .iter()
+            .map(|&t| (t, rand_vec(&mut rng, g.shape(t).elements() as usize)))
+            .collect();
+        let loss_at = |vals: &[(TensorId, Vec<f64>)]| -> f64 {
+            let mut env = Env::new();
+            for (t, v) in vals {
+                env.bind(*t, v.clone());
+            }
+            env.bind(back.seed, vec![1.0]);
+            evaluate(&g, &mut env).unwrap();
+            env.value(loss).unwrap()[0]
+        };
+        let mut env = Env::new();
+        for (t, v) in &base {
+            env.bind(*t, v.clone());
+        }
+        env.bind(back.seed, vec![1.0]);
+        evaluate(&g, &mut env).unwrap();
+
+        let eps = 1e-5;
+        for (pi, (param, _)) in base.iter().enumerate() {
+            let analytic = env.value(back.grad(*param).unwrap()).unwrap().to_vec();
+            for elem in [0_usize, analytic.len() / 3, analytic.len() - 1] {
+                let mut plus = base.clone();
+                plus[pi].1[elem] += eps;
+                let mut minus = base.clone();
+                minus[pi].1[elem] -= eps;
+                let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);
+                assert!(
+                    (analytic[elem] - numeric).abs() < 1e-6 * (1.0 + numeric.abs()),
+                    "conv param {param} elem {elem}: {} vs {numeric}",
+                    analytic[elem]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_grad_scatter_adds() {
+        let mut g = Graph::new();
+        let idx = g.input(Shape::vector(3), "idx");
+        let table = g.param(Shape::matrix(4, 2), "emb");
+        let e = g.embedding(idx, table);
+        let loss = g.reduce_sum(e);
+        let back = append_backward(&mut g, loss);
+        let mut env = Env::new();
+        env.bind(idx, vec![1.0, 1.0, 3.0]); // row 1 twice
+        env.bind(table, vec![0.0; 8]);
+        env.bind(back.seed, vec![1.0]);
+        evaluate(&g, &mut env).unwrap();
+        let dt = env.value(back.grad(table).unwrap()).unwrap();
+        assert_eq!(dt, &[0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # astra-ir — tensor IR, data-flow graphs, and autodiff
+//!
+//! The representation layer of the Astra reproduction (paper §2.2): models
+//! are *data-flow graphs* whose nodes are operators and whose edges are
+//! tensors. The toolkit builds the forward graph from model code
+//! ([`Graph`]'s builder methods), generates the backward pass automatically
+//! ([`append_backward`]), and can print the paper's `%10 = mm(%1, %5)` trace
+//! notation ([`print_trace`]).
+//!
+//! A reference interpreter ([`evaluate`]) provides the ground truth that all
+//! of Astra's optimizations are value-preserving, and backs the
+//! finite-difference validation of the autodiff rules.
+//!
+//! ## Example
+//!
+//! ```
+//! use astra_ir::{append_backward, Graph, Shape};
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Shape::matrix(8, 32), "x");
+//! let w = g.param(Shape::matrix(32, 16), "w");
+//! let h = g.mm(x, w);
+//! let a = g.tanh(h);
+//! let loss = g.reduce_sum(a);
+//! let back = append_backward(&mut g, loss);
+//! assert!(back.grad(w).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod autodiff;
+mod graph;
+mod interp;
+mod op;
+mod tensor;
+mod trace;
+
+pub use autodiff::{append_backward, param_grads, BackwardResult};
+pub use graph::{Graph, Node, NodeId, Pass, Provenance};
+pub use interp::{evaluate, Env};
+pub use op::{ConvDims, OpKind};
+pub use tensor::{Shape, TensorId, TensorInfo, TensorKind};
+pub use trace::{parse_trace_line, print_trace, TraceLine};

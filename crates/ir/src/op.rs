@@ -1,0 +1,434 @@
+//! Operator kinds and their shape/arity rules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Shape;
+
+/// The operator executed by a graph node.
+///
+/// The set covers what the paper's five evaluation models need: GEMMs,
+/// element-wise arithmetic and activations (plus their backward-pass
+/// gradient forms), softmax, concat/slice, embedding lookups, transposes and
+/// reductions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Matrix multiplication `[m,k] x [k,n] -> [m,n]` (the paper's `mm`).
+    MatMul,
+    /// Element-wise addition; the second operand may be a `[1,n]` bias
+    /// broadcast across rows.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise (Hadamard) product.
+    Mul,
+    /// Element-wise negation.
+    Neg,
+    /// Scale by a constant.
+    Scale(f64),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Row-wise softmax over the innermost dimension.
+    Softmax,
+    /// Concatenation along `axis`.
+    Concat {
+        /// Axis along which inputs are concatenated.
+        axis: usize,
+    },
+    /// Slice `[start, start+len)` along `axis`.
+    Slice {
+        /// Sliced axis.
+        axis: usize,
+        /// First index kept.
+        start: u64,
+        /// Number of indices kept.
+        len: u64,
+    },
+    /// 2-D transpose.
+    Transpose,
+    /// Embedding lookup: indices `[m]` into table `[vocab, width]`.
+    Embedding,
+    /// Sum of all elements to a scalar (loss reduction).
+    ReduceSum,
+    /// Broadcast a scalar `[1]` to a `[rows, cols]` matrix (backward of
+    /// [`OpKind::ReduceSum`]).
+    BroadcastScalar {
+        /// Output rows.
+        rows: u64,
+        /// Output cols.
+        cols: u64,
+    },
+    /// Sum over the leading dimension: `[m,n] -> [1,n]` (bias gradients).
+    ReduceRows,
+    /// Sum over the trailing dimension: `[m,n] -> [m,1]` (row dot products,
+    /// used by attention scores).
+    ReduceCols,
+    /// Broadcast a column `[m,1]` to `[m, cols]` (backward of
+    /// [`OpKind::ReduceCols`]).
+    BroadcastCol {
+        /// Number of output columns.
+        cols: u64,
+    },
+    /// Backward of [`OpKind::Sigmoid`]: `dy * y * (1 - y)`, inputs `(dy, y)`.
+    SigmoidGrad,
+    /// Backward of [`OpKind::Tanh`]: `dy * (1 - y^2)`, inputs `(dy, y)`.
+    TanhGrad,
+    /// Backward of [`OpKind::Relu`]: `dy * (y > 0)`, inputs `(dy, y)`.
+    ReluGrad,
+    /// Backward of [`OpKind::Softmax`], inputs `(dy, y)`.
+    SoftmaxGrad,
+    /// Backward of [`OpKind::Embedding`]: scatter-add of `dy` rows into the
+    /// table gradient, inputs `(dy, indices)`.
+    EmbeddingGrad {
+        /// Vocabulary size of the embedding table.
+        vocab: u64,
+    },
+    /// 2-D convolution (valid padding, stride 1) over an image encoded as
+    /// `[batch, c_in*h*w]`, with weights `[c_out, c_in*kh*kw]`, producing
+    /// `[batch, c_out*h'*w']` where `h' = h-kh+1`, `w' = w-kw+1`.
+    Conv2d(ConvDims),
+    /// Backward of [`OpKind::Conv2d`] w.r.t. the input, inputs
+    /// `(dy, weights)`.
+    Conv2dGradInput(ConvDims),
+    /// Backward of [`OpKind::Conv2d`] w.r.t. the weights, inputs
+    /// `(input, dy)`.
+    Conv2dGradWeight(ConvDims),
+}
+
+/// Spatial/channel dimensions of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvDims {
+    /// Input channels.
+    pub c_in: u64,
+    /// Input height.
+    pub h: u64,
+    /// Input width.
+    pub w: u64,
+    /// Output channels.
+    pub c_out: u64,
+    /// Kernel height.
+    pub kh: u64,
+    /// Kernel width.
+    pub kw: u64,
+}
+
+impl ConvDims {
+    /// Output height (`h - kh + 1`, valid padding, stride 1).
+    pub fn h_out(&self) -> u64 {
+        self.h - self.kh + 1
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> u64 {
+        self.w - self.kw + 1
+    }
+
+    /// Multiply-add FLOPs per batch element.
+    pub fn flops_per_sample(&self) -> f64 {
+        2.0 * (self.c_out * self.h_out() * self.w_out() * self.c_in * self.kh * self.kw) as f64
+    }
+}
+
+impl OpKind {
+    /// Whether the op is element-wise (fusible into element-wise chains).
+    pub fn is_elementwise(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Add
+                | OpKind::Sub
+                | OpKind::Mul
+                | OpKind::Neg
+                | OpKind::Scale(_)
+                | OpKind::Sigmoid
+                | OpKind::Tanh
+                | OpKind::Relu
+                | OpKind::SigmoidGrad
+                | OpKind::TanhGrad
+                | OpKind::ReluGrad
+        )
+    }
+
+    /// Approximate arithmetic per output element (for lowering costs).
+    pub fn flops_per_element(&self) -> f64 {
+        match self {
+            OpKind::Add | OpKind::Sub | OpKind::Neg | OpKind::Scale(_) => 1.0,
+            OpKind::Mul => 1.0,
+            OpKind::Sigmoid | OpKind::Tanh => 10.0,
+            OpKind::Relu => 1.0,
+            OpKind::SigmoidGrad | OpKind::TanhGrad => 3.0,
+            OpKind::ReluGrad => 1.0,
+            _ => 2.0,
+        }
+    }
+
+    /// Number of inputs the op takes, if fixed (Concat is variadic).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            OpKind::MatMul
+            | OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::SigmoidGrad
+            | OpKind::TanhGrad
+            | OpKind::ReluGrad
+            | OpKind::SoftmaxGrad
+            | OpKind::Embedding
+            | OpKind::EmbeddingGrad { .. }
+            | OpKind::Conv2d(_)
+            | OpKind::Conv2dGradInput(_)
+            | OpKind::Conv2dGradWeight(_) => Some(2),
+            OpKind::Neg
+            | OpKind::Scale(_)
+            | OpKind::Sigmoid
+            | OpKind::Tanh
+            | OpKind::Relu
+            | OpKind::Softmax
+            | OpKind::Slice { .. }
+            | OpKind::Transpose
+            | OpKind::ReduceSum
+            | OpKind::BroadcastScalar { .. }
+            | OpKind::ReduceRows
+            | OpKind::ReduceCols
+            | OpKind::BroadcastCol { .. } => Some(1),
+            OpKind::Concat { .. } => None,
+        }
+    }
+
+    /// Infers the output shape from input shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arity or shapes are incompatible with the op — graph
+    /// construction bugs are programming errors, reported eagerly.
+    pub fn infer_shape(&self, inputs: &[&Shape]) -> Shape {
+        if let Some(arity) = self.arity() {
+            assert_eq!(inputs.len(), arity, "{self:?} expects {arity} inputs, got {}", inputs.len());
+        }
+        match self {
+            OpKind::MatMul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.rank(), 2, "mm lhs must be 2-D, got {a}");
+                assert_eq!(b.rank(), 2, "mm rhs must be 2-D, got {b}");
+                assert_eq!(a.dims()[1], b.dims()[0], "mm inner dims differ: {a} x {b}");
+                Shape::matrix(a.dims()[0], b.dims()[1])
+            }
+            OpKind::Add | OpKind::Sub | OpKind::Mul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if a == b {
+                    a.clone()
+                } else {
+                    // Row-broadcast [m,n] (+) [1,n], or column-broadcast
+                    // [m,n] (+) [m,1].
+                    let row_bcast = a.rank() == 2
+                        && b.rank() == 2
+                        && b.dims()[0] == 1
+                        && a.dims()[1] == b.dims()[1];
+                    let col_bcast = a.rank() == 2
+                        && b.rank() == 2
+                        && b.dims()[1] == 1
+                        && a.dims()[0] == b.dims()[0];
+                    assert!(row_bcast || col_bcast, "{self:?} shapes incompatible: {a} vs {b}");
+                    a.clone()
+                }
+            }
+            OpKind::Neg | OpKind::Scale(_) | OpKind::Sigmoid | OpKind::Tanh | OpKind::Relu
+            | OpKind::Softmax => inputs[0].clone(),
+            OpKind::SigmoidGrad | OpKind::TanhGrad | OpKind::ReluGrad | OpKind::SoftmaxGrad => {
+                assert_eq!(inputs[0], inputs[1], "{self:?} operand shapes differ");
+                inputs[0].clone()
+            }
+            OpKind::Concat { axis } => {
+                assert!(!inputs.is_empty(), "concat needs at least one input");
+                let first = inputs[0];
+                assert!(*axis < first.rank(), "concat axis out of range");
+                let mut dims = first.dims().to_vec();
+                for s in &inputs[1..] {
+                    assert_eq!(s.rank(), first.rank(), "concat rank mismatch");
+                    for (i, (&d, &v)) in s.dims().iter().zip(first.dims()).enumerate() {
+                        if i != *axis {
+                            assert_eq!(d, v, "concat non-axis dims differ");
+                        }
+                    }
+                    dims[*axis] += s.dims()[*axis];
+                }
+                Shape::new(dims)
+            }
+            OpKind::Slice { axis, start, len } => {
+                let s = inputs[0];
+                assert!(*axis < s.rank(), "slice axis out of range");
+                assert!(start + len <= s.dims()[*axis], "slice out of bounds on {s}");
+                let mut dims = s.dims().to_vec();
+                dims[*axis] = *len;
+                Shape::new(dims)
+            }
+            OpKind::Transpose => inputs[0].transposed(),
+            OpKind::Embedding => {
+                let (idx, table) = (inputs[0], inputs[1]);
+                assert_eq!(idx.rank(), 1, "embedding indices must be 1-D");
+                assert_eq!(table.rank(), 2, "embedding table must be 2-D");
+                Shape::matrix(idx.dims()[0], table.dims()[1])
+            }
+            OpKind::ReduceSum => Shape::scalar(),
+            OpKind::BroadcastScalar { rows, cols } => {
+                assert_eq!(inputs[0].elements(), 1, "broadcast source must be scalar");
+                Shape::matrix(*rows, *cols)
+            }
+            OpKind::ReduceRows => {
+                let s = inputs[0];
+                assert_eq!(s.rank(), 2, "reduce_rows input must be 2-D");
+                Shape::matrix(1, s.dims()[1])
+            }
+            OpKind::ReduceCols => {
+                let s = inputs[0];
+                assert_eq!(s.rank(), 2, "reduce_cols input must be 2-D");
+                Shape::matrix(s.dims()[0], 1)
+            }
+            OpKind::BroadcastCol { cols } => {
+                let s = inputs[0];
+                assert!(s.rank() == 2 && s.dims()[1] == 1, "broadcast_col needs [m,1], got {s}");
+                Shape::matrix(s.dims()[0], *cols)
+            }
+            OpKind::EmbeddingGrad { vocab } => {
+                let dy = inputs[0];
+                assert_eq!(dy.rank(), 2, "embedding grad dy must be 2-D");
+                Shape::matrix(*vocab, dy.dims()[1])
+            }
+            OpKind::Conv2d(d) => {
+                let (x, w) = (inputs[0], inputs[1]);
+                assert!(d.kh <= d.h && d.kw <= d.w, "kernel larger than image");
+                assert_eq!(x.dims()[1], d.c_in * d.h * d.w, "conv input width mismatch: {x}");
+                assert_eq!(
+                    w.dims(),
+                    &[d.c_out, d.c_in * d.kh * d.kw],
+                    "conv weight shape mismatch: {w}"
+                );
+                Shape::matrix(x.dims()[0], d.c_out * d.h_out() * d.w_out())
+            }
+            OpKind::Conv2dGradInput(d) => {
+                let (dy, w) = (inputs[0], inputs[1]);
+                assert_eq!(dy.dims()[1], d.c_out * d.h_out() * d.w_out(), "conv dy mismatch");
+                assert_eq!(w.dims(), &[d.c_out, d.c_in * d.kh * d.kw], "conv weight mismatch");
+                Shape::matrix(dy.dims()[0], d.c_in * d.h * d.w)
+            }
+            OpKind::Conv2dGradWeight(d) => {
+                let (x, dy) = (inputs[0], inputs[1]);
+                assert_eq!(x.dims()[1], d.c_in * d.h * d.w, "conv input mismatch");
+                assert_eq!(dy.dims()[1], d.c_out * d.h_out() * d.w_out(), "conv dy mismatch");
+                Shape::matrix(d.c_out, d.c_in * d.kh * d.kw)
+            }
+        }
+    }
+
+    /// The trace mnemonic (paper §4.4.1 uses `mm`, `add`, ...).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::MatMul => "mm",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Neg => "neg",
+            OpKind::Scale(_) => "scale",
+            OpKind::Sigmoid => "sigmoid",
+            OpKind::Tanh => "tanh",
+            OpKind::Relu => "relu",
+            OpKind::Softmax => "softmax",
+            OpKind::Concat { .. } => "concat",
+            OpKind::Slice { .. } => "slice",
+            OpKind::Transpose => "t",
+            OpKind::Embedding => "embed",
+            OpKind::ReduceSum => "sum",
+            OpKind::BroadcastScalar { .. } => "bcast",
+            OpKind::ReduceRows => "sum_rows",
+            OpKind::ReduceCols => "sum_cols",
+            OpKind::BroadcastCol { .. } => "bcast_col",
+            OpKind::SigmoidGrad => "sigmoid_grad",
+            OpKind::TanhGrad => "tanh_grad",
+            OpKind::ReluGrad => "relu_grad",
+            OpKind::SoftmaxGrad => "softmax_grad",
+            OpKind::EmbeddingGrad { .. } => "embed_grad",
+            OpKind::Conv2d(_) => "conv2d",
+            OpKind::Conv2dGradInput(_) => "conv2d_dx",
+            OpKind::Conv2dGradWeight(_) => "conv2d_dw",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shape() {
+        let a = Shape::matrix(4, 8);
+        let b = Shape::matrix(8, 3);
+        assert_eq!(OpKind::MatMul.infer_shape(&[&a, &b]), Shape::matrix(4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_mismatch_panics() {
+        let a = Shape::matrix(4, 8);
+        let b = Shape::matrix(9, 3);
+        let _ = OpKind::MatMul.infer_shape(&[&a, &b]);
+    }
+
+    #[test]
+    fn bias_broadcast_add() {
+        let x = Shape::matrix(32, 100);
+        let b = Shape::matrix(1, 100);
+        assert_eq!(OpKind::Add.infer_shape(&[&x, &b]), x);
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let a = Shape::matrix(4, 8);
+        let b = Shape::matrix(4, 2);
+        assert_eq!(
+            OpKind::Concat { axis: 1 }.infer_shape(&[&a, &b]),
+            Shape::matrix(4, 10)
+        );
+    }
+
+    #[test]
+    fn slice_inverse_of_concat() {
+        let c = Shape::matrix(4, 10);
+        assert_eq!(
+            OpKind::Slice { axis: 1, start: 8, len: 2 }.infer_shape(&[&c]),
+            Shape::matrix(4, 2)
+        );
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let idx = Shape::vector(32);
+        let table = Shape::matrix(10_000, 256);
+        assert_eq!(
+            OpKind::Embedding.infer_shape(&[&idx, &table]),
+            Shape::matrix(32, 256)
+        );
+        let dy = Shape::matrix(32, 256);
+        assert_eq!(
+            OpKind::EmbeddingGrad { vocab: 10_000 }.infer_shape(&[&dy, &idx]),
+            Shape::matrix(10_000, 256)
+        );
+    }
+
+    #[test]
+    fn elementwise_classification() {
+        assert!(OpKind::Sigmoid.is_elementwise());
+        assert!(OpKind::Mul.is_elementwise());
+        assert!(!OpKind::MatMul.is_elementwise());
+        assert!(!OpKind::Softmax.is_elementwise());
+        assert!(!OpKind::Embedding.is_elementwise());
+    }
+
+    #[test]
+    fn reductions() {
+        let s = Shape::matrix(6, 9);
+        assert_eq!(OpKind::ReduceSum.infer_shape(&[&s]), Shape::scalar());
+        assert_eq!(OpKind::ReduceRows.infer_shape(&[&s]), Shape::matrix(1, 9));
+    }
+}

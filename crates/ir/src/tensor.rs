@@ -1,0 +1,164 @@
+//! Tensors: identifiers, shapes, and roles.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tensor within one [`Graph`](crate::graph::Graph).
+///
+/// Displays in the paper's trace notation (`%7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub u32);
+
+impl std::fmt::Display for TensorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Dense row-major tensor shape.
+///
+/// # Examples
+///
+/// ```
+/// use astra_ir::Shape;
+///
+/// let s = Shape::matrix(64, 1024);
+/// assert_eq!(s.elements(), 64 * 1024);
+/// assert_eq!(s.bytes(), 64 * 1024 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<u64>);
+
+impl Shape {
+    /// Creates a shape from dimensions; every dimension must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero.
+    pub fn new(dims: Vec<u64>) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "shape dimensions must be non-zero");
+        Shape(dims)
+    }
+
+    /// A 1-D shape.
+    pub fn vector(n: u64) -> Self {
+        Shape::new(vec![n])
+    }
+
+    /// A 2-D shape.
+    pub fn matrix(rows: u64, cols: u64) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// A single-element shape (scalars, losses).
+    pub fn scalar() -> Self {
+        Shape::new(vec![1])
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Size in bytes at 4 bytes/element (fp32).
+    pub fn bytes(&self) -> u64 {
+        self.elements() * 4
+    }
+
+    /// Rows of a matrix-like tensor: product of all leading dimensions.
+    pub fn leading(&self) -> u64 {
+        self.0[..self.0.len() - 1].iter().product::<u64>().max(1)
+    }
+
+    /// The last (innermost) dimension.
+    pub fn last(&self) -> u64 {
+        *self.0.last().expect("shapes are non-empty")
+    }
+
+    /// The transposed 2-D shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 2-D.
+    pub fn transposed(&self) -> Shape {
+        assert_eq!(self.rank(), 2, "transpose requires a 2-D shape");
+        Shape::matrix(self.0[1], self.0[0])
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dims: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", dims.join("x"))
+    }
+}
+
+/// What role a tensor plays in the training computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Mini-batch input (activations fed from the data pipeline).
+    Input,
+    /// Learned parameter (weight, bias, embedding table).
+    Param,
+    /// Intermediate activation produced by a node.
+    Intermediate,
+    /// Gradient tensor produced by the backward pass.
+    Gradient,
+}
+
+/// Metadata of one tensor in a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorInfo {
+    /// The tensor's shape.
+    pub shape: Shape,
+    /// The tensor's role.
+    pub kind: TensorKind,
+    /// Optional debug name.
+    pub name: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TensorId(10).to_string(), "%10");
+        assert_eq!(Shape::matrix(64, 128).to_string(), "[64x128]");
+    }
+
+    #[test]
+    fn leading_and_last() {
+        let s = Shape::new(vec![2, 3, 5]);
+        assert_eq!(s.leading(), 6);
+        assert_eq!(s.last(), 5);
+        assert_eq!(Shape::vector(7).leading(), 1);
+    }
+
+    #[test]
+    fn transposed_matrix() {
+        assert_eq!(Shape::matrix(2, 9).transposed(), Shape::matrix(9, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(vec![4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_shape_rejected() {
+        let _ = Shape::new(vec![]);
+    }
+}

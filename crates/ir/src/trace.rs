@@ -1,0 +1,113 @@
+//! The paper's textual graph-trace format.
+//!
+//! §4.4.1 shows fusion candidates in a PyTorch trace notation:
+//!
+//! ```text
+//! %10 = mm(%1, %5)
+//! %11 = mm(%1, %6)
+//! %12 = add(%10, %11)
+//! ```
+//!
+//! [`print_trace`] renders a [`Graph`] in this form (useful for Figure-1/2
+//! style diagnostics), and [`parse_trace_line`] parses single lines back into
+//! mnemonic + operands (used in tests and the `figure1` bench binary to state
+//! fusion patterns the way the paper does).
+
+use crate::graph::Graph;
+
+/// Renders the whole graph in the paper's `%out = op(%in, ...)` notation.
+///
+/// # Examples
+///
+/// ```
+/// use astra_ir::{print_trace, Graph, Shape};
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Shape::matrix(2, 3), "x");
+/// let w = g.param(Shape::matrix(3, 4), "w");
+/// let _ = g.mm(x, w);
+/// assert_eq!(print_trace(&g).trim(), "%2 = mm(%0, %1)");
+/// ```
+pub fn print_trace(g: &Graph) -> String {
+    let mut out = String::new();
+    for node in g.nodes() {
+        let args: Vec<String> = node.inputs.iter().map(|t| t.to_string()).collect();
+        out.push_str(&format!("{} = {}({})\n", node.output, node.op.mnemonic(), args.join(", ")));
+    }
+    out
+}
+
+/// A parsed trace line: output id, op mnemonic, operand ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLine {
+    /// Output tensor number (the `10` in `%10 = ...`).
+    pub output: u32,
+    /// Op mnemonic (`mm`, `add`, ...).
+    pub op: String,
+    /// Operand tensor numbers.
+    pub args: Vec<u32>,
+}
+
+/// Parses one `%out = op(%a, %b)` line.
+///
+/// Returns `None` for lines that don't match the format (blank lines,
+/// comments).
+pub fn parse_trace_line(line: &str) -> Option<TraceLine> {
+    let line = line.trim();
+    let (lhs, rhs) = line.split_once('=')?;
+    let output: u32 = lhs.trim().strip_prefix('%')?.parse().ok()?;
+    let rhs = rhs.trim();
+    let open = rhs.find('(')?;
+    let close = rhs.rfind(')')?;
+    let op = rhs[..open].trim().to_owned();
+    if op.is_empty() {
+        return None;
+    }
+    let mut args = Vec::new();
+    let arg_str = &rhs[open + 1..close];
+    for part in arg_str.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        args.push(part.strip_prefix('%')?.parse().ok()?);
+    }
+    Some(TraceLine { output, op, args })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    #[test]
+    fn print_and_parse_roundtrip() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(2, 3), "x");
+        let w1 = g.param(Shape::matrix(3, 4), "w1");
+        let w2 = g.param(Shape::matrix(3, 4), "w2");
+        let a = g.mm(x, w1);
+        let b = g.mm(x, w2);
+        let _ = g.add(a, b);
+        let trace = print_trace(&g);
+        let lines: Vec<TraceLine> = trace.lines().filter_map(parse_trace_line).collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].op, "mm");
+        assert_eq!(lines[2].op, "add");
+        assert_eq!(lines[2].args, vec![a.0, b.0]);
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let l = parse_trace_line("%10 = mm (%1, %5)").unwrap();
+        assert_eq!(l, TraceLine { output: 10, op: "mm".into(), args: vec![1, 5] });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_trace_line("").is_none());
+        assert!(parse_trace_line("# comment").is_none());
+        assert!(parse_trace_line("%x = mm(%1)").is_none());
+        assert!(parse_trace_line("10 = mm(%1)").is_none());
+    }
+}

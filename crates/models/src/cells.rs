@@ -1,0 +1,303 @@
+//! Shared recurrent-cell building blocks.
+//!
+//! Cells are written the way a researcher writes ad-hoc model code: one
+//! GEMM per gate per source (input / recurrent), explicit element-wise
+//! arithmetic. No hand-fused "4-gates-in-one-matmul" tricks — discovering
+//! that fusion is *Astra's* job, not the model author's. The per-gate GEMMs
+//! sharing `x` (and sharing `h`) are exactly the "common argument, no
+//! dependency" fusion candidates of paper §4.4.1.
+
+use astra_ir::{Graph, Provenance, Shape, TensorId};
+
+/// Parameters of one standard/sub-LSTM layer: per-gate input and recurrent
+/// weight matrices plus biases.
+#[derive(Debug, Clone)]
+pub struct LstmParams {
+    /// Input weights per gate (i, f, o, g).
+    pub wx: [TensorId; 4],
+    /// Recurrent weights per gate.
+    pub wh: [TensorId; 4],
+    /// Biases per gate.
+    pub b: [TensorId; 4],
+}
+
+/// Gate names in declaration order.
+pub const GATES: [&str; 4] = ["i", "f", "o", "g"];
+
+impl LstmParams {
+    /// Declares fresh parameters for a layer mapping `input -> hidden`.
+    pub fn declare(g: &mut Graph, input: u64, hidden: u64, layer: &str) -> Self {
+        let mut wx = Vec::with_capacity(4);
+        let mut wh = Vec::with_capacity(4);
+        let mut b = Vec::with_capacity(4);
+        for gate in GATES {
+            wx.push(g.param(Shape::matrix(input, hidden), format!("{layer}.w{gate}x")));
+            wh.push(g.param(Shape::matrix(hidden, hidden), format!("{layer}.w{gate}h")));
+            b.push(g.param(Shape::matrix(1, hidden), format!("{layer}.b{gate}")));
+        }
+        LstmParams {
+            wx: wx.try_into().expect("four gates"),
+            wh: wh.try_into().expect("four gates"),
+            b: b.try_into().expect("four gates"),
+        }
+    }
+}
+
+/// Recurrent state carried between timesteps.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `h`.
+    pub h: TensorId,
+    /// Cell state `c`.
+    pub c: TensorId,
+}
+
+/// Declares zero-initialized initial state as inputs.
+pub fn initial_state(g: &mut Graph, batch: u64, hidden: u64, layer: &str) -> LstmState {
+    LstmState {
+        h: g.input(Shape::matrix(batch, hidden), format!("{layer}.h0")),
+        c: g.input(Shape::matrix(batch, hidden), format!("{layer}.c0")),
+    }
+}
+
+/// Computes the four pre-activation gate values `x*Wg + h*Ug + bg`.
+fn gate_preacts(
+    g: &mut Graph,
+    x: TensorId,
+    state: LstmState,
+    p: &LstmParams,
+    layer: &str,
+    step: u32,
+) -> [TensorId; 4] {
+    let mut out = Vec::with_capacity(4);
+    for (gi, gate) in GATES.iter().enumerate() {
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.x")));
+        let zx = g.mm(x, p.wx[gi]);
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.h")));
+        let zh = g.mm(state.h, p.wh[gi]);
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.sum")));
+        let z = g.add(zx, zh);
+        out.push(g.add(z, p.b[gi]));
+    }
+    out.try_into().expect("four gates")
+}
+
+/// One standard LSTM cell step:
+/// `c' = f⊙c + i⊙tanh(g)`, `h' = o⊙tanh(c')`.
+pub fn lstm_cell(
+    g: &mut Graph,
+    x: TensorId,
+    state: LstmState,
+    p: &LstmParams,
+    layer: &str,
+    step: u32,
+) -> LstmState {
+    let [zi, zf, zo, zg] = gate_preacts(g, x, state, p, layer, step);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("act"));
+    let i = g.sigmoid(zi);
+    let f = g.sigmoid(zf);
+    let o = g.sigmoid(zo);
+    let cand = g.tanh(zg);
+    let fc = g.mul(f, state.c);
+    let ic = g.mul(i, cand);
+    let c = g.add(fc, ic);
+    let tc = g.tanh(c);
+    let h = g.mul(o, tc);
+    LstmState { h, c }
+}
+
+/// One subLSTM cell step (Costa et al., NeurIPS'17): subtractive gating —
+/// `c' = f⊙c + z − i`, `h' = σ(c') − o`, all gates sigmoidal.
+pub fn sublstm_cell(
+    g: &mut Graph,
+    x: TensorId,
+    state: LstmState,
+    p: &LstmParams,
+    layer: &str,
+    step: u32,
+) -> LstmState {
+    let [zi, zf, zo, zz] = gate_preacts(g, x, state, p, layer, step);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("act"));
+    let i = g.sigmoid(zi);
+    let f = g.sigmoid(zf);
+    let o = g.sigmoid(zo);
+    let z = g.sigmoid(zz);
+    let fc = g.mul(f, state.c);
+    let fz = g.add(fc, z);
+    let c = g.sub(fz, i);
+    let sc = g.sigmoid(c);
+    let h = g.sub(sc, o);
+    LstmState { h, c }
+}
+
+/// Parameters of one MI-LSTM layer: per-gate weights plus the multiplicative
+/// integration coefficient vectors `alpha`, `beta1`, `beta2` (Wu et al.,
+/// NeurIPS'16).
+#[derive(Debug, Clone)]
+pub struct MiLstmParams {
+    /// The underlying per-gate weights.
+    pub base: LstmParams,
+    /// Coefficients of the multiplicative term, per gate.
+    pub alpha: [TensorId; 4],
+    /// Coefficients of the input-path linear term, per gate.
+    pub beta1: [TensorId; 4],
+    /// Coefficients of the recurrent-path linear term, per gate.
+    pub beta2: [TensorId; 4],
+}
+
+impl MiLstmParams {
+    /// Declares fresh MI-LSTM parameters for a layer.
+    pub fn declare(g: &mut Graph, input: u64, hidden: u64, layer: &str) -> Self {
+        let base = LstmParams::declare(g, input, hidden, layer);
+        let mut coef = |name: &str| -> [TensorId; 4] {
+            let v: Vec<TensorId> = GATES
+                .iter()
+                .map(|gate| g.param(Shape::matrix(1, hidden), format!("{layer}.{name}{gate}")))
+                .collect();
+            v.try_into().expect("four gates")
+        };
+        let alpha = coef("alpha");
+        let beta1 = coef("beta1");
+        let beta2 = coef("beta2");
+        MiLstmParams { base, alpha, beta1, beta2 }
+    }
+}
+
+/// One MI-LSTM cell step. Gate pre-activation is the multiplicative
+/// integration `α⊙(xW)⊙(hU) + β1⊙(xW) + β2⊙(hU) + b`.
+pub fn milstm_cell(
+    g: &mut Graph,
+    x: TensorId,
+    state: LstmState,
+    p: &MiLstmParams,
+    layer: &str,
+    step: u32,
+) -> LstmState {
+    let mut pre = Vec::with_capacity(4);
+    for (gi, gate) in GATES.iter().enumerate() {
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.x")));
+        let zx = g.mm(x, p.base.wx[gi]);
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.h")));
+        let zh = g.mm(state.h, p.base.wh[gi]);
+        g.set_context(Provenance::layer(layer).at_step(step).with_role(format!("{gate}.mi")));
+        let xh = g.mul(zx, zh);
+        let mi = g.mul(xh, p.alpha[gi]);
+        let lx = g.mul(zx, p.beta1[gi]);
+        let lh = g.mul(zh, p.beta2[gi]);
+        let s1 = g.add(mi, lx);
+        let s2 = g.add(s1, lh);
+        pre.push(g.add(s2, p.base.b[gi]));
+    }
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("act"));
+    let i = g.sigmoid(pre[0]);
+    let f = g.sigmoid(pre[1]);
+    let o = g.sigmoid(pre[2]);
+    let cand = g.tanh(pre[3]);
+    let fc = g.mul(f, state.c);
+    let ic = g.mul(i, cand);
+    let c = g.add(fc, ic);
+    let tc = g.tanh(c);
+    let h = g.mul(o, tc);
+    LstmState { h, c }
+}
+
+/// Embeds token indices for timestep `step`, or declares a dense input when
+/// embeddings are disabled (the Table 9 variant).
+pub fn step_input(
+    g: &mut Graph,
+    batch: u64,
+    width: u64,
+    table: Option<TensorId>,
+    name: &str,
+    step: u32,
+) -> TensorId {
+    match table {
+        Some(table) => {
+            let idx = g.input(Shape::vector(batch), format!("{name}.tok{step}"));
+            g.set_context(Provenance::layer(name).at_step(step).with_role("embed"));
+            g.embedding(idx, table)
+        }
+        None => g.input(Shape::matrix(batch, width), format!("{name}.x{step}")),
+    }
+}
+
+/// Declares an embedding table when `cfg_use_embedding` is set.
+pub fn maybe_embedding_table(
+    g: &mut Graph,
+    use_embedding: bool,
+    vocab: u64,
+    width: u64,
+    name: &str,
+) -> Option<TensorId> {
+    use_embedding.then(|| g.param(Shape::matrix(vocab, width), format!("{name}.embedding")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_ir::Pass;
+
+    #[test]
+    fn lstm_cell_shapes() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 32), "x");
+        let p = LstmParams::declare(&mut g, 32, 64, "l0");
+        let s0 = initial_state(&mut g, 8, 64, "l0");
+        let s1 = lstm_cell(&mut g, x, s0, &p, "l0", 0);
+        assert_eq!(g.shape(s1.h), &Shape::matrix(8, 64));
+        assert_eq!(g.shape(s1.c), &Shape::matrix(8, 64));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn cell_gemms_share_arguments() {
+        // The four x-gates must all consume the same x tensor: that is the
+        // fusion candidate pattern the enumerator looks for.
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(8, 32), "x");
+        let p = LstmParams::declare(&mut g, 32, 64, "l0");
+        let s0 = initial_state(&mut g, 8, 64, "l0");
+        let _ = lstm_cell(&mut g, x, s0, &p, "l0", 0);
+        let x_consumers = g.consumers(x);
+        assert_eq!(x_consumers.len(), 4, "four gate GEMMs read x");
+    }
+
+    #[test]
+    fn sublstm_uses_only_sigmoids() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(4, 16), "x");
+        let p = LstmParams::declare(&mut g, 16, 16, "l0");
+        let s0 = initial_state(&mut g, 4, 16, "l0");
+        let _ = sublstm_cell(&mut g, x, s0, &p, "l0", 0);
+        let has_tanh = g.nodes().iter().any(|n| n.op.mnemonic() == "tanh");
+        assert!(!has_tanh, "subLSTM has no tanh");
+    }
+
+    #[test]
+    fn milstm_has_multiplicative_terms() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(4, 16), "x");
+        let p = MiLstmParams::declare(&mut g, 16, 16, "l0");
+        let s0 = initial_state(&mut g, 4, 16, "l0");
+        let _ = milstm_cell(&mut g, x, s0, &p, "l0", 0);
+        let muls = g.nodes().iter().filter(|n| n.op.mnemonic() == "mul").count();
+        // 4 gates x (xh, alpha, beta1, beta2) plus the cell/output muls.
+        assert!(muls >= 16);
+    }
+
+    #[test]
+    fn provenance_tags_gates() {
+        let mut g = Graph::new();
+        let x = g.input(Shape::matrix(4, 16), "x");
+        let p = LstmParams::declare(&mut g, 16, 16, "l0");
+        let s0 = initial_state(&mut g, 4, 16, "l0");
+        let _ = lstm_cell(&mut g, x, s0, &p, "l0", 5);
+        let gate_mm = g
+            .nodes()
+            .iter()
+            .find(|n| n.op.mnemonic() == "mm" && n.prov.role == "i.x")
+            .expect("gate mm present");
+        assert_eq!(gate_mm.prov.timestep, Some(5));
+        assert_eq!(gate_mm.prov.pass, Pass::Forward);
+    }
+}

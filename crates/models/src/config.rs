@@ -1,0 +1,152 @@
+//! Model configuration and the training-graph wrapper.
+
+use astra_ir::{append_backward, BackwardResult, Graph, TensorId};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by all model builders.
+///
+/// The evaluation models are language models / translators: input tokens are
+/// embedded (or fed as dense features when `use_embedding` is off — the
+/// Table 9 "embedding removed" variant), run through recurrent layers
+/// unrolled for `seq_len` timesteps, and projected to `vocab` logits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Mini-batch size (the paper sweeps 8..256).
+    pub batch: u64,
+    /// Hidden state width.
+    pub hidden: u64,
+    /// Input feature width (= embedding width).
+    pub input: u64,
+    /// Unrolled sequence length.
+    pub seq_len: u32,
+    /// Stacked recurrent layers (StackedLSTM, GNMT encoder/decoder depth).
+    pub layers: u32,
+    /// Vocabulary size for embedding and output projection.
+    pub vocab: u64,
+    /// Whether inputs go through an embedding lookup (Table 9 removes it).
+    pub use_embedding: bool,
+    /// Whether to append the backward pass (training vs inference graph).
+    pub with_backward: bool,
+}
+
+impl ModelConfig {
+    /// Penn Tree Bank word-level defaults at a given batch size.
+    pub fn ptb(batch: u64) -> Self {
+        ModelConfig {
+            batch,
+            hidden: 1024,
+            input: 1024,
+            seq_len: 20,
+            layers: 1,
+            vocab: 10_000,
+            use_embedding: true,
+            with_backward: true,
+        }
+    }
+
+    /// Hutter-challenge character-level defaults (MI-LSTM evaluation).
+    pub fn hutter(batch: u64) -> Self {
+        ModelConfig {
+            batch,
+            hidden: 2048,
+            input: 2048,
+            seq_len: 20,
+            layers: 1,
+            vocab: 205,
+            use_embedding: true,
+            with_backward: true,
+        }
+    }
+
+    /// PTB "large" StackedLSTM configuration (input size 1500, §6.3).
+    pub fn ptb_large(batch: u64) -> Self {
+        ModelConfig {
+            batch,
+            hidden: 1500,
+            input: 1500,
+            seq_len: 20,
+            layers: 2,
+            vocab: 10_000,
+            use_embedding: true,
+            with_backward: true,
+        }
+    }
+
+    /// GNMT-style translator defaults (deep encoder/decoder + attention).
+    pub fn gnmt(batch: u64) -> Self {
+        ModelConfig {
+            batch,
+            hidden: 1024,
+            input: 1024,
+            seq_len: 16,
+            layers: 4,
+            vocab: 32_000,
+            use_embedding: true,
+            with_backward: true,
+        }
+    }
+
+    /// Returns a copy with the embedding lookup removed (Table 9 variant).
+    pub fn without_embedding(mut self) -> Self {
+        self.use_embedding = false;
+        self
+    }
+
+    /// Returns a copy with a different unrolled sequence length (dynamic
+    /// graph buckets).
+    pub fn with_seq_len(mut self, seq_len: u32) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Returns an inference-only copy (no backward pass).
+    pub fn forward_only(mut self) -> Self {
+        self.with_backward = false;
+        self
+    }
+}
+
+/// A fully built training graph.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The data-flow graph (forward + optionally backward).
+    pub graph: Graph,
+    /// Scalar training loss.
+    pub loss: TensorId,
+    /// Gradient map, when the config requested a backward pass.
+    pub backward: Option<BackwardResult>,
+}
+
+impl BuiltModel {
+    /// Finalizes a forward graph: reduces `loss`, optionally appends the
+    /// backward pass per `cfg`.
+    pub fn finish(mut graph: Graph, loss: TensorId, cfg: &ModelConfig) -> Self {
+        let backward = if cfg.with_backward {
+            Some(append_backward(&mut graph, loss))
+        } else {
+            None
+        };
+        BuiltModel { graph, loss, backward }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes_are_sane() {
+        let c = ModelConfig::ptb_large(32);
+        assert_eq!(c.hidden, 1500);
+        assert_eq!(c.layers, 2);
+        let f = c.clone().forward_only();
+        assert!(!f.with_backward);
+        let ne = c.without_embedding();
+        assert!(!ne.use_embedding);
+    }
+
+    #[test]
+    fn with_seq_len_overrides() {
+        assert_eq!(ModelConfig::ptb(8).with_seq_len(13).seq_len, 13);
+    }
+}

@@ -1,0 +1,113 @@
+//! Dynamic-graph workloads: variable sequence lengths per mini-batch.
+//!
+//! PyTorch's dynamic graphs break the "every mini-batch is identical"
+//! assumption (paper §5.5): the unrolled graph depends on the longest
+//! sentence in the batch. Astra handles this with *bucketed profiling* —
+//! input lengths are bucketed (the paper calibrates 5 buckets on the PTB
+//! length distribution: 13, 18, 24, 30, 83) and exploration runs
+//! independently per bucket, with the bucket id prefixed onto profile keys.
+//!
+//! This module provides the PTB-like length distribution and the bucketing
+//! rule; the Astra core's `bucketing` module consumes both.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's PTB-calibrated bucket boundaries (§6.5): a sentence of length
+/// `L` maps to the smallest bucket `>= L`.
+pub const PTB_BUCKETS: [u32; 5] = [13, 18, 24, 30, 83];
+
+/// Maps a sentence length to its bucket length (the paper's
+/// "nearest larger bucket"). Lengths beyond the last bucket clamp to it.
+///
+/// # Examples
+///
+/// ```
+/// use astra_models::{bucket_for, PTB_BUCKETS};
+///
+/// assert_eq!(bucket_for(5, &PTB_BUCKETS), 13);
+/// assert_eq!(bucket_for(19, &PTB_BUCKETS), 24);
+/// assert_eq!(bucket_for(83, &PTB_BUCKETS), 83);
+/// assert_eq!(bucket_for(200, &PTB_BUCKETS), 83);
+/// ```
+pub fn bucket_for(len: u32, buckets: &[u32]) -> u32 {
+    assert!(!buckets.is_empty(), "need at least one bucket");
+    for &b in buckets {
+        if len <= b {
+            return b;
+        }
+    }
+    *buckets.last().expect("non-empty")
+}
+
+/// Seeded sampler of mini-batch sequence lengths with a PTB-like profile:
+/// most sentences are short (mode ~15-25 words) with a long tail.
+#[derive(Debug, Clone)]
+pub struct LengthSampler {
+    rng: StdRng,
+    max_len: u32,
+}
+
+impl LengthSampler {
+    /// Creates a sampler with the PTB maximum length (83).
+    pub fn new(seed: u64) -> Self {
+        LengthSampler { rng: StdRng::seed_from_u64(seed), max_len: 83 }
+    }
+
+    /// Samples the max sentence length of one mini-batch (which is what
+    /// determines the unrolled graph).
+    pub fn sample(&mut self) -> u32 {
+        // Sum of three uniforms approximates the unimodal body; occasional
+        // tail draws cover long sentences.
+        if self.rng.gen::<f64>() < 0.08 {
+            self.rng.gen_range(31..=self.max_len)
+        } else {
+            let body: u32 = (0..3).map(|_| self.rng.gen_range(3..=10)).sum();
+            body.min(self.max_len)
+        }
+    }
+
+    /// Samples `n` lengths.
+    pub fn sample_n(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone() {
+        for w in 1..=100 {
+            let b = bucket_for(w, &PTB_BUCKETS);
+            assert!(PTB_BUCKETS.contains(&b));
+            if w <= 83 {
+                assert!(b >= w, "bucket {b} must cover length {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let a = LengthSampler::new(5).sample_n(50);
+        let b = LengthSampler::new(5).sample_n(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampler_covers_multiple_buckets() {
+        let lens = LengthSampler::new(11).sample_n(500);
+        let mut seen: Vec<u32> = lens.iter().map(|&l| bucket_for(l, &PTB_BUCKETS)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 3, "expected multiple buckets, got {seen:?}");
+        assert!(lens.iter().all(|&l| (1..=83).contains(&l)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn empty_buckets_panics() {
+        let _ = bucket_for(5, &[]);
+    }
+}

@@ -1,0 +1,60 @@
+//! MI-LSTM: LSTM with multiplicative integration (Wu et al., NeurIPS'16),
+//! evaluated by the paper on the Hutter challenge dataset — a long-tail
+//! model cuDNN does not cover.
+
+use astra_ir::{Graph, Provenance, TensorId};
+
+use crate::cells::{initial_state, maybe_embedding_table, milstm_cell, step_input, MiLstmParams};
+use crate::config::{BuiltModel, ModelConfig};
+
+/// Builds the MI-LSTM language model training graph.
+pub fn build(cfg: &ModelConfig) -> BuiltModel {
+    let mut g = Graph::new();
+    let table = maybe_embedding_table(&mut g, cfg.use_embedding, cfg.vocab, cfg.input, "milstm");
+    let params = MiLstmParams::declare(&mut g, cfg.input, cfg.hidden, "milstm");
+    let proj = g.param(astra_ir::Shape::matrix(cfg.hidden, cfg.vocab), "milstm.proj");
+
+    let mut state = initial_state(&mut g, cfg.batch, cfg.hidden, "milstm");
+    let mut loss: Option<TensorId> = None;
+
+    for t in 0..cfg.seq_len {
+        let x = step_input(&mut g, cfg.batch, cfg.input, table, "milstm", t);
+        state = milstm_cell(&mut g, x, state, &params, "milstm", t);
+
+        g.set_context(Provenance::layer("milstm").at_step(t).with_role("out"));
+        let logits = g.mm(state.h, proj);
+        let sm = g.softmax(logits);
+        let step_loss = g.reduce_sum(sm);
+        loss = Some(match loss {
+            None => step_loss,
+            Some(acc) => g.add(acc, step_loss),
+        });
+    }
+
+    g.set_context(Provenance::default());
+    BuiltModel::finish(g, loss.expect("seq_len > 0"), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64, ..ModelConfig::hutter(4) };
+        let m = build(&cfg);
+        assert!(m.graph.validate().is_ok());
+        assert!(m.backward.is_some());
+    }
+
+    #[test]
+    fn eight_gemms_per_step() {
+        let cfg = ModelConfig { seq_len: 1, hidden: 32, input: 32, vocab: 64, ..ModelConfig::hutter(4) }
+            .forward_only()
+            .without_embedding();
+        let m = build(&cfg);
+        let mms = m.graph.nodes().iter().filter(|n| n.op.mnemonic() == "mm").count();
+        // 4 gates x 2 sources + output projection.
+        assert_eq!(mms, 9);
+    }
+}

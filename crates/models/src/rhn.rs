@@ -1,0 +1,125 @@
+//! RHN: Recurrent Highway Network (Zilly et al., 2016) — one of the novel
+//! recurrent variants the paper's introduction names as exactly the
+//! long-tail structure cuDNN does not accelerate.
+//!
+//! Each timestep passes the state through `depth` highway micro-layers:
+//!
+//! ```text
+//! for l in 0..depth:
+//!     t_l = sigmoid(x W_t^l [l==0 only] + s U_t^l + b_t^l)
+//!     h_l = tanh   (x W_h^l [l==0 only] + s U_h^l + b_h^l)
+//!     s   = h_l * t_l + s * (1 - t_l)      // carry gate c = 1 - t
+//! ```
+
+use astra_ir::{Graph, OpKind, Provenance, Shape, TensorId};
+
+use crate::cells::{maybe_embedding_table, step_input};
+use crate::config::{BuiltModel, ModelConfig};
+
+/// Highway micro-layers per timestep.
+const DEPTH: u32 = 3;
+
+/// Builds the RHN language model training graph.
+pub fn build(cfg: &ModelConfig) -> BuiltModel {
+    let mut g = Graph::new();
+    let table = maybe_embedding_table(&mut g, cfg.use_embedding, cfg.vocab, cfg.input, "rhn");
+
+    // Per-micro-layer parameters. Only layer 0 sees the input.
+    let mut wt_x = None;
+    let mut wh_x = None;
+    let mut ut = Vec::new();
+    let mut uh = Vec::new();
+    let mut bt = Vec::new();
+    let mut bh = Vec::new();
+    for l in 0..DEPTH {
+        if l == 0 {
+            wt_x = Some(g.param(Shape::matrix(cfg.input, cfg.hidden), "rhn.wt_x"));
+            wh_x = Some(g.param(Shape::matrix(cfg.input, cfg.hidden), "rhn.wh_x"));
+        }
+        ut.push(g.param(Shape::matrix(cfg.hidden, cfg.hidden), format!("rhn.ut{l}")));
+        uh.push(g.param(Shape::matrix(cfg.hidden, cfg.hidden), format!("rhn.uh{l}")));
+        bt.push(g.param(Shape::matrix(1, cfg.hidden), format!("rhn.bt{l}")));
+        bh.push(g.param(Shape::matrix(1, cfg.hidden), format!("rhn.bh{l}")));
+    }
+    let proj = g.param(Shape::matrix(cfg.hidden, cfg.vocab), "rhn.proj");
+
+    let mut s = g.input(Shape::matrix(cfg.batch, cfg.hidden), "rhn.s0");
+    let mut loss: Option<TensorId> = None;
+
+    for step in 0..cfg.seq_len {
+        let x = step_input(&mut g, cfg.batch, cfg.input, table, "rhn", step);
+        for l in 0..DEPTH as usize {
+            let layer = format!("rhn{l}");
+            g.set_context(Provenance::layer(&layer).at_step(step).with_role("t.s"));
+            let ts = g.mm(s, ut[l]);
+            g.set_context(Provenance::layer(&layer).at_step(step).with_role("h.s"));
+            let hs = g.mm(s, uh[l]);
+            let (zt, zh) = if l == 0 {
+                g.set_context(Provenance::layer(&layer).at_step(step).with_role("t.x"));
+                let tx = g.mm(x, wt_x.expect("layer 0 params"));
+                g.set_context(Provenance::layer(&layer).at_step(step).with_role("h.x"));
+                let hx = g.mm(x, wh_x.expect("layer 0 params"));
+                g.set_context(Provenance::layer(&layer).at_step(step).with_role("sum"));
+                (g.add(tx, ts), g.add(hx, hs))
+            } else {
+                g.set_context(Provenance::layer(&layer).at_step(step).with_role("sum"));
+                (ts, hs)
+            };
+            g.set_context(Provenance::layer(&layer).at_step(step).with_role("gate"));
+            let zt_b = g.add(zt, bt[l]);
+            let zh_b = g.add(zh, bh[l]);
+            let t = g.sigmoid(zt_b);
+            let h = g.tanh(zh_b);
+            // s = h*t + s*(1-t)  ==  s + t*(h - s)
+            let hm = g.sub(h, s);
+            let thm = g.mul(t, hm);
+            s = g.add(s, thm);
+        }
+        g.set_context(Provenance::layer("rhn").at_step(step).with_role("out"));
+        let logits = g.mm(s, proj);
+        let sm = g.softmax(logits);
+        let step_loss = g.apply(OpKind::ReduceSum, &[sm]);
+        loss = Some(match loss {
+            None => step_loss,
+            Some(acc) => g.add(acc, step_loss),
+        });
+    }
+
+    g.set_context(Provenance::default());
+    BuiltModel::finish(g, loss.expect("seq_len > 0"), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64, ..ModelConfig::ptb(4) };
+        let m = build(&cfg);
+        assert!(m.graph.validate().is_ok());
+        assert!(m.backward.is_some());
+    }
+
+    #[test]
+    fn highway_depth_layers_per_step() {
+        let cfg = ModelConfig { seq_len: 1, hidden: 32, input: 32, vocab: 64, ..ModelConfig::ptb(4) }
+            .forward_only()
+            .without_embedding();
+        let m = build(&cfg);
+        // Layer 0: 4 mms (t.x, t.s, h.x, h.s); deeper layers: 2 each; + proj.
+        let mms = m.graph.nodes().iter().filter(|n| n.op.mnemonic() == "mm").count();
+        assert_eq!(mms, 4 + 2 * (DEPTH as usize - 1) + 1);
+    }
+
+    #[test]
+    fn recurrent_state_threads_through_micro_layers() {
+        // s feeds both the gate GEMMs and the carry path of every layer.
+        let cfg = ModelConfig { seq_len: 1, hidden: 16, input: 16, vocab: 32, ..ModelConfig::ptb(2) }
+            .forward_only()
+            .without_embedding();
+        let m = build(&cfg);
+        let muls = m.graph.nodes().iter().filter(|n| n.op.mnemonic() == "mul").count();
+        assert_eq!(muls as u32, DEPTH, "one carry mul per micro-layer");
+    }
+}

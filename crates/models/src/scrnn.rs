@@ -1,0 +1,106 @@
+//! SC-RNN: the structurally constrained recurrent network of Mikolov et al.
+//! ("Learning Longer Memory in Recurrent Neural Networks", 2014) — one of the
+//! paper's long-tail models with no cuDNN acceleration.
+//!
+//! The cell keeps a slowly-moving context state `s` beside the fast hidden
+//! state `h`:
+//!
+//! ```text
+//! s_t = (1-a) * (x_t B) + a * s_{t-1}
+//! h_t = sigmoid(s_t P + x_t A + h_{t-1} R)
+//! y_t = softmax(h_t U + s_t V)
+//! ```
+
+use astra_ir::{Graph, OpKind, Provenance, Shape, TensorId};
+
+use crate::cells::{maybe_embedding_table, step_input};
+use crate::config::{BuiltModel, ModelConfig};
+
+/// Decay factor of the slow context state.
+const ALPHA: f64 = 0.95;
+
+/// Builds the SC-RNN language model training graph.
+pub fn build(cfg: &ModelConfig) -> BuiltModel {
+    let mut g = Graph::new();
+    let ctx_dim = (cfg.hidden / 4).max(1);
+
+    let table = maybe_embedding_table(&mut g, cfg.use_embedding, cfg.vocab, cfg.input, "scrnn");
+    let b = g.param(Shape::matrix(cfg.input, ctx_dim), "scrnn.B");
+    let a = g.param(Shape::matrix(cfg.input, cfg.hidden), "scrnn.A");
+    let p = g.param(Shape::matrix(ctx_dim, cfg.hidden), "scrnn.P");
+    let r = g.param(Shape::matrix(cfg.hidden, cfg.hidden), "scrnn.R");
+    let u = g.param(Shape::matrix(cfg.hidden, cfg.vocab), "scrnn.U");
+    let v = g.param(Shape::matrix(ctx_dim, cfg.vocab), "scrnn.V");
+
+    let mut s = g.input(Shape::matrix(cfg.batch, ctx_dim), "scrnn.s0");
+    let mut h = g.input(Shape::matrix(cfg.batch, cfg.hidden), "scrnn.h0");
+    let mut loss: Option<TensorId> = None;
+
+    for t in 0..cfg.seq_len {
+        let x = step_input(&mut g, cfg.batch, cfg.input, table, "scrnn", t);
+
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("ctx"));
+        let xb = g.mm(x, b);
+        let xb_scaled = g.apply(OpKind::Scale(1.0 - ALPHA), &[xb]);
+        let s_scaled = g.apply(OpKind::Scale(ALPHA), &[s]);
+        s = g.add(xb_scaled, s_scaled);
+
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("hid.s"));
+        let sp = g.mm(s, p);
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("hid.x"));
+        let xa = g.mm(x, a);
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("hid.h"));
+        let hr = g.mm(h, r);
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("hid.sum"));
+        let z1 = g.add(sp, xa);
+        let z = g.add(z1, hr);
+        h = g.sigmoid(z);
+
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("out.h"));
+        let hu = g.mm(h, u);
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("out.s"));
+        let sv = g.mm(s, v);
+        g.set_context(Provenance::layer("scrnn").at_step(t).with_role("out"));
+        let logits = g.add(hu, sv);
+        let sm = g.softmax(logits);
+        let step_loss = g.reduce_sum(sm);
+        loss = Some(match loss {
+            None => step_loss,
+            Some(acc) => g.add(acc, step_loss),
+        });
+    }
+
+    g.set_context(Provenance::default());
+    BuiltModel::finish(g, loss.expect("seq_len > 0"), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cfg = ModelConfig { seq_len: 3, hidden: 64, input: 64, vocab: 100, ..ModelConfig::ptb(4) };
+        let m = build(&cfg);
+        assert!(m.graph.validate().is_ok());
+        assert!(m.backward.is_some());
+        assert_eq!(m.graph.shape(m.loss).elements(), 1);
+    }
+
+    #[test]
+    fn no_embedding_variant_has_dense_inputs() {
+        let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 50, ..ModelConfig::ptb(4) }
+            .without_embedding();
+        let m = build(&cfg);
+        let has_embed = m.graph.nodes().iter().any(|n| n.op.mnemonic() == "embed");
+        assert!(!has_embed);
+    }
+
+    #[test]
+    fn forward_only_has_no_gradients() {
+        let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 50, ..ModelConfig::ptb(4) }
+            .forward_only();
+        let m = build(&cfg);
+        assert!(m.backward.is_none());
+    }
+}

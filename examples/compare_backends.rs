@@ -1,0 +1,61 @@
+//! Compare every execution backend on one model: native single-stream
+//! dispatch, the XLA-like static compiler, the cuDNN-like hand-optimized
+//! accelerator (where its rigid coverage applies), and Astra's adaptive
+//! custom wiring.
+//!
+//! Run with: `cargo run --release --example compare_backends`
+
+use astra::core::{Astra, AstraOptions, Dims};
+use astra::exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
+use astra::gpu::{DeviceSpec, Engine};
+use astra::models::Model;
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10}",
+        "model (batch 32)", "native", "XLA", "cuDNN", "Astra"
+    );
+    for model in Model::all() {
+        let built = model.build(&model.default_config(32));
+        let lowering = lower(&built.graph);
+
+        let native =
+            Engine::new(&dev).run(&native_schedule(&lowering)).expect("native runs").total_ns;
+        let xla = Engine::new(&dev)
+            .run(&xla_schedule(&built.graph, &lowering))
+            .expect("xla runs")
+            .total_ns;
+        let covered = detect_covered_layers(&built.graph);
+        let cudnn = if covered.is_empty() {
+            None
+        } else {
+            Some(
+                Engine::new(&dev)
+                    .run(&cudnn_schedule(&built.graph, &lowering, &covered))
+                    .expect("cudnn runs")
+                    .total_ns,
+            )
+        };
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::all(), ..Default::default() },
+        );
+        let report = astra.optimize().expect("optimization succeeds");
+
+        let ms = |ns: f64| format!("{:.2}ms", ns / 1e6);
+        println!(
+            "{:<20} {:>10} {:>10} {:>10} {:>10}",
+            model.name(),
+            ms(native),
+            ms(xla),
+            cudnn.map_or("-".to_owned(), ms),
+            ms(report.steady_ns),
+        );
+    }
+    println!();
+    println!("Note how XLA can lose to native on embedding-heavy models, how the");
+    println!("accelerator only covers standard LSTM structures, and how Astra");
+    println!("tracks or beats the best backend on every model.");
+}

@@ -1,0 +1,118 @@
+//! The long-tail story: invent a brand-new recurrent cell — something no
+//! hand-optimized accelerator has ever heard of — and watch Astra
+//! custom-wire it anyway.
+//!
+//! The cell below ("GeoGRU") is deliberately esoteric: three gates, a
+//! multiplicative skip path, and a cube-root-flavoured state mix. cuDNN's
+//! structural pattern matcher (astra::exec::detect_covered_layers) rejects
+//! it; Astra doesn't care, because it never needed to know the structure —
+//! it enumerates fusion candidates from the graph and measures.
+//!
+//! Run with: `cargo run --release --example custom_rnn`
+
+use astra::core::{Astra, AstraOptions, Dims};
+use astra::exec::detect_covered_layers;
+use astra::gpu::DeviceSpec;
+use astra::ir::{append_backward, Graph, Provenance, Shape, TensorId};
+
+/// One step of the invented cell. Researcher-style code: one GEMM per gate,
+/// explicit element-wise arithmetic, no manual fusion.
+#[allow(clippy::too_many_arguments)]
+fn geo_gru_step(
+    g: &mut Graph,
+    x: TensorId,
+    h: TensorId,
+    wz: TensorId,
+    uz: TensorId,
+    wr: TensorId,
+    ur: TensorId,
+    wc: TensorId,
+    uc: TensorId,
+    step: u32,
+) -> TensorId {
+    let layer = "geogru";
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("z.x"));
+    let zx = g.mm(x, wz);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("z.h"));
+    let zh = g.mm(h, uz);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("z"));
+    let zp = g.mul(zx, zh); // multiplicative integration, not additive!
+    let z = g.sigmoid(zp);
+
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("r.x"));
+    let rx = g.mm(x, wr);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("r.h"));
+    let rh = g.mm(h, ur);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("r"));
+    let rs = g.add(rx, rh);
+    let r = g.sigmoid(rs);
+
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("c.x"));
+    let cx = g.mm(x, wc);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("c.h"));
+    let rh2 = g.mul(r, h);
+    let ch = g.mm(rh2, uc);
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("c"));
+    let cs = g.add(cx, ch);
+    let c = g.tanh(cs);
+
+    // Geometric-style mix: h' = z*h + (1-z)*c, written multiplicatively.
+    g.set_context(Provenance::layer(layer).at_step(step).with_role("mix"));
+    let zh2 = g.mul(z, h);
+    let zc = g.mul(z, c);
+    let mix = g.sub(c, zc);
+    g.add(zh2, mix)
+}
+
+fn main() {
+    let (batch, hidden, seq, vocab) = (16u64, 1024u64, 16u32, 4_000u64);
+    let mut g = Graph::new();
+    let wz = g.param(Shape::matrix(hidden, hidden), "wz");
+    let uz = g.param(Shape::matrix(hidden, hidden), "uz");
+    let wr = g.param(Shape::matrix(hidden, hidden), "wr");
+    let ur = g.param(Shape::matrix(hidden, hidden), "ur");
+    let wc = g.param(Shape::matrix(hidden, hidden), "wc");
+    let uc = g.param(Shape::matrix(hidden, hidden), "uc");
+    let proj = g.param(Shape::matrix(hidden, vocab), "proj");
+
+    let mut h = g.input(Shape::matrix(batch, hidden), "h0");
+    let mut loss: Option<TensorId> = None;
+    for t in 0..seq {
+        let x = g.input(Shape::matrix(batch, hidden), format!("x{t}"));
+        h = geo_gru_step(&mut g, x, h, wz, uz, wr, ur, wc, uc, t);
+        g.set_context(Provenance::layer("geogru").at_step(t).with_role("out"));
+        let logits = g.mm(h, proj);
+        let sm = g.softmax(logits);
+        let l = g.reduce_sum(sm);
+        loss = Some(match loss {
+            None => l,
+            Some(acc) => g.add(acc, l),
+        });
+    }
+    let loss = loss.expect("seq > 0");
+    let back = append_backward(&mut g, loss);
+    println!(
+        "GeoGRU: {} nodes ({} forward + generated backward), {} params with gradients",
+        g.nodes().len(),
+        g.nodes().iter().filter(|n| n.prov.pass == astra::ir::Pass::Forward).count(),
+        [wz, uz, wr, ur, wc, uc, proj].iter().filter(|p| back.grad(**p).is_some()).count(),
+    );
+
+    // The hand-optimized accelerator has no kernel for this structure:
+    let covered = detect_covered_layers(&g);
+    println!("cuDNN coverage of GeoGRU layers: {covered:?} (empty = not accelerable)");
+    assert!(covered.is_empty());
+
+    // Astra optimizes it anyway.
+    let dev = DeviceSpec::p100();
+    let mut astra =
+        Astra::new(&g, &dev, AstraOptions { dims: Dims::all(), ..Default::default() });
+    let report = astra.optimize().expect("optimization succeeds");
+    println!();
+    println!("native:  {:.2} ms/mini-batch", report.native_ns / 1e6);
+    println!("Astra:   {:.2} ms/mini-batch ({:.2}x)", report.steady_ns / 1e6, report.speedup());
+    println!(
+        "found {} fusion sets, explored {} configs across {} allocation strategies",
+        report.fusion_sets, report.configs_explored, report.strategies_explored
+    );
+}

@@ -1,0 +1,47 @@
+//! Dynamic graphs: variable sentence lengths with bucketed adaptation.
+//!
+//! Mini-batch lengths are drawn from a PTB-like distribution; Astra
+//! bucketizes them, optimizes each bucket independently (with
+//! bucket-prefixed profile keys), and pays a little padding to the nearest
+//! larger bucket in exchange for the predictability its profiling needs
+//! (paper §5.5 / §6.5).
+//!
+//! Run with: `cargo run --release --example dynamic_buckets`
+
+use astra::core::{optimize_bucketed, AstraOptions, Dims};
+use astra::gpu::DeviceSpec;
+use astra::models::{bucket_for, LengthSampler, Model};
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    let model = Model::SubLstm;
+    let batch = 16;
+    let buckets: [u32; 5] = [13, 18, 24, 30, 36];
+
+    let mut sampler = LengthSampler::new(2026);
+    let lengths: Vec<u32> = sampler.sample_n(12).into_iter().map(|l| l.clamp(4, 36)).collect();
+    println!("mini-batch lengths: {lengths:?}");
+    let mapped: Vec<u32> = lengths.iter().map(|&l| bucket_for(l, &buckets)).collect();
+    println!("mapped to buckets:  {mapped:?}");
+
+    let base_cfg = model.default_config(batch);
+    let build = |seq: u32| model.build(&base_cfg.clone().with_seq_len(seq)).graph;
+
+    let opts = AstraOptions { dims: Dims::fks(), ..Default::default() };
+    let report =
+        optimize_bucketed(build, &lengths, &buckets, &dev, &opts).expect("bucketed run succeeds");
+
+    println!();
+    for (bucket, r) in &report.per_bucket {
+        println!(
+            "bucket {bucket:>2}: native {:>8.2} ms  ->  Astra {:>8.2} ms  ({} configs)",
+            r.native_ns / 1e6,
+            r.steady_ns / 1e6,
+            r.configs_explored
+        );
+    }
+    println!();
+    println!("dynamic native baseline: {:.2} ms total", report.dynamic_native_ns / 1e6);
+    println!("Astra + bucketing:       {:.2} ms total", report.bucketed_astra_ns / 1e6);
+    println!("workload speedup:        {:.2}x (despite bucket padding)", report.speedup());
+}

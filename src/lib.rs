@@ -1,0 +1,35 @@
+//! # astra — reproduction of *Astra: Exploiting Predictability to Optimize Deep Learning*
+//!
+//! A facade over the workspace crates. See the README for the architecture
+//! overview and `astra_core` for the optimizer itself.
+//!
+//! * [`gpu`] — deterministic GPU simulator (device, engine, cost models).
+//! * [`ir`] — tensor IR, data-flow graphs, autodiff, reference interpreter.
+//! * [`models`] — the paper's five evaluation models.
+//! * [`exec`] — lowering and the native / cuDNN-like / XLA-like baselines.
+//! * [`core`] — the Astra enumerator + custom wirer.
+//! * [`distrib`] — adaptive data-parallel scaling (the paper's §3.4 extension).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use astra::core::{Astra, AstraOptions, Dims};
+//! use astra::gpu::DeviceSpec;
+//! use astra::models::{Model, ModelConfig};
+//!
+//! let cfg = ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64,
+//!                         ..ModelConfig::ptb(8) };
+//! let built = Model::SubLstm.build(&cfg);
+//! let dev = DeviceSpec::p100();
+//! let mut astra = Astra::new(&built.graph, &dev,
+//!     AstraOptions { dims: Dims::fk(), ..Default::default() });
+//! let report = astra.optimize().unwrap();
+//! assert!(report.speedup() >= 1.0);
+//! ```
+
+pub use astra_core as core;
+pub use astra_distrib as distrib;
+pub use astra_exec as exec;
+pub use astra_gpu as gpu;
+pub use astra_ir as ir;
+pub use astra_models as models;

@@ -1,0 +1,172 @@
+//! End-to-end integration: every model through the full pipeline —
+//! build → autodiff → enumerate → explore → steady state — with the
+//! paper's headline invariants checked.
+
+use astra::core::{Astra, AstraOptions, Dims};
+use astra::gpu::DeviceSpec;
+use astra::ir::{evaluate, Env, TensorId, TensorKind};
+use astra::models::{Model, ModelConfig};
+
+fn small(model: Model, batch: u64) -> astra::models::BuiltModel {
+    let mut c = model.default_config(batch);
+    c.hidden = 128;
+    c.input = 128;
+    c.vocab = 256;
+    c.seq_len = 4;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+#[test]
+fn astra_never_loses_to_native_after_convergence() {
+    let dev = DeviceSpec::p100();
+    for model in Model::all() {
+        let built = small(model, 16);
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::all(), ..Default::default() },
+        );
+        let r = astra.optimize().expect("optimization succeeds");
+        assert!(
+            r.steady_ns <= r.native_ns,
+            "{model}: steady {} worse than native {}",
+            r.steady_ns,
+            r.native_ns
+        );
+    }
+}
+
+#[test]
+fn ablation_dimensions_compose_monotonically() {
+    // Each added dimension may only improve the converged configuration
+    // (its search space includes the smaller one's best, and the playoff is
+    // measured, not modelled).
+    let dev = DeviceSpec::p100();
+    let built = small(Model::SubLstm, 16);
+    let mut last = f64::INFINITY;
+    for dims in [Dims::f(), Dims::fk(), Dims::fks(), Dims::all()] {
+        let mut astra =
+            Astra::new(&built.graph, &dev, AstraOptions { dims, ..Default::default() });
+        let r = astra.optimize().expect("optimization succeeds");
+        assert!(
+            r.steady_ns <= last * 1.001,
+            "adding a dimension regressed: {} vs {last}",
+            r.steady_ns
+        );
+        last = r.steady_ns;
+    }
+}
+
+#[test]
+fn speedups_shrink_with_batch_size() {
+    // The paper's Tables 2-4 trend: larger mini-batches amortize launch
+    // overhead, so Astra's edge shrinks monotonically (allowing small
+    // measurement wiggle).
+    let dev = DeviceSpec::p100();
+    let mut speedups = Vec::new();
+    for batch in [8u64, 64, 256] {
+        let built = Model::Scrnn.build(&Model::Scrnn.default_config(batch));
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), ..Default::default() },
+        );
+        speedups.push(astra.optimize().expect("optimize runs").speedup());
+    }
+    assert!(
+        speedups[0] > speedups[1] * 1.1 && speedups[0] > speedups[2] * 1.1,
+        "small-batch speedup should dominate: {speedups:?}"
+    );
+    assert!(
+        speedups[1] > speedups[2] * 0.93,
+        "large-batch speedups must not grow back: {speedups:?}"
+    );
+}
+
+#[test]
+fn training_graphs_remain_numerically_executable() {
+    // Value preservation starts from a well-defined reference semantics:
+    // the exact graphs Astra schedules must evaluate to finite losses and
+    // gradients under the reference interpreter, for every model.
+    for model in Model::all() {
+        let mut c = model.default_config(4);
+        c.hidden = 32;
+        c.input = 32;
+        c.vocab = 64;
+        c.seq_len = 2;
+        c.layers = c.layers.min(2);
+        let built = model.build(&c);
+        let mut env = Env::new();
+        for t in 0..built.graph.num_tensors() as u32 {
+            let id = TensorId(t);
+            let info = built.graph.tensor(id);
+            if matches!(info.kind, TensorKind::Input | TensorKind::Param) {
+                let fill = if info.name.as_deref().map_or(false, |n| n.contains("tok")) {
+                    2.0
+                } else {
+                    0.02
+                };
+                env.bind_fill(&built.graph, id, fill);
+            }
+        }
+        if let Some(back) = &built.backward {
+            env.bind(back.seed, vec![1.0]);
+        }
+        evaluate(&built.graph, &mut env).unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert!(env.value(built.loss).unwrap()[0].is_finite());
+    }
+}
+
+#[test]
+fn exploration_state_space_is_bounded() {
+    // Table 7's point: post-pruning, the space is thousands at most — even
+    // for the much deeper GNMT, thanks to barrier parallelism.
+    let dev = DeviceSpec::p100();
+    let mut counts = Vec::new();
+    for model in Model::all() {
+        let built = small(model, 16);
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::all(), ..Default::default() },
+        );
+        let r = astra.optimize().expect("optimize runs");
+        assert!(
+            r.configs_explored < 10_000,
+            "{model}: state space exploded to {}",
+            r.configs_explored
+        );
+        counts.push((model, r.configs_explored));
+    }
+    // GNMT (deepest) must stay within ~10x of the single-layer models.
+    let gnmt = counts.iter().find(|(m, _)| *m == Model::Gnmt).expect("gnmt present").1;
+    let scrnn = counts.iter().find(|(m, _)| *m == Model::Scrnn).expect("scrnn present").1;
+    assert!(gnmt < scrnn * 60, "gnmt {gnmt} vs scrnn {scrnn}");
+}
+
+#[test]
+fn larger_models_explore_with_bounded_growth() {
+    // Barrier exploration makes trials additive, not multiplicative, in
+    // depth: doubling layers must not double explored configs by much more
+    // than the new variables it introduces.
+    let dev = DeviceSpec::p100();
+    let count = |layers: u32| {
+        let mut c = ModelConfig::ptb_large(8);
+        c.hidden = 128;
+        c.input = 128;
+        c.vocab = 256;
+        c.seq_len = 4;
+        c.layers = layers;
+        let built = Model::StackedLstm.build(&c);
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), ..Default::default() },
+        );
+        astra.optimize().expect("optimize runs").configs_explored
+    };
+    let one = count(1);
+    let two = count(2);
+    assert!(two < one * 4, "depth scaling too steep: {one} -> {two}");
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the GPU engine over randomized multi-stream
+//! schedules: no valid schedule may deadlock, and the timing invariants of
+//! the CUDA-style execution model must hold.
+
+use astra::gpu::{
+    Cmd, DeviceSpec, Engine, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
+};
+use proptest::prelude::*;
+
+/// Builds a random but *valid* schedule: kernels may wait only on events
+/// already recorded earlier in program order (so every wait can fire).
+fn random_schedule(streams: usize, moves: &[(u8, u8, u8)]) -> Schedule {
+    let mut sched = Schedule::new(streams);
+    let mut events: Vec<EventId> = Vec::new();
+    for &(what, s, pick) in moves {
+        let stream = StreamId(s as usize % streams);
+        match what % 4 {
+            0 | 1 => {
+                let shape = GemmShape::new(
+                    8 << (pick % 3),
+                    64 << (pick % 2),
+                    64 << (pick % 3),
+                );
+                let lib = GemmLibrary::all()[pick as usize % 3];
+                let waits = if !events.is_empty() && what % 2 == 1 {
+                    vec![events[pick as usize % events.len()]]
+                } else {
+                    Vec::new()
+                };
+                sched.launch_after(stream, KernelDesc::Gemm { shape, lib }, waits);
+            }
+            2 => {
+                events.push(sched.record(stream));
+            }
+            _ => {
+                sched.barrier();
+            }
+        }
+    }
+    sched
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any schedule whose waits reference already-recorded events runs to
+    /// completion — no deadlock, every launch produces a span.
+    #[test]
+    fn valid_schedules_never_deadlock(
+        streams in 1usize..4,
+        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
+    ) {
+        let dev = DeviceSpec::p100();
+        let sched = random_schedule(streams, &moves);
+        let r = Engine::new(&dev).run(&sched).expect("no deadlock");
+        prop_assert_eq!(r.spans.len(), sched.num_launches());
+        prop_assert!(r.total_ns.is_finite());
+    }
+
+    /// Per-stream FIFO: spans on the same stream never overlap, and their
+    /// order matches program order.
+    #[test]
+    fn per_stream_fifo_holds(
+        streams in 1usize..4,
+        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
+    ) {
+        let dev = DeviceSpec::p100();
+        let sched = random_schedule(streams, &moves);
+        let r = Engine::new(&dev).run(&sched).expect("runs");
+        for s in 0..streams {
+            let mut spans: Vec<_> =
+                r.spans.iter().filter(|sp| sp.stream == StreamId(s)).collect();
+            spans.sort_by(|a, b| a.cmd_idx.cmp(&b.cmd_idx));
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].start_ns >= w[0].end_ns - 1e-6,
+                    "stream {s} overlap: {:?} then {:?}",
+                    (w[0].start_ns, w[0].end_ns),
+                    (w[1].start_ns, w[1].end_ns)
+                );
+            }
+        }
+    }
+
+    /// The makespan covers every span and every event, and event times are
+    /// monotone in program order per stream.
+    #[test]
+    fn makespan_and_event_monotonicity(
+        streams in 1usize..4,
+        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
+    ) {
+        let dev = DeviceSpec::p100();
+        let sched = random_schedule(streams, &moves);
+        let r = Engine::new(&dev).run(&sched).expect("runs");
+        for sp in &r.spans {
+            prop_assert!(sp.end_ns <= r.total_ns + 1e-6);
+            prop_assert!(sp.start_ns <= sp.end_ns);
+        }
+        for (_, &t) in &r.event_ns {
+            prop_assert!(t <= r.total_ns + 1e-6);
+        }
+        // Events recorded on the same stream fire in program order.
+        let mut per_stream: Vec<Vec<(usize, EventId)>> = vec![Vec::new(); streams];
+        for (idx, cmd) in sched.cmds().iter().enumerate() {
+            if let Cmd::Record { stream, event } = cmd {
+                per_stream[stream.0].push((idx, *event));
+            }
+        }
+        for evs in per_stream {
+            for w in evs.windows(2) {
+                let (a, b) = (r.event_ns[&w[0].1], r.event_ns[&w[1].1]);
+                prop_assert!(a <= b + 1e-6, "event order violated: {a} then {b}");
+            }
+        }
+    }
+
+    /// Waiting on an event never lets the dependent kernel start before the
+    /// event fires.
+    #[test]
+    fn waits_are_respected(
+        streams in 2usize..4,
+        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 4..40),
+    ) {
+        let dev = DeviceSpec::p100();
+        let sched = random_schedule(streams, &moves);
+        let r = Engine::new(&dev).run(&sched).expect("runs");
+        for (idx, cmd) in sched.cmds().iter().enumerate() {
+            if let Cmd::Launch { waits, .. } = cmd {
+                let Some(span) = r.spans.iter().find(|sp| sp.cmd_idx == idx) else { continue };
+                for ev in waits {
+                    let fire = r.event_ns[ev];
+                    prop_assert!(
+                        span.start_ns >= fire - 1e-6,
+                        "kernel at cmd {idx} started {} before its wait fired {}",
+                        span.start_ns,
+                        fire
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the IR: autodiff correctness against finite
+//! differences on randomized graphs, and structural invariants of the
+//! generated backward pass.
+
+use astra::ir::{append_backward, evaluate, Env, Graph, Pass, Provenance, Shape, TensorId, TensorKind};
+use proptest::prelude::*;
+
+/// A random differentiable network driven by choice bytes. Every op used
+/// here has an autodiff rule and smooth derivatives (no relu, whose kink
+/// breaks finite differences).
+fn random_net(ops: &[u8], dims: (u64, u64)) -> (Graph, Vec<TensorId>, TensorId) {
+    let (rows, width) = dims;
+    let mut g = Graph::new();
+    let mut params = Vec::new();
+    let x = g.input(Shape::matrix(rows, width), "x");
+    let mut cur = x;
+    for (i, &op) in ops.iter().enumerate() {
+        g.set_context(Provenance::layer(format!("l{i}")).with_role(format!("o{op}")));
+        cur = match op % 6 {
+            0 => {
+                let w = g.param(Shape::matrix(width, width), format!("w{i}"));
+                params.push(w);
+                g.mm(cur, w)
+            }
+            1 => g.sigmoid(cur),
+            2 => g.tanh(cur),
+            3 => {
+                let b = g.param(Shape::matrix(1, width), format!("b{i}"));
+                params.push(b);
+                g.add(cur, b)
+            }
+            4 => {
+                let m = g.param(Shape::matrix(1, width), format!("m{i}"));
+                params.push(m);
+                g.mul(cur, m)
+            }
+            _ => g.softmax(cur),
+        };
+    }
+    let loss = g.reduce_sum(cur);
+    (g, params, loss)
+}
+
+fn bind_all(g: &Graph, env: &mut Env, values: &[(TensorId, Vec<f64>)]) {
+    for (t, v) in values {
+        env.bind(*t, v.clone());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Autodiff gradients match central finite differences on every
+    /// parameter of a random smooth network.
+    #[test]
+    fn gradients_match_finite_differences(
+        ops in proptest::collection::vec(0u8..6, 1..6),
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (mut g, params, loss) = random_net(&ops, (3, 5));
+        let back = append_backward(&mut g, loss);
+
+        let mut base: Vec<(TensorId, Vec<f64>)> = Vec::new();
+        for t in 0..g.num_tensors() as u32 {
+            let id = TensorId(t);
+            let info = g.tensor(id);
+            if matches!(info.kind, TensorKind::Input | TensorKind::Param) && id != back.seed {
+                let n = g.shape(id).elements() as usize;
+                base.push((id, (0..n).map(|_| rng.gen_range(-0.8..0.8)).collect()));
+            }
+        }
+
+        let loss_at = |values: &[(TensorId, Vec<f64>)]| -> f64 {
+            let mut env = Env::new();
+            bind_all(&g, &mut env, values);
+            env.bind(back.seed, vec![1.0]);
+            evaluate(&g, &mut env).expect("evaluates");
+            env.value(loss).expect("loss computed")[0]
+        };
+
+        let mut env = Env::new();
+        bind_all(&g, &mut env, &base);
+        env.bind(back.seed, vec![1.0]);
+        evaluate(&g, &mut env).expect("evaluates");
+
+        let eps = 1e-5;
+        for &param in &params {
+            let Some(grad) = back.grad(param) else { continue };
+            let analytic = env.value(grad).expect("grad computed").to_vec();
+            // Spot-check one element per parameter (full sweeps are slow).
+            let elem = (seed as usize) % analytic.len();
+            let pi = base.iter().position(|(t, _)| *t == param).expect("param bound");
+            let mut plus = base.clone();
+            plus[pi].1[elem] += eps;
+            let mut minus = base.clone();
+            minus[pi].1[elem] -= eps;
+            let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (analytic[elem] - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {param} elem {elem}: analytic {} vs numeric {numeric}",
+                analytic[elem]
+            );
+        }
+    }
+
+    /// The generated backward graph always validates, never reuses a
+    /// forward tensor as an output, and puts every generated node in the
+    /// backward pass.
+    #[test]
+    fn backward_graph_is_structurally_sound(
+        ops in proptest::collection::vec(0u8..6, 1..8),
+    ) {
+        let (mut g, params, loss) = random_net(&ops, (2, 4));
+        let n_forward = g.nodes().len();
+        let back = append_backward(&mut g, loss);
+        prop_assert!(g.validate().is_ok());
+        for node in &g.nodes()[n_forward..] {
+            prop_assert_eq!(node.prov.pass, Pass::Backward);
+        }
+        // Every parameter influencing the loss has a gradient of its shape.
+        for &p in &params {
+            if let Some(d) = back.grad(p) {
+                prop_assert_eq!(g.shape(d), g.shape(p));
+            }
+        }
+    }
+
+    /// Value preservation of the interpreter under graph re-evaluation:
+    /// evaluating twice with the same bindings gives identical results.
+    #[test]
+    fn evaluation_is_deterministic(
+        ops in proptest::collection::vec(0u8..6, 1..6),
+        fill in -0.5f64..0.5,
+    ) {
+        let (mut g, _params, loss) = random_net(&ops, (2, 4));
+        let back = append_backward(&mut g, loss);
+        let run = || -> f64 {
+            let mut env = Env::new();
+            for t in 0..g.num_tensors() as u32 {
+                let id = TensorId(t);
+                if matches!(g.tensor(id).kind, TensorKind::Input | TensorKind::Param) {
+                    env.bind_fill(&g, id, fill);
+                }
+            }
+            env.bind(back.seed, vec![1.0]);
+            evaluate(&g, &mut env).expect("evaluates");
+            env.value(loss).expect("loss")[0]
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+        prop_assert!(a.is_finite());
+    }
+}

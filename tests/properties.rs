@@ -1,0 +1,177 @@
+//! Property-based tests over randomly generated graphs and configurations:
+//! the invariants that must hold for *any* model Astra is handed, not just
+//! the five from the paper.
+
+use astra::core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
+use astra::exec::{fuse_elementwise_chains, lower, native_schedule};
+use astra::gpu::{DeviceSpec, Engine};
+use astra::ir::{append_backward, Graph, OpKind, Provenance, Shape, TensorId};
+use proptest::prelude::*;
+
+/// A random small feed-forward/recurrent-ish graph builder driven by a
+/// sequence of choices.
+fn random_graph(ops: &[u8], widths: &[u64]) -> Graph {
+    let mut g = Graph::new();
+    let w = |i: usize| widths[i % widths.len()].max(2);
+    let mut pool: Vec<TensorId> = Vec::new();
+    pool.push(g.input(Shape::matrix(4, w(0)), "x0"));
+    for (i, &op) in ops.iter().enumerate() {
+        let a = pool[(op as usize * 7 + i) % pool.len()];
+        let (rows, cols) = {
+            let s = g.shape(a);
+            (s.dims()[0], s.dims()[1])
+        };
+        g.set_context(Provenance::layer(format!("l{}", i % 3)).at_step((i / 3) as u32).with_role(format!("r{}", op % 5)));
+        let t = match op % 6 {
+            0 => {
+                let p = g.param(Shape::matrix(cols, w(i + 1)), format!("w{i}"));
+                g.mm(a, p)
+            }
+            1 => g.sigmoid(a),
+            2 => g.tanh(a),
+            3 => {
+                let b = pool
+                    .iter()
+                    .rev()
+                    .find(|&&b| g.shape(b) == &Shape::matrix(rows, cols))
+                    .copied()
+                    .unwrap_or(a);
+                g.add(a, b)
+            }
+            4 => {
+                let p = g.param(Shape::matrix(1, cols), format!("b{i}"));
+                g.add(a, p)
+            }
+            _ => g.relu(a),
+        };
+        pool.push(t);
+    }
+    let last = *pool.last().expect("non-empty");
+    let flat = g.apply(OpKind::ReduceSum, &[last]);
+    let _ = append_backward(&mut g, flat);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated graph validates and lowers with a kernel per
+    /// non-elided node.
+    #[test]
+    fn generated_graphs_validate_and_lower(
+        ops in proptest::collection::vec(0u8..=5, 3..24),
+        widths in proptest::collection::vec(2u64..96, 1..4),
+    ) {
+        let g = random_graph(&ops, &widths);
+        prop_assert!(g.validate().is_ok());
+        let lowering = lower(&g);
+        prop_assert!(lowering.num_kernels() > 0);
+        let elided = g.nodes().iter().filter(|n| matches!(n.op, OpKind::Transpose)).count();
+        prop_assert_eq!(lowering.num_kernels() + elided, g.nodes().len());
+    }
+
+    /// The native schedule of any generated graph executes without
+    /// deadlock and runs every kernel.
+    #[test]
+    fn native_schedules_never_deadlock(
+        ops in proptest::collection::vec(0u8..=5, 3..24),
+        widths in proptest::collection::vec(2u64..96, 1..4),
+    ) {
+        let g = random_graph(&ops, &widths);
+        let dev = DeviceSpec::p100();
+        let lowering = lower(&g);
+        let sched = native_schedule(&lowering);
+        let r = Engine::new(&dev).run(&sched).expect("no deadlock");
+        prop_assert_eq!(r.spans.len(), lowering.num_kernels());
+    }
+
+    /// Element-wise chains partition the element-wise nodes: every
+    /// element-wise node appears in exactly one chain.
+    #[test]
+    fn elementwise_chains_partition(
+        ops in proptest::collection::vec(0u8..=5, 3..24),
+        widths in proptest::collection::vec(2u64..96, 1..4),
+    ) {
+        let g = random_graph(&ops, &widths);
+        let lowering = lower(&g);
+        let chains = fuse_elementwise_chains(&g, &lowering);
+        let mut seen = std::collections::HashSet::new();
+        for chain in &chains {
+            for &n in &chain.nodes {
+                prop_assert!(seen.insert(n), "node in two chains");
+                prop_assert!(g.node(n).op.is_elementwise());
+            }
+        }
+        let ew_total = g.nodes().iter().filter(|n| n.op.is_elementwise()).count();
+        prop_assert_eq!(seen.len(), ew_total);
+    }
+
+    /// Fusion sets are node-disjoint, shape-uniform, and their chunked
+    /// schedules execute to the same kernel coverage as the baseline.
+    #[test]
+    fn fusion_configs_execute_for_random_graphs(
+        ops in proptest::collection::vec(0u8..=5, 6..24),
+        widths in proptest::collection::vec(8u64..64, 1..3),
+        chunk_seed in 0usize..7,
+    ) {
+        let g = random_graph(&ops, &widths);
+        let dev = DeviceSpec::p100();
+        let ctx = PlanContext::new(&g);
+
+        // Node-disjointness + shape uniformity.
+        let mut seen = std::collections::HashSet::new();
+        for set in &ctx.sets {
+            for row in &set.nodes {
+                for &n in row {
+                    prop_assert!(seen.insert(n));
+                    prop_assert!(matches!(g.node(n).op, OpKind::MatMul));
+                }
+            }
+        }
+
+        // A pseudo-random chunk configuration still builds and runs (or is
+        // rejected as cyclic, never panics).
+        let mut cfg = ExecConfig::baseline();
+        for (i, set) in ctx.sets.iter().enumerate() {
+            let rcs = set.row_chunks();
+            let ccs = set.col_chunks();
+            cfg.chunks.insert(
+                set.id.clone(),
+                (rcs[(chunk_seed + i) % rcs.len()], ccs[(chunk_seed * 3 + i) % ccs.len()]),
+            );
+        }
+        if let Ok(units) = build_units(&ctx, &cfg) {
+            // Topological invariant.
+            for (i, u) in units.iter().enumerate() {
+                for &d in &u.deps {
+                    prop_assert!(d < i);
+                }
+            }
+            let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+            let r = Engine::new(&dev).run(&sched).expect("no deadlock");
+            prop_assert!(r.total_ns > 0.0);
+        }
+    }
+
+    /// Work conservation in the engine: makespan of any single-stream
+    /// schedule equals the sum of its parts (dispatch pipelining aside).
+    #[test]
+    fn single_stream_time_is_additive(
+        ops in proptest::collection::vec(0u8..=5, 3..16),
+        widths in proptest::collection::vec(8u64..64, 1..3),
+    ) {
+        let g = random_graph(&ops, &widths);
+        let dev = DeviceSpec::p100();
+        let lowering = lower(&g);
+        let sched = native_schedule(&lowering);
+        let r = Engine::new(&dev).run(&sched).expect("runs");
+        let kernel_time: f64 = lowering
+            .ops()
+            .iter()
+            .filter_map(|o| o.kernel.as_ref())
+            .map(|k| k.cost(&dev).exec_ns + dev.launch_overhead_ns)
+            .sum();
+        prop_assert!(r.total_ns >= kernel_time - 1.0);
+        prop_assert!(r.total_ns <= kernel_time + dev.dispatch_cost_ns * (lowering.num_kernels() as f64) + 1.0);
+    }
+}
