@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: tier-1 (release build + workspace tests) plus the
+# worker-count determinism suite, all under -D warnings so dead code and
+# unused paths cannot land. Needs no network — the workspace has no
+# external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tier-1 tests =="
+cargo test -q
+
+echo "== determinism (workers=1 vs N bit-identity) =="
+cargo test -q --test determinism
+
+echo "== full workspace check (all targets) =="
+cargo check --workspace --all-targets
+
+echo "ci: OK"

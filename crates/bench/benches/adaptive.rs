@@ -1,43 +1,35 @@
 //! Microbenchmarks of the adaptation machinery: profile-index updates and
 //! update-tree trial generation (both on the per-mini-batch critical path).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use astra_core::{ExploreMode, ProfileIndex, ProfileKey, UpdateNode, UpdateTree};
+use astra_util::report;
 
-fn bench_profile_index(c: &mut Criterion) {
-    c.bench_function("profile_index_record_get", |b| {
-        b.iter(|| {
-            let mut idx = ProfileIndex::new();
-            for i in 0..100 {
-                let key = ProfileKey::entity(format!("gemm:{i}"), i % 3).in_context("alloc:1");
-                idx.record(&key, i as f64);
+fn main() {
+    report("profile_index_record_get", 10, 500, || {
+        let mut idx = ProfileIndex::new();
+        for i in 0..100 {
+            let key = ProfileKey::entity(format!("gemm:{i}"), i % 3).in_context("alloc:1");
+            idx.record(&key, i as f64);
+        }
+        for i in 0..100 {
+            let key = ProfileKey::entity(format!("gemm:{i}"), i % 3).in_context("alloc:1");
+            black_box(idx.get(&key));
+        }
+    });
+
+    report("update_tree_parallel_100x6", 2, 50, || {
+        let children: Vec<UpdateNode> =
+            (0..100).map(|i| UpdateNode::var(format!("v{i}"), 6)).collect();
+        let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, children));
+        let mut trials = 0;
+        while let Some(asg) = tree.next_trial() {
+            trials += 1;
+            for id in asg.keys() {
+                tree.record(id, asg[id] as f64);
             }
-            for i in 0..100 {
-                let key = ProfileKey::entity(format!("gemm:{i}"), i % 3).in_context("alloc:1");
-                black_box(idx.get(&key));
-            }
-        })
+        }
+        black_box(trials);
     });
 }
-
-fn bench_update_tree(c: &mut Criterion) {
-    c.bench_function("update_tree_parallel_100x6", |b| {
-        b.iter(|| {
-            let children: Vec<UpdateNode> =
-                (0..100).map(|i| UpdateNode::var(format!("v{i}"), 6)).collect();
-            let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, children));
-            let mut trials = 0;
-            while let Some(asg) = tree.next_trial() {
-                trials += 1;
-                for id in asg.keys() {
-                    tree.record(id, asg[id] as f64);
-                }
-            }
-            black_box(trials)
-        })
-    });
-}
-
-criterion_group!(benches, bench_profile_index, bench_update_tree);
-criterion_main!(benches);

@@ -1,25 +1,26 @@
 //! Microbenchmarks of the discrete-event engine: one simulated mini-batch
 //! of the SC-RNN model, single-stream and with the multi-stream emitter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use astra_core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
 use astra_exec::{lower, native_schedule};
 use astra_gpu::{DeviceSpec, Engine};
 use astra_models::{Model, ModelConfig};
+use astra_util::report;
 
 fn small_model() -> astra_models::BuiltModel {
     let cfg = ModelConfig { seq_len: 8, hidden: 256, input: 256, vocab: 1000, ..ModelConfig::ptb(16) };
     Model::Scrnn.build(&cfg)
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let dev = DeviceSpec::p100();
     let built = small_model();
     let lowering = lower(&built.graph);
     let native = native_schedule(&lowering);
-    c.bench_function("engine_native_minibatch", |b| {
-        b.iter(|| black_box(Engine::new(&dev).run(black_box(&native)).unwrap()))
+    report("engine_native_minibatch", 10, 200, || {
+        black_box(Engine::new(&dev).run(black_box(&native)).unwrap());
     });
 
     let ctx = PlanContext::new(&built.graph);
@@ -32,11 +33,8 @@ fn bench_engine(c: &mut Criterion) {
     }
     if let Ok(units) = build_units(&ctx, &cfg) {
         let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
-        c.bench_function("engine_fused_minibatch", |b| {
-            b.iter(|| black_box(Engine::new(&dev).run(black_box(&sched)).unwrap()))
+        report("engine_fused_minibatch", 10, 200, || {
+            black_box(Engine::new(&dev).run(black_box(&sched)).unwrap());
         });
     }
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

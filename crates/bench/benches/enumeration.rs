@@ -1,23 +1,21 @@
 //! Microbenchmarks of the enumerator: the offline compilation phase
 //! (fusion detection, allocation analysis, unit building).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use astra_core::{build_units, ExecConfig, PlanContext};
 use astra_models::{Model, ModelConfig};
+use astra_util::report;
 
-fn bench_enumeration(c: &mut Criterion) {
+fn main() {
     let cfg = ModelConfig { seq_len: 8, hidden: 256, input: 256, vocab: 1000, ..ModelConfig::ptb(16) };
     let built = Model::SubLstm.build(&cfg);
-    c.bench_function("enumerate_sublstm", |b| {
-        b.iter(|| black_box(PlanContext::new(black_box(&built.graph))))
+    report("enumerate_sublstm", 5, 50, || {
+        black_box(PlanContext::new(black_box(&built.graph)));
     });
 
     let ctx = PlanContext::new(&built.graph);
-    c.bench_function("build_units_baseline", |b| {
-        b.iter(|| black_box(build_units(&ctx, &ExecConfig::baseline()).unwrap()))
+    report("build_units_baseline", 5, 100, || {
+        black_box(build_units(&ctx, &ExecConfig::baseline()).unwrap());
     });
 }
-
-criterion_group!(benches, bench_enumeration);
-criterion_main!(benches);

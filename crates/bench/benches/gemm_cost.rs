@@ -1,29 +1,23 @@
 //! Microbenchmarks of the analytic GEMM cost model: it is evaluated once
 //! per kernel launch in every simulated mini-batch, so it must be cheap.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use astra_gpu::{time_gemm, DeviceSpec, GemmLibrary, GemmShape};
+use astra_util::report;
 
-fn bench_gemm_cost(c: &mut Criterion) {
+fn main() {
     let dev = DeviceSpec::p100();
     let shapes = [
         GemmShape::new(8, 1024, 1024),
         GemmShape::new(64, 1024, 4096),
         GemmShape::new(512, 1500, 6000),
     ];
-    let mut group = c.benchmark_group("gemm_cost");
     for lib in GemmLibrary::all() {
-        group.bench_function(format!("{lib}"), |b| {
-            b.iter(|| {
-                for &s in &shapes {
-                    black_box(time_gemm(black_box(s), lib, &dev));
-                }
-            })
+        report(&format!("gemm_cost/{lib}"), 1_000, 100_000, || {
+            for &s in &shapes {
+                black_box(time_gemm(black_box(s), lib, &dev));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm_cost);
-criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Wall-clock timing of the parallel exploration driver.
+//!
+//! Runs the full `Astra_all` optimization for SC-RNN and subLSTM at worker
+//! counts 1, 4, and 8 and prints one JSON object per run. Results must be
+//! bit-identical across worker counts — only the wall-clock changes — so
+//! the harness asserts identity and reports the speedup over the
+//! single-worker baseline.
+//!
+//! Interpret `speedup_vs_workers1` against `host_cpus`: candidate
+//! evaluation is pure CPU-bound simulation, so the attainable speedup is
+//! capped by the cores actually available (on a 1-CPU host the extra
+//! workers can only time-slice and the ratio hovers at or slightly below
+//! 1.0).
+
+use std::time::Instant;
+
+use astra_core::{Astra, AstraOptions, Dims, Report};
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn run(graph: &astra_ir::Graph, dev: &DeviceSpec, workers: usize) -> (Report, f64) {
+    let opts = AstraOptions { dims: Dims::all(), workers, ..Default::default() };
+    let mut astra = Astra::new(graph, dev, opts);
+    let t0 = Instant::now();
+    let r = astra.optimize().expect("optimization succeeds");
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let dev = DeviceSpec::p100();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for (name, model) in [("sc-rnn", Model::Scrnn), ("sublstm", Model::SubLstm)] {
+        let mut cfg = model.default_config(16);
+        cfg.seq_len = 12;
+        let built = model.build(&cfg);
+
+        let mut base: Option<(Report, f64)> = None;
+        for workers in [1usize, 4, 8] {
+            let (r, wall_ms) = run(&built.graph, &dev, workers);
+            if let Some((b, _)) = &base {
+                assert_eq!(b.steady_ns.to_bits(), r.steady_ns.to_bits(), "results drifted");
+                assert_eq!(b.configs_explored, r.configs_explored, "trial count drifted");
+                assert_eq!(b.best, r.best, "winning config drifted");
+            }
+            let speedup = base.as_ref().map_or(1.0, |(_, w1)| w1 / wall_ms);
+            println!(
+                "{{\"model\":\"{name}\",\"workers\":{workers},\"host_cpus\":{host_cpus},\
+                 \"wall_ms\":{wall_ms:.1},\
+                 \"speedup_vs_workers1\":{speedup:.2},\"configs_explored\":{},\
+                 \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"sim_speedup\":{:.2}}}",
+                r.configs_explored,
+                r.plan_cache_hits,
+                r.plan_cache_misses,
+                r.speedup(),
+            );
+            if base.is_none() {
+                base = Some((r, wall_ms));
+            }
+        }
+    }
+}

@@ -59,6 +59,8 @@ const USAGE: &str = "usage: astra-cli <command> [options]
 
 commands:
   optimize  --model <name> --batch <n> [--dims f|fk|fks|all] [--streams <n>] [--v100] [--seq <n>]
+            [--workers <n>]   candidate-evaluation threads (0 = all cores, 1 = sequential;
+                              results are identical at every setting)
   compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
   trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
   scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
@@ -147,12 +149,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let dims = parse_dims(&opts)?;
     let dev = device(&opts);
     let num_streams: usize = opts.parse("--streams", 4)?;
+    let workers: usize = opts.parse("--workers", 0)?;
     let built = build(model, &opts)?;
 
     let mut astra = Astra::new(
         &built.graph,
         &dev,
-        AstraOptions { dims, num_streams, ..Default::default() },
+        AstraOptions { dims, num_streams, workers, ..Default::default() },
     );
     println!(
         "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
@@ -168,6 +171,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     println!("speedup:  {:>10.2}x", r.speedup());
     println!("explored: {:>10} configs ({} strategies, overhead {:.3}%)",
         r.configs_explored, r.strategies_explored, r.profiling_overhead_frac * 100.0);
+    println!("schedule cache: {} hits / {} misses", r.plan_cache_hits, r.plan_cache_misses);
     Ok(())
 }
 

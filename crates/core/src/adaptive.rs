@@ -144,13 +144,23 @@ impl UpdateNode {
 
     /// Advances to the next configuration. Returns `false` when exhausted.
     fn advance(&mut self) -> bool {
+        let mut froze = false;
+        self.advance_tracking(&mut froze)
+    }
+
+    /// Like `advance`, but flags whether the step froze a prefix child at
+    /// its best observed choice — the only *metric-dependent* transition in
+    /// the tree. Everything else (parallel stepping, odometer carries,
+    /// resets) depends only on the tree's shape, which is what makes
+    /// [`UpdateTree::lookahead`] sound.
+    fn advance_tracking(&mut self, froze: &mut bool) -> bool {
         match self {
             UpdateNode::Var(v) => v.iterate(),
             UpdateNode::Group { mode, children, active } => match mode {
                 ExploreMode::Parallel => {
                     let mut any = false;
                     for c in children {
-                        if !c.exhausted() && c.advance() {
+                        if !c.exhausted() && c.advance_tracking(froze) {
                             any = true;
                         }
                     }
@@ -160,7 +170,7 @@ impl UpdateNode {
                     // Odometer: advance the first child that can; reset all
                     // children before it.
                     for i in 0..children.len() {
-                        if children[i].advance() {
+                        if children[i].advance_tracking(froze) {
                             for c in children.iter_mut().take(i) {
                                 c.reset_choices();
                             }
@@ -171,10 +181,11 @@ impl UpdateNode {
                 }
                 ExploreMode::Prefix => {
                     while *active < children.len() {
-                        if children[*active].advance() {
+                        if children[*active].advance_tracking(froze) {
                             return true;
                         }
                         children[*active].freeze_best();
+                        *froze = true;
                         *active += 1;
                         // The next child starts from its initial choice,
                         // which it already occupies; running one trial at
@@ -265,6 +276,39 @@ impl UpdateTree {
         }
         self.trials += 1;
         Some(self.assignment())
+    }
+
+    /// Peeks at up to `max` upcoming trial assignments without consuming
+    /// them.
+    ///
+    /// The batch stops early at any *metric-dependent* transition — a
+    /// prefix child freezing at its best-so-far choice — because trials
+    /// still in the batch may change which choice is best. (A freeze on the
+    /// batch's very first advance is fine: it can only use metrics recorded
+    /// before this batch.) Every other advance depends only on the tree's
+    /// shape, so replaying [`UpdateTree::next_trial`] once per returned
+    /// assignment — recording metrics between replays exactly as a
+    /// sequential driver would — reproduces this batch verbatim. That is
+    /// the contract the parallel exploration driver relies on: evaluate the
+    /// batch concurrently, then commit results in order.
+    pub fn lookahead(&self, max: usize) -> Vec<BTreeMap<String, usize>> {
+        let mut peek = self.clone();
+        let mut out = Vec::new();
+        while out.len() < max {
+            if peek.started {
+                let mut froze = false;
+                if !peek.root.advance_tracking(&mut froze) {
+                    break;
+                }
+                if froze && !out.is_empty() {
+                    break;
+                }
+            } else {
+                peek.started = true;
+            }
+            out.push(peek.assignment());
+        }
+        out
     }
 
     /// The current assignment of every variable.
@@ -405,6 +449,88 @@ mod tests {
     #[should_panic(expected = "at least one choice")]
     fn zero_choices_panics() {
         let _ = AdaptiveVar::new("x", 0);
+    }
+
+    #[test]
+    fn lookahead_covers_parallel_groups_fully() {
+        // Parallel-only trees have no metric-dependent transitions, so the
+        // whole 6-trial space is visible in one batch.
+        let children: Vec<UpdateNode> =
+            (0..5).map(|i| UpdateNode::var(format!("g{i}"), 6)).collect();
+        let tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, children));
+        let batch = tree.lookahead(100);
+        assert_eq!(batch.len(), 6);
+        for (t, asg) in batch.iter().enumerate() {
+            for i in 0..5 {
+                assert_eq!(asg[&format!("g{i}")], t);
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_stops_before_prefix_freeze() {
+        // Prefix: e0 explores its 4 choices first; the transition to e1
+        // freezes e0 at its best, which depends on metrics the batch has
+        // not recorded yet — the batch must stop at the boundary.
+        let children = vec![UpdateNode::var("e0", 4), UpdateNode::var("e1", 4)];
+        let tree = UpdateTree::new(UpdateNode::group(ExploreMode::Prefix, children));
+        let batch = tree.lookahead(100);
+        assert_eq!(batch.len(), 4, "only e0's sweep is metric-independent");
+        assert!(batch.iter().all(|a| a["e1"] == 0));
+    }
+
+    #[test]
+    fn lookahead_replay_matches_sequential_driver() {
+        // Drive the same tree twice — once trial-by-trial, once via
+        // lookahead batches with in-order commits — and require identical
+        // trial sequences and final assignments.
+        let make = || {
+            let se = |n: usize| {
+                UpdateNode::group(
+                    ExploreMode::Prefix,
+                    vec![
+                        UpdateNode::var(format!("se{n}.e0"), 3),
+                        UpdateNode::var(format!("se{n}.e1"), 4),
+                    ],
+                )
+            };
+            UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vec![se(0), se(1)]))
+        };
+        let metric = |asg: &BTreeMap<String, usize>, id: &str| {
+            // Arbitrary but deterministic: different optimum per variable.
+            ((asg[id] * 7 + id.len()) % 5) as f64
+        };
+
+        let mut seq = make();
+        let mut seq_trace = Vec::new();
+        while let Some(asg) = seq.next_trial() {
+            let ids: Vec<String> = asg.keys().cloned().collect();
+            for id in &ids {
+                seq.record(id, metric(&asg, id));
+            }
+            seq_trace.push(asg);
+        }
+
+        let mut bat = make();
+        let mut bat_trace = Vec::new();
+        loop {
+            let batch = bat.lookahead(3);
+            if batch.is_empty() {
+                break;
+            }
+            for expect in batch {
+                let asg = bat.next_trial().expect("lookahead bounds the batch");
+                assert_eq!(asg, expect, "replayed assignment diverged");
+                let ids: Vec<String> = asg.keys().cloned().collect();
+                for id in &ids {
+                    bat.record(id, metric(&asg, id));
+                }
+                bat_trace.push(asg);
+            }
+        }
+
+        assert_eq!(seq_trace, bat_trace);
+        assert_eq!(seq.best_assignment(), bat.best_assignment());
     }
 
     #[test]

@@ -28,7 +28,10 @@ use astra_ir::Graph;
 use crate::adaptive::{ExploreMode, UpdateNode, UpdateTree};
 use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, Partition};
 use crate::error::AstraError;
-use crate::plan::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
+use crate::parallel::{effective_workers, parallel_map};
+use crate::plan::{
+    bind_libs, emit_schedule, ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec,
+};
 use crate::profile::{ProfileIndex, ProfileKey};
 
 /// Which adaptation dimensions are enabled (the paper's ablation columns).
@@ -83,6 +86,13 @@ pub struct AstraOptions {
     /// because a GEMM's time depends only on its shape and library, so
     /// buckets share them through profile-index hits.
     pub key_context: Option<String>,
+    /// Worker threads for evaluating candidate trials. The exploration
+    /// driver batches metric-independent trials from the update tree
+    /// ([`UpdateTree::lookahead`]), simulates them concurrently, and
+    /// commits measurements in candidate order — so results are
+    /// bit-identical at every setting. `0` = one worker per available CPU
+    /// core; `1` = fully sequential evaluation.
+    pub workers: usize,
 }
 
 impl Default for AstraOptions {
@@ -93,6 +103,7 @@ impl Default for AstraOptions {
             super_epoch_flops: None,
             clock: ClockMode::Fixed,
             key_context: None,
+            workers: 0,
         }
     }
 }
@@ -120,6 +131,11 @@ pub struct Report {
     pub fusion_sets: usize,
     /// Number of super-epochs in the stream partition (0 if streams off).
     pub super_epochs: usize,
+    /// Schedule-cache requests this run answered with already-built units
+    /// (see [`crate::PlanCache`]).
+    pub plan_cache_hits: u64,
+    /// Schedule-cache requests this run that had to build units.
+    pub plan_cache_misses: u64,
 }
 
 impl Report {
@@ -136,6 +152,7 @@ pub struct Astra<'g> {
     dev: &'g DeviceSpec,
     opts: AstraOptions,
     index: ProfileIndex,
+    plan_cache: PlanCache,
 }
 
 impl<'g> Astra<'g> {
@@ -153,7 +170,20 @@ impl<'g> Astra<'g> {
         opts: AstraOptions,
         index: ProfileIndex,
     ) -> Self {
-        Astra { ctx: PlanContext::new(graph), dev, opts, index }
+        Astra::with_context(PlanContext::new(graph), dev, opts, index)
+    }
+
+    /// Like [`Astra::with_index`], but takes an already-enumerated
+    /// [`PlanContext`] — callers that pre-lower graphs (e.g. bucketed
+    /// dynamic-graph optimization sharing an `astra_exec::LoweringCache`)
+    /// skip the redundant enumeration work.
+    pub fn with_context(
+        ctx: PlanContext<'g>,
+        dev: &'g DeviceSpec,
+        opts: AstraOptions,
+        index: ProfileIndex,
+    ) -> Self {
+        Astra { ctx, dev, opts, index, plan_cache: PlanCache::new() }
     }
 
     /// Consumes the optimizer and returns its profile index (to thread into
@@ -176,6 +206,18 @@ impl<'g> Astra<'g> {
         Ok(Engine::with_clock(self.dev, self.opts.clock).run(sched)?)
     }
 
+    /// Resolved worker count for candidate evaluation.
+    fn workers(&self) -> usize {
+        effective_workers(self.opts.workers)
+    }
+
+    /// How many upcoming trials to peel off the update tree per batch.
+    /// Twice the worker count keeps the pool busy across uneven candidate
+    /// costs without letting the batch outrun its usefulness.
+    fn batch_cap(&self) -> usize {
+        self.workers().saturating_mul(2).max(1)
+    }
+
     /// Runs the full work-conserving exploration and returns the report.
     ///
     /// # Errors
@@ -185,6 +227,8 @@ impl<'g> Astra<'g> {
     pub fn optimize(&mut self) -> Result<Report, AstraError> {
         let native = self.run(&native_schedule(&self.ctx.lowering))?;
         let native_ns = native.total_ns;
+        let cache_hits0 = self.plan_cache.hits();
+        let cache_misses0 = self.plan_cache.misses();
 
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
@@ -217,7 +261,7 @@ impl<'g> Astra<'g> {
             }
 
             // Context playoff run: best configuration end-to-end (§4.7).
-            let units = build_units(&self.ctx, &cfg)?;
+            let units = self.plan_cache.units_for(&self.ctx, &cfg)?;
             let (sched, _) = emit_schedule(&self.ctx, &cfg, &units, partition.as_ref(), &ProbeSpec::none());
             let r = self.run(&sched)?;
             trials += 1;
@@ -244,6 +288,8 @@ impl<'g> Astra<'g> {
             strategies_explored: strategies,
             fusion_sets: self.ctx.sets.len(),
             super_epochs,
+            plan_cache_hits: self.plan_cache.hits() - cache_hits0,
+            plan_cache_misses: self.plan_cache.misses() - cache_misses0,
         })
     }
 
@@ -305,38 +351,104 @@ impl<'g> Astra<'g> {
             return Ok(());
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vars));
+        let workers = self.workers();
 
-        while let Some(asg) = tree.next_trial() {
-            for (set_id, choices, _) in &explored_sets {
-                cfg.chunks.insert(set_id.clone(), choices[asg[set_id]]);
+        // A valid candidate's harvested measurements, computed on a worker.
+        struct Outcome {
+            total_ns: f64,
+            probe_records: usize,
+            set_metrics: Vec<(usize, f64)>,
+        }
+
+        loop {
+            let batch = tree.lookahead(self.batch_cap());
+            if batch.is_empty() {
+                break;
             }
-            match build_units(&self.ctx, cfg) {
-                Err(_) => {
-                    // Invalid (cyclic) combination: poison these choices.
-                    for (set_id, _, _) in &explored_sets {
-                        tree.record(set_id, f64::INFINITY);
+            let cfgs: Vec<ExecConfig> = batch
+                .iter()
+                .map(|asg| {
+                    let mut c = cfg.clone();
+                    for (set_id, choices, _) in &explored_sets {
+                        c.chunks.insert(set_id.clone(), choices[asg[set_id]]);
                     }
-                    continue;
+                    c
+                })
+                .collect();
+
+            // Schedule-cache bookkeeping happens in candidate order so the
+            // hit/miss counters are deterministic, then the batch's missing
+            // geometries build on the worker pool.
+            let keys: Vec<PlanKey> = cfgs.iter().map(|c| PlanCache::key(&self.ctx, c)).collect();
+            let mut to_build: Vec<usize> = Vec::new();
+            for (i, key) in keys.iter().enumerate() {
+                if self.plan_cache.contains(key) || to_build.iter().any(|&j| keys[j] == *key) {
+                    self.plan_cache.count_hit();
+                } else {
+                    self.plan_cache.count_miss();
+                    to_build.push(i);
                 }
-                Ok(units) => {
+            }
+            let ctx = &self.ctx;
+            let built = parallel_map(workers, &to_build, |_, &i| {
+                PlanCache::build_structural(ctx, &cfgs[i])
+            });
+            for (&i, r) in to_build.iter().zip(built) {
+                self.plan_cache.insert(keys[i].clone(), r);
+            }
+
+            // Evaluate the whole batch concurrently; every candidate's
+            // simulation is self-contained.
+            let cache = &self.plan_cache;
+            let dev = self.dev;
+            let clock = self.opts.clock;
+            let results: Vec<Result<Option<Outcome>, AstraError>> =
+                parallel_map(workers, &cfgs, |i, c| {
+                    let structural = cache.get(&keys[i]).expect("batch keys are built").clone();
+                    let units = match structural {
+                        Err(_) => return Ok(None), // invalid (cyclic) combination
+                        Ok(u) => bind_libs(&u, c),
+                    };
                     let (sched, probes) =
-                        emit_schedule(&self.ctx, cfg, &units, None, &ProbeSpec::fusion_sets());
-                    let r = self.run(&sched)?;
-                    *trials += 1;
-                    *exploration_ns += r.total_ns;
-                    *overhead_ns += probes.probe_records as f64 * self.dev.event_record_cost_ns;
+                        emit_schedule(ctx, c, &units, None, &ProbeSpec::fusion_sets());
+                    let r = Engine::with_clock(dev, clock).run(&sched)?;
+                    let mut set_metrics = Vec::new();
                     for (si, nblocks, start, end) in &probes.set_regions {
-                        let set_id = &self.ctx.sets[*si].id;
                         if let Some(dt) = r.elapsed(*start, *end) {
-                            let metric = dt.max(0.0) * *nblocks as f64;
+                            set_metrics.push((*si, dt.max(0.0) * *nblocks as f64));
+                        }
+                    }
+                    Ok(Some(Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        set_metrics,
+                    }))
+                });
+
+            // Commit measurements in candidate order: the tree and the
+            // profile index see exactly the sequential driver's updates.
+            for (bi, outcome) in results.into_iter().enumerate() {
+                let asg = tree.next_trial().expect("lookahead bounds the batch");
+                debug_assert_eq!(asg, batch[bi]);
+                match outcome? {
+                    None => {
+                        // Invalid combination: poison these choices.
+                        for (set_id, _, _) in &explored_sets {
+                            tree.record(set_id, f64::INFINITY);
+                        }
+                    }
+                    Some(o) => {
+                        *trials += 1;
+                        *exploration_ns += o.total_ns;
+                        *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                        for (si, metric) in o.set_metrics {
+                            let set_id = &self.ctx.sets[si].id;
                             tree.record(set_id, metric);
                             if let Some((_, _, ctx_dep)) =
                                 explored_sets.iter().find(|(id, _, _)| id == set_id)
                             {
-                                self.index.record(
-                                    &key_for(set_id, *ctx_dep, asg[set_id]),
-                                    metric,
-                                );
+                                self.index
+                                    .record(&key_for(set_id, *ctx_dep, asg[set_id]), metric);
                             }
                         }
                     }
@@ -360,7 +472,7 @@ impl<'g> Astra<'g> {
         overhead_ns: &mut f64,
     ) -> Result<(), AstraError> {
         let libs = GemmLibrary::all();
-        let units = build_units(&self.ctx, cfg)?;
+        let units = self.plan_cache.units_for(&self.ctx, cfg)?;
         let mut shapes: Vec<GemmShape> = units.iter().filter_map(|u| u.gemm_shape).collect();
         shapes.sort_unstable();
         shapes.dedup();
@@ -388,24 +500,70 @@ impl<'g> Astra<'g> {
             return Ok(());
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vars));
+        let workers = self.workers();
 
-        while let Some(asg) = tree.next_trial() {
-            for shape in &explored {
-                cfg.libs.insert(*shape, libs[asg[&format!("{shape}")]]);
+        struct Outcome {
+            total_ns: f64,
+            probe_records: usize,
+            shape_metrics: Vec<(GemmShape, f64)>,
+        }
+
+        loop {
+            let batch = tree.lookahead(self.batch_cap());
+            if batch.is_empty() {
+                break;
             }
-            let units = build_units(&self.ctx, cfg)?;
-            let (sched, probes) =
-                emit_schedule(&self.ctx, cfg, &units, None, &ProbeSpec::gemm_shapes());
-            let r = self.run(&sched)?;
-            *trials += 1;
-            *exploration_ns += r.total_ns;
-            *overhead_ns += probes.probe_records as f64 * self.dev.event_record_cost_ns;
-            for (shape, start, end) in &probes.shape_regions {
-                if let Some(dt) = r.elapsed(*start, *end) {
+            let cfgs: Vec<ExecConfig> = batch
+                .iter()
+                .map(|asg| {
+                    let mut c = cfg.clone();
+                    for shape in &explored {
+                        c.libs.insert(*shape, libs[asg[&format!("{shape}")]]);
+                    }
+                    c
+                })
+                .collect();
+            // Library trials share one chunk geometry: every request after
+            // the phase's first is a schedule-cache hit, and bind_libs
+            // patches the per-candidate library choices in.
+            let mut bound = Vec::with_capacity(cfgs.len());
+            for c in &cfgs {
+                bound.push(self.plan_cache.units_for(&self.ctx, c)?);
+            }
+
+            let ctx = &self.ctx;
+            let dev = self.dev;
+            let clock = self.opts.clock;
+            let results: Vec<Result<Outcome, AstraError>> =
+                parallel_map(workers, &cfgs, |i, c| {
+                    let (sched, probes) =
+                        emit_schedule(ctx, c, &bound[i], None, &ProbeSpec::gemm_shapes());
+                    let r = Engine::with_clock(dev, clock).run(&sched)?;
+                    let mut shape_metrics = Vec::new();
+                    for (shape, start, end) in &probes.shape_regions {
+                        if let Some(dt) = r.elapsed(*start, *end) {
+                            shape_metrics.push((*shape, dt.max(0.0)));
+                        }
+                    }
+                    Ok(Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        shape_metrics,
+                    })
+                });
+
+            for (bi, outcome) in results.into_iter().enumerate() {
+                let asg = tree.next_trial().expect("lookahead bounds the batch");
+                debug_assert_eq!(asg, batch[bi]);
+                let o = outcome?;
+                *trials += 1;
+                *exploration_ns += o.total_ns;
+                *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                for (shape, metric) in o.shape_metrics {
                     let id = format!("{shape}");
-                    tree.record(&id, dt.max(0.0));
-                    if explored.contains(shape) {
-                        self.index.record(&key_for(shape, asg[&id]), dt.max(0.0));
+                    tree.record(&id, metric);
+                    if explored.contains(&shape) {
+                        self.index.record(&key_for(&shape, asg[&id]), metric);
                     }
                 }
             }
@@ -429,7 +587,7 @@ impl<'g> Astra<'g> {
         overhead_ns: &mut f64,
     ) -> Result<Option<Partition>, AstraError> {
         cfg.num_streams = self.opts.num_streams.max(2);
-        let units = build_units(&self.ctx, cfg)?;
+        let units = self.plan_cache.units_for(&self.ctx, cfg)?;
         let total_flops: f64 = units.iter().map(|u| u.flops).sum();
         let budget = self.opts.super_epoch_flops.unwrap_or(total_flops / 8.0).max(1.0);
         let partition = partition_units(&units, budget);
@@ -476,25 +634,74 @@ impl<'g> Astra<'g> {
             }
         };
 
-        while let Some(asg) = tree.next_trial() {
-            apply(cfg, &asg);
-            let (sched, probes) = emit_schedule(&self.ctx, cfg, &units, Some(&partition), &probe_spec);
-            let r = self.run(&sched)?;
-            *trials += 1;
-            *exploration_ns += r.total_ns;
-            *overhead_ns += probes.probe_records as f64 * self.dev.event_record_cost_ns;
-            // Epoch metric: time from super-epoch start to the last kernel
-            // dispatched in any stream up to this epoch (§4.7).
-            for (&(sei, ei), ends) in &probes.epoch_ends {
-                let Some(&start_ev) = probes.se_starts.get(&sei) else { continue };
-                let Some(&start) = r.event_ns.get(&start_ev) else { continue };
-                let id = format!("se{sei}.e{ei}");
-                let end = ends
-                    .iter()
-                    .filter_map(|e| r.event_ns.get(e).copied())
-                    .fold(f64::NAN, f64::max);
-                if end.is_finite() {
-                    let metric = (end - start).max(0.0);
+        let workers = self.workers();
+
+        struct Outcome {
+            total_ns: f64,
+            probe_records: usize,
+            epoch_metrics: Vec<((usize, usize), f64)>,
+        }
+
+        loop {
+            // Prefix epochs freeze at their best between exploration steps,
+            // so lookahead batches stop at those metric-dependent
+            // boundaries; super-epochs still explore in parallel inside a
+            // batch.
+            let batch = tree.lookahead(self.batch_cap());
+            if batch.is_empty() {
+                break;
+            }
+            let cfgs: Vec<ExecConfig> = batch
+                .iter()
+                .map(|asg| {
+                    let mut c = cfg.clone();
+                    apply(&mut c, asg);
+                    c
+                })
+                .collect();
+
+            let ctx = &self.ctx;
+            let dev = self.dev;
+            let clock = self.opts.clock;
+            let units_ref = &units;
+            let partition_ref = &partition;
+            let probe_ref = &probe_spec;
+            let results: Vec<Result<Outcome, AstraError>> =
+                parallel_map(workers, &cfgs, |_, c| {
+                    let (sched, probes) =
+                        emit_schedule(ctx, c, units_ref, Some(partition_ref), probe_ref);
+                    let r = Engine::with_clock(dev, clock).run(&sched)?;
+                    // Epoch metric: time from super-epoch start to the last
+                    // kernel dispatched in any stream up to this epoch
+                    // (§4.7).
+                    let mut epoch_metrics = Vec::new();
+                    for (&(sei, ei), ends) in &probes.epoch_ends {
+                        let Some(&start_ev) = probes.se_starts.get(&sei) else { continue };
+                        let Some(&start) = r.event_ns.get(&start_ev) else { continue };
+                        let end = ends
+                            .iter()
+                            .filter_map(|e| r.event_ns.get(e).copied())
+                            .fold(f64::NAN, f64::max);
+                        if end.is_finite() {
+                            epoch_metrics.push(((sei, ei), (end - start).max(0.0)));
+                        }
+                    }
+                    Ok(Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        epoch_metrics,
+                    })
+                });
+
+            for (bi, outcome) in results.into_iter().enumerate() {
+                let asg = tree.next_trial().expect("lookahead bounds the batch");
+                debug_assert_eq!(asg, batch[bi]);
+                let o = outcome?;
+                *trials += 1;
+                *exploration_ns += o.total_ns;
+                *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                for ((sei, ei), metric) in o.epoch_metrics {
+                    let id = format!("se{sei}.e{ei}");
                     tree.record(&id, metric);
                     let mut key = ProfileKey::entity(format!("epoch:{id}"), asg[&id]);
                     if let Some(c) = strat_ctx {
@@ -517,7 +724,7 @@ impl<'g> Astra<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use astra_models::{Model, ModelConfig};
+    use astra_models::Model;
 
     fn tiny(model: Model) -> astra_models::BuiltModel {
         let mut c = model.default_config(8);

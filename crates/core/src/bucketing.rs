@@ -8,12 +8,13 @@
 //! exchange for profile validity. The bucket id prefixes every profile key
 //! (the 5x state-space growth the paper reports).
 
-use astra_exec::{lower, native_schedule};
+use astra_exec::{native_schedule, LoweringCache};
 use astra_gpu::{DeviceSpec, Engine};
 use astra_ir::Graph;
 
 use crate::astra::{Astra, AstraOptions, Report};
 use crate::error::AstraError;
+use crate::plan::PlanContext;
 
 /// Maps a length to the smallest bucket covering it (lengths beyond the
 /// last bucket clamp to it) — the paper's "nearest larger bucket" rule.
@@ -74,6 +75,13 @@ pub fn optimize_bucketed(
     used_buckets.sort_unstable();
     used_buckets.dedup();
 
+    // The graph for a given unrolled length lowers identically every time
+    // `build` is called with it, so one lowering cache (keyed by length)
+    // serves both the per-bucket optimizations and the dynamic baseline:
+    // a length that coincides with a bucket boundary lowers once, not
+    // twice.
+    let mut lowerings = LoweringCache::new();
+
     // Optimize once per bucket, threading a single profile index through
     // all buckets: structure-dependent keys (fusion, epochs) carry the
     // bucket prefix and re-explore per bucket (the 5x state-space growth of
@@ -84,9 +92,11 @@ pub fn optimize_bucketed(
     let mut index = crate::profile::ProfileIndex::new();
     for &b in &used_buckets {
         let graph = build(b);
+        let lowering = lowerings.lower(u64::from(b), &graph);
         let mut bucket_opts = opts.clone();
         bucket_opts.key_context = Some(format!("bucket:{b}"));
-        let mut astra = Astra::with_index(&graph, dev, bucket_opts, index);
+        let ctx = PlanContext::with_lowering(&graph, (*lowering).clone());
+        let mut astra = Astra::with_context(ctx, dev, bucket_opts, index);
         let report = astra.optimize()?;
         index = astra.into_index();
         configs += report.configs_explored;
@@ -101,7 +111,7 @@ pub fn optimize_bucketed(
     let mut native_of = std::collections::BTreeMap::new();
     for &l in &distinct {
         let graph = build(l);
-        let sched = native_schedule(&lower(&graph));
+        let sched = native_schedule(&lowerings.lower(u64::from(l), &graph));
         let t = Engine::with_clock(dev, opts.clock).run(&sched)?.total_ns;
         native_of.insert(l, t);
     }

@@ -47,6 +47,7 @@ mod astra;
 mod bucketing;
 pub mod enumerate;
 mod error;
+mod parallel;
 mod plan;
 mod profile;
 mod recompute;
@@ -55,6 +56,10 @@ pub use adaptive::{AdaptiveVar, ExploreMode, UpdateNode, UpdateTree};
 pub use astra::{Astra, AstraOptions, Dims, Report};
 pub use bucketing::{optimize_bucketed, BucketedReport};
 pub use error::AstraError;
-pub use plan::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec, Probes, Unit, UnitId};
+pub use parallel::{effective_workers, parallel_map};
+pub use plan::{
+    bind_libs, build_units, emit_schedule, ExecConfig, PlanCache, PlanContext, PlanKey,
+    ProbeSpec, Probes, Unit, UnitId,
+};
 pub use profile::{ProfileIndex, ProfileKey};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};

@@ -10,6 +10,7 @@
 //! and the profiling probes the custom wirer harvests.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use astra_exec::{fuse_elementwise_chains, lower, EwChain, Lowering};
 use astra_gpu::{
@@ -94,7 +95,14 @@ pub struct PlanContext<'g> {
 impl<'g> PlanContext<'g> {
     /// Runs the full static enumeration for `graph`.
     pub fn new(graph: &'g Graph) -> Self {
-        let lowering = lower(graph);
+        Self::with_lowering(graph, lower(graph))
+    }
+
+    /// Like [`PlanContext::new`], but reuses a lowering computed elsewhere
+    /// (e.g. from an [`astra_exec::LoweringCache`]) instead of re-lowering
+    /// the graph. `lowering` must be the lowering *of `graph`* — the
+    /// enumeration trusts its node indexing.
+    pub fn with_lowering(graph: &'g Graph, lowering: Lowering) -> Self {
         let sets = enumerate_fusion(graph);
         let chains = fuse_elementwise_chains(graph, &lowering);
         let alloc = enumerate_alloc(graph, &lowering, &sets);
@@ -530,6 +538,161 @@ pub fn build_units(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> Result<Vec<Unit>,
     Ok(sorted)
 }
 
+/// Cache key for structurally identical unit DAGs: the applied chunk
+/// geometry of every fusion set (in enumeration order) plus the allocation
+/// strategy. Stream bindings and GEMM library choices are deliberately
+/// absent — streams never influence unit building, and libraries are
+/// re-bound onto cached units by [`bind_libs`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    chunks: Vec<(usize, usize)>,
+    strategy: usize,
+}
+
+/// The schedule cache: memoizes [`build_units`] across trial
+/// configurations.
+///
+/// Unit construction is the lowering → fusion-rewrite → allocation half of
+/// a trial: dependency analysis, gather-copy accounting against the
+/// allocation plan, and the topological sort. Exploration phases K and S,
+/// the per-strategy playoffs, and repeated [`Astra::optimize`] calls all
+/// revisit chunk geometries that were already built, so only the first
+/// visit pays. Cached values are *structural* — built with the default
+/// GEMM library — and [`bind_libs`] patches the per-shape library choice
+/// in (a no-op returning the same allocation when nothing differs).
+///
+/// Invalid geometries (cyclic unit graphs) cache their error too, so the
+/// fusion phase skips re-deriving the cycle on every revisit.
+///
+/// [`Astra::optimize`]: crate::Astra::optimize
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: HashMap<PlanKey, Result<Arc<[Unit]>, AstraError>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The structural key `cfg` maps to under `ctx`.
+    pub fn key(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> PlanKey {
+        PlanKey {
+            chunks: ctx.sets.iter().map(|s| cfg.chunk_for(&s.id)).collect(),
+            strategy: cfg.strategy,
+        }
+    }
+
+    /// Requests the units for `cfg`, counting one hit or miss and building
+    /// on miss. The returned units have `cfg`'s libraries bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and caches) the [`build_units`] error for cyclic
+    /// configurations.
+    pub fn units_for(
+        &mut self,
+        ctx: &PlanContext<'_>,
+        cfg: &ExecConfig,
+    ) -> Result<Arc<[Unit]>, AstraError> {
+        let key = Self::key(ctx, cfg);
+        let structural = if let Some(r) = self.map.get(&key) {
+            self.hits += 1;
+            r.clone()
+        } else {
+            self.misses += 1;
+            let r = Self::build_structural(ctx, cfg);
+            self.map.insert(key, r.clone());
+            r
+        };
+        structural.map(|u| bind_libs(&u, cfg))
+    }
+
+    /// Builds the structural (default-library) units for `cfg` without
+    /// touching the cache. The parallel exploration driver builds a batch's
+    /// missing keys on worker threads and commits them afterwards with
+    /// [`PlanCache::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`build_units`] error for cyclic configurations.
+    pub fn build_structural(
+        ctx: &PlanContext<'_>,
+        cfg: &ExecConfig,
+    ) -> Result<Arc<[Unit]>, AstraError> {
+        let canonical = ExecConfig {
+            chunks: cfg.chunks.clone(),
+            libs: BTreeMap::new(),
+            strategy: cfg.strategy,
+            num_streams: 1,
+            streams: BTreeMap::new(),
+        };
+        build_units(ctx, &canonical).map(Arc::from)
+    }
+
+    /// Whether `key` has a cached build.
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The cached structural build for `key`, if present. Does not count.
+    pub fn get(&self, key: &PlanKey) -> Option<&Result<Arc<[Unit]>, AstraError>> {
+        self.map.get(key)
+    }
+
+    /// Commits a structural build produced by [`PlanCache::build_structural`].
+    pub fn insert(&mut self, key: PlanKey, units: Result<Arc<[Unit]>, AstraError>) {
+        self.map.insert(key, units);
+    }
+
+    /// Counts a request answered without building (key cached, or pending
+    /// earlier in the same candidate batch).
+    pub fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Counts a request that had to build.
+    pub fn count_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Requests answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that built units so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Rebinds every GEMM unit's library to `cfg`'s per-shape choice. Returns
+/// a handle to the same allocation (no copy) when every library already
+/// matches — in particular whenever `cfg.libs` is empty.
+pub fn bind_libs(units: &Arc<[Unit]>, cfg: &ExecConfig) -> Arc<[Unit]> {
+    let bound = |u: &Unit| match (u.gemm_shape, &u.kernel) {
+        (Some(shape), KernelDesc::Gemm { lib, .. }) => *lib == cfg.lib_for(shape),
+        _ => true,
+    };
+    if units.iter().all(bound) {
+        return Arc::clone(units);
+    }
+    units
+        .iter()
+        .map(|u| {
+            let mut u = u.clone();
+            if let (Some(shape), KernelDesc::Gemm { lib, .. }) = (u.gemm_shape, &mut u.kernel) {
+                *lib = cfg.lib_for(shape);
+            }
+            u
+        })
+        .collect()
+}
+
 /// Builds the device-memory plan for a strategy: granted adjacency groups
 /// first, then everything else.
 fn allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> AllocationPlan {
@@ -834,6 +997,85 @@ mod tests {
         for (_, _, start, end) in &probes.set_regions {
             let dt = r.elapsed(*start, *end).unwrap();
             assert!(dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_on_lib_and_stream_variants() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let mut cache = PlanCache::new();
+
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            cfg.chunks.insert(
+                set.id.clone(),
+                (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+            );
+        }
+        let first = cache.units_for(&ctx, &cfg).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // Same chunks, different stream binding: structural hit.
+        let mut streamed = cfg.clone();
+        streamed.num_streams = 4;
+        streamed.streams.insert(first[0].id, 2);
+        let second = cache.units_for(&ctx, &streamed).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&first, &second), "stream variants share the built units");
+
+        // Same chunks, different library: hit, but a rebound copy.
+        let mut libbed = cfg.clone();
+        if let Some(shape) = first.iter().find_map(|u| u.gemm_shape) {
+            let other = GemmLibrary::all()
+                .iter()
+                .copied()
+                .find(|&l| l != cfg.lib_for(shape))
+                .expect("more than one library");
+            libbed.libs.insert(shape, other);
+            let third = cache.units_for(&ctx, &libbed).unwrap();
+            assert_eq!((cache.hits(), cache.misses()), (2, 1));
+            assert!(!Arc::ptr_eq(&first, &third));
+            let rebound = third
+                .iter()
+                .find(|u| u.gemm_shape == Some(shape))
+                .expect("shape still present");
+            assert_eq!(rebound.kernel, KernelDesc::Gemm { shape, lib: other });
+        }
+
+        // Different chunks: miss.
+        let base = ExecConfig::baseline();
+        let _ = cache.units_for(&ctx, &base).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_units_match_direct_build() {
+        // The structural cache + bind_libs must be indistinguishable from
+        // calling build_units directly with the full configuration.
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let mut cache = PlanCache::new();
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            cfg.chunks.insert(
+                set.id.clone(),
+                (*set.row_chunks().last().unwrap(), *set.col_chunks().last().unwrap()),
+            );
+        }
+        if let Some(shape) =
+            build_units(&ctx, &cfg).unwrap().iter().find_map(|u| u.gemm_shape)
+        {
+            cfg.libs.insert(shape, GemmLibrary::all()[1]);
+        }
+        let direct = build_units(&ctx, &cfg).unwrap();
+        let cached = cache.units_for(&ctx, &cfg).unwrap();
+        assert_eq!(direct.len(), cached.len());
+        for (a, b) in direct.iter().zip(cached.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.deps, b.deps);
+            assert_eq!(a.pre_copy_bytes.to_bits(), b.pre_copy_bytes.to_bits());
         }
     }
 

@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 /// A hierarchical profile key: context prefixes plus an entity/choice tail.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let k = ProfileKey::entity("gemm:64x1024x1024", 2).in_context("alloc:1");
 /// assert_eq!(k.to_string(), "alloc:1/gemm:64x1024x1024#2");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProfileKey {
     contexts: Vec<String>,
     entity: String,
@@ -66,7 +65,7 @@ impl std::fmt::Display for ProfileKey {
 /// Re-measuring the same key keeps the *minimum* (measurements are
 /// repeatable under a fixed clock; min guards against profiling noise when
 /// autoboost is on).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileIndex {
     map: BTreeMap<String, f64>,
 }

@@ -7,10 +7,9 @@
 //! with runtime measurement and adaptation." This module supplies those
 //! physical characteristics.
 
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point link between accelerators.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Human-readable name.
     pub name: String,

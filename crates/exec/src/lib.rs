@@ -41,6 +41,6 @@ mod xla;
 
 pub use cudnn::{cudnn_schedule, detect_covered_layers};
 pub use fusion::{fuse_elementwise_chains, EwChain};
-pub use lowering::{lower, LoweredOp, Lowering, DEFAULT_GEMM_LIB};
+pub use lowering::{lower, LoweredOp, Lowering, LoweringCache, DEFAULT_GEMM_LIB};
 pub use native::native_schedule;
 pub use xla::xla_schedule;

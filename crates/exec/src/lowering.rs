@@ -11,6 +11,9 @@
 //!   aliases resolved, so memory-allocation strategies can reason about
 //!   which physical buffers must be contiguous for fusion.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use astra_gpu::{BufId, GemmLibrary, GemmShape, KernelDesc};
 use astra_ir::{Graph, NodeId, OpKind, TensorId};
 
@@ -162,10 +165,73 @@ pub fn lower(graph: &Graph) -> Lowering {
     Lowering { ops, buffer }
 }
 
+/// Memoizes [`lower`] results across structurally identical graphs.
+///
+/// The cache is keyed by a caller-chosen `u64` that must uniquely identify
+/// the graph's *structure* (bucketed dynamic-graph optimization uses the
+/// unrolled length): a key hit returns the stored lowering without looking
+/// at the graph again, so two graphs filed under one key must be built
+/// identically.
+#[derive(Debug, Default)]
+pub struct LoweringCache {
+    map: HashMap<u64, Arc<Lowering>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LoweringCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LoweringCache::default()
+    }
+
+    /// The lowering for `graph` under `key`, lowering on first request.
+    pub fn lower(&mut self, key: u64, graph: &Graph) -> Arc<Lowering> {
+        if let Some(l) = self.map.get(&key) {
+            self.hits += 1;
+            return Arc::clone(l);
+        }
+        self.misses += 1;
+        let l = Arc::new(lower(graph));
+        self.map.insert(key, Arc::clone(&l));
+        l
+    }
+
+    /// Requests answered without re-lowering.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that lowered a graph.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use astra_ir::Shape;
+
+    #[test]
+    fn lowering_cache_shares_by_key() {
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.input(Shape::matrix(8, 16), "x");
+            let w = g.param(Shape::matrix(16, 4), "w");
+            let _ = g.mm(x, w);
+            g
+        };
+        let mut cache = LoweringCache::new();
+        let g1 = build();
+        let first = cache.lower(8, &g1);
+        let g2 = build();
+        let second = cache.lower(8, &g2);
+        assert!(Arc::ptr_eq(&first, &second), "same key shares the lowering");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let _ = cache.lower(16, &g2);
+        assert_eq!(cache.misses(), 2);
+    }
 
     #[test]
     fn transpose_is_elided_and_aliased() {

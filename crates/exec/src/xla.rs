@@ -83,7 +83,7 @@ mod tests {
     use crate::lowering::lower;
     use crate::native::native_schedule;
     use astra_gpu::{DeviceSpec, Engine};
-    use astra_models::{Model, ModelConfig};
+    use astra_models::Model;
 
     fn small(m: Model, use_embedding: bool) -> (Graph, Lowering) {
         let mut c = m.default_config(16);

@@ -10,12 +10,10 @@
 //! single-sample profiling unsound. The `predictability` bench regenerates the
 //! §7 observation from these two modes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use astra_util::Rng64;
 
 /// Clock frequency policy for a simulated device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClockMode {
     /// Base clock pinned: every kernel execution is exactly repeatable.
     Fixed,
@@ -51,7 +49,7 @@ impl Default for ClockMode {
 #[derive(Debug, Clone)]
 pub struct Clock {
     mode: ClockMode,
-    rng: Option<StdRng>,
+    rng: Option<Rng64>,
 }
 
 /// Maximum relative slowdown injected by autoboost jitter.
@@ -62,7 +60,7 @@ impl Clock {
     pub fn new(mode: ClockMode) -> Self {
         let rng = match mode {
             ClockMode::Fixed => None,
-            ClockMode::Autoboost { seed } => Some(StdRng::seed_from_u64(seed)),
+            ClockMode::Autoboost { seed } => Some(Rng64::new(seed)),
         };
         Clock { mode, rng }
     }
@@ -81,7 +79,7 @@ impl Clock {
     pub fn jitter_factor(&mut self) -> f64 {
         match &mut self.rng {
             None => 1.0,
-            Some(rng) => 1.0 + rng.gen::<f64>() * AUTOBOOST_SPREAD,
+            Some(rng) => 1.0 + rng.gen_f64() * AUTOBOOST_SPREAD,
         }
     }
 }

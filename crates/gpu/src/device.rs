@@ -11,7 +11,6 @@
 //! provided to exercise the paper's §6.7 claim that faster hardware makes even
 //! large operations launch-overhead-bound.
 
-use serde::{Deserialize, Serialize};
 
 /// Architectural parameters of a simulated GPU.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(dev.total_slots() > 0);
 /// assert!(dev.peak_gflops > 1_000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable device name.
     pub name: String,

@@ -19,12 +19,18 @@
 //! The simulation is fully deterministic under [`ClockMode::Fixed`]; under
 //! autoboost, kernel durations receive seeded multiplicative jitter, which is
 //! exactly the repeatability hazard the paper's §7 discusses.
+//!
+//! The hot path is allocation-free per command: queue items borrow their
+//! labels and wait lists from the schedule, execution rates are cached and
+//! recomputed only when the set of running kernels changes, and the span and
+//! queue buffers are pre-sized from the schedule's counters.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::clock::{Clock, ClockMode};
 use crate::device::DeviceSpec;
 use crate::error::GpuError;
+use crate::kernel::KernelDesc;
 use crate::schedule::{Cmd, EventId, Schedule, StreamId};
 
 /// Time comparison slack, in nanoseconds.
@@ -81,26 +87,53 @@ impl RunResult {
     }
 }
 
+/// Label of a launch: either the schedule's explicit label or the kernel's
+/// default. Resolved to an owned `String` only once, when the span is built.
+fn span_label(label: Option<&str>, kernel: &KernelDesc) -> String {
+    label.map_or_else(|| kernel.label(), str::to_owned)
+}
+
 #[derive(Debug, Clone)]
-enum ItemKind {
-    Kernel { exec_ns: f64, demand: u32, label: String, cmd_idx: usize },
+enum ItemKind<'s> {
+    Kernel {
+        exec_ns: f64,
+        demand: u32,
+        label: Option<&'s str>,
+        kernel: &'s KernelDesc,
+        cmd_idx: usize,
+    },
     Record { event: EventId },
     Barrier { id: usize },
 }
 
 #[derive(Debug, Clone)]
-struct Item {
-    kind: ItemKind,
+struct Item<'s> {
+    kind: ItemKind<'s>,
     issue_ns: f64,
-    waits: Vec<EventId>,
+    waits: &'s [EventId],
 }
 
 #[derive(Debug, Clone)]
-enum Active {
+enum Active<'s> {
     /// Launch-overhead phase: fixed duration, does not occupy slots.
-    Overhead { until: f64, exec_ns: f64, demand: u32, label: String, cmd_idx: usize, start: f64 },
+    Overhead {
+        until: f64,
+        exec_ns: f64,
+        demand: u32,
+        label: Option<&'s str>,
+        kernel: &'s KernelDesc,
+        cmd_idx: usize,
+        start: f64,
+    },
     /// Executing phase: `remaining` ns of work at unit rate, slot-sharing.
-    Work { remaining: f64, demand: u32, label: String, cmd_idx: usize, start: f64 },
+    Work {
+        remaining: f64,
+        demand: u32,
+        label: Option<&'s str>,
+        kernel: &'s KernelDesc,
+        cmd_idx: usize,
+        start: f64,
+    },
     /// Fixed-duration item (event record).
     Fixed { until: f64, event: Option<EventId> },
     /// Arrived at a barrier; waiting for the rest of the device.
@@ -108,9 +141,9 @@ enum Active {
 }
 
 #[derive(Debug, Default)]
-struct StreamState {
-    queue: VecDeque<Item>,
-    active: Option<Active>,
+struct StreamState<'s> {
+    queue: VecDeque<Item<'s>>,
+    active: Option<Active<'s>>,
 }
 
 /// Executes [`Schedule`]s against a [`DeviceSpec`] under a [`ClockMode`].
@@ -151,7 +184,7 @@ impl<'a> Engine<'a> {
     /// can never fire (e.g. a wait that precedes its record in program order
     /// on a blocked stream).
     pub fn run(&mut self, schedule: &Schedule) -> Result<RunResult, GpuError> {
-        let mut sim = Sim::new(self.dev, schedule.num_streams(), &mut self.clock);
+        let mut sim = Sim::new(self.dev, schedule, &mut self.clock);
         let mut cpu_ns = 0.0_f64;
         let mut barrier_seq = 0_usize;
 
@@ -164,11 +197,12 @@ impl<'a> Engine<'a> {
                         kind: ItemKind::Kernel {
                             exec_ns: cost.exec_ns,
                             demand: cost.demand_blocks,
-                            label: label.clone().unwrap_or_else(|| kernel.label()),
+                            label: label.as_deref(),
+                            kernel,
                             cmd_idx: idx,
                         },
                         issue_ns: cpu_ns,
-                        waits: waits.clone(),
+                        waits,
                     });
                 }
                 Cmd::Record { stream, event } => {
@@ -176,7 +210,7 @@ impl<'a> Engine<'a> {
                     sim.streams[stream.0].queue.push_back(Item {
                         kind: ItemKind::Record { event: *event },
                         issue_ns: cpu_ns,
-                        waits: Vec::new(),
+                        waits: &[],
                     });
                     sim.result.num_records += 1;
                 }
@@ -188,7 +222,7 @@ impl<'a> Engine<'a> {
                         s.queue.push_back(Item {
                             kind: ItemKind::Barrier { id },
                             issue_ns: cpu_ns,
-                            waits: Vec::new(),
+                            waits: &[],
                         });
                     }
                     sim.barrier_expect.insert(id, sim.num_streams);
@@ -209,30 +243,45 @@ impl<'a> Engine<'a> {
     }
 }
 
-struct Sim<'d, 'c> {
+struct Sim<'s, 'd, 'c> {
     dev: &'d DeviceSpec,
     clock: &'c mut Clock,
-    streams: Vec<StreamState>,
+    streams: Vec<StreamState<'s>>,
     num_streams: usize,
     now: f64,
     events: HashMap<EventId, f64>,
     barrier_arrivals: HashMap<usize, Vec<(usize, f64)>>,
     barrier_expect: HashMap<usize, usize>,
+    /// Cached per-stream execution rate, valid while `rates_dirty` is false.
+    /// Streams not in the work phase hold the don't-care value 1.0.
+    rates: Vec<f64>,
+    /// Set whenever the set of work-phase kernels changes (a kernel enters
+    /// the work phase or completes); cleared by [`Sim::ensure_rates`].
+    rates_dirty: bool,
     result: RunResult,
 }
 
-impl<'d, 'c> Sim<'d, 'c> {
-    fn new(dev: &'d DeviceSpec, num_streams: usize, clock: &'c mut Clock) -> Self {
+impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
+    fn new(dev: &'d DeviceSpec, schedule: &'s Schedule, clock: &'c mut Clock) -> Self {
+        let num_streams = schedule.num_streams();
+        let mut result = RunResult::default();
+        result.spans.reserve_exact(schedule.num_launches());
         Sim {
             dev,
             clock,
-            streams: (0..num_streams).map(|_| StreamState::default()).collect(),
+            streams: schedule
+                .stream_cmd_counts()
+                .iter()
+                .map(|&n| StreamState { queue: VecDeque::with_capacity(n), active: None })
+                .collect(),
             num_streams,
             now: 0.0,
             events: HashMap::new(),
             barrier_arrivals: HashMap::new(),
             barrier_expect: HashMap::new(),
-            result: RunResult::default(),
+            rates: vec![1.0; num_streams],
+            rates_dirty: true,
+            result,
         }
     }
 
@@ -244,6 +293,7 @@ impl<'d, 'c> Sim<'d, 'c> {
             if self.all_idle() {
                 return Ok(self.now);
             }
+            self.ensure_rates();
             let t_next = self.next_event_time();
             let Some(t_next) = t_next else {
                 return Err(GpuError::Deadlock(self.describe_stall()));
@@ -283,7 +333,7 @@ impl<'d, 'c> Sim<'d, 'c> {
                     self.dev.stream_sync_cost_ns
                 };
                 match item.kind {
-                    ItemKind::Kernel { exec_ns, demand, label, cmd_idx } => {
+                    ItemKind::Kernel { exec_ns, demand, label, kernel, cmd_idx } => {
                         let jitter = self.clock.jitter_factor();
                         let start = self.now;
                         self.streams[si].active = Some(Active::Overhead {
@@ -291,6 +341,7 @@ impl<'d, 'c> Sim<'d, 'c> {
                             exec_ns: exec_ns * jitter,
                             demand,
                             label,
+                            kernel,
                             cmd_idx,
                             start,
                         });
@@ -335,8 +386,8 @@ impl<'d, 'c> Sim<'d, 'c> {
         }
     }
 
-    /// Current execution rates for all kernels in the work phase, relative
-    /// to their solo rate.
+    /// Refreshes the cached per-stream execution rates if the set of
+    /// work-phase kernels changed since the last computation.
     ///
     /// Concurrent kernels share the device proportionally to their grid
     /// sizes, but the *combined* grid achieves the utilization of one merged
@@ -347,7 +398,11 @@ impl<'d, 'c> Sim<'d, 'c> {
     ///
     /// `rate_i = (d_i / D) * U(D) / U(d_i)`, with `U` the same wave-aware
     /// utilization the solo cost model uses. A single kernel gets rate 1.
-    fn work_rates(&self) -> Vec<(usize, f64)> {
+    fn ensure_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
         let slots = f64::from(self.dev.total_slots());
         let util = |blocks: f64| -> f64 {
             if blocks <= 0.0 {
@@ -356,30 +411,32 @@ impl<'d, 'c> Sim<'d, 'c> {
             let waves = (blocks / slots).ceil().max(1.0);
             (blocks / (waves * slots)).sqrt()
         };
-        let demands: Vec<(usize, f64)> = self
-            .streams
-            .iter()
-            .enumerate()
-            .filter_map(|(si, s)| match &s.active {
-                Some(Active::Work { demand, .. }) => Some((si, f64::from(*demand))),
-                _ => None,
-            })
-            .collect();
-        let total: f64 = demands.iter().map(|&(_, d)| d).sum();
+        for r in &mut self.rates {
+            *r = 1.0;
+        }
+        let mut total = 0.0_f64;
+        for s in &self.streams {
+            if let Some(Active::Work { demand, .. }) = &s.active {
+                total += f64::from(*demand);
+            }
+        }
+        if total <= 0.0 {
+            return;
+        }
         let joint = util(total);
-        demands
-            .into_iter()
-            .map(|(si, d)| {
-                if d <= 0.0 {
-                    (si, 1.0)
-                } else {
-                    (si, (d / total) * joint / util(d))
+        for (si, s) in self.streams.iter().enumerate() {
+            if let Some(Active::Work { demand, .. }) = &s.active {
+                let d = f64::from(*demand);
+                if d > 0.0 {
+                    self.rates[si] = (d / total) * joint / util(d);
                 }
-            })
-            .collect()
+            }
+        }
     }
 
-    /// The next simulation timestamp at which anything changes.
+    /// The next simulation timestamp at which anything changes. Relies on
+    /// [`Sim::ensure_rates`] having been called since the last work-set
+    /// change.
     fn next_event_time(&self) -> Option<f64> {
         let mut t: Option<f64> = None;
         let mut consider = |cand: f64| {
@@ -390,12 +447,11 @@ impl<'d, 'c> Sim<'d, 'c> {
                 });
             }
         };
-        let rates: HashMap<usize, f64> = self.work_rates().into_iter().collect();
         for (si, s) in self.streams.iter().enumerate() {
             match &s.active {
                 Some(Active::Overhead { until, .. }) => consider(*until),
                 Some(Active::Work { remaining, .. }) => {
-                    let rate = rates.get(&si).copied().unwrap_or(1.0);
+                    let rate = self.rates[si];
                     consider(self.now + remaining / rate.max(1e-12));
                 }
                 Some(Active::Fixed { until, .. }) => consider(*until),
@@ -419,15 +475,13 @@ impl<'d, 'c> Sim<'d, 'c> {
         t
     }
 
-    /// Advances time to `t`, burning work according to current rates.
+    /// Advances time to `t`, burning work according to the cached rates.
     fn advance_to(&mut self, t: f64) {
         let dt = (t - self.now).max(0.0);
         if dt > 0.0 {
-            let rates: HashMap<usize, f64> = self.work_rates().into_iter().collect();
             for (si, s) in self.streams.iter_mut().enumerate() {
                 if let Some(Active::Work { remaining, .. }) = &mut s.active {
-                    let rate = rates.get(&si).copied().unwrap_or(1.0);
-                    *remaining -= rate * dt;
+                    *remaining -= self.rates[si] * dt;
                 }
             }
         }
@@ -449,23 +503,26 @@ impl<'d, 'c> Sim<'d, 'c> {
                 continue;
             }
             match self.streams[si].active.take().expect("checked above") {
-                Active::Overhead { exec_ns, demand, label, cmd_idx, start, .. } => {
+                Active::Overhead { exec_ns, demand, label, kernel, cmd_idx, start, .. } => {
                     self.streams[si].active = Some(Active::Work {
                         remaining: exec_ns,
                         demand,
                         label,
+                        kernel,
                         cmd_idx,
                         start,
                     });
+                    self.rates_dirty = true;
                 }
-                Active::Work { label, cmd_idx, start, .. } => {
+                Active::Work { label, kernel, cmd_idx, start, .. } => {
                     self.result.spans.push(KernelSpan {
-                        label,
+                        label: span_label(label, kernel),
                         stream: StreamId(si),
                         start_ns: start,
                         end_ns: self.now,
                         cmd_idx,
                     });
+                    self.rates_dirty = true;
                 }
                 Active::Fixed { event, .. } => {
                     if let Some(ev) = event {
@@ -485,12 +542,14 @@ impl<'d, 'c> Sim<'d, 'c> {
                 Some(Active::AtBarrier { id }) => {
                     parts.push(format!("stream {si} stuck at barrier {id}"));
                 }
-                Some(Active::Work { remaining, demand, label, .. }) => {
+                Some(Active::Work { remaining, demand, label, kernel, .. }) => {
+                    let label = span_label(*label, kernel);
                     parts.push(format!(
                         "stream {si} running '{label}' with remaining {remaining} (demand {demand}) that never completes"
                     ));
                 }
-                Some(Active::Overhead { until, label, .. }) => {
+                Some(Active::Overhead { until, label, kernel, .. }) => {
+                    let label = span_label(*label, kernel);
                     parts.push(format!(
                         "stream {si} in launch overhead of '{label}' until {until}"
                     ));
@@ -555,13 +614,13 @@ mod tests {
         let k = gemm(GemmShape::new(256, 1024, 1024));
         let solo = {
             let mut s = Schedule::new(1);
-            s.launch(StreamId(0), k.clone());
+            s.launch(StreamId(0), k);
             Engine::new(&dev).run(&s).unwrap().total_ns
         };
         let double = {
             let mut s = Schedule::new(1);
-            s.launch(StreamId(0), k.clone());
-            s.launch(StreamId(0), k.clone());
+            s.launch(StreamId(0), k);
+            s.launch(StreamId(0), k);
             Engine::new(&dev).run(&s).unwrap().total_ns
         };
         // Two sequential kernels take nearly twice as long (minus the
@@ -575,14 +634,14 @@ mod tests {
         let k = gemm(GemmShape::new(256, 1024, 1024));
         let sequential = {
             let mut s = Schedule::new(1);
-            s.launch(StreamId(0), k.clone());
-            s.launch(StreamId(0), k.clone());
+            s.launch(StreamId(0), k);
+            s.launch(StreamId(0), k);
             Engine::new(&dev).run(&s).unwrap().total_ns
         };
         let parallel = {
             let mut s = Schedule::new(2);
-            s.launch(StreamId(0), k.clone());
-            s.launch(StreamId(1), k.clone());
+            s.launch(StreamId(0), k);
+            s.launch(StreamId(1), k);
             Engine::new(&dev).run(&s).unwrap().total_ns
         };
         assert!(parallel < sequential, "parallel {parallel} !< sequential {sequential}");
@@ -633,9 +692,9 @@ mod tests {
         let dev = DeviceSpec::p100();
         let k = gemm(GemmShape::new(256, 1024, 1024));
         let mut s = Schedule::new(2);
-        s.launch(StreamId(0), k.clone());
+        s.launch(StreamId(0), k);
         let ev = s.record(StreamId(0));
-        s.launch_after(StreamId(1), k.clone(), vec![ev]);
+        s.launch_after(StreamId(1), k, vec![ev]);
         let r = Engine::new(&dev).run(&s).unwrap();
         let fire = r.event_ns[&ev];
         let dependent = r.spans.iter().find(|sp| sp.stream == StreamId(1)).unwrap();
@@ -675,12 +734,12 @@ mod tests {
         let dev = DeviceSpec::p100();
         let k = gemm(GemmShape::new(512, 1024, 1024));
         let mut s = Schedule::new(1);
-        s.launch(StreamId(0), k.clone());
+        s.launch(StreamId(0), k);
         s.host_sync();
-        s.launch(StreamId(0), k.clone());
+        s.launch(StreamId(0), k);
         let r = Engine::new(&dev).run(&s).unwrap();
         let mut nosync = Schedule::new(1);
-        nosync.launch(StreamId(0), k.clone());
+        nosync.launch(StreamId(0), k);
         nosync.launch(StreamId(0), k);
         let r2 = Engine::new(&dev).run(&nosync).unwrap();
         assert!(r.total_ns > r2.total_ns + dev.host_roundtrip_ns * 0.9);
@@ -742,5 +801,17 @@ mod tests {
             + 2.0 * dev.dispatch_cost_ns
             + 3.0 * dev.event_record_cost_ns;
         assert!(elapsed <= cost.exec_ns + slack);
+    }
+
+    #[test]
+    fn explicit_labels_survive_to_spans() {
+        let dev = DeviceSpec::p100();
+        let mut s = Schedule::new(1);
+        s.launch_labeled(StreamId(0), gemm(GemmShape::new(64, 256, 256)), Vec::new(), "mine");
+        s.launch(StreamId(0), gemm(GemmShape::new(64, 256, 256)));
+        let r = Engine::new(&dev).run(&s).unwrap();
+        let labels: Vec<&str> = r.spans.iter().map(|sp| sp.label.as_str()).collect();
+        assert!(labels.contains(&"mine"));
+        assert!(labels.iter().any(|l| l.starts_with("gemm[")));
     }
 }

@@ -20,12 +20,11 @@
 //! rate sub-linearly (square root) to model latency hiding. A memory-
 //! bandwidth floor covers bandwidth-bound shapes.
 
-use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceSpec;
 
 /// Dimensions of a single GEMM: `(m x k) * (k x n)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GemmShape {
     /// Rows of the left operand and the output.
     pub m: u64,
@@ -77,7 +76,7 @@ impl std::fmt::Display for GemmShape {
 }
 
 /// A GEMM kernel library the runtime can choose among (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GemmLibrary {
     /// cuBLAS-style adaptive library: tile menu + split-K, moderate efficiency.
     CublasLike,
@@ -110,7 +109,7 @@ impl std::fmt::Display for GemmLibrary {
 }
 
 /// Result of costing one GEMM under one library.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmTiming {
     /// Solo execution time in nanoseconds (excluding launch overhead).
     pub time_ns: f64,

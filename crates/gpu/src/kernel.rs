@@ -6,7 +6,6 @@
 //! charges separately) and its thread-block *demand*, which drives the
 //! processor-sharing model when several streams run kernels concurrently.
 
-use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceSpec;
 use crate::gemm::{time_gemm, GemmLibrary, GemmShape};
@@ -19,7 +18,11 @@ const ELEMENTS_PER_BLOCK: u64 = 4096;
 const COMPOUND_EFF: f64 = 0.62;
 
 /// One launchable unit of GPU work.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every variant is a few words of plain shape/size data, so descriptors are
+/// `Copy`: schedules hand them to the engine by value and the hot launch path
+/// never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KernelDesc {
     /// A (possibly fused) matrix multiplication executed by a chosen library.
     Gemm {
@@ -89,7 +92,7 @@ pub enum KernelDesc {
 }
 
 /// Evaluated cost of a kernel on a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCost {
     /// Solo execution time in ns, excluding launch overhead.
     pub exec_ns: f64,

@@ -9,14 +9,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a logical device buffer (one tensor's storage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufId(pub u64);
 
 /// Placement of one buffer in the arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// Byte offset from the arena base.
     pub offset: u64,
@@ -41,7 +40,7 @@ pub struct Placement {
 /// assert!(plan.are_contiguous(&[BufId(0), BufId(1)]));
 /// assert!(!plan.are_contiguous(&[BufId(1), BufId(2)]));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AllocationPlan {
     placements: HashMap<BufId, Placement>,
     cursor: u64,

@@ -6,20 +6,19 @@
 //! and waits, device-wide barriers (super-epoch boundaries), and synchronous
 //! host syncs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::kernel::KernelDesc;
 
 /// Identifier of a GPU stream within a schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamId(pub usize);
 
 /// Identifier of a cudaEvent-style event within a schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u32);
 
 /// One dispatcher command.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cmd {
     /// Asynchronously launch `kernel` on `stream`, after all `waits` events
     /// have fired.
@@ -60,11 +59,15 @@ pub enum Cmd {
 /// s.launch_after(StreamId(1), KernelDesc::MemCopy { bytes: 1024.0 }, vec![ev]);
 /// assert_eq!(s.cmds().len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     num_streams: usize,
     cmds: Vec<Cmd>,
     next_event: u32,
+    num_launches: usize,
+    // Queue items each stream will receive (launches + records + barriers),
+    // maintained incrementally so the engine can pre-size its FIFOs.
+    stream_cmds: Vec<usize>,
 }
 
 impl Schedule {
@@ -75,7 +78,13 @@ impl Schedule {
     /// Panics if `num_streams` is zero.
     pub fn new(num_streams: usize) -> Self {
         assert!(num_streams > 0, "a schedule needs at least one stream");
-        Schedule { num_streams, cmds: Vec::new(), next_event: 0 }
+        Schedule {
+            num_streams,
+            cmds: Vec::new(),
+            next_event: 0,
+            num_launches: 0,
+            stream_cmds: vec![0; num_streams],
+        }
     }
 
     /// Number of streams the schedule dispatches onto.
@@ -90,7 +99,13 @@ impl Schedule {
 
     /// Number of kernel launches in the schedule.
     pub fn num_launches(&self) -> usize {
-        self.cmds.iter().filter(|c| matches!(c, Cmd::Launch { .. })).count()
+        self.num_launches
+    }
+
+    /// Per-stream count of queue items (launches, records, and barriers) —
+    /// the capacity each stream's FIFO needs during execution.
+    pub fn stream_cmd_counts(&self) -> &[usize] {
+        &self.stream_cmds
     }
 
     /// Appends an unlabelled launch with no waits. Returns the command index.
@@ -127,6 +142,8 @@ impl Schedule {
         label: Option<String>,
     ) -> usize {
         self.check_stream(stream);
+        self.num_launches += 1;
+        self.stream_cmds[stream.0] += 1;
         self.cmds.push(Cmd::Launch { stream, kernel, waits, label });
         self.cmds.len() - 1
     }
@@ -136,12 +153,16 @@ impl Schedule {
         self.check_stream(stream);
         let ev = EventId(self.next_event);
         self.next_event += 1;
+        self.stream_cmds[stream.0] += 1;
         self.cmds.push(Cmd::Record { stream, event: ev });
         ev
     }
 
     /// Appends a device-wide barrier (super-epoch boundary).
     pub fn barrier(&mut self) {
+        for c in &mut self.stream_cmds {
+            *c += 1;
+        }
         self.cmds.push(Cmd::Barrier);
     }
 

@@ -8,13 +8,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::op::OpKind;
 use crate::tensor::{Shape, TensorId, TensorInfo, TensorKind};
 
 /// Identifier of a node within one [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -24,7 +23,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Which pass of training a node belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// Feed-forward computation.
     Forward,
@@ -33,7 +32,7 @@ pub enum Pass {
 }
 
 /// Where a node came from in the model source.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Provenance {
     /// Layer name (e.g. `"lstm2"`, `"attention"`).
     pub layer: String,
@@ -77,7 +76,7 @@ impl Provenance {
 }
 
 /// One operator application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// The operator.
     pub op: OpKind,
@@ -103,7 +102,7 @@ pub struct Node {
 /// assert_eq!(g.shape(y), &Shape::matrix(8, 4));
 /// assert_eq!(g.nodes().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Graph {
     tensors: Vec<TensorInfo>,
     nodes: Vec<Node>,

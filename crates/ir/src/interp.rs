@@ -369,11 +369,10 @@ fn broadcast_binop(
 mod tests {
     use super::*;
     use crate::autodiff::{append_backward, param_grads};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use astra_util::Rng64;
 
-    fn rand_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
-        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    fn rand_vec(rng: &mut Rng64, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect()
     }
 
     #[test]
@@ -395,7 +394,7 @@ mod tests {
         let x = g.input(Shape::matrix(3, 5), "x");
         let y = g.softmax(x);
         let mut env = Env::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         env.bind(x, rand_vec(&mut rng, 15));
         evaluate(&g, &mut env).unwrap();
         for row in env.value(y).unwrap().chunks(5) {
@@ -445,7 +444,7 @@ mod tests {
         let loss = g.reduce_sum(y);
         let back = append_backward(&mut g, loss);
 
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::new(7);
         let base: Vec<(TensorId, Vec<f64>)> = [x, w1, b1, w2]
             .iter()
             .map(|&t| (t, rand_vec(&mut rng, g.shape(t).elements() as usize)))
@@ -517,7 +516,7 @@ mod tests {
         let loss = g.reduce_sum(act);
         let back = append_backward(&mut g, loss);
 
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let base: Vec<(TensorId, Vec<f64>)> = [x, w]
             .iter()
             .map(|&t| (t, rand_vec(&mut rng, g.shape(t).elements() as usize)))

@@ -1,6 +1,5 @@
 //! Operator kinds and their shape/arity rules.
 
-use serde::{Deserialize, Serialize};
 
 use crate::tensor::Shape;
 
@@ -10,7 +9,7 @@ use crate::tensor::Shape;
 /// element-wise arithmetic and activations (plus their backward-pass
 /// gradient forms), softmax, concat/slice, embedding lookups, transposes and
 /// reductions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpKind {
     /// Matrix multiplication `[m,k] x [k,n] -> [m,n]` (the paper's `mm`).
     MatMul,
@@ -99,7 +98,7 @@ pub enum OpKind {
 }
 
 /// Spatial/channel dimensions of a convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvDims {
     /// Input channels.
     pub c_in: u64,

@@ -1,11 +1,10 @@
 //! Tensors: identifiers, shapes, and roles.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a tensor within one [`Graph`](crate::graph::Graph).
 ///
 /// Displays in the paper's trace notation (`%7`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TensorId(pub u32);
 
 impl std::fmt::Display for TensorId {
@@ -25,7 +24,7 @@ impl std::fmt::Display for TensorId {
 /// assert_eq!(s.elements(), 64 * 1024);
 /// assert_eq!(s.bytes(), 64 * 1024 * 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<u64>);
 
 impl Shape {
@@ -104,7 +103,7 @@ impl std::fmt::Display for Shape {
 }
 
 /// What role a tensor plays in the training computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorKind {
     /// Mini-batch input (activations fed from the data pipeline).
     Input,
@@ -117,7 +116,7 @@ pub enum TensorKind {
 }
 
 /// Metadata of one tensor in a graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TensorInfo {
     /// The tensor's shape.
     pub shape: Shape,

@@ -1,7 +1,6 @@
 //! Model configuration and the training-graph wrapper.
 
 use astra_ir::{append_backward, BackwardResult, Graph, TensorId};
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters shared by all model builders.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// embedded (or fed as dense features when `use_embedding` is off — the
 /// Table 9 "embedding removed" variant), run through recurrent layers
 /// unrolled for `seq_len` timesteps, and projected to `vocab` logits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Mini-batch size (the paper sweeps 8..256).
     pub batch: u64,

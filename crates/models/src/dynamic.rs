@@ -10,8 +10,7 @@
 //! This module provides the PTB-like length distribution and the bucketing
 //! rule; the Astra core's `bucketing` module consumes both.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use astra_util::Rng64;
 
 /// The paper's PTB-calibrated bucket boundaries (§6.5): a sentence of length
 /// `L` maps to the smallest bucket `>= L`.
@@ -44,14 +43,14 @@ pub fn bucket_for(len: u32, buckets: &[u32]) -> u32 {
 /// most sentences are short (mode ~15-25 words) with a long tail.
 #[derive(Debug, Clone)]
 pub struct LengthSampler {
-    rng: StdRng,
+    rng: Rng64,
     max_len: u32,
 }
 
 impl LengthSampler {
     /// Creates a sampler with the PTB maximum length (83).
     pub fn new(seed: u64) -> Self {
-        LengthSampler { rng: StdRng::seed_from_u64(seed), max_len: 83 }
+        LengthSampler { rng: Rng64::new(seed), max_len: 83 }
     }
 
     /// Samples the max sentence length of one mini-batch (which is what
@@ -59,10 +58,10 @@ impl LengthSampler {
     pub fn sample(&mut self) -> u32 {
         // Sum of three uniforms approximates the unimodal body; occasional
         // tail draws cover long sentences.
-        if self.rng.gen::<f64>() < 0.08 {
-            self.rng.gen_range(31..=self.max_len)
+        if self.rng.gen_f64() < 0.08 {
+            self.rng.gen_range_u32(31, self.max_len)
         } else {
-            let body: u32 = (0..3).map(|_| self.rng.gen_range(3..=10)).sum();
+            let body: u32 = (0..3).map(|_| self.rng.gen_range_u32(3, 10)).sum();
             body.min(self.max_len)
         }
     }

@@ -46,10 +46,9 @@ pub use cnn::build_small_cnn;
 pub use config::{BuiltModel, ModelConfig};
 pub use dynamic::{bucket_for, LengthSampler, PTB_BUCKETS};
 
-use serde::{Deserialize, Serialize};
 
 /// The five evaluation models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
     /// Structurally constrained RNN (Mikolov et al.).
     Scrnn,

@@ -1,0 +1,20 @@
+//! # astra-util — dependency-free workspace utilities
+//!
+//! The workspace must build and test with no network access, so everything
+//! that used to come from small external crates lives here instead:
+//!
+//! * [`Rng64`] — a seeded splitmix64/xorshift PRNG. It backs the simulated
+//!   clock jitter, the dynamic-graph length sampler, and the randomized
+//!   property tests. Sequences are stable across platforms and releases:
+//!   changing them invalidates recorded expectations, so treat the stream
+//!   as part of the crate's API.
+//! * [`bench_ns`] / [`report`] — an `Instant`-based microbenchmark loop for
+//!   the bench binaries (the criterion replacement).
+
+#![warn(missing_docs)]
+
+mod rng;
+mod timing;
+
+pub use rng::Rng64;
+pub use timing::{bench_ns, report};

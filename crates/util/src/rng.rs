@@ -1,0 +1,185 @@
+//! A small deterministic PRNG: splitmix64 seeding into xorshift64*.
+//!
+//! Not cryptographic — it exists so the simulator and the randomized tests
+//! are hermetically reproducible without an external `rand` dependency.
+
+/// Seeded 64-bit PRNG (splitmix64-seeded xorshift64*).
+///
+/// # Examples
+///
+/// ```
+/// use astra_util::Rng64;
+///
+/// let mut a = Rng64::new(7);
+/// let mut b = Rng64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let f = a.gen_f64();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+/// One step of splitmix64 (Steele, Lea, Flood 2014): used both to expand the
+/// seed and to decorrelate nearby seeds.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Nearby seeds produce uncorrelated
+    /// streams (the seed passes through splitmix64 first).
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            // xorshift has a zero fixed point; any nonzero constant works.
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng64 { state }
+    }
+
+    /// The next 64 uniformly distributed bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// A uniform `u64` in the inclusive range `[lo, hi]`.
+    ///
+    /// Uses Lemire-style multiply-shift rejection-free mapping — a tiny,
+    /// uniform-enough reduction for simulation and test workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo + 1; // hi == u64::MAX && lo == 0 would overflow; unused here
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// A uniform `u32` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// A uniform `usize` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng64::new(9);
+        for _ in 0..10_000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f), "{f} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn f64_covers_the_interval() {
+        let mut r = Rng64::new(5);
+        let samples: Vec<f64> = (0..1000).map(|_| r.gen_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+        assert!(samples.iter().any(|&f| f < 0.1));
+        assert!(samples.iter().any(|&f| f > 0.9));
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_cover() {
+        let mut r = Rng64::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.gen_range_u32(2, 7);
+            assert!((2..=7).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 2..=7 should appear: {seen:?}");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = Rng64::new(11);
+        for _ in 0..1000 {
+            let v = r.gen_range_f64(-0.8, 0.8);
+            assert!((-0.8..0.8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = Rng64::new(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let _ = Rng64::new(1).gen_range_u32(5, 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! A minimal wall-clock microbenchmark harness.
+//!
+//! The workspace cannot depend on criterion (offline builds), and the bench
+//! binaries only need "run a closure N times, report ns/iter" — so that is
+//! all this provides. Use [`std::hint::black_box`] in the closure to keep
+//! the optimizer honest.
+
+use std::time::Instant;
+
+/// Runs `f` for `warmup` untimed iterations, then `iters` timed iterations,
+/// and returns the mean wall-clock nanoseconds per timed iteration.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench_ns<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs [`bench_ns`] and prints a `name: N ns/iter` line, mirroring the
+/// one-line-per-case output of the old criterion benches.
+pub fn report<F: FnMut()>(name: &str, warmup: usize, iters: usize, f: F) {
+    let ns = bench_ns(warmup, iters, f);
+    println!("{name}: {ns:.0} ns/iter");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_all_iterations() {
+        let mut n = 0usize;
+        let ns = bench_ns(3, 10, || n += 1);
+        assert_eq!(n, 13);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iters_panics() {
+        let _ = bench_ns(0, 0, || {});
+    }
+}

@@ -1,11 +1,12 @@
-//! Property-based tests of the GPU engine over randomized multi-stream
-//! schedules: no valid schedule may deadlock, and the timing invariants of
-//! the CUDA-style execution model must hold.
+//! Randomized tests of the GPU engine over multi-stream schedules: no valid
+//! schedule may deadlock, and the timing invariants of the CUDA-style
+//! execution model must hold. Schedules are drawn from a seeded in-tree PRNG
+//! so the cases are identical on every run.
 
 use astra::gpu::{
     Cmd, DeviceSpec, Engine, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
 };
-use proptest::prelude::*;
+use astra_util::Rng64;
 
 /// Builds a random but *valid* schedule: kernels may wait only on events
 /// already recorded earlier in program order (so every wait can fire).
@@ -40,30 +41,45 @@ fn random_schedule(streams: usize, moves: &[(u8, u8, u8)]) -> Schedule {
     sched
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Draws `(streams, moves)` matching the old generators: 1..4 streams (or a
+/// caller-supplied floor) and `min_moves..40` moves of `(0..4, 0..4, 0..8)`.
+fn draw_case(rng: &mut Rng64, min_streams: usize, min_moves: usize) -> (usize, Vec<(u8, u8, u8)>) {
+    let streams = rng.gen_range_usize(min_streams, 3);
+    let n = rng.gen_range_usize(min_moves, 39);
+    let moves: Vec<(u8, u8, u8)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range_u32(0, 3) as u8,
+                rng.gen_range_u32(0, 3) as u8,
+                rng.gen_range_u32(0, 7) as u8,
+            )
+        })
+        .collect();
+    (streams, moves)
+}
 
-    /// Any schedule whose waits reference already-recorded events runs to
-    /// completion — no deadlock, every launch produces a span.
-    #[test]
-    fn valid_schedules_never_deadlock(
-        streams in 1usize..4,
-        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
-    ) {
+/// Any schedule whose waits reference already-recorded events runs to
+/// completion — no deadlock, every launch produces a span.
+#[test]
+fn valid_schedules_never_deadlock() {
+    let mut rng = Rng64::new(0xe91a);
+    for _ in 0..48 {
+        let (streams, moves) = draw_case(&mut rng, 1, 1);
         let dev = DeviceSpec::p100();
         let sched = random_schedule(streams, &moves);
         let r = Engine::new(&dev).run(&sched).expect("no deadlock");
-        prop_assert_eq!(r.spans.len(), sched.num_launches());
-        prop_assert!(r.total_ns.is_finite());
+        assert_eq!(r.spans.len(), sched.num_launches());
+        assert!(r.total_ns.is_finite());
     }
+}
 
-    /// Per-stream FIFO: spans on the same stream never overlap, and their
-    /// order matches program order.
-    #[test]
-    fn per_stream_fifo_holds(
-        streams in 1usize..4,
-        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
-    ) {
+/// Per-stream FIFO: spans on the same stream never overlap, and their
+/// order matches program order.
+#[test]
+fn per_stream_fifo_holds() {
+    let mut rng = Rng64::new(0x5c22);
+    for _ in 0..48 {
+        let (streams, moves) = draw_case(&mut rng, 1, 1);
         let dev = DeviceSpec::p100();
         let sched = random_schedule(streams, &moves);
         let r = Engine::new(&dev).run(&sched).expect("runs");
@@ -72,7 +88,7 @@ proptest! {
                 r.spans.iter().filter(|sp| sp.stream == StreamId(s)).collect();
             spans.sort_by(|a, b| a.cmd_idx.cmp(&b.cmd_idx));
             for w in spans.windows(2) {
-                prop_assert!(
+                assert!(
                     w[1].start_ns >= w[0].end_ns - 1e-6,
                     "stream {s} overlap: {:?} then {:?}",
                     (w[0].start_ns, w[0].end_ns),
@@ -81,23 +97,24 @@ proptest! {
             }
         }
     }
+}
 
-    /// The makespan covers every span and every event, and event times are
-    /// monotone in program order per stream.
-    #[test]
-    fn makespan_and_event_monotonicity(
-        streams in 1usize..4,
-        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 1..40),
-    ) {
+/// The makespan covers every span and every event, and event times are
+/// monotone in program order per stream.
+#[test]
+fn makespan_and_event_monotonicity() {
+    let mut rng = Rng64::new(0x31f8);
+    for _ in 0..48 {
+        let (streams, moves) = draw_case(&mut rng, 1, 1);
         let dev = DeviceSpec::p100();
         let sched = random_schedule(streams, &moves);
         let r = Engine::new(&dev).run(&sched).expect("runs");
         for sp in &r.spans {
-            prop_assert!(sp.end_ns <= r.total_ns + 1e-6);
-            prop_assert!(sp.start_ns <= sp.end_ns);
+            assert!(sp.end_ns <= r.total_ns + 1e-6);
+            assert!(sp.start_ns <= sp.end_ns);
         }
         for (_, &t) in &r.event_ns {
-            prop_assert!(t <= r.total_ns + 1e-6);
+            assert!(t <= r.total_ns + 1e-6);
         }
         // Events recorded on the same stream fire in program order.
         let mut per_stream: Vec<Vec<(usize, EventId)>> = vec![Vec::new(); streams];
@@ -109,27 +126,28 @@ proptest! {
         for evs in per_stream {
             for w in evs.windows(2) {
                 let (a, b) = (r.event_ns[&w[0].1], r.event_ns[&w[1].1]);
-                prop_assert!(a <= b + 1e-6, "event order violated: {a} then {b}");
+                assert!(a <= b + 1e-6, "event order violated: {a} then {b}");
             }
         }
     }
+}
 
-    /// Waiting on an event never lets the dependent kernel start before the
-    /// event fires.
-    #[test]
-    fn waits_are_respected(
-        streams in 2usize..4,
-        moves in proptest::collection::vec((0u8..4, 0u8..4, 0u8..8), 4..40),
-    ) {
+/// Waiting on an event never lets the dependent kernel start before the
+/// event fires.
+#[test]
+fn waits_are_respected() {
+    let mut rng = Rng64::new(0x84d7);
+    for _ in 0..48 {
+        let (streams, moves) = draw_case(&mut rng, 2, 4);
         let dev = DeviceSpec::p100();
         let sched = random_schedule(streams, &moves);
         let r = Engine::new(&dev).run(&sched).expect("runs");
         for (idx, cmd) in sched.cmds().iter().enumerate() {
             if let Cmd::Launch { waits, .. } = cmd {
                 let Some(span) = r.spans.iter().find(|sp| sp.cmd_idx == idx) else { continue };
-                for ev in waits {
+                for ev in waits.iter() {
                     let fire = r.event_ns[ev];
-                    prop_assert!(
+                    assert!(
                         span.start_ns >= fire - 1e-6,
                         "kernel at cmd {idx} started {} before its wait fired {}",
                         span.start_ns,

@@ -1,12 +1,13 @@
-//! Property-based tests over randomly generated graphs and configurations:
-//! the invariants that must hold for *any* model Astra is handed, not just
-//! the five from the paper.
+//! Randomized tests over generated graphs and configurations: the invariants
+//! that must hold for *any* model Astra is handed, not just the five from the
+//! paper. Inputs come from a seeded in-tree PRNG so every run — including
+//! offline CI — exercises exactly the same cases.
 
 use astra::core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
 use astra::exec::{fuse_elementwise_chains, lower, native_schedule};
 use astra::gpu::{DeviceSpec, Engine};
 use astra::ir::{append_backward, Graph, OpKind, Provenance, Shape, TensorId};
-use proptest::prelude::*;
+use astra_util::Rng64;
 
 /// A random small feed-forward/recurrent-ish graph builder driven by a
 /// sequence of choices.
@@ -52,68 +53,82 @@ fn random_graph(ops: &[u8], widths: &[u64]) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draws the `(ops, widths)` choice vectors the old generators produced:
+/// 3..24 ops in 0..=5, 1..4 widths in 2..96.
+fn draw_case(rng: &mut Rng64) -> (Vec<u8>, Vec<u64>) {
+    let n_ops = rng.gen_range_usize(3, 23);
+    let ops: Vec<u8> = (0..n_ops).map(|_| rng.gen_range_u32(0, 5) as u8).collect();
+    let n_w = rng.gen_range_usize(1, 3);
+    let widths: Vec<u64> = (0..n_w).map(|_| rng.gen_range_u64(2, 95)).collect();
+    (ops, widths)
+}
 
-    /// Any generated graph validates and lowers with a kernel per
-    /// non-elided node.
-    #[test]
-    fn generated_graphs_validate_and_lower(
-        ops in proptest::collection::vec(0u8..=5, 3..24),
-        widths in proptest::collection::vec(2u64..96, 1..4),
-    ) {
+/// Any generated graph validates and lowers with a kernel per
+/// non-elided node.
+#[test]
+fn generated_graphs_validate_and_lower() {
+    let mut rng = Rng64::new(0x9a71);
+    for _ in 0..24 {
+        let (ops, widths) = draw_case(&mut rng);
         let g = random_graph(&ops, &widths);
-        prop_assert!(g.validate().is_ok());
+        assert!(g.validate().is_ok());
         let lowering = lower(&g);
-        prop_assert!(lowering.num_kernels() > 0);
+        assert!(lowering.num_kernels() > 0);
         let elided = g.nodes().iter().filter(|n| matches!(n.op, OpKind::Transpose)).count();
-        prop_assert_eq!(lowering.num_kernels() + elided, g.nodes().len());
+        assert_eq!(lowering.num_kernels() + elided, g.nodes().len());
     }
+}
 
-    /// The native schedule of any generated graph executes without
-    /// deadlock and runs every kernel.
-    #[test]
-    fn native_schedules_never_deadlock(
-        ops in proptest::collection::vec(0u8..=5, 3..24),
-        widths in proptest::collection::vec(2u64..96, 1..4),
-    ) {
+/// The native schedule of any generated graph executes without
+/// deadlock and runs every kernel.
+#[test]
+fn native_schedules_never_deadlock() {
+    let mut rng = Rng64::new(0x1d3f);
+    for _ in 0..24 {
+        let (ops, widths) = draw_case(&mut rng);
         let g = random_graph(&ops, &widths);
         let dev = DeviceSpec::p100();
         let lowering = lower(&g);
         let sched = native_schedule(&lowering);
         let r = Engine::new(&dev).run(&sched).expect("no deadlock");
-        prop_assert_eq!(r.spans.len(), lowering.num_kernels());
+        assert_eq!(r.spans.len(), lowering.num_kernels());
     }
+}
 
-    /// Element-wise chains partition the element-wise nodes: every
-    /// element-wise node appears in exactly one chain.
-    #[test]
-    fn elementwise_chains_partition(
-        ops in proptest::collection::vec(0u8..=5, 3..24),
-        widths in proptest::collection::vec(2u64..96, 1..4),
-    ) {
+/// Element-wise chains partition the element-wise nodes: every
+/// element-wise node appears in exactly one chain.
+#[test]
+fn elementwise_chains_partition() {
+    let mut rng = Rng64::new(0x77aa);
+    for _ in 0..24 {
+        let (ops, widths) = draw_case(&mut rng);
         let g = random_graph(&ops, &widths);
         let lowering = lower(&g);
         let chains = fuse_elementwise_chains(&g, &lowering);
         let mut seen = std::collections::HashSet::new();
         for chain in &chains {
             for &n in &chain.nodes {
-                prop_assert!(seen.insert(n), "node in two chains");
-                prop_assert!(g.node(n).op.is_elementwise());
+                assert!(seen.insert(n), "node in two chains");
+                assert!(g.node(n).op.is_elementwise());
             }
         }
         let ew_total = g.nodes().iter().filter(|n| n.op.is_elementwise()).count();
-        prop_assert_eq!(seen.len(), ew_total);
+        assert_eq!(seen.len(), ew_total);
     }
+}
 
-    /// Fusion sets are node-disjoint, shape-uniform, and their chunked
-    /// schedules execute to the same kernel coverage as the baseline.
-    #[test]
-    fn fusion_configs_execute_for_random_graphs(
-        ops in proptest::collection::vec(0u8..=5, 6..24),
-        widths in proptest::collection::vec(8u64..64, 1..3),
-        chunk_seed in 0usize..7,
-    ) {
+/// Fusion sets are node-disjoint, shape-uniform, and their chunked
+/// schedules execute to the same kernel coverage as the baseline.
+#[test]
+fn fusion_configs_execute_for_random_graphs() {
+    let mut rng = Rng64::new(0xf051);
+    for _ in 0..24 {
+        let n_ops = rng.gen_range_usize(6, 23);
+        let ops: Vec<u8> = (0..n_ops).map(|_| rng.gen_range_u32(0, 5) as u8).collect();
+        let n_w = rng.gen_range_usize(1, 2);
+        let widths: Vec<u64> = (0..n_w).map(|_| rng.gen_range_u64(8, 63)).collect();
+        let chunk_seed = rng.gen_range_usize(0, 6);
+
         let g = random_graph(&ops, &widths);
         let dev = DeviceSpec::p100();
         let ctx = PlanContext::new(&g);
@@ -123,8 +138,8 @@ proptest! {
         for set in &ctx.sets {
             for row in &set.nodes {
                 for &n in row {
-                    prop_assert!(seen.insert(n));
-                    prop_assert!(matches!(g.node(n).op, OpKind::MatMul));
+                    assert!(seen.insert(n));
+                    assert!(matches!(g.node(n).op, OpKind::MatMul));
                 }
             }
         }
@@ -144,22 +159,26 @@ proptest! {
             // Topological invariant.
             for (i, u) in units.iter().enumerate() {
                 for &d in &u.deps {
-                    prop_assert!(d < i);
+                    assert!(d < i);
                 }
             }
             let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
             let r = Engine::new(&dev).run(&sched).expect("no deadlock");
-            prop_assert!(r.total_ns > 0.0);
+            assert!(r.total_ns > 0.0);
         }
     }
+}
 
-    /// Work conservation in the engine: makespan of any single-stream
-    /// schedule equals the sum of its parts (dispatch pipelining aside).
-    #[test]
-    fn single_stream_time_is_additive(
-        ops in proptest::collection::vec(0u8..=5, 3..16),
-        widths in proptest::collection::vec(8u64..64, 1..3),
-    ) {
+/// Work conservation in the engine: makespan of any single-stream
+/// schedule equals the sum of its parts (dispatch pipelining aside).
+#[test]
+fn single_stream_time_is_additive() {
+    let mut rng = Rng64::new(0x2bc4);
+    for _ in 0..24 {
+        let n_ops = rng.gen_range_usize(3, 15);
+        let ops: Vec<u8> = (0..n_ops).map(|_| rng.gen_range_u32(0, 5) as u8).collect();
+        let n_w = rng.gen_range_usize(1, 2);
+        let widths: Vec<u64> = (0..n_w).map(|_| rng.gen_range_u64(8, 63)).collect();
         let g = random_graph(&ops, &widths);
         let dev = DeviceSpec::p100();
         let lowering = lower(&g);
@@ -171,7 +190,7 @@ proptest! {
             .filter_map(|o| o.kernel.as_ref())
             .map(|k| k.cost(&dev).exec_ns + dev.launch_overhead_ns)
             .sum();
-        prop_assert!(r.total_ns >= kernel_time - 1.0);
-        prop_assert!(r.total_ns <= kernel_time + dev.dispatch_cost_ns * (lowering.num_kernels() as f64) + 1.0);
+        assert!(r.total_ns >= kernel_time - 1.0);
+        assert!(r.total_ns <= kernel_time + dev.dispatch_cost_ns * (lowering.num_kernels() as f64) + 1.0);
     }
 }
