@@ -17,6 +17,16 @@ cargo test -q
 echo "== determinism (workers=1 vs N bit-identity) =="
 cargo test -q --test determinism
 
+echo "== robustness (fault-injected convergence, release) =="
+cargo test -q --release --test robustness
+
+echo "== no ignored tests =="
+# An #[ignore] attribute silently shrinks the gate; fail loudly instead.
+if grep -rn '#\[ignore' tests crates --include='*.rs'; then
+    echo "ci: FAIL — #[ignore]d tests found (listed above); fix or delete them" >&2
+    exit 1
+fi
+
 echo "== full workspace check (all targets) =="
 cargo check --workspace --all-targets
 

@@ -15,11 +15,14 @@
 use std::time::Instant;
 
 use astra_core::{Astra, AstraOptions, Dims, Report};
-use astra_gpu::DeviceSpec;
+use astra_gpu::{DeviceSpec, FaultPlan};
 use astra_models::Model;
 
 fn run(graph: &astra_ir::Graph, dev: &DeviceSpec, workers: usize) -> (Report, f64) {
-    let opts = AstraOptions { dims: Dims::all(), workers, ..Default::default() };
+    // Explicitly fault-free: this benchmark doubles as the zero-cost check —
+    // a disabled FaultPlan must leave the counters at exactly zero.
+    let opts =
+        AstraOptions { dims: Dims::all(), workers, faults: FaultPlan::none(), ..Default::default() };
     let mut astra = Astra::new(graph, dev, opts);
     let t0 = Instant::now();
     let r = astra.optimize().expect("optimization succeeds");
@@ -42,15 +45,24 @@ fn main() {
                 assert_eq!(b.configs_explored, r.configs_explored, "trial count drifted");
                 assert_eq!(b.best, r.best, "winning config drifted");
             }
+            assert_eq!(
+                (r.fault_events, r.retries, r.quarantined),
+                (0, 0, 0),
+                "disabled fault plan must report zero fault counters"
+            );
             let speedup = base.as_ref().map_or(1.0, |(_, w1)| w1 / wall_ms);
             println!(
                 "{{\"model\":\"{name}\",\"workers\":{workers},\"host_cpus\":{host_cpus},\
                  \"wall_ms\":{wall_ms:.1},\
                  \"speedup_vs_workers1\":{speedup:.2},\"configs_explored\":{},\
-                 \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"sim_speedup\":{:.2}}}",
+                 \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+                 \"fault_events\":{},\"retries\":{},\"quarantined\":{},\"sim_speedup\":{:.2}}}",
                 r.configs_explored,
                 r.plan_cache_hits,
                 r.plan_cache_misses,
+                r.fault_events,
+                r.retries,
+                r.quarantined,
                 r.speedup(),
             );
             if base.is_none() {

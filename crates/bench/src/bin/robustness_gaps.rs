@@ -1,0 +1,71 @@
+//! Convergence quality under fault injection (the robustness harness as a
+//! table). For each model, exhaustive noise-free exploration pins the
+//! ground-truth best configuration; exploration is then re-run under each
+//! fault profile (plus autoboost clock jitter) and the chosen config is
+//! re-measured *clean* — the gap to ground truth is the number that
+//! matters, not the noisy measurement that selected it. Mirrors
+//! `tests/robustness.rs`, which enforces gap ≤ 5%.
+
+use astra_bench::print_row;
+use astra_core::{
+    build_units, emit_schedule, Astra, AstraOptions, Dims, ExecConfig, PlanContext, ProbeSpec,
+    Report,
+};
+use astra_gpu::{ClockMode, DeviceSpec, Engine, FaultPlan};
+use astra_models::{BuiltModel, Model};
+
+fn tiny(model: Model) -> BuiltModel {
+    let mut c = model.default_config(8);
+    c.hidden = 64;
+    c.input = 64;
+    c.vocab = 128;
+    c.seq_len = 3;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+fn explore(built: &BuiltModel, clock: ClockMode, faults: FaultPlan) -> Report {
+    let dev = DeviceSpec::p100();
+    let opts = AstraOptions { dims: Dims::fk(), clock, faults, ..Default::default() };
+    Astra::new(&built.graph, &dev, opts).optimize().expect("exploration completes")
+}
+
+fn clean_ns(built: &BuiltModel, cfg: &ExecConfig) -> f64 {
+    let dev = DeviceSpec::p100();
+    let ctx = PlanContext::new(&built.graph);
+    let units = build_units(&ctx, cfg).expect("chosen config builds");
+    let (sched, _) = emit_schedule(&ctx, cfg, &units, None, &ProbeSpec::none());
+    Engine::new(&dev).run(&sched).expect("clean run").total_ns
+}
+
+fn main() {
+    let profiles = [
+        ("spikes", FaultPlan::timing_spikes(0xA57A_0001)),
+        ("launch", FaultPlan::launch_failures(0xA57A_0002)),
+        ("alloc", FaultPlan::alloc_failures(8)),
+        ("straggler", FaultPlan::stragglers(43)),
+        ("chaos", FaultPlan::chaos(0xA57A_0005)),
+    ];
+    println!("Convergence gap vs noise-free ground truth, per fault profile");
+    println!("(gap = clean time of chosen config / clean time of true best - 1)");
+    print_row(&["Model", "Profile", "gap%", "events", "retries", "quarant."].map(String::from));
+    for model in [Model::Scrnn, Model::SubLstm, Model::MiLstm] {
+        let built = tiny(model);
+        let gt = explore(&built, ClockMode::Fixed, FaultPlan::none());
+        let gt_ns = clean_ns(&built, &gt.best);
+        for (name, plan) in &profiles {
+            let r = explore(&built, ClockMode::Autoboost { seed: 17 }, *plan);
+            let gap = (clean_ns(&built, &r.best) / gt_ns - 1.0) * 100.0;
+            print_row(&[
+                model.name().to_owned(),
+                (*name).to_owned(),
+                format!("{gap:.2}"),
+                format!("{}", r.fault_events),
+                format!("{}", r.retries),
+                format!("{}", r.quarantined),
+            ]);
+        }
+    }
+    println!();
+    println!("gate: tests/robustness.rs fails any profile whose gap exceeds 5%");
+}

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use astra_core::{Astra, AstraOptions, Dims};
 use astra_distrib::{explore_scaling, LinkSpec};
 use astra_exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
-use astra_gpu::{trace_json, DeviceSpec, Engine};
+use astra_gpu::{trace_json, DeviceSpec, Engine, FaultPlan};
 use astra_models::Model;
 
 fn main() -> ExitCode {
@@ -61,6 +61,9 @@ commands:
   optimize  --model <name> --batch <n> [--dims f|fk|fks|all] [--streams <n>] [--v100] [--seq <n>]
             [--workers <n>]   candidate-evaluation threads (0 = all cores, 1 = sequential;
                               results are identical at every setting)
+            [--fault none|spikes|launch|alloc|straggler|chaos] [--fault-seed <n>]
+                              inject deterministic faults into every simulated mini-batch
+                              (default none; seed defaults to 42)
   compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
   trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
   scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
@@ -116,6 +119,21 @@ fn parse_model(opts: &Opts<'_>) -> Result<Model, String> {
     }
 }
 
+fn parse_faults(opts: &Opts<'_>) -> Result<FaultPlan, String> {
+    let seed: u64 = opts.parse("--fault-seed", 42)?;
+    match opts.get("--fault").unwrap_or("none") {
+        "none" => Ok(FaultPlan::none()),
+        "spikes" => Ok(FaultPlan::timing_spikes(seed)),
+        "launch" => Ok(FaultPlan::launch_failures(seed)),
+        "alloc" => Ok(FaultPlan::alloc_failures(seed)),
+        "straggler" => Ok(FaultPlan::stragglers(seed)),
+        "chaos" => Ok(FaultPlan::chaos(seed)),
+        other => {
+            Err(format!("invalid --fault '{other}' (none|spikes|launch|alloc|straggler|chaos)"))
+        }
+    }
+}
+
 fn parse_dims(opts: &Opts<'_>) -> Result<Dims, String> {
     match opts.get("--dims").unwrap_or("all") {
         "f" => Ok(Dims::f()),
@@ -150,12 +168,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let dev = device(&opts);
     let num_streams: usize = opts.parse("--streams", 4)?;
     let workers: usize = opts.parse("--workers", 0)?;
+    let faults = parse_faults(&opts)?;
     let built = build(model, &opts)?;
 
     let mut astra = Astra::new(
         &built.graph,
         &dev,
-        AstraOptions { dims, num_streams, workers, ..Default::default() },
+        AstraOptions { dims, num_streams, workers, faults, ..Default::default() },
     );
     println!(
         "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
@@ -172,6 +191,10 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     println!("explored: {:>10} configs ({} strategies, overhead {:.3}%)",
         r.configs_explored, r.strategies_explored, r.profiling_overhead_frac * 100.0);
     println!("schedule cache: {} hits / {} misses", r.plan_cache_hits, r.plan_cache_misses);
+    println!(
+        "faults: {} events, {} retries, {} quarantined",
+        r.fault_events, r.retries, r.quarantined
+    );
     Ok(())
 }
 
@@ -303,6 +326,18 @@ mod tests {
         assert!(parse_dims(&Opts(&a)).is_err());
         let empty = opts(&[]);
         assert_eq!(parse_dims(&Opts(&empty)).unwrap(), Dims::all());
+    }
+
+    #[test]
+    fn fault_profiles_parse_with_seed() {
+        let a = opts(&["--fault", "chaos", "--fault-seed", "9"]);
+        assert_eq!(parse_faults(&Opts(&a)).unwrap(), FaultPlan::chaos(9));
+        let b = opts(&["--fault", "spikes"]);
+        assert_eq!(parse_faults(&Opts(&b)).unwrap(), FaultPlan::timing_spikes(42));
+        let none = opts(&[]);
+        assert_eq!(parse_faults(&Opts(&none)).unwrap(), FaultPlan::none());
+        let bad = opts(&["--fault", "gamma-rays"]);
+        assert!(parse_faults(&Opts(&bad)).is_err());
     }
 
     #[test]

@@ -97,6 +97,10 @@ impl AdaptiveVar {
     }
 
     fn record(&mut self, metric: f64) {
+        // A NaN metric (corrupted measurement) must never poison the
+        // comparison chain: map it to +inf, which any finite later sample
+        // displaces, while two infinities deterministically keep the first.
+        let metric = if metric.is_nan() { f64::INFINITY } else { metric };
         if self.best.map_or(true, |(_, b)| metric < b) {
             self.best = Some((self.current, metric));
         }
@@ -330,6 +334,15 @@ impl UpdateTree {
         }
     }
 
+    /// Quarantines a variable's *current* choice: records +inf for it, so
+    /// it can never be frozen as best unless every other choice is also
+    /// quarantined. The robust exploration driver calls this for candidates
+    /// whose measurements stayed faulted through all retries, and for
+    /// structurally invalid configurations.
+    pub fn poison(&mut self, id: &str) {
+        self.record(id, f64::INFINITY);
+    }
+
     /// Freezes every variable at its best observed choice and returns the
     /// final assignment.
     pub fn best_assignment(&mut self) -> BTreeMap<String, usize> {
@@ -531,6 +544,28 @@ mod tests {
 
         assert_eq!(seq_trace, bat_trace);
         assert_eq!(seq.best_assignment(), bat.best_assignment());
+    }
+
+    #[test]
+    fn nan_metric_never_wedges_best() {
+        let mut v = AdaptiveVar::new("v", 3);
+        v.record(f64::NAN);
+        assert!(v.iterate());
+        v.record(7.0);
+        // The finite sample must displace the corrupted one.
+        assert_eq!(v.best(), Some((1, 7.0)));
+    }
+
+    #[test]
+    fn poison_quarantines_current_choice() {
+        let mut tree = UpdateTree::new(UpdateNode::var("v", 3));
+        assert!(tree.next_trial().is_some()); // choice 0
+        tree.poison("v");
+        assert!(tree.next_trial().is_some()); // choice 1
+        tree.record("v", 9.0);
+        assert!(tree.next_trial().is_some()); // choice 2
+        tree.record("v", 11.0);
+        assert_eq!(tree.best_assignment()["v"], 1, "poisoned choice must lose to any finite");
     }
 
     #[test]

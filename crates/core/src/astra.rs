@@ -20,9 +20,12 @@
 //! and picks the overall winner (§4.5.2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use astra_exec::native_schedule;
-use astra_gpu::{ClockMode, DeviceSpec, Engine, GemmLibrary, GemmShape, RunResult};
+use astra_gpu::{
+    ClockMode, DeviceSpec, Engine, FaultPlan, GemmLibrary, GemmShape, RunResult, Schedule,
+};
 use astra_ir::Graph;
 
 use crate::adaptive::{ExploreMode, UpdateNode, UpdateTree};
@@ -30,9 +33,83 @@ use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, 
 use crate::error::AstraError;
 use crate::parallel::{effective_workers, parallel_map};
 use crate::plan::{
-    bind_libs, emit_schedule, ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec,
+    bind_libs, build_units_fragmented, emit_schedule, ExecConfig, PlanCache, PlanContext,
+    PlanKey, ProbeSpec, Unit,
 };
 use crate::profile::{ProfileIndex, ProfileKey};
+
+/// Maximum fault-triggered re-measurements per candidate before it is
+/// quarantined. Each retry is a real training mini-batch (work-conserving),
+/// so the budget is deliberately small.
+const MAX_FAULT_RETRIES: u32 = 3;
+
+/// A measurement is an outlier when it exceeds the key's recorded minimum
+/// by this factor. The threshold sits between the autoboost jitter ceiling
+/// (1.12x) and the smallest injected timing spike (2x), so legitimate clock
+/// variance never triggers a re-measure while an undetected spike on a
+/// previously measured key does.
+const OUTLIER_FACTOR: f64 = 1.5;
+
+/// Whether `metric` is a statistical outlier against the samples already
+/// indexed for `key`. First measurements are never outliers (there is no
+/// history to contradict).
+fn is_outlier(index: &ProfileIndex, key: &ProfileKey, metric: f64) -> bool {
+    match index.get(key) {
+        Some(best) if best > 0.0 => metric > best * OUTLIER_FACTOR,
+        _ => false,
+    }
+}
+
+/// Running totals for one [`Astra::optimize`] call, threaded through every
+/// exploration phase.
+#[derive(Default)]
+struct ExploreStats {
+    trials: usize,
+    exploration_ns: f64,
+    overhead_ns: f64,
+    fault_events: usize,
+    retries: usize,
+    quarantined: usize,
+}
+
+/// Runs `sched`, re-running under deterministic retry salts while the run
+/// reports an injected fault (bounded by [`MAX_FAULT_RETRIES`]). Every
+/// attempt is a real mini-batch; the caller decides whether the attempts
+/// count as exploration trials. Returns the fastest attempt, the number of
+/// mini-batches run, and their summed simulated time. With
+/// [`FaultPlan::none`] this is exactly one clean run.
+fn measured_run(
+    dev: &DeviceSpec,
+    clock: ClockMode,
+    faults: FaultPlan,
+    sched: &Schedule,
+    salt: u64,
+    stats: &mut ExploreStats,
+) -> Result<(RunResult, usize, f64), AstraError> {
+    let mut runs = 0usize;
+    let mut spent = 0.0;
+    let mut best: Option<RunResult> = None;
+    for attempt in 0..=MAX_FAULT_RETRIES {
+        let r = Engine::with_faults(dev, clock, faults, FaultPlan::attempt_salt(salt, attempt))
+            .run(sched)?;
+        runs += 1;
+        spent += r.total_ns;
+        let faulted = r.faults.any();
+        if faulted {
+            stats.fault_events += 1;
+        }
+        if best.as_ref().map_or(true, |b| r.total_ns < b.total_ns) {
+            best = Some(r);
+        }
+        if !faulted {
+            break;
+        }
+        if attempt < MAX_FAULT_RETRIES {
+            stats.retries += 1;
+        }
+    }
+    Ok((best.expect("at least one attempt ran"), runs, spent))
+}
 
 /// Which adaptation dimensions are enabled (the paper's ablation columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +170,13 @@ pub struct AstraOptions {
     /// bit-identical at every setting. `0` = one worker per available CPU
     /// core; `1` = fully sequential evaluation.
     pub workers: usize,
+    /// Fault injection applied to every simulated mini-batch (see
+    /// [`FaultPlan`]). The driver re-measures candidates whose run reported
+    /// a fault or whose measurement is a statistical outlier, with bounded
+    /// retries and deterministic backoff; candidates still faulted after
+    /// the budget are quarantined. [`FaultPlan::none`] (the default) is
+    /// zero-cost.
+    pub faults: FaultPlan,
 }
 
 impl Default for AstraOptions {
@@ -104,6 +188,7 @@ impl Default for AstraOptions {
             clock: ClockMode::Fixed,
             key_context: None,
             workers: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -136,6 +221,14 @@ pub struct Report {
     pub plan_cache_hits: u64,
     /// Schedule-cache requests this run that had to build units.
     pub plan_cache_misses: u64,
+    /// Exploration mini-batches that reported at least one injected fault.
+    pub fault_events: usize,
+    /// Fault- or outlier-triggered re-measurements (each one a real
+    /// mini-batch, counted in `configs_explored` too).
+    pub retries: usize,
+    /// Candidates still faulted after the retry budget, excluded from the
+    /// profile index and recorded as unusable in the update tree.
+    pub quarantined: usize,
 }
 
 impl Report {
@@ -153,6 +246,12 @@ pub struct Astra<'g> {
     opts: AstraOptions,
     index: ProfileIndex,
     plan_cache: PlanCache,
+    /// Monotonic fault-salt counter: every measured mini-batch gets the next
+    /// salt, assigned in candidate order *before* a batch evaluates. Batch
+    /// boundaries depend on the worker count but always partition the same
+    /// candidate sequence, so the salt each candidate draws — and therefore
+    /// every injected fault — is worker-count invariant.
+    fault_seq: u64,
 }
 
 impl<'g> Astra<'g> {
@@ -183,7 +282,7 @@ impl<'g> Astra<'g> {
         opts: AstraOptions,
         index: ProfileIndex,
     ) -> Self {
-        Astra { ctx, dev, opts, index, plan_cache: PlanCache::new() }
+        Astra { ctx, dev, opts, index, plan_cache: PlanCache::new(), fault_seq: 0 }
     }
 
     /// Consumes the optimizer and returns its profile index (to thread into
@@ -200,10 +299,6 @@ impl<'g> Astra<'g> {
     /// The profile index accumulated so far.
     pub fn profile_index(&self) -> &ProfileIndex {
         &self.index
-    }
-
-    fn run(&self, sched: &astra_gpu::Schedule) -> Result<RunResult, AstraError> {
-        Ok(Engine::with_clock(self.dev, self.opts.clock).run(sched)?)
     }
 
     /// Resolved worker count for candidate evaluation.
@@ -225,7 +320,17 @@ impl<'g> Astra<'g> {
     /// Returns an error if the underlying simulation fails; invalid fusion
     /// configurations (cyclic unit graphs) are skipped, not fatal.
     pub fn optimize(&mut self) -> Result<Report, AstraError> {
-        let native = self.run(&native_schedule(&self.ctx.lowering))?;
+        let mut stats = ExploreStats::default();
+        let native_salt = self.fault_seq;
+        self.fault_seq += 1;
+        let (native, _, _) = measured_run(
+            self.dev,
+            self.opts.clock,
+            self.opts.faults,
+            &native_schedule(&self.ctx.lowering),
+            native_salt,
+            &mut stats,
+        )?;
         let native_ns = native.total_ns;
         let cache_hits0 = self.plan_cache.hits();
         let cache_misses0 = self.plan_cache.misses();
@@ -233,9 +338,6 @@ impl<'g> Astra<'g> {
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
 
-        let mut trials = 0usize;
-        let mut exploration_ns = 0.0;
-        let mut overhead_ns = 0.0;
         let mut best_overall: Option<(f64, ExecConfig, usize)> = None;
 
         for strategy in 0..strategies {
@@ -244,28 +346,27 @@ impl<'g> Astra<'g> {
             let strat_ctx = (strategies > 1).then(|| format!("alloc:{strategy}"));
 
             if dims.fusion {
-                self.explore_fusion(&mut cfg, strat_ctx.as_deref(), &mut trials, &mut exploration_ns, &mut overhead_ns)?;
+                self.explore_fusion(&mut cfg, strat_ctx.as_deref(), &mut stats)?;
             }
             if dims.kernel {
-                self.explore_kernels(&mut cfg, &mut trials, &mut exploration_ns, &mut overhead_ns)?;
+                self.explore_kernels(&mut cfg, &mut stats)?;
             }
             let mut partition = None;
             if dims.streams {
-                partition = self.explore_streams(
-                    &mut cfg,
-                    strat_ctx.as_deref(),
-                    &mut trials,
-                    &mut exploration_ns,
-                    &mut overhead_ns,
-                )?;
+                partition = self.explore_streams(&mut cfg, strat_ctx.as_deref(), &mut stats)?;
             }
 
             // Context playoff run: best configuration end-to-end (§4.7).
+            // Bounded fault retries keep the strategy comparison honest — a
+            // spiked playoff would otherwise disqualify a good context.
             let units = self.plan_cache.units_for(&self.ctx, &cfg)?;
             let (sched, _) = emit_schedule(&self.ctx, &cfg, &units, partition.as_ref(), &ProbeSpec::none());
-            let r = self.run(&sched)?;
-            trials += 1;
-            exploration_ns += r.total_ns;
+            let salt = self.fault_seq;
+            self.fault_seq += 1;
+            let (r, runs, spent) =
+                measured_run(self.dev, self.opts.clock, self.opts.faults, &sched, salt, &mut stats)?;
+            stats.trials += runs;
+            stats.exploration_ns += spent;
             let se_count = partition.as_ref().map_or(0, |p| p.super_epochs.len());
             if best_overall.as_ref().map_or(true, |(b, _, _)| r.total_ns < *b) {
                 best_overall = Some((r.total_ns, cfg, se_count));
@@ -277,10 +378,10 @@ impl<'g> Astra<'g> {
         Ok(Report {
             native_ns,
             steady_ns,
-            configs_explored: trials,
-            exploration_ns,
-            profiling_overhead_frac: if exploration_ns > 0.0 {
-                overhead_ns / exploration_ns
+            configs_explored: stats.trials,
+            exploration_ns: stats.exploration_ns,
+            profiling_overhead_frac: if stats.exploration_ns > 0.0 {
+                stats.overhead_ns / stats.exploration_ns
             } else {
                 0.0
             },
@@ -290,6 +391,9 @@ impl<'g> Astra<'g> {
             super_epochs,
             plan_cache_hits: self.plan_cache.hits() - cache_hits0,
             plan_cache_misses: self.plan_cache.misses() - cache_misses0,
+            fault_events: stats.fault_events,
+            retries: stats.retries,
+            quarantined: stats.quarantined,
         })
     }
 
@@ -298,9 +402,7 @@ impl<'g> Astra<'g> {
         &mut self,
         cfg: &mut ExecConfig,
         strat_ctx: Option<&str>,
-        trials: &mut usize,
-        exploration_ns: &mut f64,
-        overhead_ns: &mut f64,
+        stats: &mut ExploreStats,
     ) -> Result<(), AstraError> {
         // Choice list per set: cartesian (row chunk, col chunk).
         let mut choice_lists: Vec<(String, Vec<(usize, usize)>, bool)> = Vec::new();
@@ -357,6 +459,7 @@ impl<'g> Astra<'g> {
         struct Outcome {
             total_ns: f64,
             probe_records: usize,
+            faulted: bool,
             set_metrics: Vec<(usize, f64)>,
         }
 
@@ -397,50 +500,94 @@ impl<'g> Astra<'g> {
                 self.plan_cache.insert(keys[i].clone(), r);
             }
 
+            // One salt per candidate, assigned in candidate order before the
+            // batch evaluates: the injected faults are worker-count
+            // invariant. Retries re-use the candidate's salt with an attempt
+            // index, consuming no further sequence numbers.
+            let salt0 = self.fault_seq;
+            self.fault_seq += batch.len() as u64;
+
             // Evaluate the whole batch concurrently; every candidate's
-            // simulation is self-contained.
+            // simulation is self-contained. The same closure re-evaluates a
+            // suspect candidate sequentially at commit time.
             let cache = &self.plan_cache;
             let dev = self.dev;
             let clock = self.opts.clock;
-            let results: Vec<Result<Option<Outcome>, AstraError>> =
-                parallel_map(workers, &cfgs, |i, c| {
-                    let structural = cache.get(&keys[i]).expect("batch keys are built").clone();
-                    let units = match structural {
+            let faults = self.opts.faults;
+            let keys_ref = &keys;
+            let eval = |i: usize, c: &ExecConfig, salt: u64| -> Result<Option<Outcome>, AstraError> {
+                let units = match faults.alloc_event(salt) {
+                    // Transient allocation failure: this run sees the
+                    // degraded, fragmented placement. Built outside the
+                    // schedule cache so the clean geometry stays cached.
+                    Some(word) => match build_units_fragmented(ctx, c, word) {
                         Err(_) => return Ok(None), // invalid (cyclic) combination
-                        Ok(u) => bind_libs(&u, c),
-                    };
-                    let (sched, probes) =
-                        emit_schedule(ctx, c, &units, None, &ProbeSpec::fusion_sets());
-                    let r = Engine::with_clock(dev, clock).run(&sched)?;
-                    let mut set_metrics = Vec::new();
-                    for (si, nblocks, start, end) in &probes.set_regions {
-                        if let Some(dt) = r.elapsed(*start, *end) {
-                            set_metrics.push((*si, dt.max(0.0) * *nblocks as f64));
-                        }
+                        Ok(u) => Arc::from(u),
+                    },
+                    None => match cache.get(&keys_ref[i]).expect("batch keys are built") {
+                        Err(_) => return Ok(None), // invalid (cyclic) combination
+                        Ok(u) => bind_libs(u, c),
+                    },
+                };
+                let (sched, probes) =
+                    emit_schedule(ctx, c, &units, None, &ProbeSpec::fusion_sets());
+                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
+                let mut set_metrics = Vec::new();
+                for (si, nblocks, start, end) in &probes.set_regions {
+                    if let Some(dt) = r.elapsed(*start, *end) {
+                        set_metrics.push((*si, dt.max(0.0) * *nblocks as f64));
                     }
-                    Ok(Some(Outcome {
-                        total_ns: r.total_ns,
-                        probe_records: probes.probe_records,
-                        set_metrics,
-                    }))
-                });
+                }
+                Ok(Some(Outcome {
+                    total_ns: r.total_ns,
+                    probe_records: probes.probe_records,
+                    faulted: r.faults.any(),
+                    set_metrics,
+                }))
+            };
+            let results: Vec<Result<Option<Outcome>, AstraError>> =
+                parallel_map(workers, &cfgs, |i, c| eval(i, c, salt0 + i as u64));
 
             // Commit measurements in candidate order: the tree and the
             // profile index see exactly the sequential driver's updates.
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
-                match outcome? {
+                let salt = salt0 + bi as u64;
+                let mut o = match outcome? {
                     None => {
                         // Invalid combination: poison these choices.
                         for (set_id, _, _) in &explored_sets {
-                            tree.record(set_id, f64::INFINITY);
+                            tree.poison(set_id);
                         }
+                        continue;
                     }
-                    Some(o) => {
-                        *trials += 1;
-                        *exploration_ns += o.total_ns;
-                        *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                    Some(o) => o,
+                };
+                let mut attempt = 0u32;
+                let committed = loop {
+                    stats.trials += 1;
+                    stats.exploration_ns += o.total_ns;
+                    stats.overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                    if o.faulted {
+                        stats.fault_events += 1;
+                    }
+                    // Probe regions are single-stream and interference-free,
+                    // so a measurement far above the key's recorded minimum
+                    // is noise even when the run reported no fault.
+                    let suspect = o.faulted
+                        || o.set_metrics.iter().any(|&(si, metric)| {
+                            let set_id = &self.ctx.sets[si].id;
+                            explored_sets.iter().any(|(id, _, ctx_dep)| {
+                                id == set_id
+                                    && is_outlier(
+                                        &self.index,
+                                        &key_for(set_id, *ctx_dep, asg[set_id]),
+                                        metric,
+                                    )
+                            })
+                        });
+                    if !suspect {
                         for (si, metric) in o.set_metrics {
                             let set_id = &self.ctx.sets[si].id;
                             tree.record(set_id, metric);
@@ -451,6 +598,28 @@ impl<'g> Astra<'g> {
                                     .record(&key_for(set_id, *ctx_dep, asg[set_id]), metric);
                             }
                         }
+                        break true;
+                    }
+                    if attempt >= MAX_FAULT_RETRIES {
+                        break false;
+                    }
+                    // Deterministic backoff: the retry re-measures under the
+                    // candidate's salt at the next attempt index.
+                    attempt += 1;
+                    stats.retries += 1;
+                    match eval(bi, &cfgs[bi], FaultPlan::attempt_salt(salt, attempt))? {
+                        Some(next) => o = next,
+                        None => break false,
+                    }
+                };
+                if !committed {
+                    // Still faulted after the retry budget: quarantine. The
+                    // update tree sees +inf for these choices (so the best
+                    // known configuration wins), and the profile index keeps
+                    // no sample, leaving the candidate re-measurable later.
+                    stats.quarantined += 1;
+                    for (set_id, _, _) in &explored_sets {
+                        tree.poison(set_id);
                     }
                 }
             }
@@ -467,9 +636,7 @@ impl<'g> Astra<'g> {
     fn explore_kernels(
         &mut self,
         cfg: &mut ExecConfig,
-        trials: &mut usize,
-        exploration_ns: &mut f64,
-        overhead_ns: &mut f64,
+        stats: &mut ExploreStats,
     ) -> Result<(), AstraError> {
         let libs = GemmLibrary::all();
         let units = self.plan_cache.units_for(&self.ctx, cfg)?;
@@ -505,6 +672,7 @@ impl<'g> Astra<'g> {
         struct Outcome {
             total_ns: f64,
             probe_records: usize,
+            faulted: bool,
             shape_metrics: Vec<(GemmShape, f64)>,
         }
 
@@ -531,39 +699,84 @@ impl<'g> Astra<'g> {
                 bound.push(self.plan_cache.units_for(&self.ctx, c)?);
             }
 
+            let salt0 = self.fault_seq;
+            self.fault_seq += batch.len() as u64;
+
             let ctx = &self.ctx;
             let dev = self.dev;
             let clock = self.opts.clock;
-            let results: Vec<Result<Outcome, AstraError>> =
-                parallel_map(workers, &cfgs, |i, c| {
-                    let (sched, probes) =
-                        emit_schedule(ctx, c, &bound[i], None, &ProbeSpec::gemm_shapes());
-                    let r = Engine::with_clock(dev, clock).run(&sched)?;
-                    let mut shape_metrics = Vec::new();
-                    for (shape, start, end) in &probes.shape_regions {
-                        if let Some(dt) = r.elapsed(*start, *end) {
-                            shape_metrics.push((*shape, dt.max(0.0)));
-                        }
+            let faults = self.opts.faults;
+            let bound_ref = &bound;
+            let eval = |i: usize, c: &ExecConfig, salt: u64| -> Result<Outcome, AstraError> {
+                let frag;
+                let units: &[Unit] = match faults.alloc_event(salt) {
+                    Some(word) => {
+                        frag = build_units_fragmented(ctx, c, word)?;
+                        &frag
                     }
-                    Ok(Outcome {
-                        total_ns: r.total_ns,
-                        probe_records: probes.probe_records,
-                        shape_metrics,
-                    })
-                });
+                    None => &bound_ref[i],
+                };
+                let (sched, probes) = emit_schedule(ctx, c, units, None, &ProbeSpec::gemm_shapes());
+                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
+                let mut shape_metrics = Vec::new();
+                for (shape, start, end) in &probes.shape_regions {
+                    if let Some(dt) = r.elapsed(*start, *end) {
+                        shape_metrics.push((*shape, dt.max(0.0)));
+                    }
+                }
+                Ok(Outcome {
+                    total_ns: r.total_ns,
+                    probe_records: probes.probe_records,
+                    faulted: r.faults.any(),
+                    shape_metrics,
+                })
+            };
+            let results: Vec<Result<Outcome, AstraError>> =
+                parallel_map(workers, &cfgs, |i, c| eval(i, c, salt0 + i as u64));
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
-                let o = outcome?;
-                *trials += 1;
-                *exploration_ns += o.total_ns;
-                *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
-                for (shape, metric) in o.shape_metrics {
-                    let id = format!("{shape}");
-                    tree.record(&id, metric);
-                    if explored.contains(&shape) {
-                        self.index.record(&key_for(&shape, asg[&id]), metric);
+                let salt = salt0 + bi as u64;
+                let mut o = outcome?;
+                let mut attempt = 0u32;
+                let committed = loop {
+                    stats.trials += 1;
+                    stats.exploration_ns += o.total_ns;
+                    stats.overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                    if o.faulted {
+                        stats.fault_events += 1;
+                    }
+                    let suspect = o.faulted
+                        || o.shape_metrics.iter().any(|(shape, metric)| {
+                            explored.contains(shape)
+                                && is_outlier(
+                                    &self.index,
+                                    &key_for(shape, asg[&format!("{shape}")]),
+                                    *metric,
+                                )
+                        });
+                    if !suspect {
+                        for (shape, metric) in o.shape_metrics {
+                            let id = format!("{shape}");
+                            tree.record(&id, metric);
+                            if explored.contains(&shape) {
+                                self.index.record(&key_for(&shape, asg[&id]), metric);
+                            }
+                        }
+                        break true;
+                    }
+                    if attempt >= MAX_FAULT_RETRIES {
+                        break false;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                    o = eval(bi, &cfgs[bi], FaultPlan::attempt_salt(salt, attempt))?;
+                };
+                if !committed {
+                    stats.quarantined += 1;
+                    for shape in &explored {
+                        tree.poison(&format!("{shape}"));
                     }
                 }
             }
@@ -582,9 +795,7 @@ impl<'g> Astra<'g> {
         &mut self,
         cfg: &mut ExecConfig,
         strat_ctx: Option<&str>,
-        trials: &mut usize,
-        exploration_ns: &mut f64,
-        overhead_ns: &mut f64,
+        stats: &mut ExploreStats,
     ) -> Result<Option<Partition>, AstraError> {
         cfg.num_streams = self.opts.num_streams.max(2);
         let units = self.plan_cache.units_for(&self.ctx, cfg)?;
@@ -639,6 +850,7 @@ impl<'g> Astra<'g> {
         struct Outcome {
             total_ns: f64,
             probe_records: usize,
+            faulted: bool,
             epoch_metrics: Vec<((usize, usize), f64)>,
         }
 
@@ -660,57 +872,98 @@ impl<'g> Astra<'g> {
                 })
                 .collect();
 
+            let salt0 = self.fault_seq;
+            self.fault_seq += batch.len() as u64;
+
             let ctx = &self.ctx;
             let dev = self.dev;
             let clock = self.opts.clock;
+            let faults = self.opts.faults;
             let units_ref = &units;
             let partition_ref = &partition;
             let probe_ref = &probe_spec;
-            let results: Vec<Result<Outcome, AstraError>> =
-                parallel_map(workers, &cfgs, |_, c| {
-                    let (sched, probes) =
-                        emit_schedule(ctx, c, units_ref, Some(partition_ref), probe_ref);
-                    let r = Engine::with_clock(dev, clock).run(&sched)?;
-                    // Epoch metric: time from super-epoch start to the last
-                    // kernel dispatched in any stream up to this epoch
-                    // (§4.7).
-                    let mut epoch_metrics = Vec::new();
-                    for (&(sei, ei), ends) in &probes.epoch_ends {
-                        let Some(&start_ev) = probes.se_starts.get(&sei) else { continue };
-                        let Some(&start) = r.event_ns.get(&start_ev) else { continue };
-                        let end = ends
-                            .iter()
-                            .filter_map(|e| r.event_ns.get(e).copied())
-                            .fold(f64::NAN, f64::max);
-                        if end.is_finite() {
-                            epoch_metrics.push(((sei, ei), (end - start).max(0.0)));
-                        }
+            let eval = |c: &ExecConfig, salt: u64| -> Result<Outcome, AstraError> {
+                // A fragmented build keeps unit ids, dependencies, and order,
+                // so the partition and probe spec stay valid.
+                let frag;
+                let units_run: &[Unit] = match faults.alloc_event(salt) {
+                    Some(word) => {
+                        frag = build_units_fragmented(ctx, c, word)?;
+                        &frag
                     }
-                    Ok(Outcome {
-                        total_ns: r.total_ns,
-                        probe_records: probes.probe_records,
-                        epoch_metrics,
-                    })
-                });
+                    None => units_ref,
+                };
+                let (sched, probes) =
+                    emit_schedule(ctx, c, units_run, Some(partition_ref), probe_ref);
+                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
+                // Epoch metric: time from super-epoch start to the last
+                // kernel dispatched in any stream up to this epoch
+                // (§4.7).
+                let mut epoch_metrics = Vec::new();
+                for (&(sei, ei), ends) in &probes.epoch_ends {
+                    let Some(&start_ev) = probes.se_starts.get(&sei) else { continue };
+                    let Some(&start) = r.event_ns.get(&start_ev) else { continue };
+                    let end = ends
+                        .iter()
+                        .filter_map(|e| r.event_ns.get(e).copied())
+                        .fold(f64::NAN, f64::max);
+                    if end.is_finite() {
+                        epoch_metrics.push(((sei, ei), (end - start).max(0.0)));
+                    }
+                }
+                Ok(Outcome {
+                    total_ns: r.total_ns,
+                    probe_records: probes.probe_records,
+                    faulted: r.faults.any(),
+                    epoch_metrics,
+                })
+            };
+            let results: Vec<Result<Outcome, AstraError>> =
+                parallel_map(workers, &cfgs, |i, c| eval(c, salt0 + i as u64));
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
-                let o = outcome?;
-                *trials += 1;
-                *exploration_ns += o.total_ns;
-                *overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
-                for ((sei, ei), metric) in o.epoch_metrics {
-                    let id = format!("se{sei}.e{ei}");
-                    tree.record(&id, metric);
-                    let mut key = ProfileKey::entity(format!("epoch:{id}"), asg[&id]);
-                    if let Some(c) = strat_ctx {
-                        key = key.in_context(c.to_owned());
+                let salt = salt0 + bi as u64;
+                let mut o = outcome?;
+                let mut attempt = 0u32;
+                let committed = loop {
+                    stats.trials += 1;
+                    stats.exploration_ns += o.total_ns;
+                    stats.overhead_ns += o.probe_records as f64 * self.dev.event_record_cost_ns;
+                    if o.faulted {
+                        stats.fault_events += 1;
                     }
-                    if let Some(b) = &self.opts.key_context {
-                        key = key.in_context(b.clone());
+                    // No outlier check here: epoch metrics legitimately vary
+                    // with later-epoch stream assignments (processor
+                    // sharing), so only a reported fault marks a suspect.
+                    if !o.faulted {
+                        for ((sei, ei), metric) in o.epoch_metrics {
+                            let id = format!("se{sei}.e{ei}");
+                            tree.record(&id, metric);
+                            let mut key = ProfileKey::entity(format!("epoch:{id}"), asg[&id]);
+                            if let Some(c) = strat_ctx {
+                                key = key.in_context(c.to_owned());
+                            }
+                            if let Some(b) = &self.opts.key_context {
+                                key = key.in_context(b.clone());
+                            }
+                            self.index.record(&key, metric);
+                        }
+                        break true;
                     }
-                    self.index.record(&key, metric);
+                    if attempt >= MAX_FAULT_RETRIES {
+                        break false;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                    o = eval(&cfgs[bi], FaultPlan::attempt_salt(salt, attempt))?;
+                };
+                if !committed {
+                    stats.quarantined += 1;
+                    for id in epoch_opts.keys() {
+                        tree.poison(id);
+                    }
                 }
             }
         }
@@ -842,5 +1095,42 @@ mod tests {
     fn stream_exploration_reports_super_epochs() {
         let r = optimize(Model::StackedLstm, Dims::fks());
         assert!(r.super_epochs >= 1);
+    }
+
+    #[test]
+    fn clean_runs_report_zero_fault_counters() {
+        // Fault injection must be zero-cost when disabled: no event, retry,
+        // or quarantine ever shows up without a fault plan — including under
+        // autoboost clock jitter, which must not trip the outlier check.
+        for clock in [ClockMode::Fixed, ClockMode::Autoboost { seed: 3 }] {
+            let built = tiny(Model::SubLstm);
+            let dev = DeviceSpec::p100();
+            let mut astra = Astra::new(
+                &built.graph,
+                &dev,
+                AstraOptions { dims: Dims::fks(), clock, ..Default::default() },
+            );
+            let r = astra.optimize().expect("clean optimization");
+            assert_eq!(
+                (r.fault_events, r.retries, r.quarantined),
+                (0, 0, 0),
+                "clean run must report zero fault counters under {clock:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_exploration_reports_events_and_converges() {
+        let built = tiny(Model::SubLstm);
+        let dev = DeviceSpec::p100();
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fk(), faults: FaultPlan::chaos(7), ..Default::default() },
+        );
+        let r = astra.optimize().expect("faulted optimization still completes");
+        assert!(r.fault_events > 0, "chaos plan should trip at least one fault");
+        assert!(r.retries > 0, "a faulted measurement must be retried");
+        assert!(r.steady_ns > 0.0 && r.steady_ns.is_finite());
     }
 }

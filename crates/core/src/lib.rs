@@ -58,8 +58,8 @@ pub use bucketing::{optimize_bucketed, BucketedReport};
 pub use error::AstraError;
 pub use parallel::{effective_workers, parallel_map};
 pub use plan::{
-    bind_libs, build_units, emit_schedule, ExecConfig, PlanCache, PlanContext, PlanKey,
-    ProbeSpec, Probes, Unit, UnitId,
+    bind_libs, build_units, build_units_fragmented, emit_schedule, ExecConfig, PlanCache,
+    PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId,
 };
-pub use profile::{ProfileIndex, ProfileKey};
+pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};

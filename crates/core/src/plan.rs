@@ -161,6 +161,29 @@ fn div_ceil(a: usize, b: usize) -> usize {
 /// cyclic unit graph (a fusion block that would have to run both before and
 /// after another unit). The wirer treats such configurations as invalid.
 pub fn build_units(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> Result<Vec<Unit>, AstraError> {
+    build_units_with(ctx, cfg, None)
+}
+
+/// Like [`build_units`], but under a transient allocation failure: granted
+/// buffer groups whose bit in `frag_word` is set (group `g` → bit `g % 64`)
+/// are placed scattered instead of contiguously, inflating the gather
+/// copies of every fusion over them. The unit set, ids, dependencies, and
+/// topological order are identical to the clean build — only
+/// `pre_copy_bytes` changes — so stream partitions and probe regions
+/// computed from the clean units remain valid.
+pub fn build_units_fragmented(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    frag_word: u64,
+) -> Result<Vec<Unit>, AstraError> {
+    build_units_with(ctx, cfg, Some(frag_word))
+}
+
+fn build_units_with(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    frag: Option<u64>,
+) -> Result<Vec<Unit>, AstraError> {
     let graph = ctx.graph;
     let n_nodes = graph.nodes().len();
 
@@ -426,7 +449,7 @@ pub fn build_units(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> Result<Vec<Unit>,
     }
 
     // ---- Gather copies for non-contiguous fused operands. ----
-    let plan = allocation_plan(ctx, cfg);
+    let plan = allocation_plan(ctx, cfg, frag);
     for (si, set) in ctx.sets.iter().enumerate() {
         let (rc, cc) = cfg.chunk_for(&set.id);
         let rc = rc.clamp(1, set.rows().max(1));
@@ -694,16 +717,23 @@ pub fn bind_libs(units: &Arc<[Unit]>, cfg: &ExecConfig) -> Arc<[Unit]> {
 }
 
 /// Builds the device-memory plan for a strategy: granted adjacency groups
-/// first, then everything else.
-fn allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> AllocationPlan {
+/// first, then everything else. When `frag` is set (a transient allocation
+/// failure), granted group `g` falls back to scattered placement if bit
+/// `g % 64` of the word is set.
+fn allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig, frag: Option<u64>) -> AllocationPlan {
     let mut plan = AllocationPlan::new();
     let strategy = &ctx.alloc.strategies[cfg.strategy.min(ctx.alloc.strategies.len() - 1)];
-    for group in &strategy.granted {
+    for (gi, group) in strategy.granted.iter().enumerate() {
         let entries: Vec<_> = group
             .iter()
             .map(|&b| (b, ctx.graph.shape(astra_ir::TensorId(b.0 as u32)).bytes()))
             .collect();
-        plan.place_group(&entries);
+        let denied = frag.map_or(false, |word| (word >> (gi % 64)) & 1 == 1);
+        if denied {
+            plan.place_scattered(&entries);
+        } else {
+            plan.place_group(&entries);
+        }
     }
     plan
 }
@@ -936,6 +966,42 @@ mod tests {
             for &d in &u.deps {
                 assert!(d < i, "unit {i} depends on later unit {d}");
             }
+        }
+    }
+
+    #[test]
+    fn fragmented_build_changes_only_gather_bytes() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        // Greedily fuse each set as far as it stays acyclic, so the config
+        // is valid but actually exercises multi-member fusion groups.
+        let mut cfg = ExecConfig::baseline();
+        for set in &ctx.sets {
+            let prev = cfg.chunks.insert(set.id.clone(), (set.rows().max(1), set.cols().max(1)));
+            if build_units(&ctx, &cfg).is_err() {
+                match prev {
+                    Some(p) => cfg.chunks.insert(set.id.clone(), p),
+                    None => cfg.chunks.remove(&set.id),
+                };
+            }
+        }
+        let clean = build_units(&ctx, &cfg).unwrap();
+        // Deny every granted group.
+        let frag = build_units_fragmented(&ctx, &cfg, u64::MAX).unwrap();
+        assert_eq!(clean.len(), frag.len());
+        let mut extra = 0.0;
+        for (a, b) in clean.iter().zip(&frag) {
+            assert_eq!(a.id, b.id, "fragmentation must not reorder units");
+            assert_eq!(a.deps, b.deps, "fragmentation must not rewire deps");
+            assert!(b.pre_copy_bytes >= a.pre_copy_bytes, "denial can only add gather copies");
+            extra += b.pre_copy_bytes - a.pre_copy_bytes;
+        }
+        assert!(extra > 0.0, "full denial must force at least one gather copy");
+        // A word denying nothing reproduces the clean build exactly.
+        let same = build_units_fragmented(&ctx, &cfg, 0).unwrap();
+        for (a, b) in clean.iter().zip(&same) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pre_copy_bytes.to_bits(), b.pre_copy_bytes.to_bits());
         }
     }
 

@@ -7,11 +7,20 @@
 //! higher-level bindings) are prepended so that changing a higher-level
 //! policy causes a *miss* and forces re-evaluation, while measurements in
 //! unaffected contexts stay valid.
+//!
+//! The index stores full per-key [`SampleStats`] (count / mean / min /
+//! variance) rather than a single scalar: under fault injection the same
+//! key is measured repeatedly, and the driver needs the spread to tell a
+//! statistical outlier (re-measure) from a genuinely slow choice (accept).
 
 use std::collections::BTreeMap;
 
-
 /// A hierarchical profile key: context prefixes plus an entity/choice tail.
+///
+/// Keys compare *structurally* on the `(contexts, entity, choice)` triple,
+/// so the mangling is injective: two distinct triples can never collide,
+/// even when entity names themselves contain the `/` and `#` separators the
+/// textual form uses.
 ///
 /// # Examples
 ///
@@ -21,7 +30,7 @@ use std::collections::BTreeMap;
 /// let k = ProfileKey::entity("gemm:64x1024x1024", 2).in_context("alloc:1");
 /// assert_eq!(k.to_string(), "alloc:1/gemm:64x1024x1024#2");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProfileKey {
     contexts: Vec<String>,
     entity: String,
@@ -60,14 +69,78 @@ impl std::fmt::Display for ProfileKey {
     }
 }
 
-/// The measurement store: key → best observed metric (ns).
+impl std::fmt::Debug for ProfileKey {
+    /// Debug-prints as the quoted mangled string — what tests and dumps key
+    /// on — rather than the struct fields.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "\"{self}\"")
+    }
+}
+
+/// Running statistics over every sample recorded for one key: count, mean,
+/// minimum, and variance, maintained with Welford's algorithm (numerically
+/// stable, O(1) per sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+}
+
+impl SampleStats {
+    fn new(value: f64) -> Self {
+        SampleStats { count: 1, mean: value, m2: 0.0, min: value }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        if value < self.min {
+            self.min = value;
+        }
+    }
+
+    /// Number of samples recorded (always ≥ 1 — stats exist only for
+    /// measured keys).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest sample — the value exploration decisions use, since the
+    /// noise model (autoboost, faults) only ever slows a run down.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Population variance of the samples (0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+}
+
+/// The measurement store: key → per-key [`SampleStats`].
 ///
-/// Re-measuring the same key keeps the *minimum* (measurements are
-/// repeatable under a fixed clock; min guards against profiling noise when
-/// autoboost is on).
+/// Lookups that feed exploration decisions ([`ProfileIndex::get`],
+/// [`ProfileIndex::best_choice`]) return the per-key *minimum*:
+/// measurements are repeatable under a fixed clock, and every injected
+/// noise source is slow-only, so the smallest sample is the best estimate
+/// of the true cost. The full stats stay available via
+/// [`ProfileIndex::stats`] for outlier detection.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileIndex {
-    map: BTreeMap<String, f64>,
+    map: BTreeMap<ProfileKey, SampleStats>,
 }
 
 impl ProfileIndex {
@@ -78,25 +151,34 @@ impl ProfileIndex {
 
     /// Records a measurement for `key`.
     pub fn record(&mut self, key: &ProfileKey, value_ns: f64) {
-        let k = key.to_string();
-        self.map
-            .entry(k)
-            .and_modify(|v| *v = v.min(value_ns))
-            .or_insert(value_ns);
+        match self.map.get_mut(key) {
+            Some(stats) => stats.push(value_ns),
+            None => {
+                self.map.insert(key.clone(), SampleStats::new(value_ns));
+            }
+        }
     }
 
     /// Whether `key` has been measured (a hit means no re-run needed).
     pub fn contains(&self, key: &ProfileKey) -> bool {
-        self.map.contains_key(&key.to_string())
+        self.map.contains_key(key)
     }
 
-    /// The measurement for `key`, if present.
+    /// The measurement for `key` (its minimum sample), if present.
     pub fn get(&self, key: &ProfileKey) -> Option<f64> {
-        self.map.get(&key.to_string()).copied()
+        self.map.get(key).map(|s| s.min)
+    }
+
+    /// The full sample statistics for `key`, if present.
+    pub fn stats(&self, key: &ProfileKey) -> Option<&SampleStats> {
+        self.map.get(key)
     }
 
     /// The best (choice, value) among `choices` keys for an entity in a
     /// context-mangled keyspace. Returns `None` if none are measured.
+    ///
+    /// Ties on the metric break toward the *lowest* choice index — an
+    /// explicit, stable rule rather than an accident of iteration order.
     pub fn best_choice(
         &self,
         mk_key: impl Fn(usize) -> ProfileKey,
@@ -104,7 +186,7 @@ impl ProfileIndex {
     ) -> Option<(usize, f64)> {
         (0..choices)
             .filter_map(|c| self.get(&mk_key(c)).map(|v| (c, v)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     }
 
     /// Number of stored measurements.
@@ -157,10 +239,63 @@ mod tests {
     }
 
     #[test]
+    fn best_choice_ties_break_to_lowest_index() {
+        let mut idx = ProfileIndex::new();
+        // Exact ties across three choices, recorded out of order.
+        for c in [2usize, 0, 1] {
+            idx.record(&ProfileKey::entity("fuse:t", c), 42.0);
+        }
+        let (c, v) = idx.best_choice(|c| ProfileKey::entity("fuse:t", c), 3).unwrap();
+        assert_eq!((c, v), (0, 42.0), "ties must resolve to the lowest choice index");
+        // A strictly better later choice still wins.
+        idx.record(&ProfileKey::entity("fuse:t", 2), 41.0);
+        let (c, _) = idx.best_choice(|c| ProfileKey::entity("fuse:t", c), 3).unwrap();
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn stats_track_count_mean_min_variance() {
+        let mut idx = ProfileIndex::new();
+        let k = ProfileKey::entity("e", 0);
+        for v in [10.0, 20.0, 30.0] {
+            idx.record(&k, v);
+        }
+        let s = *idx.stats(&k).unwrap();
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(s.min(), 10.0);
+        // Population variance of {10, 20, 30} is 200/3.
+        assert!((s.variance() - 200.0 / 3.0).abs() < 1e-9);
+        // Single-sample keys have zero variance.
+        let k1 = ProfileKey::entity("e", 1);
+        idx.record(&k1, 5.0);
+        assert_eq!(idx.stats(&k1).unwrap().variance(), 0.0);
+    }
+
+    #[test]
+    fn structural_keys_distinguish_slash_laden_entities() {
+        // The textual mangling of these two keys is identical
+        // ("a/b#0"-style collision); structural comparison must not be.
+        let as_context = ProfileKey::entity("b", 0).in_context("a");
+        let as_entity = ProfileKey::entity("a/b", 0);
+        assert_eq!(as_context.to_string(), as_entity.to_string());
+        assert_ne!(as_context, as_entity);
+        let mut idx = ProfileIndex::new();
+        idx.record(&as_context, 1.0);
+        assert!(!idx.contains(&as_entity), "string-colliding keys must stay distinct");
+    }
+
+    #[test]
     fn display_orders_contexts_outermost_first() {
         let k = ProfileKey::entity("epoch:3", 1)
             .in_context("superepoch:0")
             .in_context("bucket:24");
         assert_eq!(k.to_string(), "bucket:24/superepoch:0/epoch:3#1");
+    }
+
+    #[test]
+    fn debug_form_is_the_quoted_mangled_string() {
+        let k = ProfileKey::entity("kern:8x64x64", 1).in_context("bucket:3");
+        assert_eq!(format!("{k:?}"), "\"bucket:3/kern:8x64x64#1\"");
     }
 }

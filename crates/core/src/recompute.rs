@@ -390,66 +390,3 @@ mod tests {
         assert!(r_big.min_peak_bytes() < r_big.points[0].peak_bytes * 0.7);
     }
 }
-
-#[cfg(test)]
-mod debug_tests {
-    use super::*;
-    use crate::astra::{Astra, AstraOptions, Dims};
-    use astra_gpu::DeviceSpec;
-    use astra_models::{Model, ModelConfig};
-
-    #[test]
-    #[ignore]
-    fn dump_peak_composition() {
-        let dev = DeviceSpec::p100();
-        let cfg = ModelConfig { seq_len: 32, ..Model::SubLstm.default_config(16) };
-        let built = Model::SubLstm.build(&cfg);
-        let mut astra =
-            Astra::new(&built.graph, &dev, AstraOptions { dims: Dims::fk(), ..Default::default() });
-        let best = astra.optimize().unwrap().best;
-        let units = build_units(astra.context(), &best).unwrap();
-        for k in [u32::MAX, 16] {
-            let (timeline, checkpoint) = build_timeline(&units, k);
-            // replicate peak computation with live dump
-            let n = timeline.len();
-            let mut orig_pos = vec![usize::MAX; units.len()];
-            let mut clone_pos = vec![usize::MAX; units.len()];
-            for (p, item) in timeline.iter().enumerate() {
-                if item.clone { clone_pos[item.unit] = p; } else { orig_pos[item.unit] = p; }
-            }
-            let mut last_use: Vec<usize> = (0..n).collect();
-            for (p, item) in timeline.iter().enumerate() {
-                for &d in &units[item.unit].deps {
-                    let dp = if clone_pos[d] != usize::MAX && p > clone_pos[d] { clone_pos[d] } else { orig_pos[d] };
-                    if dp != usize::MAX { last_use[dp] = last_use[dp].max(p); }
-                }
-            }
-            for (i, &cp) in clone_pos.iter().enumerate() {
-                if cp != usize::MAX && !checkpoint[i] {
-                    let op = orig_pos[i];
-                    last_use[op] = last_use[op].min(cp.saturating_sub(1));
-                }
-            }
-            let mut frees: Vec<Vec<usize>> = vec![Vec::new(); n];
-            for (p, &lu) in last_use.iter().enumerate() { frees[lu.min(n-1)].push(p); }
-            let mut alive = 0.0; let mut peak = 0.0; let mut peak_pos = 0;
-            for p in 0..n {
-                alive += units[timeline[p].unit].out_bytes;
-                if alive > peak { peak = alive; peak_pos = p; }
-                for &f in &frees[p] { alive -= units[timeline[f].unit].out_bytes; }
-            }
-            println!("k={k}: peak {:.1}MB at pos {peak_pos}/{n}", peak/1e6);
-            let mut live: Vec<(f64, String)> = Vec::new();
-            for p in 0..=peak_pos {
-                if last_use[p] >= peak_pos {
-                    let u = &units[timeline[p].unit];
-                    live.push((u.out_bytes, format!("{}{} {:?} step {:?} ckpt {}",
-                        u.kernel.label(), if timeline[p].clone {" CLONE"} else {""}, u.pass, u.step, checkpoint[timeline[p].unit])));
-                }
-            }
-            live.sort_by(|a,b| b.0.total_cmp(&a.0));
-            for (b, d) in live.iter().take(8) { println!("   {:.1}MB {}", b/1e6, d); }
-            println!("   ({} live)", live.len());
-        }
-    }
-}

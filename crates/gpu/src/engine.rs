@@ -30,6 +30,9 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use crate::clock::{Clock, ClockMode};
 use crate::device::DeviceSpec;
 use crate::error::GpuError;
+use crate::fault::{
+    FaultInjector, FaultPlan, FaultSummary, ALLOC_RETRY_STALL_NS, LAUNCH_RETRY_OVERHEAD_FACTOR,
+};
 use crate::kernel::KernelDesc;
 use crate::schedule::{Cmd, EventId, Schedule, StreamId};
 
@@ -75,6 +78,8 @@ pub struct RunResult {
     /// Total stream-time consumed by event records — the profiling overhead
     /// the paper bounds at <0.5% (§6.4).
     pub profiling_overhead_ns: f64,
+    /// Faults injected into this run (all zeros when faults are disabled).
+    pub faults: FaultSummary,
 }
 
 impl RunResult {
@@ -163,17 +168,37 @@ struct StreamState<'s> {
 pub struct Engine<'a> {
     dev: &'a DeviceSpec,
     clock: Clock,
+    faults: FaultPlan,
+    fault_salt: u64,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine with a pinned base clock (the paper's setting).
     pub fn new(dev: &'a DeviceSpec) -> Self {
-        Engine { dev, clock: Clock::new(ClockMode::Fixed) }
+        Engine::with_clock(dev, ClockMode::Fixed)
     }
 
     /// Creates an engine with an explicit clock mode.
     pub fn with_clock(dev: &'a DeviceSpec, mode: ClockMode) -> Self {
-        Engine { dev, clock: Clock::new(mode) }
+        Engine::with_faults(dev, mode, FaultPlan::none(), 0)
+    }
+
+    /// Creates an engine that injects faults per `faults`, with all draws
+    /// derived from `(faults.seed, fault_salt)`. With [`FaultPlan::none`]
+    /// this is exactly [`Engine::with_clock`].
+    pub fn with_faults(
+        dev: &'a DeviceSpec,
+        mode: ClockMode,
+        faults: FaultPlan,
+        fault_salt: u64,
+    ) -> Self {
+        Engine { dev, clock: Clock::new(mode), faults, fault_salt }
+    }
+
+    /// Re-salts the fault draws for the next run (each simulated mini-batch
+    /// should misbehave independently).
+    pub fn set_fault_salt(&mut self, salt: u64) {
+        self.fault_salt = salt;
     }
 
     /// Executes `schedule` to completion.
@@ -184,8 +209,17 @@ impl<'a> Engine<'a> {
     /// can never fire (e.g. a wait that precedes its record in program order
     /// on a blocked stream).
     pub fn run(&mut self, schedule: &Schedule) -> Result<RunResult, GpuError> {
-        let mut sim = Sim::new(self.dev, schedule, &mut self.clock);
+        let chaos = Chaos::for_run(&self.faults, self.fault_salt, schedule.num_streams());
+        let mut sim = Sim::new(self.dev, schedule, &mut self.clock, chaos);
         let mut cpu_ns = 0.0_f64;
+        if self.faults.alloc_event(self.fault_salt).is_some() {
+            // The arena grant transiently failed: the runtime stalls retrying
+            // the allocation before any dispatch happens. (The planner-side
+            // consequence — scattered placement and extra gather copies — is
+            // applied by whoever built the schedule, from the same draw.)
+            cpu_ns += ALLOC_RETRY_STALL_NS;
+            sim.result.faults.alloc_retries += 1;
+        }
         let mut barrier_seq = 0_usize;
 
         for (idx, cmd) in schedule.cmds().iter().enumerate() {
@@ -243,9 +277,41 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Engine-side fault state for one run: the per-run injector plus the
+/// straggler slowdown of every stream (1.0 = healthy). Absent entirely when
+/// the plan is [`FaultPlan::none`], keeping the clean path allocation- and
+/// branch-free apart from one `Option` check per kernel activation.
+#[derive(Debug)]
+struct Chaos {
+    injector: FaultInjector,
+    straggle: Vec<f64>,
+    straggler_count: u32,
+}
+
+impl Chaos {
+    fn for_run(plan: &FaultPlan, salt: u64, num_streams: usize) -> Option<Chaos> {
+        if plan.is_none() {
+            return None;
+        }
+        let mut injector = plan.injector(salt);
+        let mut straggler_count = 0;
+        let straggle = (0..num_streams)
+            .map(|_| match injector.draw_straggler() {
+                Some(f) => {
+                    straggler_count += 1;
+                    f
+                }
+                None => 1.0,
+            })
+            .collect();
+        Some(Chaos { injector, straggle, straggler_count })
+    }
+}
+
 struct Sim<'s, 'd, 'c> {
     dev: &'d DeviceSpec,
     clock: &'c mut Clock,
+    chaos: Option<Chaos>,
     streams: Vec<StreamState<'s>>,
     num_streams: usize,
     now: f64,
@@ -262,13 +328,20 @@ struct Sim<'s, 'd, 'c> {
 }
 
 impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
-    fn new(dev: &'d DeviceSpec, schedule: &'s Schedule, clock: &'c mut Clock) -> Self {
+    fn new(
+        dev: &'d DeviceSpec,
+        schedule: &'s Schedule,
+        clock: &'c mut Clock,
+        chaos: Option<Chaos>,
+    ) -> Self {
         let num_streams = schedule.num_streams();
         let mut result = RunResult::default();
         result.spans.reserve_exact(schedule.num_launches());
+        result.faults.straggler_streams = chaos.as_ref().map_or(0, |c| c.straggler_count);
         Sim {
             dev,
             clock,
+            chaos,
             streams: schedule
                 .stream_cmd_counts()
                 .iter()
@@ -335,10 +408,24 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                 match item.kind {
                     ItemKind::Kernel { exec_ns, demand, label, kernel, cmd_idx } => {
                         let jitter = self.clock.jitter_factor();
+                        let mut exec_ns = exec_ns * jitter;
+                        let mut overhead_ns = self.dev.launch_overhead_ns + sync_penalty;
+                        if let Some(chaos) = &mut self.chaos {
+                            if chaos.injector.draw_launch_retry() {
+                                overhead_ns +=
+                                    LAUNCH_RETRY_OVERHEAD_FACTOR * self.dev.launch_overhead_ns;
+                                self.result.faults.launch_retries += 1;
+                            }
+                            if let Some(f) = chaos.injector.draw_spike() {
+                                exec_ns *= f;
+                                self.result.faults.timing_spikes += 1;
+                            }
+                            exec_ns *= chaos.straggle[si];
+                        }
                         let start = self.now;
                         self.streams[si].active = Some(Active::Overhead {
-                            until: self.now + self.dev.launch_overhead_ns + sync_penalty,
-                            exec_ns: exec_ns * jitter,
+                            until: self.now + overhead_ns,
+                            exec_ns,
                             demand,
                             label,
                             kernel,
@@ -813,5 +900,114 @@ mod tests {
         let labels: Vec<&str> = r.spans.iter().map(|sp| sp.label.as_str()).collect();
         assert!(labels.contains(&"mine"));
         assert!(labels.iter().any(|l| l.starts_with("gemm[")));
+    }
+
+    /// A few kernels across two streams — enough surface for every fault
+    /// class to land on.
+    fn faultable_schedule() -> Schedule {
+        let mut s = Schedule::new(2);
+        for i in 0..8 {
+            s.launch(StreamId(i % 2), gemm(GemmShape::new(64, 256, 256)));
+        }
+        s
+    }
+
+    #[test]
+    fn none_plan_matches_plain_engine_bitwise() {
+        let dev = DeviceSpec::p100();
+        let s = faultable_schedule();
+        let plain = Engine::with_clock(&dev, ClockMode::Autoboost { seed: 5 }).run(&s).unwrap();
+        let faulted =
+            Engine::with_faults(&dev, ClockMode::Autoboost { seed: 5 }, FaultPlan::none(), 77)
+                .run(&s)
+                .unwrap();
+        assert_eq!(plain, faulted, "FaultPlan::none must be a perfect no-op");
+        assert!(!faulted.faults.any());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_salt() {
+        let dev = DeviceSpec::p100();
+        let s = faultable_schedule();
+        let plan = FaultPlan { spike_prob: 0.5, launch_fail_prob: 0.5, ..FaultPlan::chaos(9) };
+        let run = |salt| Engine::with_faults(&dev, ClockMode::Fixed, plan, salt).run(&s).unwrap();
+        let a = run(3);
+        assert_eq!(a, run(3), "same salt must reproduce bitwise");
+        assert!(a.faults.any(), "aggressive plan must inject something");
+        // Some salt diverges (faults are per-run, not global).
+        assert!((0..32).any(|salt| run(salt).total_ns.to_bits() != a.total_ns.to_bits()));
+    }
+
+    #[test]
+    fn spikes_and_launch_retries_only_slow_things_down() {
+        let dev = DeviceSpec::p100();
+        let s = faultable_schedule();
+        let clean = Engine::new(&dev).run(&s).unwrap();
+        let plan = FaultPlan { spike_prob: 0.5, launch_fail_prob: 0.5, ..FaultPlan::chaos(9) };
+        for salt in 0..16 {
+            let r = Engine::with_faults(&dev, ClockMode::Fixed, plan, salt).run(&s).unwrap();
+            assert!(
+                r.total_ns >= clean.total_ns - 1.0,
+                "faults must never speed a run up: {} < {}",
+                r.total_ns,
+                clean.total_ns
+            );
+            assert_eq!(r.spans.len(), clean.spans.len(), "faults are transient, work completes");
+        }
+    }
+
+    #[test]
+    fn alloc_event_charges_the_stall_and_is_counted() {
+        let dev = DeviceSpec::p100();
+        let s = faultable_schedule();
+        let plan = FaultPlan { alloc_fail_prob: 1.0, ..FaultPlan::alloc_failures(1) };
+        let clean = Engine::new(&dev).run(&s).unwrap();
+        let r = Engine::with_faults(&dev, ClockMode::Fixed, plan, 0).run(&s).unwrap();
+        assert_eq!(r.faults.alloc_retries, 1);
+        assert!(
+            r.total_ns >= clean.total_ns + ALLOC_RETRY_STALL_NS - 1.0,
+            "alloc retry must stall the host: {} vs clean {}",
+            r.total_ns,
+            clean.total_ns
+        );
+    }
+
+    #[test]
+    fn straggler_slows_exactly_its_stream() {
+        let dev = DeviceSpec::p100();
+        // Force stream 0 to straggle by drawing with p=1 while keeping every
+        // per-kernel class off.
+        let plan = FaultPlan {
+            straggler_prob: 1.0,
+            straggler_factor: 3.0,
+            ..FaultPlan::stragglers(4)
+        };
+        let mut s = Schedule::new(1);
+        s.launch(StreamId(0), gemm(GemmShape::new(256, 1024, 1024)));
+        let clean = Engine::new(&dev).run(&s).unwrap();
+        let r = Engine::with_faults(&dev, ClockMode::Fixed, plan, 0).run(&s).unwrap();
+        assert_eq!(r.faults.straggler_streams, 1);
+        assert!(
+            r.total_ns > clean.total_ns * 1.5,
+            "3x straggler must dominate the single-stream makespan"
+        );
+    }
+
+    #[test]
+    fn set_fault_salt_changes_the_draw() {
+        let dev = DeviceSpec::p100();
+        let s = faultable_schedule();
+        let plan = FaultPlan { spike_prob: 0.5, ..FaultPlan::timing_spikes(2) };
+        let mut eng = Engine::with_faults(&dev, ClockMode::Fixed, plan, 0);
+        let first = eng.run(&s).unwrap();
+        let mut any_differs = false;
+        for salt in 1..16 {
+            eng.set_fault_salt(salt);
+            if eng.run(&s).unwrap() != first {
+                any_differs = true;
+                break;
+            }
+        }
+        assert!(any_differs, "re-salting must eventually change fault draws");
     }
 }

@@ -25,6 +25,9 @@
 //! * [`Schedule`] — multi-stream command lists with events and barriers.
 //! * [`Engine`] — the discrete-event simulator (processor-sharing streams,
 //!   launch overheads, event/barrier semantics).
+//! * [`FaultPlan`] — seeded, deterministic fault injection (timing spikes,
+//!   launch/allocation failures, stragglers) surfaced via
+//!   [`FaultSummary`] on every [`RunResult`].
 //! * [`AllocationPlan`] — arena placement + contiguity queries for fusion.
 //! * [`ProfilePlan`] — region profiling harvested from a run.
 //! * [`trace_json`] — Chrome-tracing export of a run's kernel spans.
@@ -49,6 +52,7 @@ mod clock;
 mod device;
 mod engine;
 mod error;
+mod fault;
 mod gemm;
 mod kernel;
 mod memory;
@@ -60,6 +64,10 @@ pub use clock::{Clock, ClockMode};
 pub use device::DeviceSpec;
 pub use engine::{Engine, KernelSpan, RunResult};
 pub use error::GpuError;
+pub use fault::{
+    FaultInjector, FaultPlan, FaultSummary, ALLOC_RETRY_STALL_NS, LAUNCH_RETRY_OVERHEAD_FACTOR,
+    SPIKE_MAX_FACTOR, SPIKE_MIN_FACTOR,
+};
 pub use gemm::{best_library, time_gemm, GemmLibrary, GemmShape, GemmTiming};
 pub use kernel::{KernelCost, KernelDesc};
 pub use memory::{AllocationPlan, BufId, Placement};

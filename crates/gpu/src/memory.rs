@@ -44,6 +44,7 @@ pub struct Placement {
 pub struct AllocationPlan {
     placements: HashMap<BufId, Placement>,
     cursor: u64,
+    denied_groups: usize,
 }
 
 /// Arena alignment between groups (bytes).
@@ -78,6 +79,29 @@ impl AllocationPlan {
             placed += 1;
         }
         placed
+    }
+
+    /// Places `bufs` as if the contiguous grant for the group transiently
+    /// failed: each buffer becomes its own group, so no pair is adjacent and
+    /// any fusion over them must pay a gather copy. This is the degraded
+    /// layout a real allocator falls back to when the arena cannot satisfy a
+    /// large contiguous request; fault injection uses it to model transient
+    /// allocation failures. Counted in [`AllocationPlan::denied_groups`].
+    ///
+    /// Returns the number of buffers newly placed.
+    pub fn place_scattered(&mut self, bufs: &[(BufId, u64)]) -> usize {
+        self.denied_groups += 1;
+        let mut placed = 0;
+        for &(id, bytes) in bufs {
+            placed += self.place_group(&[(id, bytes)]);
+        }
+        placed
+    }
+
+    /// How many group placements were denied a contiguous grant and fell
+    /// back to [`AllocationPlan::place_scattered`].
+    pub fn denied_groups(&self) -> usize {
+        self.denied_groups
     }
 
     /// Looks up a buffer's placement.
@@ -176,6 +200,20 @@ mod tests {
         let plan = AllocationPlan::new();
         assert!(!plan.are_contiguous(&[BufId(7)]));
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn scattered_placement_breaks_contiguity() {
+        let mut denied = AllocationPlan::new();
+        denied.place_scattered(&[(BufId(1), 128), (BufId(2), 128)]);
+        assert!(!denied.are_contiguous(&[BufId(1), BufId(2)]));
+        assert_eq!(denied.gather_bytes(&[BufId(1), BufId(2)]), 256);
+        assert_eq!(denied.denied_groups(), 1);
+        // A granted placement of the same group is contiguous and uncounted.
+        let mut granted = AllocationPlan::new();
+        granted.place_group(&[(BufId(1), 128), (BufId(2), 128)]);
+        assert!(granted.are_contiguous(&[BufId(1), BufId(2)]));
+        assert_eq!(granted.denied_groups(), 0);
     }
 
     #[test]

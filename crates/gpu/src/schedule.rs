@@ -171,6 +171,48 @@ impl Schedule {
         self.cmds.push(Cmd::HostSync);
     }
 
+    /// Renders the schedule as stable, line-oriented text: one command per
+    /// line, in dispatch order, with kernel labels, stream bindings, and
+    /// event wiring spelled out. Golden-trace tests snapshot this exact
+    /// format, so treat any change to it as a schedule-visible change.
+    ///
+    /// ```text
+    /// streams 2
+    /// launch s0 gemm[16x64x64]@cublas
+    /// record s0 -> e0
+    /// launch s1 waits[e0] gemm[16x64x64]@cublas
+    /// barrier
+    /// hostsync
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "streams {}", self.num_streams);
+        for cmd in &self.cmds {
+            match cmd {
+                Cmd::Launch { stream, kernel, waits, label } => {
+                    let _ = write!(out, "launch s{}", stream.0);
+                    if !waits.is_empty() {
+                        let _ = write!(out, " waits[");
+                        for (i, w) in waits.iter().enumerate() {
+                            let sep = if i > 0 { "," } else { "" };
+                            let _ = write!(out, "{sep}e{}", w.0);
+                        }
+                        let _ = write!(out, "]");
+                    }
+                    let name = label.clone().unwrap_or_else(|| kernel.label());
+                    let _ = writeln!(out, " {name}");
+                }
+                Cmd::Record { stream, event } => {
+                    let _ = writeln!(out, "record s{} -> e{}", stream.0, event.0);
+                }
+                Cmd::Barrier => out.push_str("barrier\n"),
+                Cmd::HostSync => out.push_str("hostsync\n"),
+            }
+        }
+        out
+    }
+
     fn check_stream(&self, stream: StreamId) {
         assert!(
             stream.0 < self.num_streams,
@@ -204,6 +246,24 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn zero_streams_panics() {
         let _ = Schedule::new(0);
+    }
+
+    #[test]
+    fn render_spells_out_streams_waits_and_labels() {
+        let mut s = Schedule::new(2);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1024.0 });
+        let ev = s.record(StreamId(0));
+        s.launch_labeled(StreamId(1), KernelDesc::MemCopy { bytes: 1.0 }, vec![ev], "mine");
+        s.barrier();
+        s.host_sync();
+        let text = s.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "streams 2");
+        assert!(lines[1].starts_with("launch s0 "));
+        assert_eq!(lines[2], "record s0 -> e0");
+        assert_eq!(lines[3], "launch s1 waits[e0] mine");
+        assert_eq!(lines[4], "barrier");
+        assert_eq!(lines[5], "hostsync");
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! The driver batches metric-independent trials from the update tree and
 //! evaluates them on a thread pool, but commits measurements in candidate
 //! order — so every observable output (timings, trial counts, winning
-//! config, profile index, cache counters) must be *bit-identical* at any
-//! worker count. These tests pin that contract for several models.
+//! config, profile index, cache counters, fault accounting) must be
+//! *bit-identical* at any worker count. These tests pin that contract for
+//! several models, for bucketed dynamic-graph optimization, and for runs
+//! under fault injection (whose fault draws are salted from the candidate
+//! sequence, not from worker scheduling).
 
-use astra::core::{Astra, AstraOptions, Dims, Report};
-use astra::gpu::DeviceSpec;
+use astra::core::{optimize_bucketed, Astra, AstraOptions, Dims, Report};
+use astra::gpu::{ClockMode, DeviceSpec, FaultPlan};
 use astra::models::Model;
 
 fn small(model: Model, batch: u64) -> astra::models::BuiltModel {
@@ -20,18 +23,18 @@ fn small(model: Model, batch: u64) -> astra::models::BuiltModel {
     model.build(&c)
 }
 
-fn run(built: &astra::models::BuiltModel, workers: usize) -> (Report, String) {
+fn run_opts(built: &astra::models::BuiltModel, opts: AstraOptions) -> (Report, String) {
     let dev = DeviceSpec::p100();
-    let mut astra = Astra::new(
-        &built.graph,
-        &dev,
-        AstraOptions { dims: Dims::all(), workers, ..Default::default() },
-    );
+    let mut astra = Astra::new(&built.graph, &dev, opts);
     let r = astra.optimize().expect("optimize runs");
     // Debug formatting covers every key and every recorded sample, so equal
     // strings mean the indices are observably identical.
     let index = format!("{:?}", astra.profile_index());
     (r, index)
+}
+
+fn run(built: &astra::models::BuiltModel, workers: usize) -> (Report, String) {
+    run_opts(built, AstraOptions { dims: Dims::all(), workers, ..Default::default() })
 }
 
 fn assert_identical(a: &(Report, String), b: &(Report, String), model: Model, workers: usize) {
@@ -57,6 +60,11 @@ fn assert_identical(a: &(Report, String), b: &(Report, String), model: Model, wo
         (ra.plan_cache_hits, ra.plan_cache_misses),
         (rb.plan_cache_hits, rb.plan_cache_misses),
         "{model}: cache counters drifted at workers={workers}"
+    );
+    assert_eq!(
+        (ra.fault_events, ra.retries, ra.quarantined),
+        (rb.fault_events, rb.retries, rb.quarantined),
+        "{model}: fault accounting drifted at workers={workers}"
     );
     assert_eq!(ia, ib, "{model}: profile index drifted at workers={workers}");
 }
@@ -92,4 +100,56 @@ fn schedule_cache_serves_repeat_candidates() {
     let (r, _) = run(&built, 1);
     assert!(r.plan_cache_misses > 0, "distinct structures build units");
     assert!(r.plan_cache_hits > 0, "repeat structures must hit the cache");
+}
+
+#[test]
+fn fault_injection_is_worker_invariant() {
+    // Fault draws are salted from the candidate-sequence counter, which
+    // batches of any size partition identically — so a faulted run, its
+    // retries, and its quarantines replay bit-for-bit at every worker count.
+    let built = small(Model::SubLstm, 16);
+    let mk = |workers| AstraOptions {
+        dims: Dims::all(),
+        workers,
+        clock: ClockMode::Autoboost { seed: 5 },
+        faults: FaultPlan::chaos(11),
+        ..Default::default()
+    };
+    let sequential = run_opts(&built, mk(1));
+    assert!(sequential.0.fault_events > 0, "chaos plan must trip faults in this workload");
+    for workers in [2usize, 8] {
+        let parallel = run_opts(&built, mk(workers));
+        assert_identical(&sequential, &parallel, Model::SubLstm, workers);
+    }
+}
+
+#[test]
+fn bucketed_optimization_is_worker_invariant() {
+    // The dynamic-graph driver threads one profile index through every
+    // bucket; each per-bucket report (and the workload totals) must be
+    // identical at any worker count.
+    let dev = DeviceSpec::p100();
+    let mut base = Model::SubLstm.default_config(16);
+    base.hidden = 64;
+    base.input = 64;
+    base.vocab = 128;
+    let build = |seq: u32| Model::SubLstm.build(&base.clone().with_seq_len(seq)).graph;
+    let lengths = [5u32, 8, 6, 11, 7, 5];
+    let buckets = [6u32, 9, 12];
+    let run_b = |workers: usize| {
+        let opts = AstraOptions { dims: Dims::fk(), workers, ..Default::default() };
+        optimize_bucketed(&build, &lengths, &buckets, &dev, &opts).expect("bucketed runs")
+    };
+    let a = run_b(1);
+    let b = run_b(4);
+    assert_eq!(a.dynamic_native_ns.to_bits(), b.dynamic_native_ns.to_bits());
+    assert_eq!(a.bucketed_astra_ns.to_bits(), b.bucketed_astra_ns.to_bits());
+    assert_eq!(a.configs_explored, b.configs_explored);
+    assert_eq!(a.per_bucket.len(), b.per_bucket.len());
+    for ((ba, ra), (bb, rb)) in a.per_bucket.iter().zip(&b.per_bucket) {
+        assert_eq!(ba, bb, "bucket set drifted");
+        assert_eq!(ra.steady_ns.to_bits(), rb.steady_ns.to_bits(), "bucket {ba} drifted");
+        assert_eq!(ra.configs_explored, rb.configs_explored, "bucket {ba} trials drifted");
+        assert_eq!(ra.best, rb.best, "bucket {ba} winner drifted");
+    }
 }

@@ -1,0 +1,111 @@
+//! Golden-trace snapshots of `Schedule` lowering.
+//!
+//! Two fixed models, one deterministic fused configuration each, two
+//! streams assigned by unit-index parity: the rendered schedule (kernel
+//! labels, stream bindings, event waits, barriers) must match the checked-in
+//! fixture byte-for-byte. Any change to fusion grouping, unit ordering,
+//! stream emission, or kernel labeling shows up as a readable diff here —
+//! deliberate changes regenerate the fixtures with
+//!
+//! ```text
+//! ASTRA_REGEN_GOLDEN=1 cargo test --test golden_schedules
+//! ```
+//!
+//! and the updated files under `tests/golden/` are reviewed like code.
+
+use astra::core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
+use astra::models::Model;
+
+fn tiny(model: Model) -> astra::models::BuiltModel {
+    let mut c = model.default_config(8);
+    c.hidden = 64;
+    c.input = 64;
+    c.vocab = 128;
+    c.seq_len = 3;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+/// Renders the model's schedule under a deterministic configuration: every
+/// fusion set greedily fused to its largest valid chunking, two streams
+/// with units bound by index parity.
+fn rendered_schedule(model: Model) -> String {
+    let built = tiny(model);
+    let ctx = PlanContext::new(&built.graph);
+    let mut cfg = ExecConfig::baseline();
+    // Greedy deterministic fusion: take each set's largest (row, col)
+    // chunking, reverting any set whose addition makes the unit graph
+    // cyclic. The result depends only on the model and the enumeration
+    // order, never on measurements or randomness.
+    for set in &ctx.sets {
+        let rc = *set.row_chunks().last().expect("at least one row chunk");
+        let cc = *set.col_chunks().first().expect("at least one col chunk");
+        let prev = cfg.chunks.insert(set.id.clone(), (rc, cc));
+        if build_units(&ctx, &cfg).is_err() {
+            match prev {
+                Some(p) => cfg.chunks.insert(set.id.clone(), p),
+                None => cfg.chunks.remove(&set.id),
+            };
+        }
+    }
+    cfg.num_streams = 2;
+    let units = build_units(&ctx, &cfg).expect("greedy config is valid");
+    for (i, u) in units.iter().enumerate() {
+        cfg.streams.insert(u.id, i % 2);
+    }
+    let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+    sched.render()
+}
+
+fn check_golden(model: Model, fixture: &str) {
+    let got = rendered_schedule(model);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(fixture);
+    if std::env::var_os("ASTRA_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with \
+             ASTRA_REGEN_GOLDEN=1 cargo test --test golden_schedules",
+            path.display()
+        )
+    });
+    if got != want {
+        // Show the first diverging line — a full dump of both schedules
+        // would drown the signal.
+        let diff_line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map_or(got.lines().count().min(want.lines().count()), |i| i);
+        panic!(
+            "{model}: schedule drifted from {} at line {} —\n  expected: {:?}\n  got:      {:?}\n\
+             if intentional, regenerate with ASTRA_REGEN_GOLDEN=1 cargo test --test golden_schedules",
+            path.display(),
+            diff_line + 1,
+            want.lines().nth(diff_line).unwrap_or("<eof>"),
+            got.lines().nth(diff_line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn sublstm_schedule_matches_golden() {
+    check_golden(Model::SubLstm, "sublstm_fused_2stream.txt");
+}
+
+#[test]
+fn scrnn_schedule_matches_golden() {
+    check_golden(Model::Scrnn, "scrnn_fused_2stream.txt");
+}
+
+#[test]
+fn rendered_schedules_are_deterministic() {
+    // The generator itself must be a pure function of the model — otherwise
+    // the fixtures would flap.
+    for model in [Model::SubLstm, Model::Scrnn] {
+        assert_eq!(rendered_schedule(model), rendered_schedule(model), "{model} render unstable");
+    }
+}

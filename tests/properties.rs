@@ -3,7 +3,9 @@
 //! paper. Inputs come from a seeded in-tree PRNG so every run — including
 //! offline CI — exercises exactly the same cases.
 
-use astra::core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
+use astra::core::{
+    build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec, ProfileIndex, ProfileKey,
+};
 use astra::exec::{fuse_elementwise_chains, lower, native_schedule};
 use astra::gpu::{DeviceSpec, Engine};
 use astra::ir::{append_backward, Graph, OpKind, Provenance, Shape, TensorId};
@@ -166,6 +168,106 @@ fn fusion_configs_execute_for_random_graphs() {
             let r = Engine::new(&dev).run(&sched).expect("no deadlock");
             assert!(r.total_ns > 0.0);
         }
+    }
+}
+
+/// Draws a random profile-key triple whose parts deliberately contain the
+/// `/` and `#` separators the textual mangling uses — the structural keys
+/// must stay injective anyway.
+fn draw_key_triple(rng: &mut Rng64) -> (Vec<String>, String, usize) {
+    let fragment = |rng: &mut Rng64| {
+        let parts = ["alloc", "bucket", "fuse", "a/b", "x#1", "epoch", "se0.e1", ""];
+        let n = rng.gen_range_usize(1, 3);
+        (0..n)
+            .map(|_| parts[rng.gen_range_usize(0, parts.len() - 1)])
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    let n_ctx = rng.gen_range_usize(0, 2);
+    let contexts: Vec<String> = (0..n_ctx).map(|_| fragment(rng)).collect();
+    let entity = fragment(rng);
+    let choice = rng.gen_range_usize(0, 5);
+    (contexts, entity, choice)
+}
+
+fn key_of(triple: &(Vec<String>, String, usize)) -> ProfileKey {
+    let mut k = ProfileKey::entity(triple.1.clone(), triple.2);
+    // `in_context` prepends, so outermost context last.
+    for c in triple.0.iter().rev() {
+        k = k.in_context(c.clone());
+    }
+    k
+}
+
+/// Profile-key mangling is injective: two keys compare equal if and only if
+/// their `(contexts, entity, choice)` triples are equal — even when the
+/// names themselves contain the textual separators.
+#[test]
+fn profile_keys_are_injective_on_triples() {
+    let mut rng = Rng64::new(0x8e11);
+    let triples: Vec<_> = (0..60).map(|_| draw_key_triple(&mut rng)).collect();
+    for (i, a) in triples.iter().enumerate() {
+        for (j, b) in triples.iter().enumerate() {
+            let (ka, kb) = (key_of(a), key_of(b));
+            if a == b {
+                assert_eq!(ka, kb, "equal triples {i},{j} must give equal keys");
+            } else {
+                assert_ne!(
+                    ka, kb,
+                    "distinct triples {i},{j} collided: {a:?} vs {b:?} (both {ka})"
+                );
+            }
+        }
+    }
+    // And distinct keys never alias a slot in the index.
+    let mut idx = ProfileIndex::new();
+    for (i, t) in triples.iter().enumerate() {
+        idx.record(&key_of(t), i as f64);
+    }
+    let distinct: std::collections::BTreeSet<_> = triples.iter().map(key_of).collect();
+    assert_eq!(idx.len(), distinct.len());
+}
+
+/// Sample statistics obey their invariants under arbitrary record
+/// sequences: count matches the number of records, min <= mean, the min is
+/// the true minimum, and variance is non-negative (zero for singletons).
+#[test]
+fn sample_stats_invariants_hold_for_random_sequences() {
+    let mut rng = Rng64::new(0x57a7);
+    for case in 0..40 {
+        let key = ProfileKey::entity(format!("e{case}"), 0);
+        let mut idx = ProfileIndex::new();
+        let n = rng.gen_range_usize(1, 30);
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Heavy-tailed-ish spread, including exact repeats and zero.
+            let v = match rng.gen_range_u32(0, 4) {
+                0 => 0.0,
+                1 => rng.gen_range_f64(0.0, 1.0),
+                2 => rng.gen_range_f64(1.0, 1e6),
+                _ => *values.first().unwrap_or(&42.0),
+            };
+            values.push(v);
+            idx.record(&key, v);
+        }
+        let s = idx.stats(&key).expect("recorded key has stats");
+        assert_eq!(s.count(), n as u64, "case {case}: count");
+        let true_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(s.min(), true_min, "case {case}: min is the true minimum");
+        assert!(s.min() <= s.mean() + 1e-9, "case {case}: min {} > mean {}", s.min(), s.mean());
+        assert!(s.variance() >= 0.0, "case {case}: negative variance {}", s.variance());
+        if n == 1 {
+            assert_eq!(s.variance(), 0.0, "case {case}: singleton variance");
+        }
+        let true_mean = values.iter().sum::<f64>() / n as f64;
+        let tol = 1e-9 * true_mean.abs().max(1.0);
+        assert!(
+            (s.mean() - true_mean).abs() <= tol,
+            "case {case}: mean {} vs {}",
+            s.mean(),
+            true_mean
+        );
+        assert_eq!(idx.get(&key), Some(true_min), "case {case}: index lookups use the min");
     }
 }
 

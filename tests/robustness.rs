@@ -1,0 +1,163 @@
+//! Convergence quality of exploration under fault injection.
+//!
+//! The headline contract of the noise-robust driver: for each model, an
+//! exhaustive noise-free exploration (pinned clock, no faults) establishes
+//! the ground-truth best configuration. Exploration re-run under every
+//! fault profile — timing spikes, kernel-launch failures, transient
+//! allocation failures, straggler streams, and all of them at once — plus
+//! autoboost clock jitter must still converge to a configuration whose
+//! *clean* steady-state time is within 5% of the ground truth, must do so
+//! bit-identically at workers 1 and 4 for a given seed, and must report its
+//! fault accounting honestly (zero on clean runs, non-zero under each
+//! profile).
+
+use astra::core::{
+    build_units, emit_schedule, Astra, AstraOptions, Dims, ExecConfig, PlanContext, ProbeSpec,
+    Report,
+};
+use astra::gpu::{ClockMode, DeviceSpec, Engine, FaultPlan};
+use astra::models::Model;
+
+/// Convergence bound: the chosen configuration's clean time may exceed the
+/// ground-truth best by at most this factor.
+const CONVERGENCE_SLACK: f64 = 1.05;
+
+fn tiny(model: Model) -> astra::models::BuiltModel {
+    let mut c = model.default_config(8);
+    c.hidden = 64;
+    c.input = 64;
+    c.vocab = 128;
+    c.seq_len = 3;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+fn explore(
+    built: &astra::models::BuiltModel,
+    clock: ClockMode,
+    faults: FaultPlan,
+    workers: usize,
+) -> Report {
+    let dev = DeviceSpec::p100();
+    let mut astra = Astra::new(
+        &built.graph,
+        &dev,
+        AstraOptions { dims: Dims::fk(), clock, faults, workers, ..Default::default() },
+    );
+    astra.optimize().expect("exploration completes despite faults")
+}
+
+/// Steady-state mini-batch time of `cfg` with every noise source off — the
+/// quality yardstick all explorations are scored against.
+fn clean_ns(built: &astra::models::BuiltModel, cfg: &ExecConfig) -> f64 {
+    let dev = DeviceSpec::p100();
+    let ctx = PlanContext::new(&built.graph);
+    let units = build_units(&ctx, cfg).expect("chosen config builds");
+    let (sched, _) = emit_schedule(&ctx, cfg, &units, None, &ProbeSpec::none());
+    Engine::new(&dev).run(&sched).expect("clean run").total_ns
+}
+
+fn profiles() -> [(&'static str, FaultPlan); 5] {
+    [
+        ("spikes", FaultPlan::timing_spikes(0xA57A_0001)),
+        ("launch", FaultPlan::launch_failures(0xA57A_0002)),
+        // Per-run (not per-kernel) draws need seeds that fire within the
+        // dozen-ish salts a tiny fk exploration consumes: alloc seed 8
+        // fires at salts {0, 2, 9}, straggler seed 43 at {1, 8, 10}.
+        ("alloc", FaultPlan::alloc_failures(8)),
+        ("straggler", FaultPlan::stragglers(43)),
+        ("chaos", FaultPlan::chaos(0xA57A_0005)),
+    ]
+}
+
+fn assert_bit_identical(a: &Report, b: &Report, what: &str) {
+    assert_eq!(a.native_ns.to_bits(), b.native_ns.to_bits(), "{what}: native_ns drifted");
+    assert_eq!(a.steady_ns.to_bits(), b.steady_ns.to_bits(), "{what}: steady_ns drifted");
+    assert_eq!(
+        a.exploration_ns.to_bits(),
+        b.exploration_ns.to_bits(),
+        "{what}: exploration_ns drifted"
+    );
+    assert_eq!(a.configs_explored, b.configs_explored, "{what}: trial count drifted");
+    assert_eq!(a.best, b.best, "{what}: winning config drifted");
+    assert_eq!(
+        (a.fault_events, a.retries, a.quarantined),
+        (b.fault_events, b.retries, b.quarantined),
+        "{what}: fault accounting drifted"
+    );
+}
+
+#[test]
+fn exploration_converges_under_every_fault_profile() {
+    // Events per profile, summed over models: every profile must actually
+    // fire somewhere in this workload, or the test proves nothing.
+    let mut events = [0usize; 5];
+    for model in [Model::Scrnn, Model::SubLstm, Model::MiLstm] {
+        let built = tiny(model);
+
+        // Ground truth: exhaustive noise-free exploration.
+        let gt = explore(&built, ClockMode::Fixed, FaultPlan::none(), 1);
+        assert_eq!(
+            (gt.fault_events, gt.retries, gt.quarantined),
+            (0, 0, 0),
+            "{model}: clean exploration must report zero fault counters"
+        );
+        let gt_ns = clean_ns(&built, &gt.best);
+
+        for (pi, (name, plan)) in profiles().into_iter().enumerate() {
+            let clock = ClockMode::Autoboost { seed: 17 };
+            let r1 = explore(&built, clock, plan, 1);
+            let r4 = explore(&built, clock, plan, 4);
+            assert_bit_identical(&r1, &r4, &format!("{model}/{name} workers 1 vs 4"));
+            events[pi] += r1.fault_events;
+
+            // The quality bar: judge the chosen configuration by its clean
+            // time, not by the noisy measurement that selected it.
+            let achieved = clean_ns(&built, &r1.best);
+            assert!(
+                achieved <= gt_ns * CONVERGENCE_SLACK,
+                "{model}/{name}: converged to {achieved:.0}ns, ground truth {gt_ns:.0}ns \
+                 (gap {:.2}%, allowed {:.0}%)",
+                (achieved / gt_ns - 1.0) * 100.0,
+                (CONVERGENCE_SLACK - 1.0) * 100.0,
+            );
+        }
+    }
+    for (pi, (name, _)) in profiles().into_iter().enumerate() {
+        assert!(events[pi] > 0, "profile '{name}' never fired — its seed needs tuning");
+    }
+}
+
+#[test]
+fn fault_runs_are_seed_deterministic() {
+    // Same seed, same report — twice over; a different seed changes the
+    // fault draws (almost surely observable in the accounting or timings).
+    let built = tiny(Model::SubLstm);
+    let clock = ClockMode::Autoboost { seed: 23 };
+    let a = explore(&built, clock, FaultPlan::chaos(0xBEEF), 1);
+    let b = explore(&built, clock, FaultPlan::chaos(0xBEEF), 1);
+    assert_bit_identical(&a, &b, "chaos(0xBEEF) repeat");
+    let c = explore(&built, clock, FaultPlan::chaos(0xF00D), 1);
+    assert!(
+        a.exploration_ns.to_bits() != c.exploration_ns.to_bits()
+            || (a.fault_events, a.retries) != (c.fault_events, c.retries),
+        "different fault seeds produced indistinguishable runs"
+    );
+}
+
+#[test]
+fn quarantine_keeps_exploration_work_conserving() {
+    // Under heavy chaos every mini-batch still contributes: total
+    // exploration time stays bounded by a small multiple of the native
+    // mini-batch per trial (faulted attempts included, crashed epochs
+    // nonexistent).
+    let built = tiny(Model::SubLstm);
+    let r = explore(&built, ClockMode::Fixed, FaultPlan::chaos(0x5EED), 1);
+    assert!(r.configs_explored > 0);
+    let avg_trial = r.exploration_ns / r.configs_explored as f64;
+    assert!(
+        avg_trial < 5.0 * r.native_ns,
+        "avg faulted trial {avg_trial:.0}ns vs native {:.0}ns",
+        r.native_ns
+    );
+}
