@@ -8,6 +8,18 @@ cd "$(dirname "$0")"
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
+# `ci.sh bench` regenerates the exploration throughput benchmark.  The
+# binary asserts its own acceptance bar (>= 2x simulated-trial throughput
+# with the sim cache at workers=1, bit-identical results throughout), so a
+# passing run is also a gate.
+if [[ "${1:-}" == "bench" ]]; then
+    echo "== bench: exploration throughput =="
+    cargo build --release -p astra-bench --bin explore_speed
+    ./target/release/explore_speed > BENCH_explore_speed.json
+    cat BENCH_explore_speed.json
+    exit 0
+fi
+
 echo "== build (release) =="
 cargo build --release
 
@@ -29,5 +41,8 @@ fi
 
 echo "== full workspace check (all targets) =="
 cargo check --workspace --all-targets
+
+echo "== clippy (all targets, deny warnings) =="
+cargo clippy --all-targets -- -D warnings
 
 echo "ci: OK"

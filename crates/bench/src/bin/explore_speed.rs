@@ -1,28 +1,145 @@
-//! Wall-clock timing of the parallel exploration driver.
+//! Wall-clock benchmarks for the exploration engine, in two parts.
 //!
-//! Runs the full `Astra_all` optimization for SC-RNN and subLSTM at worker
-//! counts 1, 4, and 8 and prints one JSON object per run. Results must be
-//! bit-identical across worker counts — only the wall-clock changes — so
-//! the harness asserts identity and reports the speedup over the
-//! single-worker baseline.
+//! **Exhaustive sweep (the sim-cache headline).** For SC-RNN and subLSTM,
+//! exhaustively enumerates per-unit stream assignments over the last `k`
+//! units in segment order (lexicographic, last unit varying fastest), so
+//! consecutive candidates share long schedule prefixes — the structure the
+//! update tree's prefix exploration produces. Every candidate schedule is
+//! emitted once up front; the timed region is pure trial simulation, once
+//! with the [`SimCache`] resuming engine checkpoints and once cold from
+//! `t = 0`. Interleaved min-of-7 sweeps each. Both modes are asserted bit-identical
+//! per trial, and the cached mode must deliver at least a 2x
+//! simulated-trial throughput at workers=1.
 //!
-//! Interpret `speedup_vs_workers1` against `host_cpus`: candidate
-//! evaluation is pure CPU-bound simulation, so the attainable speedup is
-//! capped by the cores actually available (on a 1-CPU host the extra
-//! workers can only time-slice and the ratio hovers at or slightly below
-//! 1.0).
+//! **Driver scaling.** Runs the full `Astra_all` optimization at worker
+//! counts 1, 4, and 8 (plus workers=1 with the sim cache disabled) and
+//! reports wall-clock plus cache counters. Results must be bit-identical
+//! across all settings. Interpret `speedup_vs_workers1` against
+//! `host_cpus`: candidate evaluation is pure CPU-bound simulation, so on a
+//! 1-CPU host extra workers can only time-slice.
+//!
+//! Prints one JSON document (`ci.sh bench` redirects it to
+//! `BENCH_explore_speed.json`).
 
 use std::time::Instant;
 
-use astra_core::{Astra, AstraOptions, Dims, Report};
-use astra_gpu::{DeviceSpec, FaultPlan};
+use astra_core::{
+    build_units, emit_schedule, Astra, AstraOptions, Dims, ExecConfig, PlanContext, ProbeSpec,
+    Report, SimCache,
+};
+use astra_gpu::{ClockMode, DeviceSpec, Engine, FaultPlan, Schedule};
 use astra_models::Model;
 
-fn run(graph: &astra_ir::Graph, dev: &DeviceSpec, workers: usize) -> (Report, f64) {
+fn min_ms(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Emits the candidate schedules of an exhaustive stream-assignment sweep:
+/// the last `k` units each pick a stream in {0, 1}, enumerated with the
+/// last unit varying fastest. Fixed head + lexicographic order means deep
+/// prefix sharing between consecutive candidates.
+fn sweep_schedules(model: Model, k: usize) -> Vec<Schedule> {
+    let mut cfg = model.default_config(16);
+    cfg.seq_len = 16;
+    let built = model.build(&cfg);
+    let ctx = PlanContext::new(&built.graph);
+    let mut exec = ExecConfig::baseline();
+    exec.num_streams = 2;
+    let units = build_units(&ctx, &exec).expect("baseline config is valid");
+    let k = k.min(units.len());
+    let first_varying = units.len() - k;
+    let mut scheds = Vec::with_capacity(1 << k);
+    for pattern in 0u32..(1 << k) {
+        let mut c = exec.clone();
+        for (i, u) in units.iter().enumerate() {
+            let s = if i < first_varying {
+                i % 2
+            } else {
+                ((pattern >> (units.len() - 1 - i)) & 1) as usize
+            };
+            c.streams.insert(u.id, s);
+        }
+        let (sched, _) = emit_schedule(&ctx, &c, &units, None, &ProbeSpec::none());
+        scheds.push(sched);
+    }
+    scheds
+}
+
+struct SweepResult {
+    on_ms: f64,
+    off_ms: f64,
+    hits: u64,
+    misses: u64,
+    resumed_fraction: f64,
+}
+
+fn run_sweep(dev: &DeviceSpec, scheds: &[Schedule], reps: usize) -> SweepResult {
+    let plan = FaultPlan::none();
+    let clock = ClockMode::Fixed;
+
+    // Cold reference results, also the bit-identity oracle.
+    let reference: Vec<u64> = scheds
+        .iter()
+        .map(|s| Engine::new(dev).run(s).expect("cold trial").total_ns.to_bits())
+        .collect();
+
+    // Cache-off and cache-on sweeps interleave, and each mode keeps its
+    // *minimum* wall-clock: host noise only ever adds time, so the min is
+    // the robust estimate on a shared box.
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    let mut counters = (0, 0, 0.0);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for s in scheds {
+            let r = Engine::new(dev).run(s).expect("cold trial");
+            std::hint::black_box(r.total_ns);
+        }
+        off.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        // Fresh cache per repetition: each sample is one exploration pass.
+        let mut cache = SimCache::with_capacity(8 * scheds.len());
+        let t0 = Instant::now();
+        for (i, s) in scheds.iter().enumerate() {
+            let (resume, caps) = cache.probe_and_plan(s, dev, clock, &plan, i as u64);
+            let (r, captured) = Engine::with_faults(dev, clock, plan, i as u64)
+                .run_incremental(s, resume.as_deref(), &caps)
+                .expect("resumed trial");
+            cache.absorb(dev, clock, &plan, i as u64, captured);
+            assert_eq!(
+                r.total_ns.to_bits(),
+                reference[i],
+                "trial {i}: resumed run drifted from cold run"
+            );
+        }
+        on.push(t0.elapsed().as_secs_f64() * 1e3);
+        counters = (cache.hits(), cache.misses(), cache.resumed_fraction());
+    }
+
+    SweepResult {
+        on_ms: min_ms(&on),
+        off_ms: min_ms(&off),
+        hits: counters.0,
+        misses: counters.1,
+        resumed_fraction: counters.2,
+    }
+}
+
+fn run_driver(
+    graph: &astra_ir::Graph,
+    dev: &DeviceSpec,
+    workers: usize,
+    sim_cache: bool,
+) -> (Report, f64) {
     // Explicitly fault-free: this benchmark doubles as the zero-cost check —
     // a disabled FaultPlan must leave the counters at exactly zero.
-    let opts =
-        AstraOptions { dims: Dims::all(), workers, faults: FaultPlan::none(), ..Default::default() };
+    let opts = AstraOptions {
+        dims: Dims::all(),
+        workers,
+        faults: FaultPlan::none(),
+        sim_cache,
+        ..Default::default()
+    };
     let mut astra = Astra::new(graph, dev, opts);
     let t0 = Instant::now();
     let r = astra.optimize().expect("optimization succeeds");
@@ -32,14 +149,40 @@ fn run(graph: &astra_ir::Graph, dev: &DeviceSpec, workers: usize) -> (Report, f6
 fn main() {
     let dev = DeviceSpec::p100();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    for (name, model) in [("sc-rnn", Model::Scrnn), ("sublstm", Model::SubLstm)] {
+    let models = [("sc-rnn", Model::Scrnn), ("sublstm", Model::SubLstm)];
+
+    let mut sweep_rows = Vec::new();
+    for (name, model) in models {
+        let scheds = sweep_schedules(model, 8);
+        let reps = 7;
+        let r = run_sweep(&dev, &scheds, reps);
+        let trials = scheds.len();
+        let thr_on = trials as f64 / (r.on_ms / 1e3);
+        let thr_off = trials as f64 / (r.off_ms / 1e3);
+        let speedup = thr_on / thr_off;
+        assert!(
+            speedup >= 2.0,
+            "{name}: sim cache must give >= 2x trial throughput, got {speedup:.2}x"
+        );
+        sweep_rows.push(format!(
+            "{{\"model\":\"{name}\",\"trials\":{trials},\"reps\":{reps},\
+             \"cache_on_ms\":{:.1},\"cache_off_ms\":{:.1},\
+             \"trials_per_sec_on\":{thr_on:.0},\"trials_per_sec_off\":{thr_off:.0},\
+             \"throughput_speedup\":{speedup:.2},\
+             \"sim_cache_hits\":{},\"sim_cache_misses\":{},\"resumed_fraction\":{:.3}}}",
+            r.on_ms, r.off_ms, r.hits, r.misses, r.resumed_fraction,
+        ));
+    }
+
+    let mut driver_rows = Vec::new();
+    for (name, model) in models {
         let mut cfg = model.default_config(16);
         cfg.seq_len = 12;
         let built = model.build(&cfg);
 
         let mut base: Option<(Report, f64)> = None;
-        for workers in [1usize, 4, 8] {
-            let (r, wall_ms) = run(&built.graph, &dev, workers);
+        for (workers, sim_cache) in [(1usize, true), (4, true), (8, true), (1, false)] {
+            let (r, wall_ms) = run_driver(&built.graph, &dev, workers, sim_cache);
             if let Some((b, _)) = &base {
                 assert_eq!(b.steady_ns.to_bits(), r.steady_ns.to_bits(), "results drifted");
                 assert_eq!(b.configs_explored, r.configs_explored, "trial count drifted");
@@ -50,24 +193,41 @@ fn main() {
                 (0, 0, 0),
                 "disabled fault plan must report zero fault counters"
             );
+            if !sim_cache {
+                assert_eq!(
+                    (r.sim_cache_hits, r.sim_cache_misses),
+                    (0, 0),
+                    "disabled sim cache must report zero counters"
+                );
+            }
             let speedup = base.as_ref().map_or(1.0, |(_, w1)| w1 / wall_ms);
-            println!(
-                "{{\"model\":\"{name}\",\"workers\":{workers},\"host_cpus\":{host_cpus},\
+            driver_rows.push(format!(
+                "{{\"model\":\"{name}\",\"workers\":{workers},\"sim_cache\":{sim_cache},\
                  \"wall_ms\":{wall_ms:.1},\
                  \"speedup_vs_workers1\":{speedup:.2},\"configs_explored\":{},\
                  \"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+                 \"sim_cache_hits\":{},\"sim_cache_misses\":{},\"resumed_fraction\":{:.3},\
                  \"fault_events\":{},\"retries\":{},\"quarantined\":{},\"sim_speedup\":{:.2}}}",
                 r.configs_explored,
                 r.plan_cache_hits,
                 r.plan_cache_misses,
+                r.sim_cache_hits,
+                r.sim_cache_misses,
+                r.resumed_fraction,
                 r.fault_events,
                 r.retries,
                 r.quarantined,
                 r.speedup(),
-            );
+            ));
             if base.is_none() {
                 base = Some((r, wall_ms));
             }
         }
     }
+
+    println!(
+        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n]\n}}",
+        sweep_rows.join(",\n"),
+        driver_rows.join(",\n"),
+    );
 }

@@ -64,6 +64,8 @@ commands:
             [--fault none|spikes|launch|alloc|straggler|chaos] [--fault-seed <n>]
                               inject deterministic faults into every simulated mini-batch
                               (default none; seed defaults to 42)
+            [--no-sim-cache]  simulate every trial from t=0 instead of resuming cached
+                              engine checkpoints (results are identical either way)
   compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
   trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
   scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
@@ -171,10 +173,11 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let faults = parse_faults(&opts)?;
     let built = build(model, &opts)?;
 
+    let sim_cache = !opts.flag("--no-sim-cache");
     let mut astra = Astra::new(
         &built.graph,
         &dev,
-        AstraOptions { dims, num_streams, workers, faults, ..Default::default() },
+        AstraOptions { dims, num_streams, workers, faults, sim_cache, ..Default::default() },
     );
     println!(
         "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
@@ -191,6 +194,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     println!("explored: {:>10} configs ({} strategies, overhead {:.3}%)",
         r.configs_explored, r.strategies_explored, r.profiling_overhead_frac * 100.0);
     println!("schedule cache: {} hits / {} misses", r.plan_cache_hits, r.plan_cache_misses);
+    println!(
+        "sim cache: {} hits / {} misses, {:.1}% of commands resumed",
+        r.sim_cache_hits,
+        r.sim_cache_misses,
+        r.resumed_fraction * 100.0
+    );
     println!(
         "faults: {} events, {} retries, {} quarantined",
         r.fault_events, r.retries, r.quarantined

@@ -101,7 +101,7 @@ impl AdaptiveVar {
         // comparison chain: map it to +inf, which any finite later sample
         // displaces, while two infinities deterministically keep the first.
         let metric = if metric.is_nan() { f64::INFINITY } else { metric };
-        if self.best.map_or(true, |(_, b)| metric < b) {
+        if self.best.is_none_or(|(_, b)| metric < b) {
             self.best = Some((self.current, metric));
         }
     }

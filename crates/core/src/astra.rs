@@ -24,7 +24,8 @@ use std::sync::Arc;
 
 use astra_exec::native_schedule;
 use astra_gpu::{
-    ClockMode, DeviceSpec, Engine, FaultPlan, GemmLibrary, GemmShape, RunResult, Schedule,
+    ClockMode, DeviceSpec, Engine, EngineCheckpoint, FaultPlan, GemmLibrary, GemmShape,
+    RunResult, Schedule,
 };
 use astra_ir::Graph;
 
@@ -34,9 +35,10 @@ use crate::error::AstraError;
 use crate::parallel::{effective_workers, parallel_map};
 use crate::plan::{
     bind_libs, build_units_fragmented, emit_schedule, ExecConfig, PlanCache, PlanContext,
-    PlanKey, ProbeSpec, Unit,
+    PlanKey, ProbeSpec, Probes, Unit,
 };
 use crate::profile::{ProfileIndex, ProfileKey};
+use crate::simcache::SimCache;
 
 /// Maximum fault-triggered re-measurements per candidate before it is
 /// quarantined. Each retry is a real training mini-batch (work-conserving),
@@ -72,43 +74,16 @@ struct ExploreStats {
     quarantined: usize,
 }
 
-/// Runs `sched`, re-running under deterministic retry salts while the run
-/// reports an injected fault (bounded by [`MAX_FAULT_RETRIES`]). Every
-/// attempt is a real mini-batch; the caller decides whether the attempts
-/// count as exploration trials. Returns the fastest attempt, the number of
-/// mini-batches run, and their summed simulated time. With
-/// [`FaultPlan::none`] this is exactly one clean run.
-fn measured_run(
-    dev: &DeviceSpec,
-    clock: ClockMode,
-    faults: FaultPlan,
-    sched: &Schedule,
-    salt: u64,
-    stats: &mut ExploreStats,
-) -> Result<(RunResult, usize, f64), AstraError> {
-    let mut runs = 0usize;
-    let mut spent = 0.0;
-    let mut best: Option<RunResult> = None;
-    for attempt in 0..=MAX_FAULT_RETRIES {
-        let r = Engine::with_faults(dev, clock, faults, FaultPlan::attempt_salt(salt, attempt))
-            .run(sched)?;
-        runs += 1;
-        spent += r.total_ns;
-        let faulted = r.faults.any();
-        if faulted {
-            stats.fault_events += 1;
-        }
-        if best.as_ref().map_or(true, |b| r.total_ns < b.total_ns) {
-            best = Some(r);
-        }
-        if !faulted {
-            break;
-        }
-        if attempt < MAX_FAULT_RETRIES {
-            stats.retries += 1;
-        }
-    }
-    Ok((best.expect("at least one attempt ran"), runs, spent))
+/// One prepared candidate simulation: the emitted schedule and probes plus
+/// the sim-cache assignment — the deepest matching checkpoint to resume
+/// from and the boundaries this run should capture. Prepared sequentially
+/// in candidate order (cache probes mutate counters), then evaluated on
+/// the worker pool without touching shared state.
+struct Trial {
+    sched: Schedule,
+    probes: Probes,
+    resume: Option<Arc<EngineCheckpoint>>,
+    caps: Vec<usize>,
 }
 
 /// Which adaptation dimensions are enabled (the paper's ablation columns).
@@ -177,6 +152,11 @@ pub struct AstraOptions {
     /// the budget are quarantined. [`FaultPlan::none`] (the default) is
     /// zero-cost.
     pub faults: FaultPlan,
+    /// Whether to reuse engine checkpoints across candidate trials (see
+    /// [`crate::SimCache`]). Resumed runs are bit-identical to cold runs,
+    /// so this only changes wall-clock time; `false` forces every trial to
+    /// simulate from `t = 0` and reports zero sim-cache counters.
+    pub sim_cache: bool,
 }
 
 impl Default for AstraOptions {
@@ -189,6 +169,7 @@ impl Default for AstraOptions {
             key_context: None,
             workers: 0,
             faults: FaultPlan::none(),
+            sim_cache: true,
         }
     }
 }
@@ -229,6 +210,15 @@ pub struct Report {
     /// Candidates still faulted after the retry budget, excluded from the
     /// profile index and recorded as unusable in the update tree.
     pub quarantined: usize,
+    /// Simulated runs this call resumed from a cached engine checkpoint
+    /// (see [`crate::SimCache`]). Zero when [`AstraOptions::sim_cache`] is
+    /// off.
+    pub sim_cache_hits: u64,
+    /// Simulated runs this call had to start from `t = 0`.
+    pub sim_cache_misses: u64,
+    /// Fraction of simulated schedule commands skipped by resuming from
+    /// checkpoints (0 with the cache off).
+    pub resumed_fraction: f64,
 }
 
 impl Report {
@@ -246,6 +236,7 @@ pub struct Astra<'g> {
     opts: AstraOptions,
     index: ProfileIndex,
     plan_cache: PlanCache,
+    sim_cache: SimCache,
     /// Monotonic fault-salt counter: every measured mini-batch gets the next
     /// salt, assigned in candidate order *before* a batch evaluates. Batch
     /// boundaries depend on the worker count but always partition the same
@@ -282,7 +273,15 @@ impl<'g> Astra<'g> {
         opts: AstraOptions,
         index: ProfileIndex,
     ) -> Self {
-        Astra { ctx, dev, opts, index, plan_cache: PlanCache::new(), fault_seq: 0 }
+        Astra {
+            ctx,
+            dev,
+            opts,
+            index,
+            plan_cache: PlanCache::new(),
+            sim_cache: SimCache::new(),
+            fault_seq: 0,
+        }
     }
 
     /// Consumes the optimizer and returns its profile index (to thread into
@@ -313,6 +312,78 @@ impl<'g> Astra<'g> {
         self.workers().saturating_mul(2).max(1)
     }
 
+    /// Probes the sim cache for the deepest checkpoint matching `sched`
+    /// and plans this run's captures. Boundary-free schedules (the native
+    /// baseline) and a disabled cache bypass entirely, counting nothing.
+    fn sim_probe(
+        &mut self,
+        sched: &Schedule,
+        salt: u64,
+    ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
+        if !self.opts.sim_cache {
+            return (None, Vec::new());
+        }
+        self.sim_cache
+            .probe_and_plan(sched, self.dev, self.opts.clock, &self.opts.faults, salt)
+    }
+
+    /// Commits the checkpoints one run captured. Called in candidate order
+    /// (the parallel stage only computes; all cache mutation is here).
+    fn sim_absorb(&mut self, salt: u64, captured: Vec<EngineCheckpoint>) {
+        if captured.is_empty() {
+            return;
+        }
+        self.sim_cache.absorb(self.dev, self.opts.clock, &self.opts.faults, salt, captured);
+    }
+
+    /// One simulated mini-batch through the sim cache: probe, run
+    /// incrementally, absorb. The sequential path — the native baseline,
+    /// playoff runs, and fault retries all come through here.
+    fn sim_run(&mut self, sched: &Schedule, salt: u64) -> Result<RunResult, AstraError> {
+        let (resume, caps) = self.sim_probe(sched, salt);
+        let (r, captured) =
+            Engine::with_faults(self.dev, self.opts.clock, self.opts.faults, salt)
+                .run_incremental(sched, resume.as_deref(), &caps)?;
+        self.sim_absorb(salt, captured);
+        Ok(r)
+    }
+
+    /// Runs `sched`, re-running under deterministic retry salts while the
+    /// run reports an injected fault (bounded by [`MAX_FAULT_RETRIES`]).
+    /// Every attempt is a real mini-batch; the caller decides whether the
+    /// attempts count as exploration trials. Returns the fastest attempt,
+    /// the number of mini-batches run, and their summed simulated time.
+    /// With [`FaultPlan::none`] this is exactly one clean run.
+    fn measured_run(
+        &mut self,
+        sched: &Schedule,
+        salt: u64,
+        stats: &mut ExploreStats,
+    ) -> Result<(RunResult, usize, f64), AstraError> {
+        let mut runs = 0usize;
+        let mut spent = 0.0;
+        let mut best: Option<RunResult> = None;
+        for attempt in 0..=MAX_FAULT_RETRIES {
+            let r = self.sim_run(sched, FaultPlan::attempt_salt(salt, attempt))?;
+            runs += 1;
+            spent += r.total_ns;
+            let faulted = r.faults.any();
+            if faulted {
+                stats.fault_events += 1;
+            }
+            if best.as_ref().is_none_or(|b| r.total_ns < b.total_ns) {
+                best = Some(r);
+            }
+            if !faulted {
+                break;
+            }
+            if attempt < MAX_FAULT_RETRIES {
+                stats.retries += 1;
+            }
+        }
+        Ok((best.expect("at least one attempt ran"), runs, spent))
+    }
+
     /// Runs the full work-conserving exploration and returns the report.
     ///
     /// # Errors
@@ -323,17 +394,15 @@ impl<'g> Astra<'g> {
         let mut stats = ExploreStats::default();
         let native_salt = self.fault_seq;
         self.fault_seq += 1;
-        let (native, _, _) = measured_run(
-            self.dev,
-            self.opts.clock,
-            self.opts.faults,
-            &native_schedule(&self.ctx.lowering),
-            native_salt,
-            &mut stats,
-        )?;
+        let native_sched = native_schedule(&self.ctx.lowering);
+        let (native, _, _) = self.measured_run(&native_sched, native_salt, &mut stats)?;
         let native_ns = native.total_ns;
         let cache_hits0 = self.plan_cache.hits();
         let cache_misses0 = self.plan_cache.misses();
+        let sim_hits0 = self.sim_cache.hits();
+        let sim_misses0 = self.sim_cache.misses();
+        let sim_resumed0 = self.sim_cache.resumed_cmds();
+        let sim_total0 = self.sim_cache.total_cmds();
 
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
@@ -363,12 +432,11 @@ impl<'g> Astra<'g> {
             let (sched, _) = emit_schedule(&self.ctx, &cfg, &units, partition.as_ref(), &ProbeSpec::none());
             let salt = self.fault_seq;
             self.fault_seq += 1;
-            let (r, runs, spent) =
-                measured_run(self.dev, self.opts.clock, self.opts.faults, &sched, salt, &mut stats)?;
+            let (r, runs, spent) = self.measured_run(&sched, salt, &mut stats)?;
             stats.trials += runs;
             stats.exploration_ns += spent;
             let se_count = partition.as_ref().map_or(0, |p| p.super_epochs.len());
-            if best_overall.as_ref().map_or(true, |(b, _, _)| r.total_ns < *b) {
+            if best_overall.as_ref().is_none_or(|(b, _, _)| r.total_ns < *b) {
                 best_overall = Some((r.total_ns, cfg, se_count));
             }
         }
@@ -394,6 +462,16 @@ impl<'g> Astra<'g> {
             fault_events: stats.fault_events,
             retries: stats.retries,
             quarantined: stats.quarantined,
+            sim_cache_hits: self.sim_cache.hits() - sim_hits0,
+            sim_cache_misses: self.sim_cache.misses() - sim_misses0,
+            resumed_fraction: {
+                let total = self.sim_cache.total_cmds() - sim_total0;
+                if total == 0 {
+                    0.0
+                } else {
+                    (self.sim_cache.resumed_cmds() - sim_resumed0) as f64 / total as f64
+                }
+            },
         })
     }
 
@@ -405,7 +483,8 @@ impl<'g> Astra<'g> {
         stats: &mut ExploreStats,
     ) -> Result<(), AstraError> {
         // Choice list per set: cartesian (row chunk, col chunk).
-        let mut choice_lists: Vec<(String, Vec<(usize, usize)>, bool)> = Vec::new();
+        type ChoiceList = (String, Vec<(usize, usize)>, bool);
+        let mut choice_lists: Vec<ChoiceList> = Vec::new();
         for set in &self.ctx.sets {
             let mut choices = Vec::new();
             for &rc in &set.row_chunks() {
@@ -507,46 +586,66 @@ impl<'g> Astra<'g> {
             let salt0 = self.fault_seq;
             self.fault_seq += batch.len() as u64;
 
-            // Evaluate the whole batch concurrently; every candidate's
-            // simulation is self-contained. The same closure re-evaluates a
-            // suspect candidate sequentially at commit time.
-            let cache = &self.plan_cache;
-            let dev = self.dev;
-            let clock = self.opts.clock;
-            let faults = self.opts.faults;
-            let keys_ref = &keys;
-            let eval = |i: usize, c: &ExecConfig, salt: u64| -> Result<Option<Outcome>, AstraError> {
-                let units = match faults.alloc_event(salt) {
+            // Sequential prepare, in candidate order: select this salt's
+            // unit geometry (the alloc-fault draw is salt-determined, so a
+            // degraded placement is known up front), emit the schedule, and
+            // probe the sim cache. `None` marks an invalid (cyclic)
+            // combination.
+            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
+            for (i, c) in cfgs.iter().enumerate() {
+                let salt = salt0 + i as u64;
+                let units: Option<Arc<[Unit]>> = match self.opts.faults.alloc_event(salt) {
                     // Transient allocation failure: this run sees the
                     // degraded, fragmented placement. Built outside the
                     // schedule cache so the clean geometry stays cached.
-                    Some(word) => match build_units_fragmented(ctx, c, word) {
-                        Err(_) => return Ok(None), // invalid (cyclic) combination
-                        Ok(u) => Arc::from(u),
-                    },
-                    None => match cache.get(&keys_ref[i]).expect("batch keys are built") {
-                        Err(_) => return Ok(None), // invalid (cyclic) combination
-                        Ok(u) => bind_libs(u, c),
+                    Some(word) => build_units_fragmented(&self.ctx, c, word).ok().map(Arc::from),
+                    None => match self.plan_cache.get(&keys[i]).expect("batch keys are built") {
+                        Err(_) => None,
+                        Ok(u) => Some(bind_libs(u, c)),
                     },
                 };
-                let (sched, probes) =
-                    emit_schedule(ctx, c, &units, None, &ProbeSpec::fusion_sets());
-                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
-                let mut set_metrics = Vec::new();
+                trials.push(units.map(|u| {
+                    let (sched, probes) =
+                        emit_schedule(&self.ctx, c, &u, None, &ProbeSpec::fusion_sets());
+                    let (resume, caps) = self.sim_probe(&sched, salt);
+                    Trial { sched, probes, resume, caps }
+                }));
+            }
+
+            let set_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(usize, f64)> {
+                let mut m = Vec::new();
                 for (si, nblocks, start, end) in &probes.set_regions {
                     if let Some(dt) = r.elapsed(*start, *end) {
-                        set_metrics.push((*si, dt.max(0.0) * *nblocks as f64));
+                        m.push((*si, dt.max(0.0) * *nblocks as f64));
                     }
                 }
-                Ok(Some(Outcome {
-                    total_ns: r.total_ns,
-                    probe_records: probes.probe_records,
-                    faulted: r.faults.any(),
-                    set_metrics,
-                }))
+                m
             };
-            let results: Vec<Result<Option<Outcome>, AstraError>> =
-                parallel_map(workers, &cfgs, |i, c| eval(i, c, salt0 + i as u64));
+
+            // Fan the prepared batch out. Workers only read their trial and
+            // return the run plus any captured checkpoints; the cache is
+            // touched exclusively from the sequential stages around them.
+            let dev = self.dev;
+            let clock = self.opts.clock;
+            let faults = self.opts.faults;
+            let trials_ref = &trials;
+            let idxs: Vec<usize> = (0..cfgs.len()).collect();
+            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
+            let results: Vec<Result<TrialOut, AstraError>> =
+                parallel_map(workers, &idxs, |_, &i| {
+                    let Some(t) = &trials_ref[i] else { return Ok(None) };
+                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
+                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
+                    Ok(Some((
+                        Outcome {
+                            total_ns: r.total_ns,
+                            probe_records: t.probes.probe_records,
+                            faulted: r.faults.any(),
+                            set_metrics: set_metrics_of(&t.probes, &r),
+                        },
+                        captured,
+                    )))
+                });
 
             // Commit measurements in candidate order: the tree and the
             // profile index see exactly the sequential driver's updates.
@@ -562,7 +661,10 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    Some(o) => o,
+                    Some((o, captured)) => {
+                        self.sim_absorb(salt, captured);
+                        o
+                    }
                 };
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -604,12 +706,34 @@ impl<'g> Astra<'g> {
                         break false;
                     }
                     // Deterministic backoff: the retry re-measures under the
-                    // candidate's salt at the next attempt index.
+                    // candidate's salt at the next attempt index,
+                    // sequentially and through the sim cache.
                     attempt += 1;
                     stats.retries += 1;
-                    match eval(bi, &cfgs[bi], FaultPlan::attempt_salt(salt, attempt))? {
-                        Some(next) => o = next,
+                    let rsalt = FaultPlan::attempt_salt(salt, attempt);
+                    let units: Option<Arc<[Unit]>> = match self.opts.faults.alloc_event(rsalt) {
+                        Some(word) => {
+                            build_units_fragmented(&self.ctx, &cfgs[bi], word).ok().map(Arc::from)
+                        }
+                        None => match self.plan_cache.get(&keys[bi]).expect("batch keys are built")
+                        {
+                            Err(_) => None,
+                            Ok(u) => Some(bind_libs(u, &cfgs[bi])),
+                        },
+                    };
+                    match units {
                         None => break false,
+                        Some(u) => {
+                            let (sched, probes) =
+                                emit_schedule(&self.ctx, &cfgs[bi], &u, None, &ProbeSpec::fusion_sets());
+                            let r = self.sim_run(&sched, rsalt)?;
+                            o = Outcome {
+                                total_ns: r.total_ns,
+                                probe_records: probes.probe_records,
+                                faulted: r.faults.any(),
+                                set_metrics: set_metrics_of(&probes, &r),
+                            };
+                        }
                     }
                 };
                 if !committed {
@@ -702,43 +826,64 @@ impl<'g> Astra<'g> {
             let salt0 = self.fault_seq;
             self.fault_seq += batch.len() as u64;
 
-            let ctx = &self.ctx;
+            // Sequential prepare in candidate order: emit each schedule and
+            // probe the sim cache. Library trials share a prefix up to the
+            // first differing GEMM, so late-differing candidates resume
+            // deep into the common geometry.
+            let mut trials: Vec<Trial> = Vec::with_capacity(cfgs.len());
+            for (i, c) in cfgs.iter().enumerate() {
+                let salt = salt0 + i as u64;
+                let frag;
+                let units: &[Unit] = match self.opts.faults.alloc_event(salt) {
+                    Some(word) => {
+                        frag = build_units_fragmented(&self.ctx, c, word)?;
+                        &frag
+                    }
+                    None => &bound[i],
+                };
+                let (sched, probes) =
+                    emit_schedule(&self.ctx, c, units, None, &ProbeSpec::gemm_shapes());
+                let (resume, caps) = self.sim_probe(&sched, salt);
+                trials.push(Trial { sched, probes, resume, caps });
+            }
+
+            let shape_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(GemmShape, f64)> {
+                let mut m = Vec::new();
+                for (shape, start, end) in &probes.shape_regions {
+                    if let Some(dt) = r.elapsed(*start, *end) {
+                        m.push((*shape, dt.max(0.0)));
+                    }
+                }
+                m
+            };
+
             let dev = self.dev;
             let clock = self.opts.clock;
             let faults = self.opts.faults;
-            let bound_ref = &bound;
-            let eval = |i: usize, c: &ExecConfig, salt: u64| -> Result<Outcome, AstraError> {
-                let frag;
-                let units: &[Unit] = match faults.alloc_event(salt) {
-                    Some(word) => {
-                        frag = build_units_fragmented(ctx, c, word)?;
-                        &frag
-                    }
-                    None => &bound_ref[i],
-                };
-                let (sched, probes) = emit_schedule(ctx, c, units, None, &ProbeSpec::gemm_shapes());
-                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
-                let mut shape_metrics = Vec::new();
-                for (shape, start, end) in &probes.shape_regions {
-                    if let Some(dt) = r.elapsed(*start, *end) {
-                        shape_metrics.push((*shape, dt.max(0.0)));
-                    }
-                }
-                Ok(Outcome {
-                    total_ns: r.total_ns,
-                    probe_records: probes.probe_records,
-                    faulted: r.faults.any(),
-                    shape_metrics,
-                })
-            };
-            let results: Vec<Result<Outcome, AstraError>> =
-                parallel_map(workers, &cfgs, |i, c| eval(i, c, salt0 + i as u64));
+            let trials_ref = &trials;
+            let idxs: Vec<usize> = (0..cfgs.len()).collect();
+            let results: Vec<Result<(Outcome, Vec<EngineCheckpoint>), AstraError>> =
+                parallel_map(workers, &idxs, |_, &i| {
+                    let t = &trials_ref[i];
+                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
+                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
+                    Ok((
+                        Outcome {
+                            total_ns: r.total_ns,
+                            probe_records: t.probes.probe_records,
+                            faulted: r.faults.any(),
+                            shape_metrics: shape_metrics_of(&t.probes, &r),
+                        },
+                        captured,
+                    ))
+                });
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let mut o = outcome?;
+                let (mut o, captured) = outcome?;
+                self.sim_absorb(salt, captured);
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -771,7 +916,24 @@ impl<'g> Astra<'g> {
                     }
                     attempt += 1;
                     stats.retries += 1;
-                    o = eval(bi, &cfgs[bi], FaultPlan::attempt_salt(salt, attempt))?;
+                    let rsalt = FaultPlan::attempt_salt(salt, attempt);
+                    let frag;
+                    let units_r: &[Unit] = match self.opts.faults.alloc_event(rsalt) {
+                        Some(word) => {
+                            frag = build_units_fragmented(&self.ctx, &cfgs[bi], word)?;
+                            &frag
+                        }
+                        None => &bound[bi],
+                    };
+                    let (sched, probes) =
+                        emit_schedule(&self.ctx, &cfgs[bi], units_r, None, &ProbeSpec::gemm_shapes());
+                    let r = self.sim_run(&sched, rsalt)?;
+                    o = Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        faulted: r.faults.any(),
+                        shape_metrics: shape_metrics_of(&probes, &r),
+                    };
                 };
                 if !committed {
                     stats.quarantined += 1;
@@ -875,31 +1037,34 @@ impl<'g> Astra<'g> {
             let salt0 = self.fault_seq;
             self.fault_seq += batch.len() as u64;
 
-            let ctx = &self.ctx;
-            let dev = self.dev;
-            let clock = self.opts.clock;
-            let faults = self.opts.faults;
-            let units_ref = &units;
-            let partition_ref = &partition;
-            let probe_ref = &probe_spec;
-            let eval = |c: &ExecConfig, salt: u64| -> Result<Outcome, AstraError> {
-                // A fragmented build keeps unit ids, dependencies, and order,
-                // so the partition and probe spec stay valid.
+            // Sequential prepare in candidate order. Prefix exploration is
+            // where the sim cache pays off most: earlier epochs are frozen
+            // at their best assignment, so every candidate in the batch
+            // shares the schedule prefix up to the epoch under exploration
+            // and resumes a checkpoint captured just before it.
+            let mut trials: Vec<Trial> = Vec::with_capacity(cfgs.len());
+            for (i, c) in cfgs.iter().enumerate() {
+                let salt = salt0 + i as u64;
+                // A fragmented build keeps unit ids, dependencies, and
+                // order, so the partition and probe spec stay valid.
                 let frag;
-                let units_run: &[Unit] = match faults.alloc_event(salt) {
+                let units_run: &[Unit] = match self.opts.faults.alloc_event(salt) {
                     Some(word) => {
-                        frag = build_units_fragmented(ctx, c, word)?;
+                        frag = build_units_fragmented(&self.ctx, c, word)?;
                         &frag
                     }
-                    None => units_ref,
+                    None => &units,
                 };
                 let (sched, probes) =
-                    emit_schedule(ctx, c, units_run, Some(partition_ref), probe_ref);
-                let r = Engine::with_faults(dev, clock, faults, salt).run(&sched)?;
-                // Epoch metric: time from super-epoch start to the last
-                // kernel dispatched in any stream up to this epoch
-                // (§4.7).
-                let mut epoch_metrics = Vec::new();
+                    emit_schedule(&self.ctx, c, units_run, Some(&partition), &probe_spec);
+                let (resume, caps) = self.sim_probe(&sched, salt);
+                trials.push(Trial { sched, probes, resume, caps });
+            }
+
+            // Epoch metric: time from super-epoch start to the last kernel
+            // dispatched in any stream up to this epoch (§4.7).
+            let epoch_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<((usize, usize), f64)> {
+                let mut m = Vec::new();
                 for (&(sei, ei), ends) in &probes.epoch_ends {
                     let Some(&start_ev) = probes.se_starts.get(&sei) else { continue };
                     let Some(&start) = r.event_ns.get(&start_ev) else { continue };
@@ -908,24 +1073,39 @@ impl<'g> Astra<'g> {
                         .filter_map(|e| r.event_ns.get(e).copied())
                         .fold(f64::NAN, f64::max);
                     if end.is_finite() {
-                        epoch_metrics.push(((sei, ei), (end - start).max(0.0)));
+                        m.push(((sei, ei), (end - start).max(0.0)));
                     }
                 }
-                Ok(Outcome {
-                    total_ns: r.total_ns,
-                    probe_records: probes.probe_records,
-                    faulted: r.faults.any(),
-                    epoch_metrics,
-                })
+                m
             };
-            let results: Vec<Result<Outcome, AstraError>> =
-                parallel_map(workers, &cfgs, |i, c| eval(c, salt0 + i as u64));
+
+            let dev = self.dev;
+            let clock = self.opts.clock;
+            let faults = self.opts.faults;
+            let trials_ref = &trials;
+            let idxs: Vec<usize> = (0..cfgs.len()).collect();
+            let results: Vec<Result<(Outcome, Vec<EngineCheckpoint>), AstraError>> =
+                parallel_map(workers, &idxs, |_, &i| {
+                    let t = &trials_ref[i];
+                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
+                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
+                    Ok((
+                        Outcome {
+                            total_ns: r.total_ns,
+                            probe_records: t.probes.probe_records,
+                            faulted: r.faults.any(),
+                            epoch_metrics: epoch_metrics_of(&t.probes, &r),
+                        },
+                        captured,
+                    ))
+                });
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let mut o = outcome?;
+                let (mut o, captured) = outcome?;
+                self.sim_absorb(salt, captured);
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -957,7 +1137,24 @@ impl<'g> Astra<'g> {
                     }
                     attempt += 1;
                     stats.retries += 1;
-                    o = eval(&cfgs[bi], FaultPlan::attempt_salt(salt, attempt))?;
+                    let rsalt = FaultPlan::attempt_salt(salt, attempt);
+                    let frag;
+                    let units_r: &[Unit] = match self.opts.faults.alloc_event(rsalt) {
+                        Some(word) => {
+                            frag = build_units_fragmented(&self.ctx, &cfgs[bi], word)?;
+                            &frag
+                        }
+                        None => &units,
+                    };
+                    let (sched, probes) =
+                        emit_schedule(&self.ctx, &cfgs[bi], units_r, Some(&partition), &probe_spec);
+                    let r = self.sim_run(&sched, rsalt)?;
+                    o = Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        faulted: r.faults.any(),
+                        epoch_metrics: epoch_metrics_of(&probes, &r),
+                    };
                 };
                 if !committed {
                     stats.quarantined += 1;

@@ -95,8 +95,8 @@ fn build_super_epoch(units: &[Unit], start: usize, end: usize) -> SuperEpoch {
     // Dependency levels *within* the super-epoch: deps outside count as
     // level 0 (they are behind the barrier).
     let mut level: BTreeMap<usize, u32> = BTreeMap::new();
-    for i in start..end {
-        let lvl = units[i]
+    for (i, u) in units.iter().enumerate().take(end).skip(start) {
+        let lvl = u
             .deps
             .iter()
             .filter(|&&d| d >= start)
@@ -154,7 +154,7 @@ pub fn epoch_choices(units: &[Unit], epoch: &Epoch, num_streams: usize) -> Vec<E
     let n = adapted.units.len();
     // Split counts for the adapted class: first stream takes `a`, the rest
     // round-robin over the remaining streams.
-    let min_a = (n + num_streams - 1) / num_streams;
+    let min_a = n.div_ceil(num_streams);
     let mut splits: Vec<usize> = (min_a..=n).collect();
     if splits.len() > MAX_SPLITS {
         // Evenly sample MAX_SPLITS options including both extremes.

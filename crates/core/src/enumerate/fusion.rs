@@ -389,7 +389,8 @@ fn ladder_sets(graph: &Graph, used: &mut HashSet<NodeId>) -> Vec<FusionSet> {
     }
 
     // Group instances by structural signature.
-    let mut by_sig: BTreeMap<String, Vec<(u32, Vec<NodeId>, Vec<NodeId>)>> = BTreeMap::new();
+    type Instance = (u32, Vec<NodeId>, Vec<NodeId>);
+    let mut by_sig: BTreeMap<String, Vec<Instance>> = BTreeMap::new();
     for (mms, adds) in instances {
         let mut sig_parts: Vec<String> = mms
             .iter()

@@ -18,6 +18,8 @@
 //!   adaptive-variable interface and exploration modes.
 //! * [`ProfileKey`] / [`ProfileIndex`] — context-mangled profile indexing.
 //! * [`optimize_bucketed`] — dynamic-graph support via bucketed profiling.
+//! * [`SimCache`] — engine checkpoints shared across candidate trials, so
+//!   schedules with common prefixes resume instead of re-simulating.
 //! * [`explore_recompute`] — the §3.4 recompute-for-memory adaptation,
 //!   backed by a liveness analysis ([`peak_activation_bytes`]).
 //!
@@ -51,6 +53,7 @@ mod parallel;
 mod plan;
 mod profile;
 mod recompute;
+mod simcache;
 
 pub use adaptive::{AdaptiveVar, ExploreMode, UpdateNode, UpdateTree};
 pub use astra::{Astra, AstraOptions, Dims, Report};
@@ -63,3 +66,4 @@ pub use plan::{
 };
 pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};
+pub use simcache::SimCache;

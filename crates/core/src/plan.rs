@@ -150,7 +150,7 @@ impl ExecConfig {
 }
 
 fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Builds the unit DAG for a configuration, topologically sorted.
@@ -362,7 +362,7 @@ fn build_units_with(
             &mut members_of_unit,
             Unit {
                 id: UnitId::Chain(ci as u32),
-                kernel: chain.kernel.clone(),
+                kernel: chain.kernel,
                 deps: Vec::new(),
                 gemm_shape: None,
                 pre_copy_bytes: 0.0,
@@ -384,7 +384,7 @@ fn build_units_with(
         if owner[i] != Owner::Single {
             continue;
         }
-        let Some(kernel) = ctx.lowering.ops()[i].kernel.clone() else {
+        let Some(kernel) = ctx.lowering.ops()[i].kernel else {
             continue; // elided (transpose): resolved through aliasing below
         };
         let (kernel, gemm_shape) = match kernel {
@@ -419,7 +419,7 @@ fn build_units_with(
     let mut changed = true;
     while changed {
         changed = false;
-        for (_i, node) in graph.nodes().iter().enumerate() {
+        for node in graph.nodes().iter() {
             if matches!(node.op, OpKind::Transpose)
                 && !unit_of_tensor.contains_key(&node.output.0)
             {
@@ -728,7 +728,7 @@ fn allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig, frag: Option<u64>) -
             .iter()
             .map(|&b| (b, ctx.graph.shape(astra_ir::TensorId(b.0 as u32)).bytes()))
             .collect();
-        let denied = frag.map_or(false, |word| (word >> (gi % 64)) & 1 == 1);
+        let denied = frag.is_some_and(|word| (word >> (gi % 64)) & 1 == 1);
         if denied {
             plan.place_scattered(&entries);
         } else {
@@ -852,8 +852,8 @@ pub fn emit_schedule(
         // charge the copies a denied allocation forces.
         let probe_set = probe.sets
             && matches!(u.id, UnitId::Block { .. })
-            && u.set_idx.map_or(false, |si| !seen_sets.contains(&si));
-        let probe_shape = probe.shapes && u.gemm_shape.map_or(false, |s| !seen_shapes.contains(&s));
+            && u.set_idx.is_some_and(|si| !seen_sets.contains(&si));
+        let probe_shape = probe.shapes && u.gemm_shape.is_some_and(|s| !seen_shapes.contains(&s));
         let start_ev = if probe_set || probe_shape {
             probes.probe_records += 1;
             Some(sched.record(stream))
@@ -868,7 +868,7 @@ pub fn emit_schedule(
                 waits.clone(),
             );
         }
-        sched.launch_after(stream, u.kernel.clone(), if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits });
+        sched.launch_after(stream, u.kernel, if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits });
 
         if needs_event[idx] {
             done_event[idx] = Some(sched.record(stream));
@@ -896,6 +896,7 @@ pub fn emit_schedule(
         None => {
             for (i, u) in units.iter().enumerate() {
                 emit_unit(&mut sched, &mut probes, i, u);
+                sched.mark_boundary();
             }
         }
         Some(part) => {
@@ -914,6 +915,7 @@ pub fn emit_schedule(
                     for &ui in &epoch.units {
                         streams_used.insert(stream_of(&units[ui]));
                         emit_unit(&mut sched, &mut probes, ui, &units[ui]);
+                        sched.mark_boundary();
                     }
                     if probe.epochs.contains(&(sei, ei)) {
                         let mut ends = Vec::new();
@@ -929,6 +931,10 @@ pub fn emit_schedule(
             }
         }
     }
+
+    // Final boundary: a checkpoint here memoizes the *whole* run, so a cache
+    // hit replays the finished result without any simulation.
+    sched.mark_boundary();
 
     let _ = ctx;
     (sched, probes)

@@ -106,7 +106,7 @@ fn build_timeline(units: &[Unit], k: u32) -> (Vec<TimelineItem>, Vec<bool>) {
         .iter()
         .map(|u| u.pass == Pass::Forward && u.step.is_none())
         .collect();
-    for (_i, u) in units.iter().enumerate() {
+    for u in units.iter() {
         for &d in &u.deps {
             if units[d].pass == Pass::Forward && seg(&units[d]) != seg(u) {
                 checkpoint[d] = true;
@@ -114,7 +114,7 @@ fn build_timeline(units: &[Unit], k: u32) -> (Vec<TimelineItem>, Vec<bool>) {
         }
     }
 
-    let max_seg = units.iter().filter(|u| u.pass == Pass::Forward).map(|u| seg(u)).max().unwrap_or(0);
+    let max_seg = units.iter().filter(|u| u.pass == Pass::Forward).map(&seg).max().unwrap_or(0);
 
     // Effective segment of a backward unit: a unit must run no earlier than
     // its backward dependencies (segments are processed from high to low),
@@ -247,7 +247,7 @@ pub fn explore_recompute(
                     astra_gpu::KernelDesc::MemCopy { bytes: u.pre_copy_bytes },
                 );
             }
-            sched.launch(StreamId(0), u.kernel.clone());
+            sched.launch(StreamId(0), u.kernel);
             if item.clone {
                 recompute_launches += 1;
             }

@@ -1,0 +1,417 @@
+//! Checkpoint cache for incremental simulation across candidate trials.
+//!
+//! Exploration batches are full of schedules that share long command
+//! prefixes: phase F candidates differ only in one fusion set's chunking,
+//! phase K candidates only in late GEMM library bindings, and phase S
+//! prefix exploration freezes every earlier epoch while it varies the
+//! current one. Simulating each candidate from `t = 0` re-executes that
+//! shared prefix once per trial.
+//!
+//! [`SimCache`] eliminates the repetition. Cold runs capture
+//! [`EngineCheckpoint`]s at schedule boundaries (see
+//! [`Schedule::mark_boundary`]); later trials probe the cache for the
+//! *deepest* checkpoint whose prefix hash matches one of their own
+//! boundaries and resume the engine there. Resumed runs are bit-identical
+//! to cold runs — the engine guarantees it — so the cache changes
+//! wall-clock time only, never results.
+//!
+//! ## What the key contains (and why)
+//!
+//! A checkpoint is only valid for a run that would have reached the exact
+//! same simulation state, so the key covers every input the engine's state
+//! depends on:
+//!
+//! * **Schedule prefix hash** — the commands simulated so far, rolled up
+//!   by [`Schedule::prefix_hash`]. Two schedules sharing a boundary hash
+//!   share the entire command prefix.
+//! * **Device fingerprint** — every [`DeviceSpec`] parameter shapes the
+//!   timeline.
+//! * **Clock mode** — autoboost jitter draws are part of the engine state
+//!   (the checkpoint carries the jitter RNG mid-stream), and the seed
+//!   lives in [`ClockMode::Autoboost`]. This deliberately stays *out* of
+//!   the schedule's own hash: the same schedule is probed under different
+//!   clocks without rebuilding it.
+//! * **Fault fingerprint + run salt** — a faulted run's injector draws
+//!   depend on the plan and the per-trial salt, so checkpoints from
+//!   different salts are never interchangeable. When the plan is
+//!   [`FaultPlan::is_none`], both components normalize to zero: clean
+//!   runs share checkpoints across salts (no draw ever happens, so the
+//!   salt cannot matter).
+//!
+//! The cache is bounded ([`SimCache::with_capacity`]) with FIFO eviction:
+//! exploration probes are dominated by *recently* captured prefixes (the
+//! current phase's shared geometry), so evicting the oldest insertion
+//! loses only prefixes whole phases have moved past.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use astra_gpu::{ClockMode, DeviceSpec, EngineCheckpoint, FaultPlan, Schedule};
+
+/// Default bound on cached checkpoints. Checkpoints are a few KB each
+/// (per-stream queues + the result so far), so this keeps the cache in the
+/// single-digit-MB range while comfortably covering one phase's working
+/// set of shared prefixes.
+const DEFAULT_CAPACITY: usize = 256;
+
+/// Most checkpoints captured by a single cold run. Each capture costs a
+/// state clone plus an open-stream scan, so runs seed the cache at a
+/// bounded number of evenly spaced uncached boundaries (always including
+/// the final one — a full-run memo that replays without any simulation).
+const MAX_CAPTURES_PER_RUN: usize = 8;
+
+/// Identity of a checkpointed simulation state (see the module docs for
+/// what each component pins down).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SimKey {
+    prefix_hash: u64,
+    device: u64,
+    clock: ClockMode,
+    fault: u64,
+    salt: u64,
+}
+
+/// Stable fingerprint of a device's timing-relevant parameters.
+fn device_fingerprint(dev: &DeviceSpec) -> u64 {
+    let mut h = 0xA57A_DE1Cu64;
+    let mut fold = |v: u64| {
+        h ^= v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    };
+    fold(dev.sm_count as u64);
+    fold(dev.blocks_per_sm as u64);
+    for v in [
+        dev.peak_gflops,
+        dev.hbm_gbps,
+        dev.launch_overhead_ns,
+        dev.dispatch_cost_ns,
+        dev.event_record_cost_ns,
+        dev.stream_sync_cost_ns,
+        dev.barrier_sync_cost_ns,
+        dev.host_roundtrip_ns,
+    ] {
+        fold(v.to_bits());
+    }
+    h
+}
+
+/// Bounded map from simulation-state identity to captured engine
+/// checkpoints, with hit/miss and resumed-work accounting.
+///
+/// The exploration driver owns one per [`crate::Astra`]; benchmarks can
+/// drive one directly around [`astra_gpu::Engine::run_incremental`].
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: HashMap<SimKey, Arc<EngineCheckpoint>>,
+    order: VecDeque<SimKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    resumed_cmds: u64,
+    total_cmds: u64,
+}
+
+impl SimCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        SimCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` checkpoints (FIFO eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SimCache { capacity: capacity.max(1), ..SimCache::default() }
+    }
+
+    fn key(
+        &self,
+        prefix_hash: u64,
+        dev: &DeviceSpec,
+        clock: ClockMode,
+        faults: &FaultPlan,
+        salt: u64,
+    ) -> SimKey {
+        // Clean runs normalize the fault components: with no draws, runs
+        // under every salt evolve identically and may share checkpoints.
+        let (fault, salt) =
+            if faults.is_none() { (0, 0) } else { (faults.fingerprint(), salt) };
+        SimKey { prefix_hash, device: device_fingerprint(dev), clock, fault, salt }
+    }
+
+    /// Probes for the deepest checkpoint matching one of `sched`'s
+    /// boundaries and plans which still-uncached boundaries this run
+    /// should capture. Returns `(resume, capture_at)` ready to hand to
+    /// [`astra_gpu::Engine::run_incremental`].
+    ///
+    /// Counts one hit or miss, and accrues the resumed-command fraction
+    /// ([`SimCache::resumed_fraction`]). Schedules without boundaries are
+    /// not cacheable and count nothing.
+    pub fn probe_and_plan(
+        &mut self,
+        sched: &Schedule,
+        dev: &DeviceSpec,
+        clock: ClockMode,
+        faults: &FaultPlan,
+        salt: u64,
+    ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
+        let boundaries = sched.boundaries();
+        if boundaries.is_empty() {
+            return (None, Vec::new());
+        }
+
+        let mut resume = None;
+        let mut resumed_at = 0usize;
+        for &(pos, hash) in boundaries.iter().rev() {
+            if let Some(ck) = self.map.get(&self.key(hash, dev, clock, faults, salt)) {
+                resume = Some(Arc::clone(ck));
+                resumed_at = pos;
+                break;
+            }
+        }
+        if resume.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.total_cmds += sched.cmds().len() as u64;
+        self.resumed_cmds += resumed_at as u64;
+
+        // Capture plan: evenly sample the uncached boundaries beyond the
+        // resume point, and always include the final boundary so a repeat
+        // of this exact schedule replays from the memoized result. Captures
+        // are cheap (the engine shares completed spans structurally), so a
+        // broad plan costs little and keeps boundary coverage dense.
+        let todo: Vec<usize> = boundaries
+            .iter()
+            .filter(|&&(pos, hash)| {
+                pos > resumed_at
+                    && !self.map.contains_key(&self.key(hash, dev, clock, faults, salt))
+            })
+            .map(|&(pos, _)| pos)
+            .collect();
+        let mut capture_at = Vec::new();
+        if let Some((&last, rest)) = todo.split_last() {
+            if !rest.is_empty() {
+                let picks = MAX_CAPTURES_PER_RUN - 1;
+                let step = rest.len().div_ceil(picks); // ceil: ≤ picks samples
+                capture_at.extend(rest.iter().copied().step_by(step.max(1)));
+            }
+            capture_at.push(last);
+        }
+        (resume, capture_at)
+    }
+
+    /// Inserts the checkpoints captured by one run, evicting the oldest
+    /// entries past capacity. Checkpoints carry their own prefix hash;
+    /// the remaining key components must describe the run that captured
+    /// them. Already-cached states are left untouched.
+    pub fn absorb(
+        &mut self,
+        dev: &DeviceSpec,
+        clock: ClockMode,
+        faults: &FaultPlan,
+        salt: u64,
+        captured: Vec<EngineCheckpoint>,
+    ) {
+        for ck in captured {
+            let key = self.key(ck.prefix_hash(), dev, clock, faults, salt);
+            if self.map.contains_key(&key) {
+                continue;
+            }
+            self.map.insert(key.clone(), Arc::new(ck));
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                let oldest = self.order.pop_front().expect("map non-empty implies order");
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Probes answered with a checkpoint.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that found no matching checkpoint.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Commands covered by resumed checkpoints, over all probes.
+    pub fn resumed_cmds(&self) -> u64 {
+        self.resumed_cmds
+    }
+
+    /// Commands probed runs contained in total.
+    pub fn total_cmds(&self) -> u64 {
+        self.total_cmds
+    }
+
+    /// Fraction of probed commands that resuming skipped (0 when nothing
+    /// was probed).
+    pub fn resumed_fraction(&self) -> f64 {
+        if self.total_cmds == 0 {
+            0.0
+        } else {
+            self.resumed_cmds as f64 / self.total_cmds as f64
+        }
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_gpu::{Engine, GemmLibrary, GemmShape, KernelDesc, StreamId};
+
+    fn sched_with_boundaries(n: usize) -> Schedule {
+        let mut s = Schedule::new(2);
+        let g = GemmShape::new(64, 256, 256);
+        for i in 0..n {
+            s.launch(
+                StreamId(i % 2),
+                KernelDesc::Gemm { shape: g, lib: GemmLibrary::CublasLike },
+            );
+            s.mark_boundary();
+        }
+        s
+    }
+
+    #[test]
+    fn cold_probe_misses_then_full_memo_hits() {
+        let dev = DeviceSpec::p100();
+        let sched = sched_with_boundaries(6);
+        let mut cache = SimCache::new();
+        let plan = FaultPlan::none();
+
+        let (resume, caps) =
+            cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &plan, 0);
+        assert!(resume.is_none());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(*caps.last().expect("captures planned"), sched.cmds().len());
+
+        let (r, captured) = Engine::new(&dev)
+            .run_incremental(&sched, None, &caps)
+            .expect("cold run");
+        cache.absorb(&dev, ClockMode::Fixed, &plan, 0, captured);
+
+        let (resume, caps2) =
+            cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &plan, 7);
+        let ck = resume.expect("full-run memo hits (clean runs share salts)");
+        assert_eq!(ck.cmd_idx(), sched.cmds().len());
+        assert!(caps2.is_empty(), "nothing left to capture");
+        assert_eq!(cache.hits(), 1);
+        let (r2, _) = Engine::new(&dev)
+            .run_incremental(&sched, Some(&ck), &[])
+            .expect("memo replay");
+        assert_eq!(r.total_ns.to_bits(), r2.total_ns.to_bits());
+        assert!(cache.resumed_fraction() > 0.0);
+    }
+
+    #[test]
+    fn key_separates_clock_device_and_fault_state() {
+        let dev = DeviceSpec::p100();
+        let sched = sched_with_boundaries(3);
+        let mut cache = SimCache::new();
+        let clean = FaultPlan::none();
+        let chaos = FaultPlan::chaos(5);
+
+        let (_, caps) = cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &clean, 0);
+        let (_, captured) =
+            Engine::new(&dev).run_incremental(&sched, None, &caps).expect("run");
+        cache.absorb(&dev, ClockMode::Fixed, &clean, 0, captured);
+
+        // Same schedule under a different clock, device, or fault plan
+        // must miss; the same clean plan under another salt must hit.
+        let boost = ClockMode::Autoboost { seed: 1 };
+        assert!(cache.probe_and_plan(&sched, &dev, boost, &clean, 0).0.is_none());
+        let v100 = DeviceSpec::v100();
+        assert!(cache.probe_and_plan(&sched, &v100, ClockMode::Fixed, &clean, 0).0.is_none());
+        assert!(cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &chaos, 0).0.is_none());
+        assert!(cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &clean, 99).0.is_some());
+    }
+
+    #[test]
+    fn faulted_checkpoints_are_salt_specific() {
+        let dev = DeviceSpec::p100();
+        let sched = sched_with_boundaries(3);
+        let mut cache = SimCache::new();
+        let plan = FaultPlan::chaos(5);
+
+        let (_, caps) = cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &plan, 4);
+        let (_, captured) = Engine::with_faults(&dev, ClockMode::Fixed, plan, 4)
+            .run_incremental(&sched, None, &caps)
+            .expect("run");
+        cache.absorb(&dev, ClockMode::Fixed, &plan, 4, captured);
+
+        assert!(cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &plan, 4).0.is_some());
+        assert!(cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &plan, 5).0.is_none());
+    }
+
+    #[test]
+    fn capture_plan_is_bounded_and_ends_at_the_final_boundary() {
+        let dev = DeviceSpec::p100();
+        let sched = sched_with_boundaries(100);
+        let mut cache = SimCache::new();
+        let (_, caps) =
+            cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &FaultPlan::none(), 0);
+        assert!(caps.len() <= MAX_CAPTURES_PER_RUN, "{} captures", caps.len());
+        assert_eq!(*caps.last().unwrap(), sched.cmds().len());
+        assert!(caps.windows(2).all(|w| w[0] < w[1]), "sorted: {caps:?}");
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let dev = DeviceSpec::p100();
+        let mut cache = SimCache::with_capacity(4);
+        let plan = FaultPlan::none();
+        // Distinct single-boundary schedules (different GEMM shapes) give
+        // distinct prefix hashes.
+        let mut first_sched = None;
+        for i in 0..8usize {
+            let mut s = Schedule::new(1);
+            let g = GemmShape::new(32 + i as u64, 128, 128);
+            s.launch(StreamId(0), KernelDesc::Gemm { shape: g, lib: GemmLibrary::CublasLike });
+            s.mark_boundary();
+            let (_, caps) = cache.probe_and_plan(&s, &dev, ClockMode::Fixed, &plan, 0);
+            let (_, captured) =
+                Engine::new(&dev).run_incremental(&s, None, &caps).expect("run");
+            cache.absorb(&dev, ClockMode::Fixed, &plan, 0, captured);
+            if i == 0 {
+                first_sched = Some(s);
+            }
+        }
+        assert_eq!(cache.len(), 4, "bounded at capacity");
+        // The first insertion was evicted first.
+        let first = first_sched.unwrap();
+        assert!(cache
+            .probe_and_plan(&first, &dev, ClockMode::Fixed, &plan, 0)
+            .0
+            .is_none());
+    }
+
+    #[test]
+    fn boundary_free_schedules_bypass_the_cache() {
+        let dev = DeviceSpec::p100();
+        let mut s = Schedule::new(1);
+        s.launch(
+            StreamId(0),
+            KernelDesc::Gemm { shape: GemmShape::new(8, 8, 8), lib: GemmLibrary::CublasLike },
+        );
+        let mut cache = SimCache::new();
+        let (resume, caps) =
+            cache.probe_and_plan(&s, &dev, ClockMode::Fixed, &FaultPlan::none(), 0);
+        assert!(resume.is_none() && caps.is_empty());
+        assert_eq!((cache.hits(), cache.misses(), cache.total_cmds()), (0, 0, 0));
+    }
+}

@@ -89,7 +89,7 @@ pub fn explore_scaling(
     let mut points = Vec::new();
     for &p in candidates {
         let pp = u64::from(p);
-        if p == 0 || global_batch % pp != 0 {
+        if p == 0 || !global_batch.is_multiple_of(pp) {
             continue;
         }
         let per_replica = global_batch / pp;

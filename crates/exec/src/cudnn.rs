@@ -147,7 +147,7 @@ pub fn cudnn_schedule(
         for key in remaining {
             let ready = preds
                 .get(&key)
-                .map_or(true, |ps| ps.iter().all(|p| emitted.contains(p)));
+                .is_none_or(|ps| ps.iter().all(|p| emitted.contains(p)));
             if !ready {
                 next_round.push(key);
                 continue;
@@ -174,7 +174,7 @@ fn emit_group(
     match key {
         GroupKey::Single(i) => {
             if let Some(k) = &lowering.ops()[*i as usize].kernel {
-                sched.launch(StreamId(0), k.clone());
+                sched.launch(StreamId(0), *k);
             }
         }
         GroupKey::Compound(layer, backward, t) => {

@@ -94,7 +94,7 @@ fn chain_external_inputs(graph: &Graph, members: &[NodeId], candidate: NodeId) -
     let mut ext = std::collections::HashSet::new();
     for &m in member_set.iter() {
         for &inp in &graph.node(m).inputs {
-            let internal = graph.producer(inp).map_or(false, |p| member_set.contains(&p));
+            let internal = graph.producer(inp).is_some_and(|p| member_set.contains(&p));
             if !internal {
                 ext.insert(inp);
             }
@@ -117,7 +117,7 @@ fn fused_kernel(graph: &Graph, _lowering: &Lowering, members: &[NodeId]) -> Kern
         elements = elements.max(out_elems);
         flops += node.op.flops_per_element();
         for &inp in &node.inputs {
-            let internal = graph.producer(inp).map_or(false, |p| member_set.contains(&p));
+            let internal = graph.producer(inp).is_some_and(|p| member_set.contains(&p));
             if !internal {
                 ext_inputs += 1;
             }

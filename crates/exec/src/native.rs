@@ -27,7 +27,7 @@ pub fn native_schedule(lowering: &Lowering) -> Schedule {
     let mut sched = Schedule::new(1);
     for op in lowering.ops() {
         if let Some(kernel) = &op.kernel {
-            sched.launch(StreamId(0), kernel.clone());
+            sched.launch(StreamId(0), *kernel);
         }
     }
     sched

@@ -46,7 +46,7 @@ pub fn xla_schedule(graph: &Graph, lowering: &Lowering) -> Schedule {
         }
         let last = chain.nodes.last().expect("chains are non-empty");
         chain_last[last.0 as usize] = true;
-        chain_kernel_at[last.0 as usize] = Some(chain.kernel.clone());
+        chain_kernel_at[last.0 as usize] = Some(chain.kernel);
     }
 
     let mut sched = Schedule::new(1);
@@ -71,7 +71,7 @@ pub fn xla_schedule(graph: &Graph, lowering: &Lowering) -> Schedule {
             continue;
         }
         if let Some(kernel) = &op.kernel {
-            sched.launch(StreamId(0), kernel.clone());
+            sched.launch(StreamId(0), *kernel);
         }
     }
     sched

@@ -21,11 +21,24 @@
 //! exactly the repeatability hazard the paper's §7 discusses.
 //!
 //! The hot path is allocation-free per command: queue items borrow their
-//! labels and wait lists from the schedule, execution rates are cached and
+//! wait lists from the schedule, span labels are `Arc<str>` clones of the
+//! schedule's interned label table, execution rates are cached and
 //! recomputed only when the set of running kernels changes, and the span and
 //! queue buffers are pre-sized from the schedule's counters.
+//!
+//! # Incremental simulation
+//!
+//! [`Engine::run_incremental`] can capture an [`EngineCheckpoint`] at any
+//! [`Schedule::mark_boundary`] point and later resume a *different* schedule
+//! from it, provided the two schedules share the exact command prefix (the
+//! boundary's rolling hash is the witness). Resumed runs are **bit-identical**
+//! to cold runs: the engine only ever advances the event loop through work
+//! that the prefix fully determines (see [`Sim::advance_prefix`]), so the
+//! sequence of floating-point operations and RNG draws — clock jitter and
+//! fault draws included — is exactly the one a cold run performs.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::clock::{Clock, ClockMode};
 use crate::device::DeviceSpec;
@@ -33,7 +46,6 @@ use crate::error::GpuError;
 use crate::fault::{
     FaultInjector, FaultPlan, FaultSummary, ALLOC_RETRY_STALL_NS, LAUNCH_RETRY_OVERHEAD_FACTOR,
 };
-use crate::kernel::KernelDesc;
 use crate::schedule::{Cmd, EventId, Schedule, StreamId};
 
 /// Time comparison slack, in nanoseconds.
@@ -50,8 +62,10 @@ fn done_eps(now: f64) -> f64 {
 /// Timing of one executed kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelSpan {
-    /// Label from the schedule (or the kernel's default label).
-    pub label: String,
+    /// Label from the schedule (or the kernel's default label). Shared with
+    /// the schedule's interned label table — building a span is an `Arc`
+    /// clone, not a `String` allocation.
+    pub label: Arc<str>,
     /// Stream the kernel ran on.
     pub stream: StreamId,
     /// Start of the launch overhead phase, ns.
@@ -92,19 +106,11 @@ impl RunResult {
     }
 }
 
-/// Label of a launch: either the schedule's explicit label or the kernel's
-/// default. Resolved to an owned `String` only once, when the span is built.
-fn span_label(label: Option<&str>, kernel: &KernelDesc) -> String {
-    label.map_or_else(|| kernel.label(), str::to_owned)
-}
-
 #[derive(Debug, Clone)]
-enum ItemKind<'s> {
+enum ItemKind {
     Kernel {
         exec_ns: f64,
         demand: u32,
-        label: Option<&'s str>,
-        kernel: &'s KernelDesc,
         cmd_idx: usize,
     },
     Record { event: EventId },
@@ -113,20 +119,21 @@ enum ItemKind<'s> {
 
 #[derive(Debug, Clone)]
 struct Item<'s> {
-    kind: ItemKind<'s>,
+    kind: ItemKind,
     issue_ns: f64,
     waits: &'s [EventId],
 }
 
+/// The in-flight item of one stream. Owns no schedule borrows — labels are
+/// looked up by `cmd_idx` in the schedule's interned table — so checkpoints
+/// can store these verbatim.
 #[derive(Debug, Clone)]
-enum Active<'s> {
+enum Active {
     /// Launch-overhead phase: fixed duration, does not occupy slots.
     Overhead {
         until: f64,
         exec_ns: f64,
         demand: u32,
-        label: Option<&'s str>,
-        kernel: &'s KernelDesc,
         cmd_idx: usize,
         start: f64,
     },
@@ -134,8 +141,6 @@ enum Active<'s> {
     Work {
         remaining: f64,
         demand: u32,
-        label: Option<&'s str>,
-        kernel: &'s KernelDesc,
         cmd_idx: usize,
         start: f64,
     },
@@ -148,7 +153,115 @@ enum Active<'s> {
 #[derive(Debug, Default)]
 struct StreamState<'s> {
     queue: VecDeque<Item<'s>>,
-    active: Option<Active<'s>>,
+    active: Option<Active>,
+}
+
+/// Append-only log of completed kernel spans with structurally shared
+/// snapshots: spans accumulate in a mutable tail, and taking a snapshot
+/// freezes the tail into an `Arc` chunk, so the copy a checkpoint stores is
+/// a vector of `Arc` bumps instead of a deep clone of every span. Capturing
+/// a checkpoint is therefore O(queued items), not O(spans completed) — the
+/// latter grows with the whole run and made wide capture plans cost more
+/// than the resume saved.
+#[derive(Debug, Clone, Default)]
+struct SpanLog {
+    chunks: Vec<Arc<Vec<KernelSpan>>>,
+    tail: Vec<KernelSpan>,
+}
+
+impl SpanLog {
+    fn push(&mut self, span: KernelSpan) {
+        self.tail.push(span);
+    }
+
+    fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum::<usize>() + self.tail.len()
+    }
+
+    /// Freezes the tail and returns a structural copy sharing every chunk.
+    fn snapshot(&mut self) -> SpanLog {
+        if !self.tail.is_empty() {
+            self.chunks.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+        SpanLog { chunks: self.chunks.clone(), tail: Vec::new() }
+    }
+
+    /// Flattens into the final span vector. Zero-copy for runs that never
+    /// snapshotted (the plain [`Engine::run`] path).
+    fn into_vec(mut self) -> Vec<KernelSpan> {
+        if self.chunks.is_empty() {
+            return self.tail;
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for c in &self.chunks {
+            out.extend(c.iter().cloned());
+        }
+        out.append(&mut self.tail);
+        out
+    }
+}
+
+/// One stream's state inside an [`EngineCheckpoint`]: the queued items
+/// (schedule borrows replaced by command indices) and the in-flight item.
+#[derive(Debug, Clone)]
+struct StreamCkpt {
+    queue: Vec<(ItemKind, f64)>,
+    active: Option<Active>,
+}
+
+/// A snapshot of the engine mid-run, captured at a schedule boundary.
+///
+/// Checkpoints own everything they need — per-stream queues and in-flight
+/// items (by command index, re-borrowed from the resuming schedule), the
+/// event table, barrier bookkeeping, cached execution rates, the dispatch
+/// clock (`cpu_ns`), the jitter clock, the fault injector, and the partial
+/// [`RunResult`] (spans completed so far, fault counts, event times).
+///
+/// A checkpoint taken at command index `i` with prefix hash `h` may seed any
+/// schedule that has a marked boundary `(i, h)` — i.e. shares the exact
+/// command prefix. The resumed run is bit-identical to a cold run of the
+/// full schedule under the same device, clock state, fault plan, and salt;
+/// keying caches on those inputs is the caller's job (see `astra-core`'s
+/// `SimCache`).
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    cmd_idx: usize,
+    prefix_hash: u64,
+    num_streams: usize,
+    cpu_ns: f64,
+    barrier_seq: usize,
+    now: f64,
+    events: Vec<(EventId, f64)>,
+    barrier_arrivals: Vec<(usize, Vec<(usize, f64)>)>,
+    barrier_expect: Vec<(usize, usize)>,
+    streams: Vec<StreamCkpt>,
+    rates: Vec<f64>,
+    rates_dirty: bool,
+    clock: Clock,
+    chaos: Option<Chaos>,
+    /// Spans completed by capture time, shared structurally with the
+    /// capturing run's log. Empty for a full-run memo, whose spans live in
+    /// `result` instead.
+    spans: SpanLog,
+    result: RunResult,
+}
+
+impl EngineCheckpoint {
+    /// Index of the first command *not* covered by this checkpoint. Equal to
+    /// the schedule length for a full-run memo.
+    pub fn cmd_idx(&self) -> usize {
+        self.cmd_idx
+    }
+
+    /// The schedule prefix hash this checkpoint was captured at.
+    pub fn prefix_hash(&self) -> u64 {
+        self.prefix_hash
+    }
+
+    /// Number of kernel spans already completed at capture time.
+    pub fn span_count(&self) -> usize {
+        self.spans.len() + self.result.spans.len()
+    }
 }
 
 /// Executes [`Schedule`]s against a [`DeviceSpec`] under a [`ClockMode`].
@@ -209,30 +322,127 @@ impl<'a> Engine<'a> {
     /// can never fire (e.g. a wait that precedes its record in program order
     /// on a blocked stream).
     pub fn run(&mut self, schedule: &Schedule) -> Result<RunResult, GpuError> {
-        let chaos = Chaos::for_run(&self.faults, self.fault_salt, schedule.num_streams());
-        let mut sim = Sim::new(self.dev, schedule, &mut self.clock, chaos);
-        let mut cpu_ns = 0.0_f64;
-        if self.faults.alloc_event(self.fault_salt).is_some() {
-            // The arena grant transiently failed: the runtime stalls retrying
-            // the allocation before any dispatch happens. (The planner-side
-            // consequence — scattered placement and extra gather copies — is
-            // applied by whoever built the schedule, from the same draw.)
-            cpu_ns += ALLOC_RETRY_STALL_NS;
-            sim.result.faults.alloc_retries += 1;
-        }
-        let mut barrier_seq = 0_usize;
+        self.run_incremental(schedule, None, &[]).map(|(result, _)| result)
+    }
 
-        for (idx, cmd) in schedule.cmds().iter().enumerate() {
+    /// Executes `schedule`, optionally resuming from a checkpoint and
+    /// optionally capturing checkpoints at marked boundaries.
+    ///
+    /// * `resume` — a checkpoint whose `(cmd_idx, prefix_hash)` matches one
+    ///   of the schedule's boundaries. Dispatch starts at `cmd_idx` with the
+    ///   entire prefix state (queues, event table, clock, fault injector)
+    ///   restored; the result is bit-identical to a cold run. A checkpoint at
+    ///   `cmds().len()` is a full-run memo: its stored result is returned
+    ///   without simulating anything.
+    /// * `capture_at` — command indices (each a marked boundary) at which to
+    ///   snapshot the engine. Before each snapshot the event loop is advanced
+    ///   through all work the prefix fully determines, so the checkpoint
+    ///   carries real simulation progress, not just queued commands.
+    ///
+    /// With `resume = None` and empty `capture_at` this is exactly
+    /// [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::InvalidSchedule`] if the resume checkpoint does not match
+    /// a boundary of `schedule` (or disagrees on the stream count), or if a
+    /// capture index is not a marked boundary. [`GpuError::Deadlock`] as in
+    /// [`Engine::run`].
+    pub fn run_incremental(
+        &mut self,
+        schedule: &Schedule,
+        resume: Option<&EngineCheckpoint>,
+        capture_at: &[usize],
+    ) -> Result<(RunResult, Vec<EngineCheckpoint>), GpuError> {
+        let dev = self.dev;
+        let cmds = schedule.cmds();
+        if let Some(ck) = resume {
+            if ck.num_streams != schedule.num_streams() {
+                return Err(GpuError::InvalidSchedule(format!(
+                    "checkpoint has {} streams, schedule has {}",
+                    ck.num_streams,
+                    schedule.num_streams()
+                )));
+            }
+            if schedule.boundary_hash(ck.cmd_idx) != Some(ck.prefix_hash) {
+                return Err(GpuError::InvalidSchedule(format!(
+                    "checkpoint at cmd {} does not match any boundary of this schedule",
+                    ck.cmd_idx
+                )));
+            }
+            if ck.cmd_idx == cmds.len() {
+                // Full-run memo: the stored result IS the run.
+                return Ok((ck.result.clone(), Vec::new()));
+            }
+        }
+        let start_idx = resume.map_or(0, |ck| ck.cmd_idx);
+        let mut caps: Vec<(usize, u64)> = Vec::with_capacity(capture_at.len());
+        for &i in capture_at {
+            if i <= start_idx && resume.is_some() {
+                continue; // the cache already has everything up to the resume point
+            }
+            match schedule.boundary_hash(i) {
+                Some(h) => caps.push((i, h)),
+                None => {
+                    return Err(GpuError::InvalidSchedule(format!(
+                        "capture index {i} is not a marked boundary"
+                    )))
+                }
+            }
+        }
+        caps.sort_unstable();
+        caps.dedup();
+
+        if let Some(ck) = resume {
+            // The checkpoint's clock replaces the engine's: a resumed run
+            // replays the cold run, jitter draws included.
+            self.clock = ck.clock.clone();
+        }
+        let mut sim;
+        let mut cpu_ns;
+        let mut barrier_seq;
+        match resume {
+            Some(ck) => {
+                sim = Sim::restore(dev, schedule, &mut self.clock, ck);
+                cpu_ns = ck.cpu_ns;
+                barrier_seq = ck.barrier_seq;
+            }
+            None => {
+                let chaos = Chaos::for_run(&self.faults, self.fault_salt, schedule.num_streams());
+                sim = Sim::new(dev, schedule, &mut self.clock, chaos);
+                cpu_ns = 0.0_f64;
+                barrier_seq = 0_usize;
+                if self.faults.alloc_event(self.fault_salt).is_some() {
+                    // The arena grant transiently failed: the runtime stalls
+                    // retrying the allocation before any dispatch happens.
+                    // (The planner-side consequence — scattered placement and
+                    // extra gather copies — is applied by whoever built the
+                    // schedule, from the same draw.)
+                    cpu_ns += ALLOC_RETRY_STALL_NS;
+                    sim.result.faults.alloc_retries += 1;
+                }
+            }
+        }
+        let mut captured: Vec<EngineCheckpoint> = Vec::new();
+        let mut cap_j = 0;
+        while cap_j < caps.len() && caps[cap_j].0 < start_idx {
+            cap_j += 1;
+        }
+
+        for (idx, cmd) in cmds.iter().enumerate().skip(start_idx) {
+            while cap_j < caps.len() && caps[cap_j].0 == idx {
+                sim.advance_prefix();
+                captured.push(sim.checkpoint(idx, caps[cap_j].1, cpu_ns, barrier_seq));
+                cap_j += 1;
+            }
             match cmd {
-                Cmd::Launch { stream, kernel, waits, label } => {
-                    cpu_ns += self.dev.dispatch_cost_ns;
-                    let cost = kernel.cost(self.dev);
+                Cmd::Launch { stream, kernel, waits, label: _ } => {
+                    cpu_ns += dev.dispatch_cost_ns;
+                    let cost = kernel.cost(dev);
                     sim.streams[stream.0].queue.push_back(Item {
                         kind: ItemKind::Kernel {
                             exec_ns: cost.exec_ns,
                             demand: cost.demand_blocks,
-                            label: label.as_deref(),
-                            kernel,
                             cmd_idx: idx,
                         },
                         issue_ns: cpu_ns,
@@ -240,7 +450,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 Cmd::Record { stream, event } => {
-                    cpu_ns += self.dev.dispatch_cost_ns * 0.25;
+                    cpu_ns += dev.dispatch_cost_ns * 0.25;
                     sim.streams[stream.0].queue.push_back(Item {
                         kind: ItemKind::Record { event: *event },
                         issue_ns: cpu_ns,
@@ -249,7 +459,7 @@ impl<'a> Engine<'a> {
                     sim.result.num_records += 1;
                 }
                 Cmd::Barrier => {
-                    cpu_ns += self.dev.dispatch_cost_ns;
+                    cpu_ns += dev.dispatch_cost_ns;
                     let id = barrier_seq;
                     barrier_seq += 1;
                     for s in &mut sim.streams {
@@ -263,17 +473,24 @@ impl<'a> Engine<'a> {
                 }
                 Cmd::HostSync => {
                     let idle = sim.drain()?;
-                    cpu_ns = cpu_ns.max(idle) + self.dev.host_roundtrip_ns;
+                    cpu_ns = cpu_ns.max(idle) + dev.host_roundtrip_ns;
                 }
             }
         }
         let idle = sim.drain()?;
-        let mut result = sim.result;
-        result.total_ns = cpu_ns.max(idle);
-        result.num_launches = schedule.num_launches();
-        result.profiling_overhead_ns =
-            result.num_records as f64 * self.dev.event_record_cost_ns;
-        Ok(result)
+        sim.result.total_ns = cpu_ns.max(idle);
+        sim.result.num_launches = schedule.num_launches();
+        sim.result.profiling_overhead_ns =
+            sim.result.num_records as f64 * dev.event_record_cost_ns;
+        // The run is over: flatten the span log into the result, so the
+        // full-run memo below carries the complete spans in `result`.
+        sim.result.spans = std::mem::take(&mut sim.spans).into_vec();
+        // A boundary at the end of the command list memoizes the whole run.
+        while cap_j < caps.len() {
+            captured.push(sim.checkpoint(cmds.len(), caps[cap_j].1, cpu_ns, barrier_seq));
+            cap_j += 1;
+        }
+        Ok((sim.result, captured))
     }
 }
 
@@ -281,7 +498,8 @@ impl<'a> Engine<'a> {
 /// straggler slowdown of every stream (1.0 = healthy). Absent entirely when
 /// the plan is [`FaultPlan::none`], keeping the clean path allocation- and
 /// branch-free apart from one `Option` check per kernel activation.
-#[derive(Debug)]
+/// Cloneable so checkpoints can freeze the injector mid-stream.
+#[derive(Debug, Clone)]
 struct Chaos {
     injector: FaultInjector,
     straggle: Vec<f64>,
@@ -314,6 +532,8 @@ struct Sim<'s, 'd, 'c> {
     chaos: Option<Chaos>,
     streams: Vec<StreamState<'s>>,
     num_streams: usize,
+    /// The schedule's interned span labels, indexed by command.
+    labels: &'s [Option<Arc<str>>],
     now: f64,
     events: HashMap<EventId, f64>,
     barrier_arrivals: HashMap<usize, Vec<(usize, f64)>>,
@@ -324,6 +544,8 @@ struct Sim<'s, 'd, 'c> {
     /// Set whenever the set of work-phase kernels changes (a kernel enters
     /// the work phase or completes); cleared by [`Sim::ensure_rates`].
     rates_dirty: bool,
+    /// Completed spans; flattened into `result.spans` when the run finishes.
+    spans: SpanLog,
     result: RunResult,
 }
 
@@ -336,7 +558,6 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
     ) -> Self {
         let num_streams = schedule.num_streams();
         let mut result = RunResult::default();
-        result.spans.reserve_exact(schedule.num_launches());
         result.faults.straggler_streams = chaos.as_ref().map_or(0, |c| c.straggler_count);
         Sim {
             dev,
@@ -348,13 +569,156 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                 .map(|&n| StreamState { queue: VecDeque::with_capacity(n), active: None })
                 .collect(),
             num_streams,
+            labels: schedule.span_labels(),
             now: 0.0,
             events: HashMap::new(),
             barrier_arrivals: HashMap::new(),
             barrier_expect: HashMap::new(),
             rates: vec![1.0; num_streams],
             rates_dirty: true,
+            spans: SpanLog {
+                chunks: Vec::new(),
+                tail: Vec::with_capacity(schedule.num_launches()),
+            },
             result,
+        }
+    }
+
+    /// Rebuilds the simulation exactly as it was when `ck` was captured,
+    /// re-borrowing wait lists from `schedule` (sound: the matching boundary
+    /// hash guarantees the command prefix is identical).
+    fn restore(
+        dev: &'d DeviceSpec,
+        schedule: &'s Schedule,
+        clock: &'c mut Clock,
+        ck: &EngineCheckpoint,
+    ) -> Self {
+        let cmds = schedule.cmds();
+        let counts = schedule.stream_cmd_counts();
+        let streams: Vec<StreamState<'s>> = ck
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(si, st)| {
+                let mut queue = VecDeque::with_capacity(counts[si]);
+                for (kind, issue_ns) in &st.queue {
+                    let waits: &'s [EventId] = match kind {
+                        ItemKind::Kernel { cmd_idx, .. } => match &cmds[*cmd_idx] {
+                            Cmd::Launch { waits, .. } => waits.as_slice(),
+                            _ => &[],
+                        },
+                        _ => &[],
+                    };
+                    queue.push_back(Item { kind: kind.clone(), issue_ns: *issue_ns, waits });
+                }
+                StreamState { queue, active: st.active.clone() }
+            })
+            .collect();
+        Sim {
+            dev,
+            clock,
+            chaos: ck.chaos.clone(),
+            streams,
+            num_streams: ck.num_streams,
+            labels: schedule.span_labels(),
+            now: ck.now,
+            events: ck.events.iter().copied().collect(),
+            barrier_arrivals: ck.barrier_arrivals.iter().cloned().collect(),
+            barrier_expect: ck.barrier_expect.iter().copied().collect(),
+            rates: ck.rates.clone(),
+            rates_dirty: ck.rates_dirty,
+            spans: ck.spans.clone(),
+            result: ck.result.clone(),
+        }
+    }
+
+    /// Snapshots the full simulation state (plus the dispatcher's `cpu_ns`
+    /// and barrier counter) into an owned checkpoint. Hash maps are stored
+    /// as key-sorted vectors so the snapshot is deterministic. Completed
+    /// spans are shared structurally ([`SpanLog::snapshot`]), so the cost is
+    /// proportional to the live queues, not the run so far.
+    fn checkpoint(
+        &mut self,
+        cmd_idx: usize,
+        prefix_hash: u64,
+        cpu_ns: f64,
+        barrier_seq: usize,
+    ) -> EngineCheckpoint {
+        let mut events: Vec<(EventId, f64)> =
+            self.events.iter().map(|(&e, &t)| (e, t)).collect();
+        events.sort_unstable_by_key(|&(e, _)| e);
+        let mut barrier_arrivals: Vec<(usize, Vec<(usize, f64)>)> = self
+            .barrier_arrivals
+            .iter()
+            .map(|(&id, v)| (id, v.clone()))
+            .collect();
+        barrier_arrivals.sort_unstable_by_key(|&(id, _)| id);
+        let mut barrier_expect: Vec<(usize, usize)> =
+            self.barrier_expect.iter().map(|(&id, &n)| (id, n)).collect();
+        barrier_expect.sort_unstable_by_key(|&(id, _)| id);
+        EngineCheckpoint {
+            cmd_idx,
+            prefix_hash,
+            num_streams: self.num_streams,
+            cpu_ns,
+            barrier_seq,
+            now: self.now,
+            events,
+            barrier_arrivals,
+            barrier_expect,
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamCkpt {
+                    queue: s.queue.iter().map(|it| (it.kind.clone(), it.issue_ns)).collect(),
+                    active: s.active.clone(),
+                })
+                .collect(),
+            rates: self.rates.clone(),
+            rates_dirty: self.rates_dirty,
+            clock: self.clock.clone(),
+            chaos: self.chaos.clone(),
+            spans: self.spans.snapshot(),
+            result: self.result.clone(),
+        }
+    }
+
+    /// Advances the event loop through everything the dispatched prefix
+    /// fully determines, stopping exactly where a cold run's event chain
+    /// could first depend on commands the prefix has not seen.
+    ///
+    /// The stop rule: as long as *every* stream is busy, future items cannot
+    /// activate — they sit behind the prefix items in their FIFO — and
+    /// cannot appear as `next_event_time` candidates, so the processed chain
+    /// is a verbatim prefix of the cold run's chain (same floating-point
+    /// operations, same jitter/fault draw order). The moment any stream
+    /// drains idle, a cold run's next steps may involve a future item on it
+    /// (activation, or an advance to its issue time), so we stop *before*
+    /// activating anything further.
+    ///
+    /// The rule must not look at this schedule's own suffix (e.g. to keep
+    /// advancing past streams the suffix never touches): a checkpoint is
+    /// resumable by *any* schedule sharing the prefix, and a different
+    /// suffix may use exactly the streams this one leaves idle. Stopping on
+    /// any idle stream keeps the captured state a pure function of the
+    /// prefix. A `None` next-event here is normal (a prefix kernel waiting
+    /// on an event a future command records), not a deadlock — the final
+    /// drain still reports real deadlocks.
+    fn advance_prefix(&mut self) {
+        loop {
+            let any_idle =
+                self.streams.iter().any(|s| s.active.is_none() && s.queue.is_empty());
+            if any_idle {
+                return;
+            }
+            self.activate_ready();
+            if self.all_idle() {
+                return;
+            }
+            self.ensure_rates();
+            let Some(t_next) = self.next_event_time() else { return };
+            self.advance_to(t_next);
+            self.complete_finished();
         }
     }
 
@@ -394,7 +758,7 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                     continue;
                 }
                 let waits_ok = head.waits.iter().all(|e| {
-                    self.events.get(e).map_or(false, |&t| t <= self.now + EPS)
+                    self.events.get(e).is_some_and(|&t| t <= self.now + EPS)
                 });
                 if !waits_ok {
                     continue;
@@ -406,7 +770,7 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                     self.dev.stream_sync_cost_ns
                 };
                 match item.kind {
-                    ItemKind::Kernel { exec_ns, demand, label, kernel, cmd_idx } => {
+                    ItemKind::Kernel { exec_ns, demand, cmd_idx } => {
                         let jitter = self.clock.jitter_factor();
                         let mut exec_ns = exec_ns * jitter;
                         let mut overhead_ns = self.dev.launch_overhead_ns + sync_penalty;
@@ -427,8 +791,6 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                             until: self.now + overhead_ns,
                             exec_ns,
                             demand,
-                            label,
-                            kernel,
                             cmd_idx,
                             start,
                         });
@@ -590,20 +952,18 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                 continue;
             }
             match self.streams[si].active.take().expect("checked above") {
-                Active::Overhead { exec_ns, demand, label, kernel, cmd_idx, start, .. } => {
+                Active::Overhead { exec_ns, demand, cmd_idx, start, .. } => {
                     self.streams[si].active = Some(Active::Work {
                         remaining: exec_ns,
                         demand,
-                        label,
-                        kernel,
                         cmd_idx,
                         start,
                     });
                     self.rates_dirty = true;
                 }
-                Active::Work { label, kernel, cmd_idx, start, .. } => {
-                    self.result.spans.push(KernelSpan {
-                        label: span_label(label, kernel),
+                Active::Work { cmd_idx, start, .. } => {
+                    self.spans.push(KernelSpan {
+                        label: self.span_label(cmd_idx),
                         stream: StreamId(si),
                         start_ns: start,
                         end_ns: self.now,
@@ -622,6 +982,12 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
         }
     }
 
+    /// Interned label of the launch at `cmd_idx` (an `Arc` clone, never a
+    /// fresh `String`).
+    fn span_label(&self, cmd_idx: usize) -> Arc<str> {
+        self.labels[cmd_idx].clone().expect("spans only come from launches")
+    }
+
     fn describe_stall(&self) -> String {
         let mut parts = Vec::new();
         for (si, s) in self.streams.iter().enumerate() {
@@ -629,14 +995,14 @@ impl<'s, 'd, 'c> Sim<'s, 'd, 'c> {
                 Some(Active::AtBarrier { id }) => {
                     parts.push(format!("stream {si} stuck at barrier {id}"));
                 }
-                Some(Active::Work { remaining, demand, label, kernel, .. }) => {
-                    let label = span_label(*label, kernel);
+                Some(Active::Work { remaining, demand, cmd_idx, .. }) => {
+                    let label = self.span_label(*cmd_idx);
                     parts.push(format!(
                         "stream {si} running '{label}' with remaining {remaining} (demand {demand}) that never completes"
                     ));
                 }
-                Some(Active::Overhead { until, label, kernel, .. }) => {
-                    let label = span_label(*label, kernel);
+                Some(Active::Overhead { until, cmd_idx, .. }) => {
+                    let label = self.span_label(*cmd_idx);
                     parts.push(format!(
                         "stream {si} in launch overhead of '{label}' until {until}"
                     ));
@@ -897,7 +1263,7 @@ mod tests {
         s.launch_labeled(StreamId(0), gemm(GemmShape::new(64, 256, 256)), Vec::new(), "mine");
         s.launch(StreamId(0), gemm(GemmShape::new(64, 256, 256)));
         let r = Engine::new(&dev).run(&s).unwrap();
-        let labels: Vec<&str> = r.spans.iter().map(|sp| sp.label.as_str()).collect();
+        let labels: Vec<&str> = r.spans.iter().map(|sp| &*sp.label).collect();
         assert!(labels.contains(&"mine"));
         assert!(labels.iter().any(|l| l.starts_with("gemm[")));
     }
@@ -991,6 +1357,122 @@ mod tests {
             r.total_ns > clean.total_ns * 1.5,
             "3x straggler must dominate the single-stream makespan"
         );
+    }
+
+    /// A two-stream schedule with a boundary after every launch plus a final
+    /// full-run boundary; waits and a barrier cross the segment marks.
+    fn segmented_schedule() -> Schedule {
+        let mut s = Schedule::new(2);
+        for i in 0..10 {
+            s.launch(StreamId(i % 2), gemm(GemmShape::new(64, 256, 256)));
+            s.mark_boundary();
+        }
+        let ev = s.record(StreamId(0));
+        s.launch_after(StreamId(1), gemm(GemmShape::new(64, 256, 256)), vec![ev]);
+        s.mark_boundary();
+        s.barrier();
+        for i in 0..4 {
+            s.launch(StreamId(i % 2), gemm(GemmShape::new(128, 256, 256)));
+            s.mark_boundary();
+        }
+        s
+    }
+
+    #[test]
+    fn incremental_capture_and_resume_are_bit_identical() {
+        let dev = DeviceSpec::p100();
+        let s = segmented_schedule();
+        let caps: Vec<usize> = s.boundaries().iter().map(|&(i, _)| i).collect();
+        for mode in [ClockMode::Fixed, ClockMode::Autoboost { seed: 7 }] {
+            for plan in [FaultPlan::none(), FaultPlan::chaos(11)] {
+                let plain = Engine::with_faults(&dev, mode, plan, 5).run(&s).unwrap();
+                let (inc, cks) = Engine::with_faults(&dev, mode, plan, 5)
+                    .run_incremental(&s, None, &caps)
+                    .unwrap();
+                assert_eq!(plain, inc, "capturing must not disturb the run");
+                assert_eq!(cks.len(), caps.len());
+                for ck in &cks {
+                    let (resumed, _) = Engine::with_faults(&dev, mode, plan, 5)
+                        .run_incremental(&s, Some(ck), &[])
+                        .unwrap();
+                    assert_eq!(plain, resumed, "resume from cmd {} diverged", ck.cmd_idx());
+                    assert_eq!(plain.total_ns.to_bits(), resumed.total_ns.to_bits());
+                }
+                // Checkpoints carry real simulation progress, not just queues.
+                assert!(
+                    cks.iter().any(|c| c.cmd_idx() < s.cmds().len() && c.span_count() > 0),
+                    "some mid-run checkpoint should have completed spans"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_run_memo_replays_without_simulation() {
+        let dev = DeviceSpec::p100();
+        let s = segmented_schedule();
+        let full = s.cmds().len();
+        let (plain, cks) = Engine::new(&dev).run_incremental(&s, None, &[full]).unwrap();
+        assert_eq!(cks.len(), 1);
+        assert_eq!(cks[0].cmd_idx(), full);
+        assert_eq!(cks[0].span_count(), plain.spans.len());
+        let (replayed, again) =
+            Engine::new(&dev).run_incremental(&s, Some(&cks[0]), &[full]).unwrap();
+        assert_eq!(plain, replayed);
+        assert!(again.is_empty(), "a memo replay captures nothing new");
+    }
+
+    #[test]
+    fn checkpoints_transfer_to_schedules_sharing_the_prefix() {
+        let dev = DeviceSpec::p100();
+        let build = |tail: GemmShape| {
+            let mut s = Schedule::new(2);
+            for i in 0..6 {
+                s.launch(StreamId(i % 2), gemm(GemmShape::new(64, 256, 256)));
+                s.mark_boundary();
+            }
+            for i in 0..4 {
+                s.launch(StreamId(i % 2), gemm(tail));
+            }
+            s.mark_boundary();
+            s
+        };
+        let a = build(GemmShape::new(128, 256, 256));
+        let b = build(GemmShape::new(256, 256, 256));
+        assert_eq!(a.boundary_hash(6), b.boundary_hash(6), "shared prefix, shared hash");
+        for mode in [ClockMode::Fixed, ClockMode::Autoboost { seed: 3 }] {
+            for plan in [FaultPlan::none(), FaultPlan::chaos(17)] {
+                let caps: Vec<usize> = a.boundaries().iter().map(|&(i, _)| i).collect();
+                let (_, cks) = Engine::with_faults(&dev, mode, plan, 9)
+                    .run_incremental(&a, None, &caps)
+                    .unwrap();
+                let ck = cks.iter().find(|c| c.cmd_idx() == 6).expect("captured at 6");
+                let cold = Engine::with_faults(&dev, mode, plan, 9).run(&b).unwrap();
+                let (resumed, _) = Engine::with_faults(&dev, mode, plan, 9)
+                    .run_incremental(&b, Some(ck), &[])
+                    .unwrap();
+                assert_eq!(cold, resumed, "a's prefix checkpoint must seed b bit-identically");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints_and_bad_captures() {
+        let dev = DeviceSpec::p100();
+        let s = segmented_schedule();
+        let caps: Vec<usize> = s.boundaries().iter().map(|&(i, _)| i).collect();
+        let (_, cks) = Engine::new(&dev).run_incremental(&s, None, &caps).unwrap();
+        // Diverges from the very first command: no boundary hash can match.
+        let mut other = Schedule::new(2);
+        for i in 0..12 {
+            other.launch(StreamId(i % 2), gemm(GemmShape::new(32, 128, 128)));
+            other.mark_boundary();
+        }
+        let err = Engine::new(&dev).run_incremental(&other, Some(&cks[2]), &[]).unwrap_err();
+        assert!(matches!(err, GpuError::InvalidSchedule(_)));
+        // Capture indices must be marked boundaries (0 is not one here).
+        let err = Engine::new(&dev).run_incremental(&s, None, &[0]).unwrap_err();
+        assert!(matches!(err, GpuError::InvalidSchedule(_)));
     }
 
     #[test]

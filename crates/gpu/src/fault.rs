@@ -160,6 +160,24 @@ impl FaultPlan {
             && self.straggler_prob == 0.0
     }
 
+    /// Stable fingerprint of the whole plan (seed + every probability and
+    /// factor). Two plans with equal fingerprints inject identical faults
+    /// for any salt, so checkpoint caches can key on this instead of the
+    /// full struct.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(self.seed, 0xFA17_F1A6);
+        for v in [
+            self.spike_prob,
+            self.launch_fail_prob,
+            self.alloc_fail_prob,
+            self.straggler_prob,
+            self.straggler_factor,
+        ] {
+            h = mix(h, v.to_bits());
+        }
+        h
+    }
+
     /// The per-run seed for a given run salt.
     fn run_seed(&self, salt: u64) -> u64 {
         mix(self.seed, salt)
@@ -343,6 +361,15 @@ mod tests {
         assert_ne!(s1, s2);
         assert_ne!(s1, s0);
         assert_eq!(s1, FaultPlan::attempt_salt(42, 1));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plans() {
+        let a = FaultPlan::chaos(7);
+        assert_eq!(a.fingerprint(), FaultPlan::chaos(7).fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::chaos(8).fingerprint());
+        assert_ne!(a.fingerprint(), FaultPlan::timing_spikes(7).fingerprint());
+        assert_ne!(FaultPlan::none().fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -139,7 +139,7 @@ const SPLIT_K_MIN_SLICE: u64 = 256;
 const SPLIT_K_MAX: u64 = 8;
 
 fn div_ceil(a: u64, b: u64) -> u64 {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Sub-linear utilization of `blocks` thread blocks on a device, including
@@ -184,7 +184,7 @@ fn split_for(shape: GemmShape, base_blocks: u64, dev: &DeviceSpec) -> u64 {
     }
     let by_occupancy = div_ceil(slots, base_blocks);
     let by_k = (shape.k / SPLIT_K_MIN_SLICE).max(1);
-    by_occupancy.min(by_k).min(SPLIT_K_MAX).max(1)
+    by_occupancy.min(by_k).clamp(1, SPLIT_K_MAX)
 }
 
 /// Times one GEMM under one library on a device.
@@ -209,7 +209,7 @@ pub fn time_gemm(shape: GemmShape, lib: GemmLibrary, dev: &DeviceSpec) -> GemmTi
                 let split = split_for(shape, base, dev);
                 for s in [1, split] {
                     let t = cost_with(shape, tile, s, CUBLAS_EFF, dev);
-                    if best.map_or(true, |b| t.time_ns < b.time_ns) {
+                    if best.is_none_or(|b| t.time_ns < b.time_ns) {
                         best = Some(t);
                     }
                 }

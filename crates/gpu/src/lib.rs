@@ -24,7 +24,8 @@
 //!   embedding gather, compound/cuDNN-like, copies, host round trips).
 //! * [`Schedule`] — multi-stream command lists with events and barriers.
 //! * [`Engine`] — the discrete-event simulator (processor-sharing streams,
-//!   launch overheads, event/barrier semantics).
+//!   launch overheads, event/barrier semantics), with incremental
+//!   checkpoint/resume at schedule boundaries ([`EngineCheckpoint`]).
 //! * [`FaultPlan`] — seeded, deterministic fault injection (timing spikes,
 //!   launch/allocation failures, stragglers) surfaced via
 //!   [`FaultSummary`] on every [`RunResult`].
@@ -62,7 +63,7 @@ mod tracing;
 
 pub use clock::{Clock, ClockMode};
 pub use device::DeviceSpec;
-pub use engine::{Engine, KernelSpan, RunResult};
+pub use engine::{Engine, EngineCheckpoint, KernelSpan, RunResult};
 pub use error::GpuError;
 pub use fault::{
     FaultInjector, FaultPlan, FaultSummary, ALLOC_RETRY_STALL_NS, LAUNCH_RETRY_OVERHEAD_FACTOR,

@@ -68,7 +68,7 @@ impl AllocationPlan {
         if self.cursor > 0 {
             self.cursor += GROUP_ALIGN;
         }
-        self.cursor = (self.cursor + GROUP_ALIGN - 1) / GROUP_ALIGN * GROUP_ALIGN;
+        self.cursor = self.cursor.div_ceil(GROUP_ALIGN) * GROUP_ALIGN;
         let mut placed = 0;
         for &(id, bytes) in bufs {
             if self.placements.contains_key(&id) {

@@ -5,7 +5,20 @@
 //! asynchronous kernel launches on numbered streams, cudaEvent-style records
 //! and waits, device-wide barriers (super-epoch boundaries), and synchronous
 //! host syncs.
+//!
+//! Schedules also carry two pieces of engine-facing metadata that never show
+//! up in [`Schedule::render`] (golden traces stay byte-stable):
+//!
+//! * a table of pre-interned span labels (`Arc<str>`, one per launch), so the
+//!   engine never allocates a `String` per executed kernel;
+//! * optional *segment boundaries* ([`Schedule::mark_boundary`]) with a
+//!   rolling prefix hash per boundary, the anchor points for incremental
+//!   simulation: two schedules whose boundary hashes match are guaranteed to
+//!   share the exact command prefix, so an
+//!   [`EngineCheckpoint`](crate::engine::EngineCheckpoint) captured on one
+//!   can seed the other.
 
+use std::sync::Arc;
 
 use crate::kernel::KernelDesc;
 
@@ -68,6 +81,34 @@ pub struct Schedule {
     // Queue items each stream will receive (launches + records + barriers),
     // maintained incrementally so the engine can pre-size its FIFOs.
     stream_cmds: Vec<usize>,
+    // Rolling hash of every command appended so far (content hash: kernel
+    // descriptors, streams, waits, labels). Folded left-to-right, so equal
+    // hashes mean equal command prefixes (modulo 64-bit collisions).
+    prefix_hash: u64,
+    // (command index, prefix hash at that index) for each marked boundary,
+    // strictly increasing in the index.
+    boundaries: Vec<(usize, u64)>,
+    // Interned span label per command: `Some` for launches (the explicit
+    // label or the kernel's default), `None` otherwise.
+    span_labels: Vec<Option<Arc<str>>>,
+}
+
+/// One splitmix64-style fold step for the rolling prefix hash.
+fn fold_hash(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string; feeds [`fold_hash`] with command content.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl Schedule {
@@ -84,6 +125,11 @@ impl Schedule {
             next_event: 0,
             num_launches: 0,
             stream_cmds: vec![0; num_streams],
+            // Seed with the stream count: the same command list over a
+            // different stream topology is a different schedule.
+            prefix_hash: fold_hash(0x4153_5452, num_streams as u64),
+            boundaries: Vec::new(),
+            span_labels: Vec::new(),
         }
     }
 
@@ -106,6 +152,59 @@ impl Schedule {
     /// the capacity each stream's FIFO needs during execution.
     pub fn stream_cmd_counts(&self) -> &[usize] {
         &self.stream_cmds
+    }
+
+    /// Rolling content hash of the full command list appended so far.
+    ///
+    /// Equal hashes on two schedules mean (modulo 64-bit collision) the two
+    /// command lists are identical — commands, kernels, waits, labels, and
+    /// stream count all participate.
+    pub fn prefix_hash(&self) -> u64 {
+        self.prefix_hash
+    }
+
+    /// Marks the current position as a segment boundary. The engine may
+    /// capture an [`EngineCheckpoint`](crate::engine::EngineCheckpoint) at a
+    /// boundary, and may resume from a checkpoint whose `(index, hash)` pair
+    /// matches one. Consecutive marks at the same position collapse to one.
+    pub fn mark_boundary(&mut self) {
+        let at = self.cmds.len();
+        if self.boundaries.last().is_some_and(|&(i, _)| i == at) {
+            return;
+        }
+        self.boundaries.push((at, self.prefix_hash));
+    }
+
+    /// The marked boundaries as `(command index, prefix hash)` pairs, in
+    /// increasing index order. A boundary at `cmds().len()` covers the whole
+    /// schedule (a checkpoint there memoizes the complete run).
+    pub fn boundaries(&self) -> &[(usize, u64)] {
+        &self.boundaries
+    }
+
+    /// The prefix hash at a marked boundary, or `None` if `cmd_idx` is not a
+    /// boundary.
+    pub fn boundary_hash(&self, cmd_idx: usize) -> Option<u64> {
+        self.boundaries
+            .binary_search_by_key(&cmd_idx, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.boundaries[pos].1)
+    }
+
+    /// Interned span label per command: `Some` for launches (the explicit
+    /// label or the kernel's default, resolved once at build time), `None`
+    /// for records, barriers, and host syncs.
+    pub fn span_labels(&self) -> &[Option<Arc<str>>] {
+        &self.span_labels
+    }
+
+    /// Folds the just-pushed command into the rolling prefix hash. Hashes
+    /// the command's debug rendering: every field (kernel descriptor bits,
+    /// stream, waits, label) participates, and the encoding tracks
+    /// [`KernelDesc`] growth automatically.
+    fn absorb_last(&mut self) {
+        let cmd = self.cmds.last().expect("called right after a push");
+        self.prefix_hash = fold_hash(self.prefix_hash, fnv1a(format!("{cmd:?}").as_bytes()));
     }
 
     /// Appends an unlabelled launch with no waits. Returns the command index.
@@ -144,7 +243,13 @@ impl Schedule {
         self.check_stream(stream);
         self.num_launches += 1;
         self.stream_cmds[stream.0] += 1;
+        let interned: Arc<str> = match &label {
+            Some(l) => Arc::from(l.as_str()),
+            None => Arc::from(kernel.label().as_str()),
+        };
+        self.span_labels.push(Some(interned));
         self.cmds.push(Cmd::Launch { stream, kernel, waits, label });
+        self.absorb_last();
         self.cmds.len() - 1
     }
 
@@ -154,7 +259,9 @@ impl Schedule {
         let ev = EventId(self.next_event);
         self.next_event += 1;
         self.stream_cmds[stream.0] += 1;
+        self.span_labels.push(None);
         self.cmds.push(Cmd::Record { stream, event: ev });
+        self.absorb_last();
         ev
     }
 
@@ -163,12 +270,16 @@ impl Schedule {
         for c in &mut self.stream_cmds {
             *c += 1;
         }
+        self.span_labels.push(None);
         self.cmds.push(Cmd::Barrier);
+        self.absorb_last();
     }
 
     /// Appends a blocking host synchronization.
     pub fn host_sync(&mut self) {
+        self.span_labels.push(None);
         self.cmds.push(Cmd::HostSync);
+        self.absorb_last();
     }
 
     /// Renders the schedule as stable, line-oriented text: one command per
@@ -275,5 +386,58 @@ mod tests {
         s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1.0 });
         assert_eq!(s.num_launches(), 2);
         assert_eq!(s.cmds().len(), 4);
+    }
+
+    #[test]
+    fn prefix_hash_tracks_content() {
+        let mut a = Schedule::new(1);
+        let mut b = Schedule::new(1);
+        assert_eq!(a.prefix_hash(), b.prefix_hash());
+        a.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        b.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        assert_eq!(a.prefix_hash(), b.prefix_hash(), "identical prefixes hash equal");
+        a.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        b.launch(StreamId(0), KernelDesc::MemCopy { bytes: 9.0 });
+        assert_ne!(a.prefix_hash(), b.prefix_hash(), "kernel content must show up");
+        // Stream count participates even with identical commands.
+        let one = Schedule::new(1);
+        let two = Schedule::new(2);
+        assert_ne!(one.prefix_hash(), two.prefix_hash());
+    }
+
+    #[test]
+    fn boundaries_record_position_and_hash() {
+        let mut s = Schedule::new(1);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        s.mark_boundary();
+        s.mark_boundary(); // dedupes
+        let h1 = s.prefix_hash();
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 16.0 });
+        s.mark_boundary();
+        assert_eq!(s.boundaries(), &[(1, h1), (2, s.prefix_hash())]);
+        assert_eq!(s.boundary_hash(1), Some(h1));
+        assert_eq!(s.boundary_hash(0), None);
+    }
+
+    #[test]
+    fn span_labels_are_interned_per_launch() {
+        let mut s = Schedule::new(2);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        s.record(StreamId(0));
+        s.launch_labeled(StreamId(1), KernelDesc::MemCopy { bytes: 8.0 }, Vec::new(), "mine");
+        let labels = s.span_labels();
+        assert_eq!(labels.len(), s.cmds().len());
+        assert_eq!(labels[0].as_deref(), Some(KernelDesc::MemCopy { bytes: 8.0 }.label().as_str()));
+        assert!(labels[1].is_none());
+        assert_eq!(labels[2].as_deref(), Some("mine"));
+    }
+
+    #[test]
+    fn boundaries_stay_out_of_render() {
+        let mut a = Schedule::new(1);
+        a.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        let mut b = a.clone();
+        b.mark_boundary();
+        assert_eq!(a.render(), b.render(), "boundaries are engine metadata, not commands");
     }
 }

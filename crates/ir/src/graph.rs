@@ -290,7 +290,7 @@ impl Graph {
         reach[a.0 as usize] = true;
         for i in (a.0 as usize + 1)..=(b.0 as usize) {
             let depends = self.nodes[i].inputs.iter().any(|t| {
-                self.producer[t.0 as usize].map_or(false, |p| reach[p.0 as usize])
+                self.producer[t.0 as usize].is_some_and(|p| reach[p.0 as usize])
             });
             reach[i] = depends;
         }

@@ -127,7 +127,7 @@ fn eval_op(op: &OpKind, ins: &[Vec<f64>], shapes: &[&Shape], out_shape: &Shape) 
         OpKind::BroadcastCol { cols } => {
             let mut out = Vec::with_capacity(ins[0].len() * *cols as usize);
             for &v in &ins[0] {
-                out.extend(std::iter::repeat(v).take(*cols as usize));
+                out.extend(std::iter::repeat_n(v, *cols as usize));
             }
             out
         }

@@ -44,6 +44,13 @@ impl Rng64 {
         Rng64 { state }
     }
 
+    /// The current internal state word. Two generators with equal state
+    /// produce identical streams; useful for fingerprinting a generator's
+    /// position without consuming from it.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The next 64 uniformly distributed bits (xorshift64*).
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;

@@ -138,7 +138,7 @@ fn bucketed_optimization_is_worker_invariant() {
     let buckets = [6u32, 9, 12];
     let run_b = |workers: usize| {
         let opts = AstraOptions { dims: Dims::fk(), workers, ..Default::default() };
-        optimize_bucketed(&build, &lengths, &buckets, &dev, &opts).expect("bucketed runs")
+        optimize_bucketed(build, &lengths, &buckets, &dev, &opts).expect("bucketed runs")
     };
     let a = run_b(1);
     let b = run_b(4);

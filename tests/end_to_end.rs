@@ -102,7 +102,7 @@ fn training_graphs_remain_numerically_executable() {
             let id = TensorId(t);
             let info = built.graph.tensor(id);
             if matches!(info.kind, TensorKind::Input | TensorKind::Param) {
-                let fill = if info.name.as_deref().map_or(false, |n| n.contains("tok")) {
+                let fill = if info.name.as_deref().is_some_and(|n| n.contains("tok")) {
                     2.0
                 } else {
                     0.02

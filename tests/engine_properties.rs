@@ -86,7 +86,7 @@ fn per_stream_fifo_holds() {
         for s in 0..streams {
             let mut spans: Vec<_> =
                 r.spans.iter().filter(|sp| sp.stream == StreamId(s)).collect();
-            spans.sort_by(|a, b| a.cmd_idx.cmp(&b.cmd_idx));
+            spans.sort_by_key(|a| a.cmd_idx);
             for w in spans.windows(2) {
                 assert!(
                     w[1].start_ns >= w[0].end_ns - 1e-6,
@@ -113,7 +113,7 @@ fn makespan_and_event_monotonicity() {
             assert!(sp.end_ns <= r.total_ns + 1e-6);
             assert!(sp.start_ns <= sp.end_ns);
         }
-        for (_, &t) in &r.event_ns {
+        for &t in r.event_ns.values() {
             assert!(t <= r.total_ns + 1e-6);
         }
         // Events recorded on the same stream fire in program order.
