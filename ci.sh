@@ -39,6 +39,19 @@ if grep -rn '#\[ignore' tests crates --include='*.rs'; then
     exit 1
 fi
 
+echo "== static schedule verification (fixtures + enumerated plans) =="
+# Every rendered golden fixture must pass the event-liveness audit, and
+# every enumerated plan of every zoo model must verify hazard-free (the
+# CLI exits nonzero on any error-severity finding).
+cargo build --release -p astra-cli
+./target/release/astra-cli verify --fixtures tests/golden
+for m in scrnn milstm sublstm stackedlstm gnmt rhn; do
+    ./target/release/astra-cli verify --model "$m" --batch 8 --streams 4
+done
+
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== full workspace check (all targets) =="
 cargo check --workspace --all-targets
 

@@ -130,6 +130,7 @@ fn run_driver(
     dev: &DeviceSpec,
     workers: usize,
     sim_cache: bool,
+    verify: bool,
 ) -> (Report, f64) {
     // Explicitly fault-free: this benchmark doubles as the zero-cost check —
     // a disabled FaultPlan must leave the counters at exactly zero.
@@ -138,6 +139,7 @@ fn run_driver(
         workers,
         faults: FaultPlan::none(),
         sim_cache,
+        verify,
         ..Default::default()
     };
     let mut astra = Astra::new(graph, dev, opts);
@@ -182,7 +184,7 @@ fn main() {
 
         let mut base: Option<(Report, f64)> = None;
         for (workers, sim_cache) in [(1usize, true), (4, true), (8, true), (1, false)] {
-            let (r, wall_ms) = run_driver(&built.graph, &dev, workers, sim_cache);
+            let (r, wall_ms) = run_driver(&built.graph, &dev, workers, sim_cache, true);
             if let Some((b, _)) = &base {
                 assert_eq!(b.steady_ns.to_bits(), r.steady_ns.to_bits(), "results drifted");
                 assert_eq!(b.configs_explored, r.configs_explored, "trial count drifted");
@@ -225,9 +227,57 @@ fn main() {
         }
     }
 
+    // Verification overhead: the static verifier runs once per distinct
+    // plan key, so a full exploration with it on must stay within 5% of
+    // off — and be bit-identical, since rejects never fire on clean plans.
+    let mut verify_rows = Vec::new();
+    for (name, model) in models {
+        let mut cfg = model.default_config(16);
+        cfg.seq_len = 12;
+        let built = model.build(&cfg);
+        let reps = 5;
+        let mut on = Vec::with_capacity(reps);
+        let mut off = Vec::with_capacity(reps);
+        let mut plans_verified = 0;
+        for _ in 0..reps {
+            let (r_on, w_on) = run_driver(&built.graph, &dev, 1, true, true);
+            let (r_off, w_off) = run_driver(&built.graph, &dev, 1, true, false);
+            assert_eq!(
+                r_on.steady_ns.to_bits(),
+                r_off.steady_ns.to_bits(),
+                "{name}: verification must not change the outcome"
+            );
+            assert_eq!(r_on.configs_explored, r_off.configs_explored, "trial count drifted");
+            assert_eq!(r_on.best, r_off.best, "winning config drifted");
+            assert!(r_on.plans_verified > 0, "{name}: verification must actually run");
+            assert_eq!(r_on.verify_rejects, 0, "{name}: clean plans must not be rejected");
+            assert_eq!(
+                (r_off.plans_verified, r_off.verify_rejects),
+                (0, 0),
+                "{name}: disabled verification must report zero counters"
+            );
+            on.push(w_on);
+            off.push(w_off);
+            plans_verified = r_on.plans_verified;
+        }
+        let on_ms = min_ms(&on);
+        let off_ms = min_ms(&off);
+        let overhead = on_ms / off_ms - 1.0;
+        assert!(
+            on_ms <= off_ms * 1.05,
+            "{name}: cached verification must cost < 5% ({on_ms:.1}ms on vs {off_ms:.1}ms off)"
+        );
+        verify_rows.push(format!(
+            "{{\"model\":\"{name}\",\"reps\":{reps},\
+             \"verify_on_ms\":{on_ms:.1},\"verify_off_ms\":{off_ms:.1},\
+             \"overhead_frac\":{overhead:.4},\"plans_verified\":{plans_verified}}}"
+        ));
+    }
+
     println!(
-        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n]\n}}",
+        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n],\n\"verify_overhead\":[\n{}\n]\n}}",
         sweep_rows.join(",\n"),
         driver_rows.join(",\n"),
+        verify_rows.join(",\n"),
     );
 }

@@ -20,6 +20,8 @@
 //! | `overhead` | profiling overhead < 0.5% (§6.4) |
 //! | `predictability` | fixed-clock repeatability vs autoboost (§7) |
 
+#![forbid(unsafe_code)]
+
 use astra_core::{Astra, AstraOptions, Dims, Report};
 use astra_exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
 use astra_gpu::{DeviceSpec, Engine};

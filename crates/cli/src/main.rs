@@ -5,10 +5,14 @@
 //! astra-cli compare  --model scrnn --batch 32        # native / XLA / cuDNN / Astra
 //! astra-cli trace    --model milstm --batch 16 --out t.json
 //! astra-cli scaling  --model sublstm --global-batch 256 --link nvlink
+//! astra-cli verify   --model sublstm --streams 4      # static schedule verification
+//! astra-cli verify   --fixtures tests/golden          # verify rendered fixtures
 //! astra-cli models                                    # list available models
 //! ```
 //!
 //! Argument parsing is hand-rolled (no dependencies beyond the workspace).
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "scaling" => cmd_scaling(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
         "models" => {
             for m in Model::all() {
                 println!(
@@ -69,6 +74,13 @@ commands:
   compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
   trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
   scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
+  verify    --model <name> [--batch <n>] [--seq <n>] [--streams <n>] [--workers <n>] [--json]
+                              statically verify the model's enumerated plans (happens-before
+                              hazards, event liveness, allocation aliasing); exits nonzero
+                              on any error-severity finding
+            --fixtures <dir> [--json] [--workers <n>]
+                              parse rendered schedule fixtures (*.txt) and verify their
+                              event structure (no footprints: liveness checks only)
   models                                        list the model zoo
 
 models: scrnn, milstm, sublstm, stackedlstm, gnmt, rhn";
@@ -204,7 +216,116 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         "faults: {} events, {} retries, {} quarantined",
         r.fault_events, r.retries, r.quarantined
     );
+    println!("verify: {} plans analyzed, {} rejected", r.plans_verified, r.verify_rejects);
     Ok(())
+}
+
+/// One verified plan for the `verify` report: where it came from and what
+/// the verifier said.
+struct VerifiedPlan {
+    label: String,
+    report: astra_verify::VerifyReport,
+}
+
+fn print_verify_results(plans: &[VerifiedPlan], json: bool) -> Result<(), String> {
+    let failed = plans.iter().filter(|p| !p.report.is_clean()).count();
+    if json {
+        let entries: Vec<String> = plans
+            .iter()
+            .map(|p| format!("{{\"plan\":\"{}\",\"report\":{}}}", p.label, p.report.to_json()))
+            .collect();
+        println!("[{}]", entries.join(","));
+    } else {
+        for p in plans {
+            if p.report.is_clean() {
+                let summary = p.report.render();
+                let summary = summary.lines().next().unwrap_or_default();
+                println!("{:<40} clean: {summary}", p.label);
+            } else {
+                println!("{:<40} FAILED", p.label);
+                for line in p.report.render().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} plan(s) failed verification", plans.len()));
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let json = opts.flag("--json");
+    let workers: usize = opts.parse("--workers", 1)?;
+    if let Some(dir) = opts.get("--fixtures") {
+        return verify_fixtures(dir, json, workers);
+    }
+
+    let model = parse_model(&opts)?;
+    let streams: usize = opts.parse("--streams", 2)?;
+    let built = build(model, &opts)?;
+    let ctx = astra_core::PlanContext::new(&built.graph);
+    let strategies = ctx.alloc.strategies.len().max(1);
+
+    let mut plans = Vec::new();
+    let stream_counts: Vec<usize> = if streams > 1 { vec![1, streams] } else { vec![1] };
+    for strategy in 0..strategies {
+        for &n in &stream_counts {
+            let mut cfg = astra_core::ExecConfig::baseline();
+            cfg.strategy = strategy;
+            let mut units = astra_core::build_units(&ctx, &cfg).map_err(|e| e.to_string())?;
+            if n > 1 {
+                // Round-robin stream assignment: a deliberately adversarial
+                // mapping — emit_schedule must still thread every
+                // cross-stream dependency through events.
+                cfg.num_streams = n;
+                for (i, u) in units.iter().enumerate() {
+                    cfg.streams.insert(u.id, i % n);
+                }
+                units = astra_core::build_units(&ctx, &cfg).map_err(|e| e.to_string())?;
+            }
+            let (sched, _) = astra_core::emit_schedule(
+                &ctx,
+                &cfg,
+                &units,
+                None,
+                &astra_core::ProbeSpec::none(),
+            );
+            let report = astra_core::verify_plan(&ctx, &cfg, &units, &sched, workers);
+            plans.push(VerifiedPlan {
+                label: format!("{} strategy {strategy} x {n} stream(s)", flag_name(model)),
+                report,
+            });
+        }
+    }
+    print_verify_results(&plans, json)
+}
+
+/// Verifies every rendered-schedule fixture (`*.txt`) in `dir`. Fixtures
+/// carry no unit footprints or allocation plan, so this audits the event
+/// structure only (wait/record liveness, cycles, orphan barriers).
+fn verify_fixtures(dir: &str, json: bool, workers: usize) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .txt fixtures in {dir}"));
+    }
+    let mut plans = Vec::new();
+    for p in &paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let sched = astra_verify::parse_rendered(&text)
+            .map_err(|e| format!("{}: {e}", p.display()))?;
+        let report =
+            astra_verify::verify(&sched, None, None, &astra_verify::VerifyOptions { workers });
+        plans.push(VerifiedPlan { label: p.display().to_string(), report });
+    }
+    print_verify_results(&plans, json)
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {

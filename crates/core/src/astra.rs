@@ -19,7 +19,7 @@
 //! A final playoff runs the best configuration of each allocation context
 //! and picks the overall winner (§4.5.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use astra_exec::native_schedule;
@@ -157,6 +157,13 @@ pub struct AstraOptions {
     /// so this only changes wall-clock time; `false` forces every trial to
     /// simulate from `t = 0` and reports zero sim-cache counters.
     pub sim_cache: bool,
+    /// Whether to statically verify every candidate plan before it runs
+    /// (see [`crate::verify_plan`]): happens-before hazard analysis,
+    /// event-liveness checks, and an allocation aliasing audit over the
+    /// emitted schedule. Verdicts are cached per plan key, so repeated
+    /// geometries cost nothing; rejected candidates are quarantined like
+    /// persistently faulted ones instead of simulating. On by default.
+    pub verify: bool,
 }
 
 impl Default for AstraOptions {
@@ -170,6 +177,7 @@ impl Default for AstraOptions {
             workers: 0,
             faults: FaultPlan::none(),
             sim_cache: true,
+            verify: true,
         }
     }
 }
@@ -207,9 +215,18 @@ pub struct Report {
     /// Fault- or outlier-triggered re-measurements (each one a real
     /// mini-batch, counted in `configs_explored` too).
     pub retries: usize,
-    /// Candidates still faulted after the retry budget, excluded from the
-    /// profile index and recorded as unusable in the update tree.
+    /// Candidates excluded from the profile index and recorded as unusable
+    /// in the update tree: still faulted after the retry budget, or
+    /// rejected by the static verifier before running.
     pub quarantined: usize,
+    /// Distinct candidate plans the static verifier analyzed this run (see
+    /// [`crate::verify_plan`]). Verdicts are cached per plan key, so this
+    /// counts verifier executions, not trials; zero when
+    /// [`AstraOptions::verify`] is off.
+    pub plans_verified: u64,
+    /// Distinct plans the verifier rejected; every trial of a rejected
+    /// plan is quarantined without simulating.
+    pub verify_rejects: u64,
     /// Simulated runs this call resumed from a cached engine checkpoint
     /// (see [`crate::SimCache`]). Zero when [`AstraOptions::sim_cache`] is
     /// off.
@@ -237,6 +254,14 @@ pub struct Astra<'g> {
     index: ProfileIndex,
     plan_cache: PlanCache,
     sim_cache: SimCache,
+    /// Static-verification verdicts keyed by plan geometry: a plan key's
+    /// first emitted schedule is analyzed once and the verdict reused for
+    /// every later candidate sharing the geometry.
+    verify_cache: HashMap<PlanKey, bool>,
+    /// Cumulative count of verifier executions (cache misses).
+    plans_verified: u64,
+    /// Cumulative count of rejected plans.
+    verify_rejects: u64,
     /// Monotonic fault-salt counter: every measured mini-batch gets the next
     /// salt, assigned in candidate order *before* a batch evaluates. Batch
     /// boundaries depend on the worker count but always partition the same
@@ -280,6 +305,9 @@ impl<'g> Astra<'g> {
             index,
             plan_cache: PlanCache::new(),
             sim_cache: SimCache::new(),
+            verify_cache: HashMap::new(),
+            plans_verified: 0,
+            verify_rejects: 0,
             fault_seq: 0,
         }
     }
@@ -334,6 +362,30 @@ impl<'g> Astra<'g> {
             return;
         }
         self.sim_cache.absorb(self.dev, self.opts.clock, &self.opts.faults, salt, captured);
+    }
+
+    /// Statically verifies a candidate's emitted schedule the first time
+    /// its plan key is seen, caching the verdict (libs and stream maps
+    /// share the key: they reshuffle a geometry the verifier has already
+    /// cleared or condemned). Returns whether the candidate may run; with
+    /// [`AstraOptions::verify`] off this is always `true` and free.
+    fn verify_candidate(&mut self, cfg: &ExecConfig, units: &[Unit], sched: &Schedule) -> bool {
+        if !self.opts.verify {
+            return true;
+        }
+        let key = PlanCache::key(&self.ctx, cfg);
+        if let Some(&clean) = self.verify_cache.get(&key) {
+            return clean;
+        }
+        let workers = self.workers();
+        let report = crate::verify::verify_plan(&self.ctx, cfg, units, sched, workers);
+        self.plans_verified += 1;
+        let clean = report.is_clean();
+        if !clean {
+            self.verify_rejects += 1;
+        }
+        self.verify_cache.insert(key, clean);
+        clean
     }
 
     /// One simulated mini-batch through the sim cache: probe, run
@@ -403,6 +455,8 @@ impl<'g> Astra<'g> {
         let sim_misses0 = self.sim_cache.misses();
         let sim_resumed0 = self.sim_cache.resumed_cmds();
         let sim_total0 = self.sim_cache.total_cmds();
+        let verified0 = self.plans_verified;
+        let rejects0 = self.verify_rejects;
 
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
@@ -430,6 +484,10 @@ impl<'g> Astra<'g> {
             // spiked playoff would otherwise disqualify a good context.
             let units = self.plan_cache.units_for(&self.ctx, &cfg)?;
             let (sched, _) = emit_schedule(&self.ctx, &cfg, &units, partition.as_ref(), &ProbeSpec::none());
+            if !self.verify_candidate(&cfg, &units, &sched) {
+                stats.quarantined += 1;
+                continue;
+            }
             let salt = self.fault_seq;
             self.fault_seq += 1;
             let (r, runs, spent) = self.measured_run(&sched, salt, &mut stats)?;
@@ -462,6 +520,8 @@ impl<'g> Astra<'g> {
             fault_events: stats.fault_events,
             retries: stats.retries,
             quarantined: stats.quarantined,
+            plans_verified: self.plans_verified - verified0,
+            verify_rejects: self.verify_rejects - rejects0,
             sim_cache_hits: self.sim_cache.hits() - sim_hits0,
             sim_cache_misses: self.sim_cache.misses() - sim_misses0,
             resumed_fraction: {
@@ -589,12 +649,13 @@ impl<'g> Astra<'g> {
             // Sequential prepare, in candidate order: select this salt's
             // unit geometry (the alloc-fault draw is salt-determined, so a
             // degraded placement is known up front), emit the schedule, and
-            // probe the sim cache. `None` marks an invalid (cyclic)
-            // combination.
+            // probe the sim cache. `None` marks an invalid (cyclic) or
+            // verify-rejected combination.
             let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
-                let units: Option<Arc<[Unit]>> = match self.opts.faults.alloc_event(salt) {
+                let alloc_fault = self.opts.faults.alloc_event(salt);
+                let units: Option<Arc<[Unit]>> = match alloc_fault {
                     // Transient allocation failure: this run sees the
                     // degraded, fragmented placement. Built outside the
                     // schedule cache so the clean geometry stays cached.
@@ -604,12 +665,24 @@ impl<'g> Astra<'g> {
                         Ok(u) => Some(bind_libs(u, c)),
                     },
                 };
-                trials.push(units.map(|u| {
-                    let (sched, probes) =
-                        emit_schedule(&self.ctx, c, &u, None, &ProbeSpec::fusion_sets());
-                    let (resume, caps) = self.sim_probe(&sched, salt);
-                    Trial { sched, probes, resume, caps }
-                }));
+                let trial = match units {
+                    None => None,
+                    Some(u) => {
+                        let (sched, probes) =
+                            emit_schedule(&self.ctx, c, &u, None, &ProbeSpec::fusion_sets());
+                        // Fragmented (fault-degraded) geometries skip the
+                        // verifier: their placements differ from the clean
+                        // plan the cached verdict would be keyed on.
+                        if alloc_fault.is_none() && !self.verify_candidate(c, &u, &sched) {
+                            stats.quarantined += 1;
+                            None
+                        } else {
+                            let (resume, caps) = self.sim_probe(&sched, salt);
+                            Some(Trial { sched, probes, resume, caps })
+                        }
+                    }
+                };
+                trials.push(trial);
             }
 
             let set_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(usize, f64)> {
@@ -655,7 +728,8 @@ impl<'g> Astra<'g> {
                 let salt = salt0 + bi as u64;
                 let mut o = match outcome? {
                     None => {
-                        // Invalid combination: poison these choices.
+                        // Invalid or verify-rejected combination: poison
+                        // these choices.
                         for (set_id, _, _) in &explored_sets {
                             tree.poison(set_id);
                         }
@@ -830,11 +904,12 @@ impl<'g> Astra<'g> {
             // probe the sim cache. Library trials share a prefix up to the
             // first differing GEMM, so late-differing candidates resume
             // deep into the common geometry.
-            let mut trials: Vec<Trial> = Vec::with_capacity(cfgs.len());
+            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
+                let alloc_fault = self.opts.faults.alloc_event(salt);
                 let frag;
-                let units: &[Unit] = match self.opts.faults.alloc_event(salt) {
+                let units: &[Unit] = match alloc_fault {
                     Some(word) => {
                         frag = build_units_fragmented(&self.ctx, c, word)?;
                         &frag
@@ -843,8 +918,13 @@ impl<'g> Astra<'g> {
                 };
                 let (sched, probes) =
                     emit_schedule(&self.ctx, c, units, None, &ProbeSpec::gemm_shapes());
+                if alloc_fault.is_none() && !self.verify_candidate(c, units, &sched) {
+                    stats.quarantined += 1;
+                    trials.push(None);
+                    continue;
+                }
                 let (resume, caps) = self.sim_probe(&sched, salt);
-                trials.push(Trial { sched, probes, resume, caps });
+                trials.push(Some(Trial { sched, probes, resume, caps }));
             }
 
             let shape_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(GemmShape, f64)> {
@@ -862,12 +942,13 @@ impl<'g> Astra<'g> {
             let faults = self.opts.faults;
             let trials_ref = &trials;
             let idxs: Vec<usize> = (0..cfgs.len()).collect();
-            let results: Vec<Result<(Outcome, Vec<EngineCheckpoint>), AstraError>> =
+            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
+            let results: Vec<Result<TrialOut, AstraError>> =
                 parallel_map(workers, &idxs, |_, &i| {
-                    let t = &trials_ref[i];
+                    let Some(t) = &trials_ref[i] else { return Ok(None) };
                     let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
                         .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
-                    Ok((
+                    Ok(Some((
                         Outcome {
                             total_ns: r.total_ns,
                             probe_records: t.probes.probe_records,
@@ -875,14 +956,20 @@ impl<'g> Astra<'g> {
                             shape_metrics: shape_metrics_of(&t.probes, &r),
                         },
                         captured,
-                    ))
+                    )))
                 });
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let (mut o, captured) = outcome?;
+                let Some((mut o, captured)) = outcome? else {
+                    // Verify-rejected candidate: poison its choices.
+                    for shape in &explored {
+                        tree.poison(&format!("{shape}"));
+                    }
+                    continue;
+                };
                 self.sim_absorb(salt, captured);
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -1042,13 +1129,14 @@ impl<'g> Astra<'g> {
             // at their best assignment, so every candidate in the batch
             // shares the schedule prefix up to the epoch under exploration
             // and resumes a checkpoint captured just before it.
-            let mut trials: Vec<Trial> = Vec::with_capacity(cfgs.len());
+            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
+                let alloc_fault = self.opts.faults.alloc_event(salt);
                 // A fragmented build keeps unit ids, dependencies, and
                 // order, so the partition and probe spec stay valid.
                 let frag;
-                let units_run: &[Unit] = match self.opts.faults.alloc_event(salt) {
+                let units_run: &[Unit] = match alloc_fault {
                     Some(word) => {
                         frag = build_units_fragmented(&self.ctx, c, word)?;
                         &frag
@@ -1057,8 +1145,13 @@ impl<'g> Astra<'g> {
                 };
                 let (sched, probes) =
                     emit_schedule(&self.ctx, c, units_run, Some(&partition), &probe_spec);
+                if alloc_fault.is_none() && !self.verify_candidate(c, units_run, &sched) {
+                    stats.quarantined += 1;
+                    trials.push(None);
+                    continue;
+                }
                 let (resume, caps) = self.sim_probe(&sched, salt);
-                trials.push(Trial { sched, probes, resume, caps });
+                trials.push(Some(Trial { sched, probes, resume, caps }));
             }
 
             // Epoch metric: time from super-epoch start to the last kernel
@@ -1084,12 +1177,13 @@ impl<'g> Astra<'g> {
             let faults = self.opts.faults;
             let trials_ref = &trials;
             let idxs: Vec<usize> = (0..cfgs.len()).collect();
-            let results: Vec<Result<(Outcome, Vec<EngineCheckpoint>), AstraError>> =
+            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
+            let results: Vec<Result<TrialOut, AstraError>> =
                 parallel_map(workers, &idxs, |_, &i| {
-                    let t = &trials_ref[i];
+                    let Some(t) = &trials_ref[i] else { return Ok(None) };
                     let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
                         .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
-                    Ok((
+                    Ok(Some((
                         Outcome {
                             total_ns: r.total_ns,
                             probe_records: t.probes.probe_records,
@@ -1097,14 +1191,20 @@ impl<'g> Astra<'g> {
                             epoch_metrics: epoch_metrics_of(&t.probes, &r),
                         },
                         captured,
-                    ))
+                    )))
                 });
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let (mut o, captured) = outcome?;
+                let Some((mut o, captured)) = outcome? else {
+                    // Verify-rejected candidate: poison its choices.
+                    for id in epoch_opts.keys() {
+                        tree.poison(id);
+                    }
+                    continue;
+                };
                 self.sim_absorb(salt, captured);
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -1314,6 +1414,34 @@ mod tests {
                 "clean run must report zero fault counters under {clock:?}"
             );
         }
+    }
+
+    #[test]
+    fn candidate_plans_verify_clean_and_cache() {
+        let built = tiny(Model::SubLstm);
+        let dev = DeviceSpec::p100();
+        let mut astra = Astra::new(&built.graph, &dev, AstraOptions::default());
+        let r = astra.optimize().expect("optimization succeeds");
+        assert!(r.plans_verified > 0, "default options verify candidate plans");
+        assert_eq!(r.verify_rejects, 0, "generated schedules must verify clean");
+        assert_eq!(r.quarantined, 0);
+        assert!(
+            (r.plans_verified as usize) < r.configs_explored,
+            "verdicts are cached per plan key ({} verified, {} trials)",
+            r.plans_verified,
+            r.configs_explored
+        );
+
+        // Verification off: zero counters, identical exploration outcome.
+        let mut off = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { verify: false, ..Default::default() },
+        );
+        let r_off = off.optimize().expect("optimization succeeds");
+        assert_eq!((r_off.plans_verified, r_off.verify_rejects), (0, 0));
+        assert_eq!(r_off.steady_ns, r.steady_ns, "verification must not change the outcome");
+        assert_eq!(r_off.configs_explored, r.configs_explored);
     }
 
     #[test]

@@ -216,6 +216,8 @@ mod tests {
             out_bytes: 4.0 * 8.0 * shape_n as f64,
             pass: astra_ir::Pass::Forward,
             step: Some(i),
+            reads: Vec::new(),
+            writes: Vec::new(),
         }
     }
 

@@ -42,6 +42,7 @@
 //! assert!(report.speedup() >= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
@@ -54,6 +55,7 @@ mod plan;
 mod profile;
 mod recompute;
 mod simcache;
+mod verify;
 
 pub use adaptive::{AdaptiveVar, ExploreMode, UpdateNode, UpdateTree};
 pub use astra::{Astra, AstraOptions, Dims, Report};
@@ -61,9 +63,11 @@ pub use bucketing::{optimize_bucketed, BucketedReport};
 pub use error::AstraError;
 pub use parallel::{effective_workers, parallel_map};
 pub use plan::{
-    bind_libs, build_units, build_units_fragmented, emit_schedule, ExecConfig, PlanCache,
-    PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId,
+    bind_libs, build_allocation_plan, build_units, build_units_fragmented, emit_schedule,
+    ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId,
+    SYNTHETIC_BUF_BASE,
 };
 pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};
 pub use simcache::SimCache;
+pub use verify::{access_table, verify_plan};

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use astra_exec::{fuse_elementwise_chains, lower, EwChain, Lowering};
 use astra_gpu::{
-    AllocationPlan, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
+    AllocationPlan, BufId, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
 };
 use astra_ir::{Graph, NodeId, OpKind};
 
@@ -75,7 +75,21 @@ pub struct Unit {
     pub pass: astra_ir::Pass,
     /// Originating timestep, when the unit's members have one.
     pub step: Option<u32>,
+    /// Buffers the unit's kernel reads (sorted, deduplicated, minus its own
+    /// writes). The static verifier resolves these against the allocation
+    /// plan for the cross-stream hazard scan.
+    pub reads: Vec<BufId>,
+    /// Buffers the unit's kernel writes. Units that materialize no graph
+    /// tensor (ladder partial blocks, intermediate combines) get a unique
+    /// synthetic buffer above [`SYNTHETIC_BUF_BASE`] so the partial-sum
+    /// dataflow is still visible to the verifier.
+    pub writes: Vec<BufId>,
 }
+
+/// First synthetic buffer id: unit outputs that never materialize a graph
+/// tensor (ladder partial sums) get `SYNTHETIC_BUF_BASE + creation_index`,
+/// far above any lowered tensor buffer.
+pub const SYNTHETIC_BUF_BASE: u64 = 1 << 32;
 
 /// Everything derived once per (graph, enumeration) pair.
 #[derive(Debug)]
@@ -277,6 +291,8 @@ fn build_units_with(
                         out_bytes: out_bytes as f64,
                         pass: upass,
                         step: ustep,
+                        reads: Vec::new(),
+                        writes: Vec::new(),
                     },
                     members.clone(),
                 );
@@ -322,6 +338,8 @@ fn build_units_with(
                             out_bytes: (out_elems * 4) as f64,
                             pass: cpass,
                             step: cstep,
+                            reads: Vec::new(),
+                            writes: Vec::new(),
                         },
                         Vec::new(),
                     );
@@ -371,6 +389,8 @@ fn build_units_with(
                 out_bytes: out_bytes as f64,
                 pass: graph.node(chain.nodes[0]).prov.pass,
                 step: graph.node(chain.nodes[0]).prov.timestep,
+                reads: Vec::new(),
+                writes: Vec::new(),
             },
             chain.nodes.clone(),
         );
@@ -408,6 +428,8 @@ fn build_units_with(
                 out_bytes: graph.shape(node.output).bytes() as f64,
                 pass: node.prov.pass,
                 step: node.prov.timestep,
+                reads: Vec::new(),
+                writes: Vec::new(),
             },
             vec![NodeId(i as u32)],
         );
@@ -446,6 +468,47 @@ fn build_units_with(
         let mut deps: Vec<usize> = deps.into_iter().collect();
         deps.sort_unstable();
         units[ui].deps = deps;
+    }
+
+    // ---- Buffer footprints (for the static verifier). ----
+    // Writes: every graph tensor that resolves to the unit. Units whose
+    // outputs all resolve elsewhere (ladder partial blocks, intermediate
+    // combines) write a unique synthetic buffer, so the partial-sum chain
+    // stays a visible dataflow.
+    let mut writes: Vec<HashSet<BufId>> = vec![HashSet::new(); units.len()];
+    for node in graph.nodes().iter() {
+        if let Some(&u) = unit_of_tensor.get(&node.output.0) {
+            writes[u].insert(ctx.lowering.buffer(node.output));
+        }
+    }
+    for (ui, w) in writes.iter_mut().enumerate() {
+        if w.is_empty() {
+            w.insert(BufId(SYNTHETIC_BUF_BASE + ui as u64));
+        }
+    }
+    // Reads: member inputs; member-less units (combines) read what their
+    // dependencies write. A unit's own writes are excluded — a launch does
+    // not race with itself.
+    for ui in 0..units.len() {
+        let mut reads: HashSet<BufId> = HashSet::new();
+        if members_of_unit[ui].is_empty() {
+            for &d in &units[ui].deps {
+                reads.extend(writes[d].iter().copied());
+            }
+        } else {
+            for &m in &members_of_unit[ui] {
+                for &inp in &graph.node(m).inputs {
+                    reads.insert(ctx.lowering.buffer(inp));
+                }
+            }
+        }
+        let mut reads: Vec<BufId> =
+            reads.difference(&writes[ui]).copied().collect();
+        reads.sort_unstable();
+        units[ui].reads = reads;
+        let mut w: Vec<BufId> = writes[ui].iter().copied().collect();
+        w.sort_unstable();
+        units[ui].writes = w;
     }
 
     // ---- Gather copies for non-contiguous fused operands. ----
@@ -716,6 +779,14 @@ pub fn bind_libs(units: &Arc<[Unit]>, cfg: &ExecConfig) -> Arc<[Unit]> {
         .collect()
 }
 
+/// Builds the device-memory plan `cfg`'s allocation strategy produces —
+/// the same plan [`build_units`] consults for gather-copy accounting. The
+/// static verifier resolves buffer footprints against it for the
+/// placement-aliasing audit.
+pub fn build_allocation_plan(ctx: &PlanContext<'_>, cfg: &ExecConfig) -> AllocationPlan {
+    allocation_plan(ctx, cfg, None)
+}
+
 /// Builds the device-memory plan for a strategy: granted adjacency groups
 /// first, then everything else. When `frag` is set (a transient allocation
 /// failure), granted group `g` falls back to scattered placement if bit
@@ -861,14 +932,20 @@ pub fn emit_schedule(
             None
         };
 
+        // Tag every launch with its unit index: the static verifier reads
+        // the tags back to attach the unit's buffer footprint to the
+        // command (the gather copy touches the same operands).
         if u.pre_copy_bytes > 0.0 {
-            sched.launch_after(
+            let c = sched.launch_after(
                 stream,
                 KernelDesc::MemCopy { bytes: u.pre_copy_bytes },
                 waits.clone(),
             );
+            sched.set_tag(c, idx as u32);
         }
-        sched.launch_after(stream, u.kernel, if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits });
+        let k =
+            sched.launch_after(stream, u.kernel, if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits });
+        sched.set_tag(k, idx as u32);
 
         if needs_event[idx] {
             done_event[idx] = Some(sched.record(stream));

@@ -1,0 +1,143 @@
+//! Glue between the wirer and the static schedule verifier: turns the unit
+//! tags [`emit_schedule`](crate::emit_schedule) leaves on a schedule into
+//! the per-command [`AccessTable`] `astra-verify` needs, and bundles the
+//! allocation plan alongside.
+
+use astra_gpu::Schedule;
+use astra_verify::{AccessRef, AccessTable, VerifyOptions, VerifyReport};
+
+use crate::plan::{build_allocation_plan, ExecConfig, PlanContext, Unit};
+
+/// Builds the per-command access table for a schedule emitted from `units`.
+/// Every tagged command (the wirer tags kernel launches and their gather
+/// copies with the unit index) gets that unit's read/write footprint;
+/// untagged commands (records, barriers, host syncs, probes) carry none.
+/// Commands of the same unit share one interned footprint.
+///
+/// # Panics
+///
+/// Panics if a tag indexes past `units` — that means the schedule was
+/// emitted from a different unit vector.
+pub fn access_table(units: &[Unit], sched: &Schedule) -> AccessTable {
+    let mut table = AccessTable::new(sched.cmds().len());
+    let mut interned: Vec<Option<AccessRef>> = vec![None; units.len()];
+    for (i, tag) in sched.tags().iter().enumerate() {
+        let Some(u) = tag else { continue };
+        let u = *u as usize;
+        let r = *interned[u]
+            .get_or_insert_with(|| table.intern_slices(&units[u].reads, &units[u].writes));
+        table.assign(i, r);
+    }
+    table
+}
+
+/// Statically verifies one candidate plan: the emitted `sched` against the
+/// unit footprints and the allocation plan `cfg`'s strategy produces.
+/// `workers` threads scan for hazards (the report is identical at any
+/// count).
+pub fn verify_plan(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    units: &[Unit],
+    sched: &Schedule,
+    workers: usize,
+) -> VerifyReport {
+    let plan = build_allocation_plan(ctx, cfg);
+    let access = access_table(units, sched);
+    astra_verify::verify(sched, Some(&access), Some(&plan), &VerifyOptions { workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{build_units, emit_schedule, ProbeSpec};
+
+    fn tiny_model() -> astra_models::BuiltModel {
+        use astra_models::{Model, ModelConfig};
+        let cfg = ModelConfig {
+            seq_len: 4,
+            hidden: 64,
+            input: 64,
+            vocab: 128,
+            ..ModelConfig::ptb(8)
+        };
+        Model::SubLstm.build(&cfg)
+    }
+
+    #[test]
+    fn baseline_schedule_verifies_clean() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let cfg = ExecConfig::baseline();
+        let units = build_units(&ctx, &cfg).unwrap();
+        let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+        let report = verify_plan(&ctx, &cfg, &units, &sched, 1);
+        assert!(report.is_clean(), "baseline must verify clean:\n{}", report.render());
+        assert_eq!(report.cmds_checked, sched.cmds().len());
+    }
+
+    #[test]
+    fn access_table_covers_every_launch() {
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let cfg = ExecConfig::baseline();
+        let units = build_units(&ctx, &cfg).unwrap();
+        let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+        let table = access_table(&units, &sched);
+        for (i, cmd) in sched.cmds().iter().enumerate() {
+            let is_launch = matches!(cmd, astra_gpu::Cmd::Launch { .. });
+            assert_eq!(
+                table.get(i).is_some(),
+                is_launch,
+                "cmd {i}: exactly the launches carry footprints"
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_a_cross_stream_wait_is_caught() {
+        // Emit a 2-stream schedule, then strip the waits off a launch that
+        // has some: the verifier must flag the unordered hazard.
+        use astra_gpu::{Cmd, Schedule};
+        let built = tiny_model();
+        let ctx = PlanContext::new(&built.graph);
+        let units = build_units(&ctx, &ExecConfig::baseline()).unwrap();
+        let mut cfg = ExecConfig::baseline();
+        cfg.num_streams = 2;
+        for (i, u) in units.iter().enumerate() {
+            cfg.streams.insert(u.id, i % 2);
+        }
+        let units = build_units(&ctx, &cfg).unwrap();
+        let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+        let report = verify_plan(&ctx, &cfg, &units, &sched, 1);
+        assert!(report.is_clean(), "2-stream emission must be clean:\n{}", report.render());
+
+        // Mutate: rebuild the schedule without the first non-empty wait.
+        let mut dropped = Schedule::new(sched.num_streams());
+        let mut stripped = false;
+        for (i, cmd) in sched.cmds().iter().enumerate() {
+            match cmd {
+                Cmd::Launch { stream, kernel, waits, .. } => {
+                    let waits = if !stripped && !waits.is_empty() {
+                        stripped = true;
+                        Vec::new()
+                    } else {
+                        waits.clone()
+                    };
+                    let c = dropped.launch_after(*stream, *kernel, waits);
+                    if let Some(t) = sched.tags()[i] {
+                        dropped.set_tag(c, t);
+                    }
+                }
+                Cmd::Record { stream, .. } => {
+                    let _ = dropped.record(*stream);
+                }
+                Cmd::Barrier => dropped.barrier(),
+                Cmd::HostSync => dropped.host_sync(),
+            }
+        }
+        assert!(stripped, "fixture needs at least one cross-stream wait");
+        let mutated = verify_plan(&ctx, &cfg, &units, &dropped, 1);
+        assert!(!mutated.is_clean(), "dropping a wait must be caught");
+    }
+}

@@ -28,6 +28,7 @@
 //! assert!(report.best >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod interconnect;

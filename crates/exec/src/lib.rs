@@ -31,6 +31,7 @@
 //! assert!(t > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cudnn;

@@ -47,6 +47,7 @@
 //! assert_eq!(result.spans.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;

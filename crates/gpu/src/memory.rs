@@ -104,9 +104,31 @@ impl AllocationPlan {
         self.denied_groups
     }
 
+    /// Places one buffer at an explicit arena offset, bypassing the cursor
+    /// (first placement still wins). External planners and the verifier's
+    /// negative tests use this to construct layouts `place_group` cannot
+    /// produce — including deliberately overlapping ones; the cursor moves
+    /// past the placement so later groups stay clear of it.
+    ///
+    /// Returns `true` if the buffer was newly placed.
+    pub fn place_at(&mut self, id: BufId, placement: Placement) -> bool {
+        if self.placements.contains_key(&id) {
+            return false;
+        }
+        self.placements.insert(id, placement);
+        self.cursor = self.cursor.max(placement.offset + placement.bytes);
+        true
+    }
+
     /// Looks up a buffer's placement.
     pub fn placement(&self, id: BufId) -> Option<Placement> {
         self.placements.get(&id).copied()
+    }
+
+    /// Iterates over all placements as `(buffer, placement)` pairs, in
+    /// unspecified order. The verifier's aliasing audit scans this.
+    pub fn placements(&self) -> impl Iterator<Item = (BufId, Placement)> + '_ {
+        self.placements.iter().map(|(&id, &p)| (id, p))
     }
 
     /// Whether every buffer is placed and each directly follows the previous
@@ -214,6 +236,21 @@ mod tests {
         granted.place_group(&[(BufId(1), 128), (BufId(2), 128)]);
         assert!(granted.are_contiguous(&[BufId(1), BufId(2)]));
         assert_eq!(granted.denied_groups(), 0);
+    }
+
+    #[test]
+    fn place_at_honors_explicit_offsets() {
+        let mut plan = AllocationPlan::new();
+        assert!(plan.place_at(BufId(1), Placement { offset: 512, bytes: 64 }));
+        assert_eq!(plan.placement(BufId(1)), Some(Placement { offset: 512, bytes: 64 }));
+        // First placement wins, exactly like place_group.
+        assert!(!plan.place_at(BufId(1), Placement { offset: 0, bytes: 64 }));
+        assert_eq!(plan.placement(BufId(1)).unwrap().offset, 512);
+        // The cursor moved past the explicit placement, so the next group
+        // cannot land inside it.
+        plan.place_group(&[(BufId(2), 64)]);
+        assert!(plan.placement(BufId(2)).unwrap().offset >= 576);
+        assert_eq!(plan.placements().count(), 2);
     }
 
     #[test]

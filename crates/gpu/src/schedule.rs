@@ -6,8 +6,8 @@
 //! and waits, device-wide barriers (super-epoch boundaries), and synchronous
 //! host syncs.
 //!
-//! Schedules also carry two pieces of engine-facing metadata that never show
-//! up in [`Schedule::render`] (golden traces stay byte-stable):
+//! Schedules also carry three pieces of tooling-facing metadata that never
+//! show up in [`Schedule::render`] (golden traces stay byte-stable):
 //!
 //! * a table of pre-interned span labels (`Arc<str>`, one per launch), so the
 //!   engine never allocates a `String` per executed kernel;
@@ -16,7 +16,10 @@
 //!   simulation: two schedules whose boundary hashes match are guaranteed to
 //!   share the exact command prefix, so an
 //!   [`EngineCheckpoint`](crate::engine::EngineCheckpoint) captured on one
-//!   can seed the other.
+//!   can seed the other;
+//! * optional per-command *tags* ([`Schedule::set_tag`]) linking a command
+//!   back to whatever emitted it (the wirer tags launches with the unit
+//!   index), which is how the static verifier resolves buffer footprints.
 
 use std::sync::Arc;
 
@@ -91,6 +94,9 @@ pub struct Schedule {
     // Interned span label per command: `Some` for launches (the explicit
     // label or the kernel's default), `None` otherwise.
     span_labels: Vec<Option<Arc<str>>>,
+    // Emitter tag per command (e.g. the wirer's unit index). Pure metadata:
+    // excluded from render() and from the prefix hash, like span labels.
+    tags: Vec<Option<u32>>,
 }
 
 /// One splitmix64-style fold step for the rolling prefix hash.
@@ -130,6 +136,7 @@ impl Schedule {
             prefix_hash: fold_hash(0x4153_5452, num_streams as u64),
             boundaries: Vec::new(),
             span_labels: Vec::new(),
+            tags: Vec::new(),
         }
     }
 
@@ -198,6 +205,23 @@ impl Schedule {
         &self.span_labels
     }
 
+    /// Emitter tag per command (`None` where nothing was tagged). Tags are
+    /// tooling metadata: invisible to [`Schedule::render`] and the prefix
+    /// hash, so tagging never perturbs golden traces or sim-cache keys.
+    pub fn tags(&self) -> &[Option<u32>] {
+        &self.tags
+    }
+
+    /// Tags command `cmd_idx` with an emitter-defined value (the custom
+    /// wirer stores the unit index so the verifier can resolve footprints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd_idx` is out of range.
+    pub fn set_tag(&mut self, cmd_idx: usize, tag: u32) {
+        self.tags[cmd_idx] = Some(tag);
+    }
+
     /// Folds the just-pushed command into the rolling prefix hash. Hashes
     /// the command's debug rendering: every field (kernel descriptor bits,
     /// stream, waits, label) participates, and the encoding tracks
@@ -248,6 +272,7 @@ impl Schedule {
             None => Arc::from(kernel.label().as_str()),
         };
         self.span_labels.push(Some(interned));
+        self.tags.push(None);
         self.cmds.push(Cmd::Launch { stream, kernel, waits, label });
         self.absorb_last();
         self.cmds.len() - 1
@@ -260,6 +285,7 @@ impl Schedule {
         self.next_event += 1;
         self.stream_cmds[stream.0] += 1;
         self.span_labels.push(None);
+        self.tags.push(None);
         self.cmds.push(Cmd::Record { stream, event: ev });
         self.absorb_last();
         ev
@@ -271,6 +297,7 @@ impl Schedule {
             *c += 1;
         }
         self.span_labels.push(None);
+        self.tags.push(None);
         self.cmds.push(Cmd::Barrier);
         self.absorb_last();
     }
@@ -278,6 +305,7 @@ impl Schedule {
     /// Appends a blocking host synchronization.
     pub fn host_sync(&mut self) {
         self.span_labels.push(None);
+        self.tags.push(None);
         self.cmds.push(Cmd::HostSync);
         self.absorb_last();
     }
@@ -430,6 +458,19 @@ mod tests {
         assert_eq!(labels[0].as_deref(), Some(KernelDesc::MemCopy { bytes: 8.0 }.label().as_str()));
         assert!(labels[1].is_none());
         assert_eq!(labels[2].as_deref(), Some("mine"));
+    }
+
+    #[test]
+    fn tags_are_metadata_only() {
+        let mut a = Schedule::new(1);
+        a.launch(StreamId(0), KernelDesc::MemCopy { bytes: 8.0 });
+        a.record(StreamId(0));
+        let mut b = a.clone();
+        b.set_tag(0, 7);
+        assert_eq!(a.render(), b.render(), "tags are invisible to render");
+        assert_eq!(a.prefix_hash(), b.prefix_hash(), "tags are invisible to the hash");
+        assert_eq!(b.tags(), &[Some(7), None]);
+        assert_eq!(a.tags(), &[None, None]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! assert!(back.grad(w).is_some());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod autodiff;

@@ -26,6 +26,7 @@
 //! assert!(built.graph.validate().is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cells;

@@ -11,6 +11,7 @@
 //! * [`bench_ns`] / [`report`] — an `Instant`-based microbenchmark loop for
 //!   the bench binaries (the criterion replacement).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod rng;

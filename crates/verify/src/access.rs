@@ -1,0 +1,223 @@
+//! Per-command buffer footprints and their resolution to memory regions.
+//!
+//! The verifier does not know how to derive read/write sets from a
+//! [`KernelDesc`](astra_gpu::KernelDesc) alone (the kernel descriptor is a
+//! cost model, not an argument list) — the *emitter* knows, so it supplies
+//! an [`AccessTable`] alongside the schedule. `astra-core`'s wirer builds
+//! one from the unit footprints it tags onto each command.
+
+use astra_gpu::{AllocationPlan, BufId};
+
+/// The buffers one command reads and writes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Access {
+    /// Buffers the command reads (deduplicated, sorted by the builder).
+    pub reads: Vec<BufId>,
+    /// Buffers the command writes.
+    pub writes: Vec<BufId>,
+}
+
+/// Handle to a footprint interned in one [`AccessTable`], so many commands
+/// can share a single footprint without cloning it per command (the wirer
+/// tags every launch of a unit with the same unit footprint). Only
+/// meaningful on the table that returned it from [`AccessTable::intern`]
+/// or [`AccessTable::intern_slices`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRef(u32);
+
+/// A borrowed footprint: what [`AccessTable::get`] hands out. The table
+/// keeps every buffer id in one flat pool, so a view is two subslices —
+/// no per-command allocation anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessView<'a> {
+    /// Buffers the command reads.
+    pub reads: &'a [BufId],
+    /// Buffers the command writes.
+    pub writes: &'a [BufId],
+}
+
+/// `[reads_start, writes_start, end)` offsets of one entry in the pool.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    reads: u32,
+    writes: u32,
+    end: u32,
+}
+
+/// Footprints for every command of one schedule, indexed by command index.
+/// Commands without a footprint (records, barriers, host syncs) stay `None`.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTable {
+    per_cmd: Vec<Option<AccessRef>>,
+    entries: Vec<Entry>,
+    pool: Vec<BufId>,
+}
+
+impl AccessTable {
+    /// Creates a table for a schedule of `len` commands, all unset.
+    pub fn new(len: usize) -> Self {
+        AccessTable { per_cmd: vec![None; len], entries: Vec::new(), pool: Vec::new() }
+    }
+
+    /// Number of command slots (must equal the schedule's command count).
+    pub fn len(&self) -> usize {
+        self.per_cmd.len()
+    }
+
+    /// Whether the table has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.per_cmd.is_empty()
+    }
+
+    /// Copies a footprint into the pool; assign the returned handle to any
+    /// number of commands with [`AccessTable::assign`].
+    pub fn intern_slices(&mut self, reads: &[BufId], writes: &[BufId]) -> AccessRef {
+        let r = self.pool.len() as u32;
+        self.pool.extend_from_slice(reads);
+        let w = self.pool.len() as u32;
+        self.pool.extend_from_slice(writes);
+        self.entries.push(Entry { reads: r, writes: w, end: self.pool.len() as u32 });
+        AccessRef(self.entries.len() as u32 - 1)
+    }
+
+    /// Like [`AccessTable::intern_slices`], from an owned [`Access`].
+    pub fn intern(&mut self, access: Access) -> AccessRef {
+        self.intern_slices(&access.reads, &access.writes)
+    }
+
+    /// Points command `cmd` at an interned footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd` is out of range, or if `access` did not come from
+    /// this table.
+    pub fn assign(&mut self, cmd: usize, access: AccessRef) {
+        assert!((access.0 as usize) < self.entries.len(), "AccessRef from a different table");
+        self.per_cmd[cmd] = Some(access);
+    }
+
+    /// Sets the footprint of command `cmd` (interned unshared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cmd` is out of range.
+    pub fn set(&mut self, cmd: usize, access: Access) {
+        let r = self.intern(access);
+        self.assign(cmd, r);
+    }
+
+    /// The footprint of command `cmd`, if one was set.
+    pub fn get(&self, cmd: usize) -> Option<AccessView<'_>> {
+        let r = (*self.per_cmd.get(cmd)?)?;
+        let e = self.entries[r.0 as usize];
+        Some(AccessView {
+            reads: &self.pool[e.reads as usize..e.writes as usize],
+            writes: &self.pool[e.writes as usize..e.end as usize],
+        })
+    }
+}
+
+/// A buffer's location for aliasing purposes. Placed buffers resolve to
+/// their physical byte range; unplaced buffers stay *virtual* and only
+/// alias themselves (distinct virtual buffers are assumed disjoint, which
+/// is what the lowering guarantees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Region {
+    /// Physical arena bytes `[lo, hi)`.
+    Phys {
+        /// First byte.
+        lo: u64,
+        /// One past the last byte.
+        hi: u64,
+    },
+    /// An unplaced buffer, identified only by its id.
+    Virt(BufId),
+}
+
+/// Resolves a buffer to a region under an optional allocation plan.
+pub(crate) fn resolve(buf: BufId, plan: Option<&AllocationPlan>) -> Region {
+    match plan.and_then(|p| p.placement(buf)) {
+        Some(p) => Region::Phys { lo: p.offset, hi: p.offset + p.bytes },
+        None => Region::Virt(buf),
+    }
+}
+
+/// Whether two regions can touch the same bytes. A physical and a virtual
+/// region never overlap (the virtual buffer lives outside the planned
+/// arena); empty physical ranges overlap nothing.
+pub(crate) fn overlaps(a: Region, b: Region) -> bool {
+    match (a, b) {
+        (Region::Phys { lo: al, hi: ah }, Region::Phys { lo: bl, hi: bh }) => {
+            al < ah && bl < bh && al < bh && bl < ah
+        }
+        (Region::Virt(x), Region::Virt(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_gpu::Placement;
+
+    #[test]
+    fn table_set_get() {
+        let mut t = AccessTable::new(3);
+        assert_eq!(t.len(), 3);
+        assert!(t.get(0).is_none());
+        t.set(1, Access { reads: vec![BufId(1)], writes: vec![BufId(2)] });
+        assert_eq!(t.get(1).unwrap().writes, vec![BufId(2)]);
+        assert!(t.get(2).is_none());
+        assert!(t.get(99).is_none(), "out-of-range get is None, not a panic");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn interned_footprints_are_shared() {
+        let mut t = AccessTable::new(3);
+        let r = t.intern(Access { reads: vec![BufId(7)], writes: vec![] });
+        t.assign(0, r);
+        t.assign(2, r);
+        assert_eq!(t.get(0), t.get(2));
+        assert_eq!(t.get(0).unwrap().reads, vec![BufId(7)]);
+        assert!(t.get(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different table")]
+    fn foreign_ref_is_rejected() {
+        let mut a = AccessTable::new(1);
+        let r = a.intern(Access::default());
+        let mut b = AccessTable::new(1);
+        b.assign(0, r);
+    }
+
+    #[test]
+    fn resolution_and_overlap() {
+        let mut plan = AllocationPlan::new();
+        plan.place_at(BufId(1), Placement { offset: 0, bytes: 100 });
+        plan.place_at(BufId(2), Placement { offset: 50, bytes: 100 });
+        plan.place_at(BufId(3), Placement { offset: 200, bytes: 100 });
+        let r1 = resolve(BufId(1), Some(&plan));
+        let r2 = resolve(BufId(2), Some(&plan));
+        let r3 = resolve(BufId(3), Some(&plan));
+        let v4 = resolve(BufId(4), Some(&plan));
+        let v5 = resolve(BufId(5), Some(&plan));
+        assert!(overlaps(r1, r2), "byte ranges intersect");
+        assert!(!overlaps(r1, r3), "disjoint ranges");
+        assert!(!overlaps(r2, r3), "touching at 150..200? no: 50..150 vs 200..300");
+        assert!(overlaps(v4, v4), "a virtual buffer aliases itself");
+        assert!(!overlaps(v4, v5), "distinct virtual buffers are disjoint");
+        assert!(!overlaps(r1, v4), "physical never aliases virtual");
+        // Without a plan everything is virtual.
+        assert_eq!(resolve(BufId(1), None), Region::Virt(BufId(1)));
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let z = Region::Phys { lo: 10, hi: 10 };
+        let r = Region::Phys { lo: 0, hi: 100 };
+        assert!(!overlaps(z, r));
+        assert!(!overlaps(z, z));
+    }
+}

@@ -1,0 +1,141 @@
+//! Parser for the stable text format [`Schedule::render`] produces, so the
+//! verifier can run over golden-trace fixtures without rebuilding the model
+//! that emitted them.
+//!
+//! Kernel descriptors are not round-tripped — the rendered label is kept as
+//! the launch label and every kernel becomes a placeholder copy. That is
+//! enough for every structural rule (events, cycles, barriers, dead code);
+//! footprint-based rules need the emitter's access table and do not apply
+//! to parsed fixtures.
+
+use astra_gpu::{EventId, KernelDesc, Schedule, StreamId};
+
+/// Parses one rendered schedule.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when the text does not
+/// follow the rendered grammar (`streams N`, `launch sK [waits[..]] label`,
+/// `record sK -> eN`, `barrier`, `hostsync`), or when a `record` line's
+/// event id does not match the id the schedule builder assigns (ids are
+/// consecutive from e0 in record order).
+pub fn parse_rendered(text: &str) -> Result<Schedule, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+
+    let (_, first) = lines.next().ok_or_else(|| "empty schedule text".to_string())?;
+    let streams: usize = first
+        .trim()
+        .strip_prefix("streams ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("line 1: expected `streams N`, got `{first}`"))?;
+    if streams == 0 {
+        return Err("line 1: schedule needs at least one stream".to_string());
+    }
+    let mut sched = Schedule::new(streams);
+
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line == "barrier" {
+            sched.barrier();
+        } else if line == "hostsync" {
+            sched.host_sync();
+        } else if let Some(rest) = line.strip_prefix("record ") {
+            let (s, e) = rest
+                .split_once(" -> ")
+                .ok_or_else(|| format!("line {lineno}: expected `record sK -> eN`"))?;
+            let stream = parse_stream(s, lineno)?;
+            let want = parse_event(e, lineno)?;
+            let got = sched.record(StreamId(stream));
+            if got != want {
+                return Err(format!(
+                    "line {lineno}: record declares e{} but the builder assigns e{} \
+                     (ids must be consecutive in record order)",
+                    want.0, got.0
+                ));
+            }
+        } else if let Some(rest) = line.strip_prefix("launch ") {
+            let mut parts = rest.splitn(2, ' ');
+            let stream = parse_stream(parts.next().unwrap_or(""), lineno)?;
+            let mut tail = parts.next().unwrap_or("").trim_start();
+            let mut waits = Vec::new();
+            if let Some(after) = tail.strip_prefix("waits[") {
+                let (list, rest2) = after
+                    .split_once(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated waits[..]"))?;
+                for ev in list.split(',').filter(|t| !t.is_empty()) {
+                    waits.push(parse_event(ev, lineno)?);
+                }
+                tail = rest2.trim_start();
+            }
+            if tail.is_empty() {
+                return Err(format!("line {lineno}: launch is missing its label"));
+            }
+            sched.launch_labeled(
+                StreamId(stream),
+                KernelDesc::MemCopy { bytes: 1.0 },
+                waits,
+                tail,
+            );
+        } else {
+            return Err(format!("line {lineno}: unrecognized command `{line}`"));
+        }
+    }
+    Ok(sched)
+}
+
+fn parse_stream(tok: &str, lineno: usize) -> Result<usize, String> {
+    tok.trim()
+        .strip_prefix('s')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("line {lineno}: expected a stream `sK`, got `{tok}`"))
+}
+
+fn parse_event(tok: &str, lineno: usize) -> Result<EventId, String> {
+    tok.trim()
+        .strip_prefix('e')
+        .and_then(|n| n.parse().ok())
+        .map(EventId)
+        .ok_or_else(|| format!("line {lineno}: expected an event `eN`, got `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_rendered_schedule() {
+        let mut s = Schedule::new(2);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 1024.0 });
+        let ev = s.record(StreamId(0));
+        s.launch_labeled(StreamId(1), KernelDesc::MemCopy { bytes: 1.0 }, vec![ev], "mine x");
+        s.barrier();
+        s.host_sync();
+        let text = s.render();
+        let parsed = parse_rendered(&text).expect("parses its own rendering");
+        assert_eq!(parsed.render(), text, "render -> parse -> render is a fixpoint");
+        assert_eq!(parsed.num_streams(), 2);
+        assert_eq!(parsed.cmds().len(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_rendered("").is_err());
+        assert!(parse_rendered("streams 0").is_err());
+        assert!(parse_rendered("streams 1\nlaunch s0").is_err(), "missing label");
+        assert!(parse_rendered("streams 1\nlaunch s0 waits[e0 k").is_err(), "unterminated");
+        assert!(parse_rendered("streams 1\nfrobnicate").is_err());
+        assert!(
+            parse_rendered("streams 1\nrecord s0 -> e5").is_err(),
+            "ids must be consecutive from e0"
+        );
+    }
+
+    #[test]
+    fn parses_multi_wait_launches() {
+        let text = "streams 2\nrecord s0 -> e0\nrecord s1 -> e1\nlaunch s0 waits[e0,e1] k\n";
+        let s = parse_rendered(text).expect("parses");
+        assert_eq!(s.cmds().len(), 3);
+        assert_eq!(s.render(), text);
+    }
+}

@@ -1,0 +1,333 @@
+//! Structured diagnostics: rule ids, severities, and the report the
+//! verifier returns, with stable text and JSON renderings.
+
+use std::fmt;
+
+/// Identity of one verification rule. Every diagnostic carries exactly one,
+/// so callers (and the negative-test harness) can assert on the *class* of
+/// problem rather than on message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Two unordered cross-stream commands where the earlier writes a
+    /// region the later reads.
+    CrossStreamRaw,
+    /// Two unordered cross-stream commands where the earlier reads a region
+    /// the later writes.
+    CrossStreamWar,
+    /// Two unordered cross-stream commands both writing an overlapping
+    /// region.
+    CrossStreamWaw,
+    /// A launch waits on an event whose only record appears later in
+    /// dispatch order — a no-op on real CUDA (`cudaStreamWaitEvent` on an
+    /// unrecorded event does not wait), so the intended ordering is gone.
+    WaitBeforeRecord,
+    /// A launch waits on an event no command ever records: the stream blocks
+    /// forever and the device deadlocks at drain.
+    WaitNeverRecorded,
+    /// The same event is recorded more than once; waiters observe whichever
+    /// record fires first and the schedule's meaning is ambiguous.
+    DoubleRecord,
+    /// The happens-before graph has a cycle (mutually waiting streams):
+    /// guaranteed deadlock.
+    EventCycle,
+    /// A device-wide barrier in a schedule where fewer than two streams
+    /// carry work — it synchronizes nothing.
+    OrphanBarrier,
+    /// Commands that can never execute because they sit behind an
+    /// unsatisfiable wait (directly or through stream FIFO order and
+    /// barriers).
+    DeadCode,
+    /// An event is recorded but never waited on. Legitimate for profiling
+    /// probes, hence informational.
+    UnwaitedEvent,
+    /// Two distinct buffers with overlapping live ranges are placed on
+    /// overlapping arena byte ranges.
+    PlacementOverlap,
+}
+
+impl RuleId {
+    /// Stable kebab-case identifier (used in JSON and rendered output).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::CrossStreamRaw => "cross-stream-raw",
+            RuleId::CrossStreamWar => "cross-stream-war",
+            RuleId::CrossStreamWaw => "cross-stream-waw",
+            RuleId::WaitBeforeRecord => "wait-before-record",
+            RuleId::WaitNeverRecorded => "wait-never-recorded",
+            RuleId::DoubleRecord => "double-record",
+            RuleId::EventCycle => "event-cycle",
+            RuleId::OrphanBarrier => "orphan-barrier",
+            RuleId::DeadCode => "dead-code",
+            RuleId::UnwaitedEvent => "unwaited-event",
+            RuleId::PlacementOverlap => "placement-overlap",
+        }
+    }
+
+    /// The severity every diagnostic of this rule carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::CrossStreamRaw
+            | RuleId::CrossStreamWar
+            | RuleId::CrossStreamWaw
+            | RuleId::WaitBeforeRecord
+            | RuleId::WaitNeverRecorded
+            | RuleId::DoubleRecord
+            | RuleId::EventCycle
+            | RuleId::PlacementOverlap => Severity::Error,
+            RuleId::OrphanBarrier | RuleId::DeadCode => Severity::Warning,
+            RuleId::UnwaitedEvent => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How bad a diagnostic is. Only [`Severity::Error`] makes a schedule
+/// unclean (and gets a candidate plan quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The schedule is wrong: racy, deadlocked, or aliased.
+    Error,
+    /// Suspicious but executable (dead commands, pointless barriers).
+    Warning,
+    /// Observation only (e.g. probe events that are never waited).
+    Info,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in JSON and rendered output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Severity ([`RuleId::severity`] of `rule`).
+    pub severity: Severity,
+    /// Offending command indices into [`Schedule::cmds`], ascending.
+    ///
+    /// [`Schedule::cmds`]: astra_gpu::Schedule::cmds
+    pub cmds: Vec<usize>,
+    /// Span labels of the offending commands (where they have one), in the
+    /// same order as `cmds`.
+    pub labels: Vec<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(rule: RuleId, cmds: Vec<usize>, labels: Vec<String>, message: String) -> Self {
+        Diagnostic { rule, severity: rule.severity(), cmds, labels, message }
+    }
+
+    /// Canonical sort key: first offending command, then rule, then the
+    /// full command list — the report order is independent of how many
+    /// worker threads scanned for hazards.
+    pub(crate) fn sort_key(&self) -> (usize, RuleId, Vec<usize>) {
+        (self.cmds.first().copied().unwrap_or(usize::MAX), self.rule, self.cmds.clone())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if !self.cmds.is_empty() {
+            write!(f, " cmds[")?;
+            for (i, c) in self.cmds.iter().enumerate() {
+                write!(f, "{}{c}", if i > 0 { "," } else { "" })?;
+            }
+            write!(f, "]")?;
+        }
+        if !self.labels.is_empty() {
+            write!(f, " ({})", self.labels.join(", "))?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Everything one verification pass found.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All findings, in canonical order (first offending command, then rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Commands examined.
+    pub cmds_checked: usize,
+    /// Cross-stream command pairs tested for hazards (0 without footprints
+    /// or on single-stream schedules).
+    pub hazard_pairs_checked: u64,
+}
+
+impl VerifyReport {
+    /// Whether the schedule passed: no [`Severity::Error`] diagnostics.
+    /// Warnings and infos do not make a schedule unclean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.iter().all(|d| d.severity != Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Diagnostics of one rule (the negative-test harness asserts on this).
+    pub fn of_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// Stable line-oriented text: a summary line, then one line per
+    /// diagnostic in canonical order.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verified {} commands, {} hazard pairs: {} error(s), {} other finding(s)",
+            self.cmds_checked,
+            self.hazard_pairs_checked,
+            self.errors(),
+            self.diagnostics.len() - self.errors(),
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled; the workspace has no external
+    /// dependencies).
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"clean\":{},\"cmds_checked\":{},\"hazard_pairs_checked\":{},\"diagnostics\":[",
+            self.is_clean(),
+            self.cmds_checked,
+            self.hazard_pairs_checked,
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"cmds\":[",
+                d.rule, d.severity
+            );
+            for (j, c) in d.cmds.iter().enumerate() {
+                let _ = write!(out, "{}{c}", if j > 0 { "," } else { "" });
+            }
+            out.push_str("],\"labels\":[");
+            for (j, l) in d.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", escape_json(l));
+            }
+            let _ = write!(out, "],\"message\":\"{}\"}}", escape_json(&d.message));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_derived_from_rule() {
+        let d = Diagnostic::new(RuleId::CrossStreamRaw, vec![3, 7], vec![], "x".into());
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(
+            Diagnostic::new(RuleId::UnwaitedEvent, vec![], vec![], "x".into()).severity,
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn clean_means_no_errors() {
+        let mut r = VerifyReport::default();
+        assert!(r.is_clean());
+        r.diagnostics.push(Diagnostic::new(RuleId::OrphanBarrier, vec![1], vec![], "b".into()));
+        assert!(r.is_clean(), "warnings keep a schedule clean");
+        r.diagnostics.push(Diagnostic::new(RuleId::EventCycle, vec![0], vec![], "c".into()));
+        assert!(!r.is_clean());
+        assert_eq!(r.errors(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let mut r = VerifyReport { cmds_checked: 2, ..Default::default() };
+        r.diagnostics.push(Diagnostic::new(
+            RuleId::DoubleRecord,
+            vec![0, 1],
+            vec!["a\"b".into()],
+            "line\nbreak".into(),
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"rule\":\"double-record\""));
+        assert!(j.contains("a\\\"b"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"clean\":false"));
+        let text = r.render();
+        assert!(text.starts_with("verified 2 commands"));
+        assert!(text.contains("error[double-record] cmds[0,1]"));
+    }
+
+    #[test]
+    fn rule_ids_are_distinct() {
+        let all = [
+            RuleId::CrossStreamRaw,
+            RuleId::CrossStreamWar,
+            RuleId::CrossStreamWaw,
+            RuleId::WaitBeforeRecord,
+            RuleId::WaitNeverRecorded,
+            RuleId::DoubleRecord,
+            RuleId::EventCycle,
+            RuleId::OrphanBarrier,
+            RuleId::DeadCode,
+            RuleId::UnwaitedEvent,
+            RuleId::PlacementOverlap,
+        ];
+        let ids: std::collections::HashSet<_> = all.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -8,6 +8,7 @@
 //! * [`models`] — the paper's five evaluation models.
 //! * [`exec`] — lowering and the native / cuDNN-like / XLA-like baselines.
 //! * [`core`] — the Astra enumerator + custom wirer.
+//! * [`verify`] — static schedule verifier (happens-before hazard analysis).
 //! * [`distrib`] — adaptive data-parallel scaling (the paper's §3.4 extension).
 //!
 //! ## Quickstart
@@ -27,9 +28,12 @@
 //! assert!(report.speedup() >= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use astra_core as core;
 pub use astra_distrib as distrib;
 pub use astra_exec as exec;
 pub use astra_gpu as gpu;
 pub use astra_ir as ir;
 pub use astra_models as models;
+pub use astra_verify as verify;

@@ -378,3 +378,119 @@ fn single_stream_time_is_additive() {
         assert!(r.total_ns <= kernel_time + dev.dispatch_cost_ns * (lowering.num_kernels() as f64) + 1.0);
     }
 }
+
+/// Generator–verifier agreement: every schedule `emit_schedule` produces —
+/// across the whole model zoo, every allocation strategy, every per-set
+/// fusion chunk choice, single- and multi-stream emission, and the
+/// partitioned (super-epoch barrier) path — must pass the static verifier.
+/// A finding here is a real latent hazard in the planner, not a test bug.
+#[test]
+fn enumerated_plans_verify_clean_across_the_zoo() {
+    use astra::core::enumerate::epochs::partition_units;
+    use astra::core::verify_plan;
+    use astra::models::Model;
+
+    for m in Model::all() {
+        let mut c = m.default_config(8);
+        c.hidden = 64;
+        c.input = 64;
+        c.vocab = 128;
+        c.seq_len = 3;
+        c.layers = c.layers.min(2);
+        let built = m.build(&c);
+        let ctx = PlanContext::new(&built.graph);
+
+        // Every strategy keeps a chunkless base config; each fusion set then
+        // varies its (row, col) chunk choices one set at a time — the same
+        // neighborhood the exploration driver walks.
+        let mut cfgs = Vec::new();
+        for strategy in 0..ctx.alloc.strategies.len().max(1) {
+            let mut base = ExecConfig::baseline();
+            base.strategy = strategy;
+            cfgs.push(base.clone());
+            for set in &ctx.sets {
+                for &rc in &set.row_chunks() {
+                    for &cc in &set.col_chunks() {
+                        let mut cfg = base.clone();
+                        cfg.chunks.insert(set.id.clone(), (rc, cc));
+                        cfgs.push(cfg);
+                    }
+                }
+            }
+        }
+
+        for (ci, base_cfg) in cfgs.iter().enumerate() {
+            // Chunk-varied configs exercise the hazard-prone multi-stream
+            // path only; the chunkless bases also cover single-stream.
+            let stream_counts: &[usize] =
+                if base_cfg.chunks.is_empty() { &[1, 3] } else { &[3] };
+            for &streams in stream_counts {
+                let mut cfg = base_cfg.clone();
+                // Cyclic chunk combinations are skipped by the driver too.
+                let Ok(units) = build_units(&ctx, &cfg) else { continue };
+                if streams > 1 {
+                    // Streams never influence unit building, so the round-
+                    // robin map needs no rebuild.
+                    cfg.num_streams = streams;
+                    for (i, u) in units.iter().enumerate() {
+                        cfg.streams.insert(u.id, i % streams);
+                    }
+                }
+                let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+                let report = verify_plan(&ctx, &cfg, &units, &sched, 2);
+                assert!(
+                    report.is_clean(),
+                    "{m} cfg #{ci} x {streams} stream(s) must verify clean:\n{}",
+                    report.render()
+                );
+
+                // Partitioned emission (barriers + epoch records) for the
+                // chunkless bases keeps the super-epoch path covered.
+                if streams > 1 && base_cfg.chunks.is_empty() {
+                    let total: f64 = units.iter().map(|u| u.flops).sum();
+                    let partition = partition_units(&units, (total / 4.0).max(1.0));
+                    let (sched, _) =
+                        emit_schedule(&ctx, &cfg, &units, Some(&partition), &ProbeSpec::none());
+                    let report = verify_plan(&ctx, &cfg, &units, &sched, 2);
+                    assert!(
+                        report.is_clean(),
+                        "{m} partitioned strategy {} must verify clean:\n{}",
+                        base_cfg.strategy,
+                        report.render()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Dynamic-graph coverage: the schedule of every PTB bucket length (§5.5)
+/// verifies clean under a two-stream round-robin assignment.
+#[test]
+fn every_ptb_bucket_schedule_verifies_clean() {
+    use astra::core::verify_plan;
+    use astra::models::{Model, PTB_BUCKETS};
+
+    for &bucket in &PTB_BUCKETS {
+        let mut c = Model::SubLstm.default_config(4);
+        c.hidden = 32;
+        c.input = 32;
+        c.vocab = 64;
+        c.seq_len = bucket;
+        let built = Model::SubLstm.build(&c);
+        let ctx = PlanContext::new(&built.graph);
+        let mut cfg = ExecConfig::baseline();
+        cfg.num_streams = 2;
+        let units = build_units(&ctx, &cfg).expect("bucket units build");
+        for (i, u) in units.iter().enumerate() {
+            cfg.streams.insert(u.id, i % 2);
+        }
+        let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+        let report = verify_plan(&ctx, &cfg, &units, &sched, 2);
+        assert!(
+            report.is_clean(),
+            "bucket {bucket} must verify clean:\n{}",
+            report.render()
+        );
+    }
+}

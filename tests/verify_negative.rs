@@ -1,0 +1,285 @@
+//! Mutation tests for the static schedule verifier: four deterministic
+//! corruptions of a known-clean candidate plan, each caught with its own
+//! distinct rule id, and worker-count invariance of every report.
+//!
+//! The fixture is a two-stream SubLSTM plan with an adversarial round-robin
+//! stream assignment — `emit_schedule` threads every cross-stream
+//! dependency through events, so the emitted schedule verifies clean and
+//! every mutation below breaks exactly the invariant its rule describes.
+
+use astra::core::{
+    access_table, build_allocation_plan, build_units, emit_schedule, verify_plan, ExecConfig,
+    PlanContext, ProbeSpec, Unit,
+};
+use astra::gpu::{AllocationPlan, Cmd, EventId, Placement, Schedule};
+use astra::models::{Model, ModelConfig};
+use astra::verify::{verify, RuleId, VerifyOptions, VerifyReport};
+
+fn model() -> astra::models::BuiltModel {
+    let cfg =
+        ModelConfig { seq_len: 4, hidden: 64, input: 64, vocab: 128, ..ModelConfig::ptb(8) };
+    Model::SubLstm.build(&cfg)
+}
+
+/// Two-stream round-robin plan: `(cfg, units, schedule)`, verified clean.
+fn two_stream_plan(ctx: &PlanContext<'_>) -> (ExecConfig, Vec<Unit>, Schedule) {
+    let mut cfg = ExecConfig::baseline();
+    cfg.num_streams = 2;
+    let units = build_units(ctx, &cfg).expect("baseline units build");
+    for (i, u) in units.iter().enumerate() {
+        cfg.streams.insert(u.id, i % 2);
+    }
+    let units = build_units(ctx, &cfg).expect("two-stream units build");
+    let (sched, _) = emit_schedule(ctx, &cfg, &units, None, &ProbeSpec::none());
+    (cfg, units, sched)
+}
+
+/// Replays `cmds` (with their unit tags) into a fresh schedule, remapping
+/// each wait through `wait_map`. Record commands re-record in order, so as
+/// long as the replay keeps every record, auto-assigned event ids match the
+/// originals.
+fn replay(
+    num_streams: usize,
+    cmds: &[(Cmd, Option<u32>)],
+    wait_map: impl Fn(EventId) -> EventId,
+) -> Schedule {
+    let mut s = Schedule::new(num_streams);
+    for (cmd, tag) in cmds {
+        match cmd {
+            Cmd::Launch { stream, kernel, waits, label } => {
+                let waits = waits.iter().map(|&e| wait_map(e)).collect();
+                let c = match label {
+                    Some(l) => s.launch_labeled(*stream, *kernel, waits, l.clone()),
+                    None => s.launch_after(*stream, *kernel, waits),
+                };
+                if let Some(t) = tag {
+                    s.set_tag(c, *t);
+                }
+            }
+            Cmd::Record { stream, .. } => {
+                let _ = s.record(*stream);
+            }
+            Cmd::Barrier => s.barrier(),
+            Cmd::HostSync => s.host_sync(),
+        }
+    }
+    s
+}
+
+fn tagged_cmds(sched: &Schedule) -> Vec<(Cmd, Option<u32>)> {
+    sched.cmds().iter().cloned().zip(sched.tags().iter().copied()).collect()
+}
+
+/// Index of the record command for each event id.
+fn record_index_of(sched: &Schedule) -> std::collections::HashMap<EventId, usize> {
+    sched
+        .cmds()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match c {
+            Cmd::Record { event, .. } => Some((*event, i)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Both verifier entry points must be bit-identical at any worker count.
+fn assert_worker_invariant(
+    run: impl Fn(usize) -> VerifyReport,
+    expected: RuleId,
+) -> VerifyReport {
+    let r1 = run(1);
+    let r4 = run(4);
+    assert_eq!(r1.render(), r4.render(), "workers 1 vs 4 must render identically");
+    assert_eq!(r1.to_json(), r4.to_json(), "workers 1 vs 4 must serialize identically");
+    assert!(
+        !r1.of_rule(expected).is_empty(),
+        "mutation must be flagged as {expected:?}:\n{}",
+        r1.render()
+    );
+    assert!(!r1.is_clean(), "mutation must not verify clean");
+    r1
+}
+
+#[test]
+fn dropping_a_wait_flags_cross_stream_raw() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = two_stream_plan(&ctx);
+    assert!(verify_plan(&ctx, &cfg, &units, &sched, 1).is_clean());
+
+    // Strip the waits off the first launch that has any: its producer on
+    // the other stream is no longer ordered before it, so the read of the
+    // producer's output races the write.
+    let mut cmds = tagged_cmds(&sched);
+    let victim = cmds
+        .iter()
+        .position(|(c, _)| matches!(c, Cmd::Launch { waits, .. } if !waits.is_empty()))
+        .expect("two-stream schedule has cross-stream waits");
+    if let (Cmd::Launch { waits, .. }, _) = &mut cmds[victim] {
+        waits.clear();
+    }
+    let mutated = replay(sched.num_streams(), &cmds, |e| e);
+
+    let report =
+        assert_worker_invariant(|w| verify_plan(&ctx, &cfg, &units, &mutated, w), RuleId::CrossStreamRaw);
+    // The racing launch itself is named in some RAW diagnostic.
+    assert!(
+        report.of_rule(RuleId::CrossStreamRaw).iter().any(|d| d.cmds.contains(&victim)),
+        "the stripped launch must appear in a RAW diagnostic:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn dropping_a_record_flags_wait_never_recorded() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = two_stream_plan(&ctx);
+
+    // Drop the record some launch waits on. Replay re-records the remaining
+    // events in order, so ids after the dropped one shift down by one; the
+    // wait map keeps every surviving event pointing at its own record and
+    // sends the dropped event to the one id no record produces.
+    let rec_of = record_index_of(&sched);
+    let total_events = rec_of.len() as u32;
+    let dropped_ev = sched
+        .cmds()
+        .iter()
+        .find_map(|c| match c {
+            Cmd::Launch { waits, .. } => waits.first().copied(),
+            _ => None,
+        })
+        .expect("two-stream schedule has at least one wait");
+    let dropped_idx = rec_of[&dropped_ev];
+    let cmds: Vec<(Cmd, Option<u32>)> = tagged_cmds(&sched)
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| i != dropped_idx)
+        .map(|(_, c)| c)
+        .collect();
+    let mutated = replay(sched.num_streams(), &cmds, |e| {
+        use std::cmp::Ordering;
+        match e.0.cmp(&dropped_ev.0) {
+            Ordering::Less => e,
+            Ordering::Equal => EventId(total_events - 1), // recorded by nothing
+            Ordering::Greater => EventId(e.0 - 1),
+        }
+    });
+
+    assert_worker_invariant(
+        |w| verify_plan(&ctx, &cfg, &units, &mutated, w),
+        RuleId::WaitNeverRecorded,
+    );
+}
+
+#[test]
+fn swapping_cross_stream_launches_flags_wait_before_record() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = two_stream_plan(&ctx);
+
+    // Find a launch j waiting on an event recorded at r, and an earlier
+    // launch i (i < r) on the other stream; swapping i and j moves the wait
+    // in front of its record — a no-op wait under CUDA semantics.
+    let rec_of = record_index_of(&sched);
+    let cmds = tagged_cmds(&sched);
+    let stream_of = |c: &Cmd| match c {
+        Cmd::Launch { stream, .. } => Some(*stream),
+        _ => None,
+    };
+    let mut pick = None;
+    'outer: for (j, (c, _)) in cmds.iter().enumerate() {
+        let Cmd::Launch { waits, .. } = c else { continue };
+        let Some(sj) = stream_of(c) else { continue };
+        for &e in waits {
+            let r = rec_of[&e];
+            for (i, (ci, _)) in cmds.iter().enumerate().take(r) {
+                if stream_of(ci).is_some_and(|si| si != sj) {
+                    pick = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let (i, j) = pick.expect("fixture has a swappable cross-stream launch pair");
+    let mut cmds = cmds;
+    cmds.swap(i, j);
+    let mutated = replay(sched.num_streams(), &cmds, |e| e);
+
+    assert_worker_invariant(
+        |w| verify_plan(&ctx, &cfg, &units, &mutated, w),
+        RuleId::WaitBeforeRecord,
+    );
+}
+
+#[test]
+fn overlapping_placements_flag_placement_overlap() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = two_stream_plan(&ctx);
+    let access = access_table(&units, &sched);
+    let plan = build_allocation_plan(&ctx, &cfg);
+
+    // Live interval (first..=last access) of every placed buffer, straight
+    // from the access table the verifier itself consumes.
+    let mut live: std::collections::HashMap<astra::gpu::BufId, (usize, usize)> =
+        std::collections::HashMap::new();
+    for i in 0..sched.cmds().len() {
+        let Some(a) = access.get(i) else { continue };
+        for &b in a.reads.iter().chain(a.writes.iter()) {
+            if plan.placement(b).is_some() {
+                let e = live.entry(b).or_insert((i, i));
+                e.0 = e.0.min(i);
+                e.1 = e.1.max(i);
+            }
+        }
+    }
+    // Two distinct placed buffers whose live ranges intersect: aliasing
+    // their placements is a real (latent) corruption.
+    let mut bufs: Vec<_> = live.iter().map(|(&b, &iv)| (b, iv)).collect();
+    bufs.sort_unstable();
+    let (victim, target) = bufs
+        .iter()
+        .flat_map(|&(a, (af, al))| {
+            bufs.iter()
+                .filter(move |&&(b, (bf, bl))| a != b && af <= bl && bf <= al)
+                .map(move |&(b, _)| (a, b))
+        })
+        .next()
+        .expect("two placed buffers are concurrently live");
+    let mut mutated_plan = AllocationPlan::new();
+    let target_at = plan.placement(target).expect("target buffer is placed");
+    for (id, p) in plan.placements() {
+        let p = if id == victim {
+            Placement { offset: target_at.offset, bytes: p.bytes }
+        } else {
+            p
+        };
+        assert!(mutated_plan.place_at(id, p), "fresh plan accepts every placement");
+    }
+
+    let report = assert_worker_invariant(
+        |w| verify(&sched, Some(&access), Some(&mutated_plan), &VerifyOptions { workers: w }),
+        RuleId::PlacementOverlap,
+    );
+    assert!(report.errors() >= 1);
+}
+
+#[test]
+fn the_four_mutation_rules_are_distinct() {
+    // The checklist's four mutation classes must map to four *different*
+    // rules — a verifier that collapses them is much harder to act on.
+    let rules = [
+        RuleId::CrossStreamRaw,
+        RuleId::WaitNeverRecorded,
+        RuleId::WaitBeforeRecord,
+        RuleId::PlacementOverlap,
+    ];
+    for (a, ra) in rules.iter().enumerate() {
+        for rb in rules.iter().skip(a + 1) {
+            assert_ne!(ra, rb);
+            assert_ne!(ra.id(), rb.id(), "rule ids must be distinct strings");
+        }
+    }
+}
