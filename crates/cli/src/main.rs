@@ -213,6 +213,11 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         r.resumed_fraction * 100.0
     );
     println!(
+        "prefix groups: {} (hit depth histogram: {})",
+        r.prefix_group_count,
+        r.sim_cache_hit_depth.map(|c| c.to_string()).join("/")
+    );
+    println!(
         "faults: {} events, {} retries, {} quarantined",
         r.fault_events, r.retries, r.quarantined
     );

@@ -295,6 +295,16 @@ impl UpdateTree {
     /// sequential driver would — reproduces this batch verbatim. That is
     /// the contract the parallel exploration driver relies on: evaluate the
     /// batch concurrently, then commit results in order.
+    ///
+    /// A corollary the cache-aware batch runner exploits: because every
+    /// returned assignment is committed via [`UpdateTree::next_trial`] *in
+    /// candidate order* after the whole batch has run, the runner is free
+    /// to **execute** trials in any order it likes — e.g. regrouped so
+    /// candidates sharing a long schedule prefix run consecutively and
+    /// resume each other's simulator checkpoints — as long as each result
+    /// is scattered back to its original candidate index before the commit
+    /// loop. Reordering execution can never change outcomes, only cache
+    /// locality.
     pub fn lookahead(&self, max: usize) -> Vec<BTreeMap<String, usize>> {
         let mut peek = self.clone();
         let mut out = Vec::new();

@@ -19,7 +19,7 @@
 //! A final playoff runs the best configuration of each allocation context
 //! and picks the overall winner (§4.5.2).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use astra_exec::native_schedule;
@@ -32,13 +32,15 @@ use astra_ir::Graph;
 use crate::adaptive::{ExploreMode, UpdateNode, UpdateTree};
 use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, Partition};
 use crate::error::AstraError;
-use crate::parallel::{effective_workers, parallel_map};
+use crate::parallel::{effective_workers, parallel_map, WorkerPool};
 use crate::plan::{
     bind_libs, build_units_fragmented, emit_schedule, ExecConfig, PlanCache, PlanContext,
     PlanKey, ProbeSpec, Probes, Unit,
 };
 use crate::profile::{ProfileIndex, ProfileKey};
-use crate::simcache::SimCache;
+use crate::simcache::{
+    plan_prefix_batch, GroupShard, KeyCtx, PrefixPlan, SimCache, TrialBase, HIT_DEPTH_BUCKETS,
+};
 
 /// Maximum fault-triggered re-measurements per candidate before it is
 /// quarantined. Each retry is a real training mini-batch (work-conserving),
@@ -51,6 +53,17 @@ const MAX_FAULT_RETRIES: u32 = 3;
 /// variance never triggers a re-measure while an undetected spike on a
 /// previously measured key does.
 const OUTLIER_FACTOR: f64 = 1.5;
+
+/// Trials peeled off the update tree per lookahead batch. Deliberately a
+/// constant rather than a multiple of the worker count: the batch
+/// partition determines the prefix grouping, the capture plan, and every
+/// sim-cache counter, so fixing it makes all of those bit-identical at
+/// any worker count. 32 trials give the prefix trie enough material to
+/// group on while keeping the batch's emitted schedules bounded in
+/// memory. (Trial *outcomes* never depend on the batch size at all —
+/// [`UpdateTree::lookahead`] batches replay the exact sequential trial
+/// sequence.)
+const LOOKAHEAD_TRIALS: usize = 32;
 
 /// Whether `metric` is a statistical outlier against the samples already
 /// indexed for `key`. First measurements are never outliers (there is no
@@ -74,16 +87,63 @@ struct ExploreStats {
     quarantined: usize,
 }
 
-/// One prepared candidate simulation: the emitted schedule and probes plus
-/// the sim-cache assignment — the deepest matching checkpoint to resume
-/// from and the boundaries this run should capture. Prepared sequentially
-/// in candidate order (cache probes mutate counters), then evaluated on
-/// the worker pool without touching shared state.
-struct Trial {
+/// One prepared candidate simulation: the emitted schedule, its probes,
+/// and the fault salt it runs under. Prepared sequentially in candidate
+/// order; the batch runner ([`Astra::run_batch`]) derives each trial's
+/// cache work plan (resume checkpoint + capture boundaries) from the
+/// batch's prefix trie, not here.
+struct Prepared {
     sched: Schedule,
     probes: Probes,
-    resume: Option<Arc<EngineCheckpoint>>,
-    caps: Vec<usize>,
+    salt: u64,
+}
+
+/// A batch trial's outcome: the simulated run plus the probes that decode
+/// it (`None` for invalid or verify-rejected candidates).
+type TrialOut = Option<(RunResult, Probes)>;
+
+/// One prefix group's jobs and results: the member trials in group order,
+/// each tagged with its candidate index and pre-batch cache view.
+type GroupJob = Vec<(usize, Prepared, TrialBase)>;
+type GroupOut = (GroupShard, Vec<(usize, Result<TrialOut, AstraError>)>);
+
+/// Executes one prefix group sequentially: probe the group shard (layered
+/// over each trial's pre-batch base), simulate, absorb captures back into
+/// the shard. Runs unchanged on the caller's thread or a pool worker —
+/// everything it touches is owned by the job.
+fn run_group(
+    members: GroupJob,
+    dev: &DeviceSpec,
+    clock: ClockMode,
+    faults: FaultPlan,
+    ctx: KeyCtx,
+    branches: &HashSet<u64>,
+    use_cache: bool,
+) -> GroupOut {
+    let mut shard = GroupShard::new(ctx);
+    let mut runs = Vec::with_capacity(members.len());
+    for (i, p, base) in members {
+        let (resume, caps) = if use_cache {
+            shard.probe_and_plan(&p.sched, p.salt, &base, branches)
+        } else {
+            (None, Vec::new())
+        };
+        let res = Engine::with_faults(dev, clock, faults, p.salt)
+            .run_incremental(&p.sched, resume.as_deref(), &caps);
+        runs.push((
+            i,
+            match res {
+                Ok((r, captured)) => {
+                    if use_cache {
+                        shard.absorb(p.salt, captured);
+                    }
+                    Ok(Some((r, p.probes)))
+                }
+                Err(e) => Err(e.into()),
+            },
+        ));
+    }
+    (shard, runs)
 }
 
 /// Which adaptation dimensions are enabled (the paper's ablation columns).
@@ -236,6 +296,15 @@ pub struct Report {
     /// Fraction of simulated schedule commands skipped by resuming from
     /// checkpoints (0 with the cache off).
     pub resumed_fraction: f64,
+    /// Histogram of sim-cache hit depths: bucket `b` counts resumes that
+    /// skipped `[b/8, (b+1)/8)` of the run's commands, full-run memo
+    /// replays land in the last bucket. All zeros with the cache off.
+    pub sim_cache_hit_depth: [u64; HIT_DEPTH_BUCKETS],
+    /// Prefix groups the cache-aware batch scheduler formed over this
+    /// run's lookahead batches (see [`crate::plan_prefix_batch`]): fewer
+    /// groups per batch means deeper shared prefixes between consecutive
+    /// trials. Zero with the cache off.
+    pub prefix_group_count: u64,
 }
 
 impl Report {
@@ -264,10 +333,17 @@ pub struct Astra<'g> {
     verify_rejects: u64,
     /// Monotonic fault-salt counter: every measured mini-batch gets the next
     /// salt, assigned in candidate order *before* a batch evaluates. Batch
-    /// boundaries depend on the worker count but always partition the same
-    /// candidate sequence, so the salt each candidate draws — and therefore
-    /// every injected fault — is worker-count invariant.
+    /// boundaries partition the same candidate sequence at every worker
+    /// count, so the salt each candidate draws — and therefore every
+    /// injected fault — is worker-count invariant.
     fault_seq: u64,
+    /// Persistent worker pool for batch evaluation, created lazily on the
+    /// first multi-group batch when `workers > 1` and reused for the
+    /// optimizer's whole lifetime (no per-batch thread spawns).
+    pool: Option<WorkerPool>,
+    /// Cumulative count of prefix groups formed by cache-aware batch
+    /// scheduling (stays zero while the sim cache is off).
+    prefix_groups: u64,
 }
 
 impl<'g> Astra<'g> {
@@ -309,6 +385,8 @@ impl<'g> Astra<'g> {
             plans_verified: 0,
             verify_rejects: 0,
             fault_seq: 0,
+            pool: None,
+            prefix_groups: 0,
         }
     }
 
@@ -333,13 +411,6 @@ impl<'g> Astra<'g> {
         effective_workers(self.opts.workers)
     }
 
-    /// How many upcoming trials to peel off the update tree per batch.
-    /// Twice the worker count keeps the pool busy across uneven candidate
-    /// costs without letting the batch outrun its usefulness.
-    fn batch_cap(&self) -> usize {
-        self.workers().saturating_mul(2).max(1)
-    }
-
     /// Probes the sim cache for the deepest checkpoint matching `sched`
     /// and plans this run's captures. Boundary-free schedules (the native
     /// baseline) and a disabled cache bypass entirely, counting nothing.
@@ -362,6 +433,94 @@ impl<'g> Astra<'g> {
             return;
         }
         self.sim_cache.absorb(self.dev, self.opts.clock, &self.opts.faults, salt, captured);
+    }
+
+    /// Runs one prepared lookahead batch cache-aware and returns the
+    /// outcomes in *candidate* order.
+    ///
+    /// The batch is ordered by [`plan_prefix_batch`]: candidates sharing
+    /// long schedule prefixes become consecutive members of one prefix
+    /// group, groups execute sequentially against a [`GroupShard`] (so a
+    /// trial resumes from checkpoints its group siblings captured moments
+    /// earlier), and the trie's branch points become the capture plan.
+    /// Independent groups fan out over the persistent worker pool; their
+    /// shards and counters merge back in deterministic group order at the
+    /// batch barrier. Each trial's pre-batch cache view is snapshotted
+    /// here, before anything runs — a resume can therefore never depend
+    /// on which worker a sibling *group* landed on, and every counter is
+    /// a pure function of batch content: bit-identical at any worker
+    /// count, and zero with the cache off.
+    fn run_batch(&mut self, prepared: Vec<Option<Prepared>>) -> Vec<Result<TrialOut, AstraError>> {
+        let use_cache = self.opts.sim_cache;
+        let chains: Vec<Vec<u64>> = prepared
+            .iter()
+            .map(|p| match p {
+                Some(p) if use_cache => {
+                    p.sched.boundaries().iter().map(|&(_, h)| h).collect()
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        let plan = if use_cache {
+            let plan = plan_prefix_batch(&chains);
+            self.prefix_groups += plan.groups.len() as u64;
+            plan
+        } else {
+            PrefixPlan::naive(prepared.len())
+        };
+        let ctx = KeyCtx::new(self.dev, self.opts.clock, &self.opts.faults);
+        let branches = Arc::new(plan.branches);
+
+        let mut slots: Vec<Option<Prepared>> = prepared;
+        let mut jobs: Vec<GroupJob> = Vec::with_capacity(plan.groups.len());
+        for group in &plan.groups {
+            let mut members: GroupJob = Vec::with_capacity(group.len());
+            for &i in group {
+                if let Some(p) = slots[i].take() {
+                    let base = if use_cache {
+                        self.sim_cache.trial_base(&p.sched, &ctx, p.salt)
+                    } else {
+                        TrialBase::default()
+                    };
+                    members.push((i, p, base));
+                }
+            }
+            if !members.is_empty() {
+                jobs.push(members);
+            }
+        }
+
+        let clock = self.opts.clock;
+        let faults = self.opts.faults;
+        let workers = self.workers();
+        let outs: Vec<GroupOut> = if workers > 1 && jobs.len() > 1 {
+            let mut boxed: Vec<Box<dyn FnOnce() -> GroupOut + Send>> =
+                Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let dev = self.dev.clone();
+                let branches = Arc::clone(&branches);
+                boxed.push(Box::new(move || {
+                    run_group(job, &dev, clock, faults, ctx, &branches, use_cache)
+                }));
+            }
+            self.pool.get_or_insert_with(|| WorkerPool::new(workers)).run(boxed)
+        } else {
+            jobs.into_iter()
+                .map(|job| run_group(job, self.dev, clock, faults, ctx, &branches, use_cache))
+                .collect()
+        };
+
+        let mut results: Vec<Result<TrialOut, AstraError>> = Vec::with_capacity(slots.len());
+        results.resize_with(slots.len(), || Ok(None));
+        for (shard, runs) in outs {
+            if use_cache {
+                self.sim_cache.merge_shard(shard);
+            }
+            for (i, res) in runs {
+                results[i] = res;
+            }
+        }
+        results
     }
 
     /// Statically verifies a candidate's emitted schedule the first time
@@ -455,6 +614,8 @@ impl<'g> Astra<'g> {
         let sim_misses0 = self.sim_cache.misses();
         let sim_resumed0 = self.sim_cache.resumed_cmds();
         let sim_total0 = self.sim_cache.total_cmds();
+        let sim_depth0 = self.sim_cache.hit_depth();
+        let groups0 = self.prefix_groups;
         let verified0 = self.plans_verified;
         let rejects0 = self.verify_rejects;
 
@@ -532,6 +693,11 @@ impl<'g> Astra<'g> {
                     (self.sim_cache.resumed_cmds() - sim_resumed0) as f64 / total as f64
                 }
             },
+            sim_cache_hit_depth: {
+                let now = self.sim_cache.hit_depth();
+                std::array::from_fn(|b| now[b] - sim_depth0[b])
+            },
+            prefix_group_count: self.prefix_groups - groups0,
         })
     }
 
@@ -603,7 +769,7 @@ impl<'g> Astra<'g> {
         }
 
         loop {
-            let batch = tree.lookahead(self.batch_cap());
+            let batch = tree.lookahead(LOOKAHEAD_TRIALS);
             if batch.is_empty() {
                 break;
             }
@@ -648,10 +814,10 @@ impl<'g> Astra<'g> {
 
             // Sequential prepare, in candidate order: select this salt's
             // unit geometry (the alloc-fault draw is salt-determined, so a
-            // degraded placement is known up front), emit the schedule, and
-            // probe the sim cache. `None` marks an invalid (cyclic) or
-            // verify-rejected combination.
-            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
+            // degraded placement is known up front) and emit the schedule.
+            // `None` marks an invalid (cyclic) or verify-rejected
+            // combination.
+            let mut prepared: Vec<Option<Prepared>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
                 let alloc_fault = self.opts.faults.alloc_event(salt);
@@ -677,12 +843,11 @@ impl<'g> Astra<'g> {
                             stats.quarantined += 1;
                             None
                         } else {
-                            let (resume, caps) = self.sim_probe(&sched, salt);
-                            Some(Trial { sched, probes, resume, caps })
+                            Some(Prepared { sched, probes, salt })
                         }
                     }
                 };
-                trials.push(trial);
+                prepared.push(trial);
             }
 
             let set_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(usize, f64)> {
@@ -695,30 +860,9 @@ impl<'g> Astra<'g> {
                 m
             };
 
-            // Fan the prepared batch out. Workers only read their trial and
-            // return the run plus any captured checkpoints; the cache is
-            // touched exclusively from the sequential stages around them.
-            let dev = self.dev;
-            let clock = self.opts.clock;
-            let faults = self.opts.faults;
-            let trials_ref = &trials;
-            let idxs: Vec<usize> = (0..cfgs.len()).collect();
-            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
-            let results: Vec<Result<TrialOut, AstraError>> =
-                parallel_map(workers, &idxs, |_, &i| {
-                    let Some(t) = &trials_ref[i] else { return Ok(None) };
-                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
-                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
-                    Ok(Some((
-                        Outcome {
-                            total_ns: r.total_ns,
-                            probe_records: t.probes.probe_records,
-                            faulted: r.faults.any(),
-                            set_metrics: set_metrics_of(&t.probes, &r),
-                        },
-                        captured,
-                    )))
-                });
+            // Fan the prepared batch out through the cache-aware runner
+            // (prefix-grouped order, per-group shards, persistent pool).
+            let results = self.run_batch(prepared);
 
             // Commit measurements in candidate order: the tree and the
             // profile index see exactly the sequential driver's updates.
@@ -735,10 +879,12 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    Some((o, captured)) => {
-                        self.sim_absorb(salt, captured);
-                        o
-                    }
+                    Some((r, probes)) => Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        faulted: r.faults.any(),
+                        set_metrics: set_metrics_of(&probes, &r),
+                    },
                 };
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -865,7 +1011,6 @@ impl<'g> Astra<'g> {
             return Ok(());
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vars));
-        let workers = self.workers();
 
         struct Outcome {
             total_ns: f64,
@@ -875,7 +1020,7 @@ impl<'g> Astra<'g> {
         }
 
         loop {
-            let batch = tree.lookahead(self.batch_cap());
+            let batch = tree.lookahead(LOOKAHEAD_TRIALS);
             if batch.is_empty() {
                 break;
             }
@@ -900,11 +1045,11 @@ impl<'g> Astra<'g> {
             let salt0 = self.fault_seq;
             self.fault_seq += batch.len() as u64;
 
-            // Sequential prepare in candidate order: emit each schedule and
-            // probe the sim cache. Library trials share a prefix up to the
-            // first differing GEMM, so late-differing candidates resume
-            // deep into the common geometry.
-            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
+            // Sequential prepare in candidate order: emit each schedule.
+            // Library trials share a prefix up to the first differing
+            // GEMM, so late-differing candidates resume deep into the
+            // common geometry once the batch runner groups them.
+            let mut prepared: Vec<Option<Prepared>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
                 let alloc_fault = self.opts.faults.alloc_event(salt);
@@ -920,11 +1065,10 @@ impl<'g> Astra<'g> {
                     emit_schedule(&self.ctx, c, units, None, &ProbeSpec::gemm_shapes());
                 if alloc_fault.is_none() && !self.verify_candidate(c, units, &sched) {
                     stats.quarantined += 1;
-                    trials.push(None);
+                    prepared.push(None);
                     continue;
                 }
-                let (resume, caps) = self.sim_probe(&sched, salt);
-                trials.push(Some(Trial { sched, probes, resume, caps }));
+                prepared.push(Some(Prepared { sched, probes, salt }));
             }
 
             let shape_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(GemmShape, f64)> {
@@ -937,40 +1081,25 @@ impl<'g> Astra<'g> {
                 m
             };
 
-            let dev = self.dev;
-            let clock = self.opts.clock;
-            let faults = self.opts.faults;
-            let trials_ref = &trials;
-            let idxs: Vec<usize> = (0..cfgs.len()).collect();
-            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
-            let results: Vec<Result<TrialOut, AstraError>> =
-                parallel_map(workers, &idxs, |_, &i| {
-                    let Some(t) = &trials_ref[i] else { return Ok(None) };
-                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
-                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
-                    Ok(Some((
-                        Outcome {
-                            total_ns: r.total_ns,
-                            probe_records: t.probes.probe_records,
-                            faulted: r.faults.any(),
-                            shape_metrics: shape_metrics_of(&t.probes, &r),
-                        },
-                        captured,
-                    )))
-                });
+            let results = self.run_batch(prepared);
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let Some((mut o, captured)) = outcome? else {
+                let Some((r, probes)) = outcome? else {
                     // Verify-rejected candidate: poison its choices.
                     for shape in &explored {
                         tree.poison(&format!("{shape}"));
                     }
                     continue;
                 };
-                self.sim_absorb(salt, captured);
+                let mut o = Outcome {
+                    total_ns: r.total_ns,
+                    probe_records: probes.probe_records,
+                    faulted: r.faults.any(),
+                    shape_metrics: shape_metrics_of(&probes, &r),
+                };
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -1094,8 +1223,6 @@ impl<'g> Astra<'g> {
             }
         };
 
-        let workers = self.workers();
-
         struct Outcome {
             total_ns: f64,
             probe_records: usize,
@@ -1108,7 +1235,7 @@ impl<'g> Astra<'g> {
             // so lookahead batches stop at those metric-dependent
             // boundaries; super-epochs still explore in parallel inside a
             // batch.
-            let batch = tree.lookahead(self.batch_cap());
+            let batch = tree.lookahead(LOOKAHEAD_TRIALS);
             if batch.is_empty() {
                 break;
             }
@@ -1129,7 +1256,7 @@ impl<'g> Astra<'g> {
             // at their best assignment, so every candidate in the batch
             // shares the schedule prefix up to the epoch under exploration
             // and resumes a checkpoint captured just before it.
-            let mut trials: Vec<Option<Trial>> = Vec::with_capacity(cfgs.len());
+            let mut prepared: Vec<Option<Prepared>> = Vec::with_capacity(cfgs.len());
             for (i, c) in cfgs.iter().enumerate() {
                 let salt = salt0 + i as u64;
                 let alloc_fault = self.opts.faults.alloc_event(salt);
@@ -1147,11 +1274,10 @@ impl<'g> Astra<'g> {
                     emit_schedule(&self.ctx, c, units_run, Some(&partition), &probe_spec);
                 if alloc_fault.is_none() && !self.verify_candidate(c, units_run, &sched) {
                     stats.quarantined += 1;
-                    trials.push(None);
+                    prepared.push(None);
                     continue;
                 }
-                let (resume, caps) = self.sim_probe(&sched, salt);
-                trials.push(Some(Trial { sched, probes, resume, caps }));
+                prepared.push(Some(Prepared { sched, probes, salt }));
             }
 
             // Epoch metric: time from super-epoch start to the last kernel
@@ -1172,40 +1298,25 @@ impl<'g> Astra<'g> {
                 m
             };
 
-            let dev = self.dev;
-            let clock = self.opts.clock;
-            let faults = self.opts.faults;
-            let trials_ref = &trials;
-            let idxs: Vec<usize> = (0..cfgs.len()).collect();
-            type TrialOut = Option<(Outcome, Vec<EngineCheckpoint>)>;
-            let results: Vec<Result<TrialOut, AstraError>> =
-                parallel_map(workers, &idxs, |_, &i| {
-                    let Some(t) = &trials_ref[i] else { return Ok(None) };
-                    let (r, captured) = Engine::with_faults(dev, clock, faults, salt0 + i as u64)
-                        .run_incremental(&t.sched, t.resume.as_deref(), &t.caps)?;
-                    Ok(Some((
-                        Outcome {
-                            total_ns: r.total_ns,
-                            probe_records: t.probes.probe_records,
-                            faulted: r.faults.any(),
-                            epoch_metrics: epoch_metrics_of(&t.probes, &r),
-                        },
-                        captured,
-                    )))
-                });
+            let results = self.run_batch(prepared);
 
             for (bi, outcome) in results.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let Some((mut o, captured)) = outcome? else {
+                let Some((r, probes)) = outcome? else {
                     // Verify-rejected candidate: poison its choices.
                     for id in epoch_opts.keys() {
                         tree.poison(id);
                     }
                     continue;
                 };
-                self.sim_absorb(salt, captured);
+                let mut o = Outcome {
+                    total_ns: r.total_ns,
+                    probe_records: probes.probe_records,
+                    faulted: r.faults.any(),
+                    epoch_metrics: epoch_metrics_of(&probes, &r),
+                };
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;

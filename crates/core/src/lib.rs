@@ -19,7 +19,11 @@
 //! * [`ProfileKey`] / [`ProfileIndex`] — context-mangled profile indexing.
 //! * [`optimize_bucketed`] — dynamic-graph support via bucketed profiling.
 //! * [`SimCache`] — engine checkpoints shared across candidate trials, so
-//!   schedules with common prefixes resume instead of re-simulating.
+//!   schedules with common prefixes resume instead of re-simulating;
+//!   [`plan_prefix_batch`] orders each lookahead batch into prefix groups
+//!   (a trie DFS over boundary-hash chains) so those resumes actually
+//!   land, and [`GroupShard`] gives each group a worker-local cache view
+//!   merged back deterministically at the batch barrier.
 //! * [`explore_recompute`] — the §3.4 recompute-for-memory adaptation,
 //!   backed by a liveness analysis ([`peak_activation_bytes`]).
 //!
@@ -61,7 +65,7 @@ pub use adaptive::{AdaptiveVar, ExploreMode, UpdateNode, UpdateTree};
 pub use astra::{Astra, AstraOptions, Dims, Report};
 pub use bucketing::{optimize_bucketed, BucketedReport};
 pub use error::AstraError;
-pub use parallel::{effective_workers, parallel_map};
+pub use parallel::{effective_workers, parallel_map, WorkerPool};
 pub use plan::{
     bind_libs, build_allocation_plan, build_units, build_units_fragmented, emit_schedule,
     ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId,
@@ -69,5 +73,7 @@ pub use plan::{
 };
 pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};
-pub use simcache::SimCache;
+pub use simcache::{
+    plan_prefix_batch, GroupShard, KeyCtx, PrefixPlan, SimCache, TrialBase, HIT_DEPTH_BUCKETS,
+};
 pub use verify::{access_table, verify_plan};

@@ -15,6 +15,31 @@
 //! to cold runs — the engine guarantees it — so the cache changes
 //! wall-clock time only, never results.
 //!
+//! ## Cache-aware batch scheduling
+//!
+//! The driver does not probe trials one by one in candidate order: that
+//! would simulate every batch member before any of its captures exist.
+//! Instead it plans each lookahead batch with [`plan_prefix_batch`]:
+//!
+//! 1. Each candidate's **boundary-hash chain** (the ordered hashes of its
+//!    marked boundaries) keys it into a prefix trie over the batch.
+//! 2. Sorting the chains lexicographically is exactly a DFS of that trie,
+//!    so consecutive trials share the deepest possible prefixes; maximal
+//!    runs that share at least their first boundary become **prefix
+//!    groups**.
+//! 3. The hashes where adjacent sorted chains diverge are the trie's
+//!    **branch points** — the exact boundaries where a capture guarantees
+//!    every sibling a deepest-match resume.
+//!
+//! Each group then executes sequentially against a [`GroupShard`]: a
+//! group-local overlay that layers the group's own captures over an
+//! immutable pre-batch view ([`SimCache::trial_base`]) of the shared
+//! cache. Groups never need a sibling group's checkpoints (they share no
+//! prefix beyond what the pre-batch view already holds), so whole groups
+//! fan out across workers and the shards merge back in deterministic
+//! group order at the batch barrier — hit/miss/depth counters become a
+//! pure function of batch content, bit-identical at every worker count.
+//!
 //! ## What the key contains (and why)
 //!
 //! A checkpoint is only valid for a run that would have reached the exact
@@ -38,27 +63,46 @@
 //!   runs share checkpoints across salts (no draw ever happens, so the
 //!   salt cannot matter).
 //!
+//! The non-schedule components are hoisted into a [`KeyCtx`] built once
+//! per probe (or once per batch), not re-hashed per boundary.
+//!
 //! The cache is bounded ([`SimCache::with_capacity`]) with FIFO eviction:
 //! exploration probes are dominated by *recently* captured prefixes (the
 //! current phase's shared geometry), so evicting the oldest insertion
 //! loses only prefixes whole phases have moved past.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use astra_gpu::{ClockMode, DeviceSpec, EngineCheckpoint, FaultPlan, Schedule};
 
 /// Default bound on cached checkpoints. Checkpoints are a few KB each
 /// (per-stream queues + the result so far), so this keeps the cache in the
-/// single-digit-MB range while comfortably covering one phase's working
-/// set of shared prefixes.
-const DEFAULT_CAPACITY: usize = 256;
+/// tens-of-MB range worst case. The bound must cover a *full* exploration
+/// pass, not just one phase: steady-state re-exploration (the paper's
+/// repeated-mini-batch regime) replays every trial from its full-run memo,
+/// which only works if the first pass's final-boundary captures are still
+/// resident when the second pass begins.
+const DEFAULT_CAPACITY: usize = 4096;
 
-/// Most checkpoints captured by a single cold run. Each capture costs a
-/// state clone plus an open-stream scan, so runs seed the cache at a
-/// bounded number of evenly spaced uncached boundaries (always including
-/// the final one — a full-run memo that replays without any simulation).
+/// Most checkpoints captured by a single *sequential* run (the native
+/// baseline, fault retries, playoffs). Each capture costs a state clone
+/// plus an open-stream scan, so one-off runs seed the cache at a bounded
+/// number of evenly spaced uncached boundaries (always including the
+/// final one — a full-run memo that replays without any simulation).
 const MAX_CAPTURES_PER_RUN: usize = 8;
+
+/// Most checkpoints captured by one run inside a prefix group. Branch
+/// points of the batch trie are always captured (they are what sibling
+/// trials resume from); any remaining budget seeds evenly sampled
+/// still-uncached boundaries so *future* batches — which diverge at
+/// boundaries this batch cannot know yet — still find deep matches.
+const MAX_CAPTURES_PER_GROUP_RUN: usize = 12;
+
+/// Buckets in the sim-cache hit-depth histogram: bucket `b` counts hits
+/// that resumed after skipping `[b/8, (b+1)/8)` of the run's commands
+/// (full-run memo replays land in the last bucket).
+pub const HIT_DEPTH_BUCKETS: usize = 8;
 
 /// Identity of a checkpointed simulation state (see the module docs for
 /// what each component pins down).
@@ -97,8 +141,142 @@ fn device_fingerprint(dev: &DeviceSpec) -> u64 {
     h
 }
 
+/// The non-schedule components of a [`SimCache`] key — device and fault
+/// fingerprints plus the clock — hashed once and reused for every boundary
+/// of every probe in a batch. Clean fault plans normalize here: their
+/// fingerprint is zero and every salt maps to zero, so clean runs share
+/// checkpoints across salts without per-key branching.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyCtx {
+    device: u64,
+    clock: ClockMode,
+    fault: u64,
+    clean: bool,
+}
+
+impl KeyCtx {
+    /// Fingerprints `dev` and `faults` once for a run context.
+    pub fn new(dev: &DeviceSpec, clock: ClockMode, faults: &FaultPlan) -> Self {
+        let clean = faults.is_none();
+        KeyCtx {
+            device: device_fingerprint(dev),
+            clock,
+            fault: if clean { 0 } else { faults.fingerprint() },
+            clean,
+        }
+    }
+
+    fn key(&self, prefix_hash: u64, salt: u64) -> SimKey {
+        SimKey {
+            prefix_hash,
+            device: self.device,
+            clock: self.clock,
+            fault: self.fault,
+            salt: if self.clean { 0 } else { salt },
+        }
+    }
+}
+
+/// The histogram bucket a resume at `resumed_at` of `total` commands
+/// falls into.
+fn depth_bucket(resumed_at: usize, total: usize) -> usize {
+    if total == 0 {
+        return 0;
+    }
+    (resumed_at * HIT_DEPTH_BUCKETS / total).min(HIT_DEPTH_BUCKETS - 1)
+}
+
+/// Evenly samples up to `budget` items from `items` (all of them when they
+/// fit), preserving order.
+fn sample_even(items: &[usize], budget: usize) -> Vec<usize> {
+    if items.len() <= budget {
+        return items.to_vec();
+    }
+    if budget == 0 {
+        return Vec::new();
+    }
+    let step = items.len().div_ceil(budget);
+    items.iter().copied().step_by(step.max(1)).collect()
+}
+
+/// A batch's prefix-trie plan: the trial execution order (grouped) and the
+/// boundary hashes where the batch's schedules diverge.
+#[derive(Debug, Clone)]
+pub struct PrefixPlan {
+    /// Trial indices in trie-DFS order, split into prefix groups: trials
+    /// within a group share at least their first boundary hash with a
+    /// neighbor, trials in different groups share no prefix at all.
+    /// Concatenated, the groups are a permutation of `0..n` — nothing is
+    /// dropped or duplicated by reordering.
+    pub groups: Vec<Vec<usize>>,
+    /// Boundary hashes at which adjacent chains in DFS order diverge (the
+    /// trie's branch points). Capturing exactly these gives every sibling
+    /// a deepest-match resume.
+    pub branches: HashSet<u64>,
+}
+
+impl PrefixPlan {
+    /// The identity plan: singleton groups in candidate order, no branch
+    /// points. Used when the sim cache is off (ordering would be dead
+    /// weight) — execution order then matches the naive driver exactly.
+    pub fn naive(n: usize) -> Self {
+        PrefixPlan { groups: (0..n).map(|i| vec![i]).collect(), branches: HashSet::new() }
+    }
+}
+
+/// Builds the prefix trie over one lookahead batch. `chains[i]` is trial
+/// `i`'s boundary-hash chain ([`Schedule::boundaries`] hashes in order);
+/// an empty chain marks a trial that bypasses the cache (rejected
+/// candidate, boundary-free schedule) and always gets a singleton group.
+///
+/// Sorting chains lexicographically (ties by candidate index, so the
+/// order is deterministic) *is* a DFS of the trie: equal prefixes sort
+/// adjacent, so consecutive trials share the deepest available prefix.
+pub fn plan_prefix_batch(chains: &[Vec<u64>]) -> PrefixPlan {
+    let mut order: Vec<usize> = (0..chains.len()).collect();
+    order.sort_by(|&a, &b| chains[a].cmp(&chains[b]).then(a.cmp(&b)));
+
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut branches = HashSet::new();
+    for (k, &i) in order.iter().enumerate() {
+        let joined = k > 0 && !chains[i].is_empty() && {
+            let prev = order[k - 1];
+            chains[prev].first() == chains[i].first()
+        };
+        if joined {
+            let prev = order[k - 1];
+            // Longest common prefix with the DFS predecessor: its last
+            // shared boundary is where this pair of subtrees branches.
+            let lcp = chains[prev]
+                .iter()
+                .zip(&chains[i])
+                .take_while(|(a, b)| a == b)
+                .count();
+            branches.insert(chains[i][lcp - 1]);
+            groups.last_mut().expect("joined implies a predecessor group").push(i);
+        } else {
+            groups.push(vec![i]);
+        }
+    }
+    PrefixPlan { groups, branches }
+}
+
+/// A trial's pre-batch view of the shared cache, computed before the batch
+/// fans out: the deepest already-cached checkpoint to resume from and
+/// which of the trial's boundaries are already cached (so group runs do
+/// not re-capture them). Immutable by construction — it is a snapshot, so
+/// sibling groups racing on the shared cache is impossible.
+#[derive(Debug, Default)]
+pub struct TrialBase {
+    /// Deepest pre-batch checkpoint: `(command index, checkpoint)`.
+    pub resume: Option<(usize, Arc<EngineCheckpoint>)>,
+    /// Per-boundary (aligned with [`Schedule::boundaries`]) flag: already
+    /// cached before the batch started.
+    pub cached: Vec<bool>,
+}
+
 /// Bounded map from simulation-state identity to captured engine
-/// checkpoints, with hit/miss and resumed-work accounting.
+/// checkpoints, with hit/miss, resumed-work, and hit-depth accounting.
 ///
 /// The exploration driver owns one per [`crate::Astra`]; benchmarks can
 /// drive one directly around [`astra_gpu::Engine::run_incremental`].
@@ -111,6 +289,7 @@ pub struct SimCache {
     misses: u64,
     resumed_cmds: u64,
     total_cmds: u64,
+    hit_depth: [u64; HIT_DEPTH_BUCKETS],
 }
 
 impl SimCache {
@@ -124,25 +303,16 @@ impl SimCache {
         SimCache { capacity: capacity.max(1), ..SimCache::default() }
     }
 
-    fn key(
-        &self,
-        prefix_hash: u64,
-        dev: &DeviceSpec,
-        clock: ClockMode,
-        faults: &FaultPlan,
-        salt: u64,
-    ) -> SimKey {
-        // Clean runs normalize the fault components: with no draws, runs
-        // under every salt evolve identically and may share checkpoints.
-        let (fault, salt) =
-            if faults.is_none() { (0, 0) } else { (faults.fingerprint(), salt) };
-        SimKey { prefix_hash, device: device_fingerprint(dev), clock, fault, salt }
-    }
-
     /// Probes for the deepest checkpoint matching one of `sched`'s
     /// boundaries and plans which still-uncached boundaries this run
-    /// should capture. Returns `(resume, capture_at)` ready to hand to
+    /// should capture (evenly sampled, final boundary always included).
+    /// Returns `(resume, capture_at)` ready to hand to
     /// [`astra_gpu::Engine::run_incremental`].
+    ///
+    /// This is the *sequential* front door — native baselines, fault
+    /// retries, playoffs. Batched exploration goes through
+    /// [`plan_prefix_batch`] + [`GroupShard`] instead, whose capture plan
+    /// is derived from the batch's trie rather than sampled.
     ///
     /// Counts one hit or miss, and accrues the resumed-command fraction
     /// ([`SimCache::resumed_fraction`]). Schedules without boundaries are
@@ -155,6 +325,7 @@ impl SimCache {
         faults: &FaultPlan,
         salt: u64,
     ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
+        let ctx = KeyCtx::new(dev, clock, faults);
         let boundaries = sched.boundaries();
         if boundaries.is_empty() {
             return (None, Vec::new());
@@ -163,43 +334,43 @@ impl SimCache {
         let mut resume = None;
         let mut resumed_at = 0usize;
         for &(pos, hash) in boundaries.iter().rev() {
-            if let Some(ck) = self.map.get(&self.key(hash, dev, clock, faults, salt)) {
+            if let Some(ck) = self.map.get(&ctx.key(hash, salt)) {
                 resume = Some(Arc::clone(ck));
                 resumed_at = pos;
                 break;
             }
         }
-        if resume.is_some() {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
-        self.total_cmds += sched.cmds().len() as u64;
-        self.resumed_cmds += resumed_at as u64;
+        self.count_probe(resume.is_some(), resumed_at, sched.cmds().len());
 
         // Capture plan: evenly sample the uncached boundaries beyond the
         // resume point, and always include the final boundary so a repeat
-        // of this exact schedule replays from the memoized result. Captures
-        // are cheap (the engine shares completed spans structurally), so a
-        // broad plan costs little and keeps boundary coverage dense.
+        // of this exact schedule replays from the memoized result.
         let todo: Vec<usize> = boundaries
             .iter()
             .filter(|&&(pos, hash)| {
-                pos > resumed_at
-                    && !self.map.contains_key(&self.key(hash, dev, clock, faults, salt))
+                pos > resumed_at && !self.map.contains_key(&ctx.key(hash, salt))
             })
             .map(|&(pos, _)| pos)
             .collect();
         let mut capture_at = Vec::new();
         if let Some((&last, rest)) = todo.split_last() {
-            if !rest.is_empty() {
-                let picks = MAX_CAPTURES_PER_RUN - 1;
-                let step = rest.len().div_ceil(picks); // ceil: ≤ picks samples
-                capture_at.extend(rest.iter().copied().step_by(step.max(1)));
-            }
+            capture_at = sample_even(rest, MAX_CAPTURES_PER_RUN - 1);
             capture_at.push(last);
         }
         (resume, capture_at)
+    }
+
+    /// One probe's accounting, shared by the sequential path and shard
+    /// merges.
+    fn count_probe(&mut self, hit: bool, resumed_at: usize, total: usize) {
+        if hit {
+            self.hits += 1;
+            self.hit_depth[depth_bucket(resumed_at, total)] += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.total_cmds += total as u64;
+        self.resumed_cmds += resumed_at as u64;
     }
 
     /// Inserts the checkpoints captured by one run, evicting the oldest
@@ -214,17 +385,58 @@ impl SimCache {
         salt: u64,
         captured: Vec<EngineCheckpoint>,
     ) {
+        let ctx = KeyCtx::new(dev, clock, faults);
         for ck in captured {
-            let key = self.key(ck.prefix_hash(), dev, clock, faults, salt);
-            if self.map.contains_key(&key) {
-                continue;
+            self.insert(ctx.key(ck.prefix_hash(), salt), Arc::new(ck));
+        }
+    }
+
+    fn insert(&mut self, key: SimKey, ck: Arc<EngineCheckpoint>) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        self.map.insert(key.clone(), ck);
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("map non-empty implies order");
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// A trial's pre-batch snapshot: the deepest cached checkpoint among
+    /// `sched`'s boundaries and the per-boundary cached flags. Read-only
+    /// (no counters move) — the counting probe happens in the trial's
+    /// [`GroupShard`], where the final resume decision is made.
+    pub fn trial_base(&self, sched: &Schedule, ctx: &KeyCtx, salt: u64) -> TrialBase {
+        let boundaries = sched.boundaries();
+        let mut cached = Vec::with_capacity(boundaries.len());
+        let mut resume = None;
+        for &(pos, hash) in boundaries {
+            match self.map.get(&ctx.key(hash, salt)) {
+                Some(ck) => {
+                    cached.push(true);
+                    // Boundaries ascend, so the last match is the deepest.
+                    resume = Some((pos, Arc::clone(ck)));
+                }
+                None => cached.push(false),
             }
-            self.map.insert(key.clone(), Arc::new(ck));
-            self.order.push_back(key);
-            while self.map.len() > self.capacity {
-                let oldest = self.order.pop_front().expect("map non-empty implies order");
-                self.map.remove(&oldest);
-            }
+        }
+        TrialBase { resume, cached }
+    }
+
+    /// Merges one group's shard back at the batch barrier: checkpoints in
+    /// the shard's capture order (deterministic FIFO age), counters
+    /// summed. Call in group order so eviction order is worker-invariant.
+    pub fn merge_shard(&mut self, shard: GroupShard) {
+        for (key, ck) in shard.local {
+            self.insert(key, ck);
+        }
+        self.hits += shard.hits;
+        self.misses += shard.misses;
+        self.resumed_cmds += shard.resumed_cmds;
+        self.total_cmds += shard.total_cmds;
+        for (d, s) in self.hit_depth.iter_mut().zip(shard.hit_depth) {
+            *d += s;
         }
     }
 
@@ -258,6 +470,11 @@ impl SimCache {
         }
     }
 
+    /// Histogram of hit depths (see [`HIT_DEPTH_BUCKETS`]).
+    pub fn hit_depth(&self) -> [u64; HIT_DEPTH_BUCKETS] {
+        self.hit_depth
+    }
+
     /// Checkpoints currently held.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -266,6 +483,131 @@ impl SimCache {
     /// Whether the cache holds no checkpoints.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// One prefix group's working cache while the group executes (possibly on
+/// a worker thread): the group's own captures, layered over each trial's
+/// immutable [`TrialBase`]. All hit/miss/depth accounting happens here —
+/// the final resume decision is the shard's — so the counters depend only
+/// on batch content and pre-batch cache state, never on worker scheduling.
+#[derive(Debug)]
+pub struct GroupShard {
+    ctx: KeyCtx,
+    /// Group-local captures in insertion order (the order they merge into
+    /// the shared cache, so FIFO eviction age stays deterministic).
+    local: Vec<(SimKey, Arc<EngineCheckpoint>)>,
+    index: HashMap<SimKey, usize>,
+    hits: u64,
+    misses: u64,
+    resumed_cmds: u64,
+    total_cmds: u64,
+    hit_depth: [u64; HIT_DEPTH_BUCKETS],
+}
+
+impl GroupShard {
+    /// An empty shard for one group of a batch running under `ctx`.
+    pub fn new(ctx: KeyCtx) -> Self {
+        GroupShard {
+            ctx,
+            local: Vec::new(),
+            index: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            resumed_cmds: 0,
+            total_cmds: 0,
+            hit_depth: [0; HIT_DEPTH_BUCKETS],
+        }
+    }
+
+    fn lookup(&self, hash: u64, salt: u64) -> Option<&Arc<EngineCheckpoint>> {
+        self.index.get(&self.ctx.key(hash, salt)).map(|&i| &self.local[i].1)
+    }
+
+    /// Probes for the deepest resume (group-local captures beat the
+    /// pre-batch `base` when deeper) and plans this run's captures: every
+    /// still-uncached branch point of the batch trie beyond the resume,
+    /// the final boundary (full-run memo), and evenly sampled filler up
+    /// to `MAX_CAPTURES_PER_GROUP_RUN` for future batches to land on.
+    ///
+    /// Counts one hit or miss. Boundary-free schedules bypass and count
+    /// nothing.
+    pub fn probe_and_plan(
+        &mut self,
+        sched: &Schedule,
+        salt: u64,
+        base: &TrialBase,
+        branches: &HashSet<u64>,
+    ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
+        let boundaries = sched.boundaries();
+        if boundaries.is_empty() {
+            return (None, Vec::new());
+        }
+
+        let mut resume = base.resume.clone();
+        for &(pos, hash) in boundaries.iter().rev() {
+            if resume.as_ref().is_some_and(|&(at, _)| at >= pos) {
+                break; // the pre-batch base is already at least this deep
+            }
+            if let Some(ck) = self.lookup(hash, salt) {
+                resume = Some((pos, Arc::clone(ck)));
+                break;
+            }
+        }
+        let resumed_at = resume.as_ref().map_or(0, |&(at, _)| at);
+        let total = sched.cmds().len();
+        if resume.is_some() {
+            self.hits += 1;
+            self.hit_depth[depth_bucket(resumed_at, total)] += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.total_cmds += total as u64;
+        self.resumed_cmds += resumed_at as u64;
+
+        let final_pos = boundaries.last().map_or(0, |&(pos, _)| pos);
+        let mut mandatory = Vec::new();
+        let mut filler = Vec::new();
+        for (j, &(pos, hash)) in boundaries.iter().enumerate() {
+            if pos <= resumed_at
+                || base.cached.get(j).copied().unwrap_or(false)
+                || self.index.contains_key(&self.ctx.key(hash, salt))
+            {
+                continue;
+            }
+            if pos == final_pos || branches.contains(&hash) {
+                mandatory.push(pos);
+            } else {
+                filler.push(pos);
+            }
+        }
+        let budget = MAX_CAPTURES_PER_GROUP_RUN.saturating_sub(mandatory.len());
+        let mut capture_at = mandatory;
+        capture_at.extend(sample_even(&filler, budget));
+        capture_at.sort_unstable();
+        (resume.map(|(_, ck)| ck), capture_at)
+    }
+
+    /// Records the checkpoints one group run captured, in order.
+    pub fn absorb(&mut self, salt: u64, captured: Vec<EngineCheckpoint>) {
+        for ck in captured {
+            let key = self.ctx.key(ck.prefix_hash(), salt);
+            if self.index.contains_key(&key) {
+                continue;
+            }
+            self.index.insert(key.clone(), self.local.len());
+            self.local.push((key, Arc::new(ck)));
+        }
+    }
+
+    /// Checkpoints captured by this group so far.
+    pub fn len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Whether the shard holds no captures yet.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty()
     }
 }
 
@@ -285,6 +627,33 @@ mod tests {
             s.mark_boundary();
         }
         s
+    }
+
+    /// A family of schedules sharing an `head`-launch prefix and then
+    /// diverging per variant (distinct GEMM shapes after the split).
+    fn sched_family(head: usize, tail: usize, variant: u64) -> Schedule {
+        let mut s = Schedule::new(2);
+        let shared = GemmShape::new(64, 256, 256);
+        for i in 0..head {
+            s.launch(
+                StreamId(i % 2),
+                KernelDesc::Gemm { shape: shared, lib: GemmLibrary::CublasLike },
+            );
+            s.mark_boundary();
+        }
+        let own = GemmShape::new(32 + variant, 128, 128);
+        for i in 0..tail {
+            s.launch(
+                StreamId(i % 2),
+                KernelDesc::Gemm { shape: own, lib: GemmLibrary::CublasLike },
+            );
+            s.mark_boundary();
+        }
+        s
+    }
+
+    fn chain(s: &Schedule) -> Vec<u64> {
+        s.boundaries().iter().map(|&(_, h)| h).collect()
     }
 
     #[test]
@@ -311,6 +680,8 @@ mod tests {
         assert_eq!(ck.cmd_idx(), sched.cmds().len());
         assert!(caps2.is_empty(), "nothing left to capture");
         assert_eq!(cache.hits(), 1);
+        // A full-run memo skips everything: deepest histogram bucket.
+        assert_eq!(cache.hit_depth()[HIT_DEPTH_BUCKETS - 1], 1);
         let (r2, _) = Engine::new(&dev)
             .run_incremental(&sched, Some(&ck), &[])
             .expect("memo replay");
@@ -413,5 +784,108 @@ mod tests {
             cache.probe_and_plan(&s, &dev, ClockMode::Fixed, &FaultPlan::none(), 0);
         assert!(resume.is_none() && caps.is_empty());
         assert_eq!((cache.hits(), cache.misses(), cache.total_cmds()), (0, 0, 0));
+    }
+
+    #[test]
+    fn prefix_plan_groups_shared_prefixes_and_finds_branch_points() {
+        // Variants 0 and 1 share a 4-boundary head; variant-less schedule
+        // `other` shares nothing; an empty chain stays a singleton.
+        let a = sched_family(4, 3, 0);
+        let b = sched_family(4, 3, 1);
+        let other = sched_family(0, 3, 7);
+        let chains = vec![chain(&a), chain(&b), chain(&other), Vec::new()];
+        let plan = plan_prefix_batch(&chains);
+
+        // Permutation: nothing dropped or duplicated.
+        let mut flat: Vec<usize> = plan.groups.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![0, 1, 2, 3]);
+
+        // a and b share their head, so they land in one group; the others
+        // are singletons.
+        let joint = plan
+            .groups
+            .iter()
+            .find(|g| g.contains(&0))
+            .expect("group containing trial 0");
+        assert_eq!(joint.len(), 2, "{:?}", plan.groups);
+        assert!(joint.contains(&1));
+        assert_eq!(plan.groups.len(), 3);
+
+        // The branch point is the last shared boundary (head depth 4).
+        assert_eq!(plan.branches.len(), 1);
+        assert!(plan.branches.contains(&chains[0][3]));
+    }
+
+    #[test]
+    fn group_shard_resumes_siblings_at_the_branch_point() {
+        let dev = DeviceSpec::p100();
+        let a = sched_family(6, 2, 0);
+        let b = sched_family(6, 2, 1);
+        let chains = vec![chain(&a), chain(&b)];
+        let plan = plan_prefix_batch(&chains);
+        assert_eq!(plan.groups.len(), 1, "siblings share a prefix group");
+
+        let fault = FaultPlan::none();
+        let ctx = KeyCtx::new(&dev, ClockMode::Fixed, &fault);
+        let cache = SimCache::new();
+        let mut shard = GroupShard::new(ctx);
+
+        // Trial a: cold (base and shard both empty), captures the branch.
+        let base_a = cache.trial_base(&a, &ctx, 0);
+        let (resume, caps) = shard.probe_and_plan(&a, 0, &base_a, &plan.branches);
+        assert!(resume.is_none());
+        let branch_pos = a.boundaries()[5].0;
+        assert!(caps.contains(&branch_pos), "branch point must be captured");
+        let (ra, captured) = Engine::new(&dev)
+            .run_incremental(&a, None, &caps)
+            .expect("cold run");
+        shard.absorb(0, captured);
+
+        // Trial b resumes exactly at the divergence boundary, from the
+        // shard — the shared cache never saw these captures.
+        let base_b = cache.trial_base(&b, &ctx, 1);
+        let (resume, _) = shard.probe_and_plan(&b, 1, &base_b, &plan.branches);
+        let ck = resume.expect("sibling resumes from the group's captures");
+        assert_eq!(ck.cmd_idx(), branch_pos);
+        let (rb, _) = Engine::new(&dev)
+            .run_incremental(&b, Some(&ck), &[])
+            .expect("resumed run");
+        let cold_b = Engine::new(&dev).run(&b).expect("cold reference");
+        assert_eq!(rb.total_ns.to_bits(), cold_b.total_ns.to_bits());
+        assert!(ra.total_ns > 0.0);
+
+        // Merging moves the captures and counters into the shared cache.
+        let mut cache = cache;
+        cache.merge_shard(shard);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(cache.len() > 0);
+        let rebase = cache.trial_base(&b, &ctx, 2);
+        assert!(rebase.resume.is_some(), "merged captures serve later batches");
+    }
+
+    #[test]
+    fn trial_base_is_read_only_and_tracks_cached_boundaries() {
+        let dev = DeviceSpec::p100();
+        let sched = sched_with_boundaries(6);
+        let mut cache = SimCache::new();
+        let fault = FaultPlan::none();
+        let ctx = KeyCtx::new(&dev, ClockMode::Fixed, &fault);
+
+        let empty = cache.trial_base(&sched, &ctx, 0);
+        assert!(empty.resume.is_none());
+        assert!(empty.cached.iter().all(|&c| !c));
+
+        let (_, caps) = cache.probe_and_plan(&sched, &dev, ClockMode::Fixed, &fault, 0);
+        let (_, captured) =
+            Engine::new(&dev).run_incremental(&sched, None, &caps).expect("run");
+        cache.absorb(&dev, ClockMode::Fixed, &fault, 0, captured);
+        let (h0, m0) = (cache.hits(), cache.misses());
+
+        let base = cache.trial_base(&sched, &ctx, 5);
+        let (pos, _) = base.resume.as_ref().expect("memo cached");
+        assert_eq!(*pos, sched.cmds().len());
+        assert!(base.cached.iter().any(|&c| c));
+        assert_eq!((cache.hits(), cache.misses()), (h0, m0), "trial_base must not count");
     }
 }
