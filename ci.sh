@@ -34,6 +34,12 @@ cargo test -q --test determinism
 echo "== robustness (fault-injected convergence, release) =="
 cargo test -q --release --test robustness
 
+echo "== distributed tier (multi-device placement search, release) =="
+# Sweep-optimality of the chosen placement per topology (heterogeneous
+# included), 5% convergence under faults, and bit-identical reports at
+# any worker count.
+cargo test -q --release --test distrib_search
+
 echo "== no ignored tests =="
 # An #[ignore] attribute silently shrinks the gate; fail loudly instead.
 if grep -rn '#\[ignore' tests crates --include='*.rs'; then
@@ -49,6 +55,12 @@ cargo build --release -p astra-cli
 ./target/release/astra-cli verify --fixtures tests/golden
 for m in scrnn milstm sublstm stackedlstm gnmt rhn; do
     ./target/release/astra-cli verify --model "$m" --batch 8 --streams 4
+done
+# Multi-device plans: every candidate placement on homogeneous and
+# heterogeneous nodes must pass the cross-device rules (transfer
+# ordering, all-reduce deadlock, replica coherence).
+for devs in 2 4 p100,v100; do
+    ./target/release/astra-cli verify --model sublstm --batch 8 --devices "$devs"
 done
 
 echo "== rustdoc (deny warnings) =="

@@ -33,6 +33,7 @@ use astra_core::{
     build_units, emit_schedule, Astra, AstraOptions, Dims, ExecConfig, PlanContext, ProbeSpec,
     Report, SimCache,
 };
+use astra_distrib::node_topology;
 use astra_gpu::{ClockMode, DeviceSpec, Engine, FaultPlan, Schedule};
 use astra_models::Model;
 
@@ -407,10 +408,88 @@ fn main() {
         ));
     }
 
+    // Multi-device placement search: the same exploration on 1/2/4-device
+    // nvlink nodes. Single-device placement is always a candidate, so the
+    // multi-device winner can never be slower than the devices=1 steady
+    // state; the wall-clock row shows what the extra placement dimension
+    // costs the driver.
+    let mut device_rows = Vec::new();
+    {
+        // Compute-bound regime (large batch, moderate hidden): per-device
+        // GEMM time scales with the batch share, so placement genuinely
+        // moves the steady state.
+        let mut cfg = Model::SubLstm.default_config(256);
+        cfg.seq_len = 8;
+        cfg.hidden = 256;
+        cfg.input = 256;
+        cfg.vocab = 1000;
+        let built = Model::SubLstm.build(&cfg);
+        let mut single_steady: Option<f64> = None;
+        for devices in [1usize, 2, 4] {
+            let topo = node_topology(&devices.to_string(), "nvlink", &dev)
+                .expect("benchmark node parses");
+            let opts = AstraOptions {
+                dims: Dims { fusion: false, kernel: false, streams: false, alloc: false },
+                faults: FaultPlan::none(),
+                ..Default::default()
+            };
+            let reps = 3;
+            let mut wall = Vec::with_capacity(reps);
+            let mut report: Option<Report> = None;
+            for _ in 0..reps {
+                let mut astra = Astra::with_topology(&built.graph, &topo, opts.clone());
+                let t0 = Instant::now();
+                let r = astra.optimize().expect("placement exploration succeeds");
+                wall.push(t0.elapsed().as_secs_f64() * 1e3);
+                if let Some(prev) = &report {
+                    assert_eq!(
+                        prev.steady_ns.to_bits(),
+                        r.steady_ns.to_bits(),
+                        "devices={devices}: repeated exploration drifted"
+                    );
+                    assert_eq!(prev.best, r.best, "devices={devices}: winner drifted");
+                }
+                report = Some(r);
+            }
+            let r = report.expect("at least one rep ran");
+            match single_steady {
+                None => {
+                    assert_eq!(r.placements_explored, 0, "one device has no placement space");
+                    single_steady = Some(r.steady_ns);
+                }
+                Some(s1) => {
+                    assert!(r.placements_explored > 1, "multi-device must explore placements");
+                    assert!(
+                        r.steady_ns <= s1,
+                        "devices={devices}: single placement is a candidate, so the winner \
+                         can never be slower than devices=1 ({:.0} vs {s1:.0})",
+                        r.steady_ns
+                    );
+                }
+            }
+            let util: Vec<String> =
+                r.device_utilization.iter().map(|u| format!("{u:.3}")).collect();
+            device_rows.push(format!(
+                "{{\"devices\":{devices},\"wall_ms\":{:.1},\"reps\":{reps},\
+                 \"steady_ns\":{:.0},\"placement\":\"{}\",\"placements_explored\":{},\
+                 \"configs_explored\":{},\"cost_per_throughput\":{:.0},\
+                 \"device_utilization\":[{}]}}",
+                min_ms(&wall),
+                r.steady_ns,
+                r.best.placement.label(),
+                r.placements_explored,
+                r.configs_explored,
+                r.cost_per_throughput,
+                util.join(","),
+            ));
+        }
+    }
+
     println!(
-        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n],\n\"verify_overhead\":[\n{}\n]\n}}",
+        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n],\n\"verify_overhead\":[\n{}\n],\n\"devices_sweep\":[\n{}\n]\n}}",
         sweep_rows.join(",\n"),
         driver_rows.join(",\n"),
         verify_rows.join(",\n"),
+        device_rows.join(",\n"),
     );
 }

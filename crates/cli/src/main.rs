@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 
 use astra_core::{Astra, AstraOptions, Dims};
-use astra_distrib::{explore_scaling, LinkSpec};
+use astra_distrib::{explore_scaling, node_topology, LinkSpec};
 use astra_exec::{cudnn_schedule, detect_covered_layers, lower, native_schedule, xla_schedule};
 use astra_gpu::{trace_json, DeviceSpec, Engine, FaultPlan};
 use astra_models::Model;
@@ -71,6 +71,13 @@ commands:
                               (default none; seed defaults to 42)
             [--no-sim-cache]  simulate every trial from t=0 instead of resuming cached
                               engine checkpoints (results are identical either way)
+            [--devices <n|list>] [--topology nvlink|pcie3|ethernet]
+                              explore placements on a simulated multi-device node: a count
+                              (`--devices 4`) means that many copies of the base device, a
+                              model list (`--devices p100,v100`) names each one; placement
+                              (single, data-parallel splits, layer-wise model-parallel cuts)
+                              becomes one more adaptive variable, and the report adds the
+                              chosen placement, per-device utilization, and cost-per-throughput
   compare   --model <name> --batch <n>          compare native / XLA / cuDNN / Astra
   trace     --model <name> --batch <n> --out <file>   write Chrome-tracing JSON
   scaling   --model <name> --global-batch <n> [--link nvlink|pcie3|ethernet]
@@ -78,6 +85,10 @@ commands:
                               statically verify the model's enumerated plans (happens-before
                               hazards, event liveness, allocation aliasing); exits nonzero
                               on any error-severity finding
+            --model <name> --devices <n|list> [--topology <link>]
+                              verify every candidate placement on the given node instead
+                              (cross-device transfer ordering, all-reduce deadlock, replica
+                              coherence)
             --fixtures <dir> [--json] [--workers <n>]
                               parse rendered schedule fixtures (*.txt) and verify their
                               event structure (no footprints: liveness checks only)
@@ -166,6 +177,22 @@ fn device(opts: &Opts<'_>) -> DeviceSpec {
     }
 }
 
+/// The simulated node `--devices`/`--topology` describe, if requested.
+/// `--topology` without `--devices` is rejected — a link with nothing on
+/// it is almost certainly a mistyped invocation.
+fn parse_node(opts: &Opts<'_>, dev: &DeviceSpec) -> Result<Option<astra_gpu::Topology>, String> {
+    match opts.get("--devices") {
+        Some(spec) => {
+            let link = opts.get("--topology").unwrap_or("nvlink");
+            node_topology(spec, link, dev).map(Some)
+        }
+        None if opts.get("--topology").is_some() => {
+            Err("--topology requires --devices (see `astra-cli help`)".to_owned())
+        }
+        None => Ok(None),
+    }
+}
+
 fn build(model: Model, opts: &Opts<'_>) -> Result<astra_models::BuiltModel, String> {
     let batch: u64 = opts.parse("--batch", 16)?;
     let mut cfg = model.default_config(batch);
@@ -186,11 +213,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let built = build(model, &opts)?;
 
     let sim_cache = !opts.flag("--no-sim-cache");
-    let mut astra = Astra::new(
-        &built.graph,
-        &dev,
-        AstraOptions { dims, num_streams, workers, faults, sim_cache, ..Default::default() },
-    );
+    let node = parse_node(&opts, &dev)?;
+    let options =
+        AstraOptions { dims, num_streams, workers, faults, sim_cache, ..Default::default() };
+    let mut astra = match &node {
+        Some(topo) => Astra::with_topology(&built.graph, topo, options),
+        None => Astra::new(&built.graph, &dev, options),
+    };
     println!(
         "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
         model.name(),
@@ -199,6 +228,15 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         astra.context().sets.len(),
         astra.context().alloc.strategies.len()
     );
+    if let Some(topo) = &node {
+        let names: Vec<&str> = topo.devices().iter().map(|d| d.name.as_str()).collect();
+        println!(
+            "node: {} device(s) [{}] over {}",
+            topo.num_devices(),
+            names.join(", "),
+            topo.link().name
+        );
+    }
     let r = astra.optimize().map_err(|e| e.to_string())?;
     println!("native:   {:>10.2} ms/mini-batch", r.native_ns / 1e6);
     println!("Astra:    {:>10.2} ms/mini-batch", r.steady_ns / 1e6);
@@ -222,6 +260,26 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         r.fault_events, r.retries, r.quarantined
     );
     println!("verify: {} plans analyzed, {} rejected", r.plans_verified, r.verify_rejects);
+    if let Some(topo) = &node {
+        println!(
+            "placement: {} ({} candidate(s) explored)",
+            r.best.placement.label(),
+            r.placements_explored
+        );
+        let util: Vec<String> = r
+            .device_utilization
+            .iter()
+            .enumerate()
+            .map(|(i, u)| format!("d{i} {:.0}%", u * 100.0))
+            .collect();
+        println!("device utilization: {}", util.join(", "));
+        println!(
+            "cost-per-throughput: {:.3} cost*ms (node cost {:.2}, steady {:.2} ms)",
+            r.cost_per_throughput / 1e6,
+            topo.total_cost(),
+            r.steady_ns / 1e6
+        );
+    }
     Ok(())
 }
 
@@ -272,6 +330,37 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let streams: usize = opts.parse("--streams", 2)?;
     let built = build(model, &opts)?;
     let ctx = astra_core::PlanContext::new(&built.graph);
+
+    // Multi-device mode: verify every candidate placement on the node —
+    // the same generator–verifier gate exploration applies per trial.
+    if let Some(topo) = parse_node(&opts, &device(&opts))? {
+        let base = astra_core::ExecConfig::baseline();
+        let units = astra_core::build_units(&ctx, &base).map_err(|e| e.to_string())?;
+        let mut plans = Vec::new();
+        for placement in astra_core::placement_candidates(&topo, &units) {
+            let mut cfg = base.clone();
+            cfg.placement = placement;
+            let (sched, _) = astra_core::emit_schedule(
+                &ctx,
+                &cfg,
+                &units,
+                None,
+                &astra_core::ProbeSpec::none(),
+            );
+            let report = astra_core::verify_plan(&ctx, &cfg, &units, &sched, workers);
+            plans.push(VerifiedPlan {
+                label: format!(
+                    "{} {} on {} device(s)",
+                    flag_name(model),
+                    cfg.placement.label(),
+                    topo.num_devices()
+                ),
+                report,
+            });
+        }
+        return print_verify_results(&plans, json);
+    }
+
     let strategies = ctx.alloc.strategies.len().max(1);
 
     let mut plans = Vec::new();

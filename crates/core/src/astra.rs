@@ -25,7 +25,7 @@ use std::sync::Arc;
 use astra_exec::native_schedule;
 use astra_gpu::{
     ClockMode, DeviceSpec, Engine, EngineCheckpoint, FaultPlan, GemmLibrary, GemmShape,
-    RunResult, Schedule,
+    RunResult, Schedule, Topology,
 };
 use astra_ir::Graph;
 
@@ -34,8 +34,8 @@ use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, 
 use crate::error::AstraError;
 use crate::parallel::{effective_workers, parallel_map, WorkerPool};
 use crate::plan::{
-    bind_libs, build_units_fragmented, emit_schedule, ExecConfig, PlanCache, PlanContext,
-    PlanKey, ProbeSpec, Probes, Unit,
+    bind_libs, build_units_fragmented, emit_schedule, placement_candidates, DevicePlacement,
+    ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit,
 };
 use crate::profile::{ProfileIndex, ProfileKey};
 use crate::simcache::{
@@ -85,6 +85,7 @@ struct ExploreStats {
     fault_events: usize,
     retries: usize,
     quarantined: usize,
+    placements: usize,
 }
 
 /// One prepared candidate simulation: the emitted schedule, its probes,
@@ -111,11 +112,20 @@ type GroupOut = (GroupShard, Vec<(usize, Result<TrialOut, AstraError>)>);
 /// over each trial's pre-batch base), simulate, absorb captures back into
 /// the shard. Runs unchanged on the caller's thread or a pool worker —
 /// everything it touches is owned by the job.
-fn run_group(
-    members: GroupJob,
-    dev: &DeviceSpec,
+/// The simulation substrate a trial group runs on: the device (or the
+/// full node topology when placement search is active), the clock mode,
+/// and the fault plan. One value per batch, shared by every group.
+#[derive(Clone, Copy)]
+struct SimTarget<'a> {
+    dev: &'a DeviceSpec,
+    topo: Option<&'a Topology>,
     clock: ClockMode,
     faults: FaultPlan,
+}
+
+fn run_group(
+    members: GroupJob,
+    sim: SimTarget<'_>,
     ctx: KeyCtx,
     branches: &HashSet<u64>,
     use_cache: bool,
@@ -128,8 +138,12 @@ fn run_group(
         } else {
             (None, Vec::new())
         };
-        let res = Engine::with_faults(dev, clock, faults, p.salt)
-            .run_incremental(&p.sched, resume.as_deref(), &caps);
+        let res = match sim.topo {
+            Some(t) => Engine::with_topology(t, sim.clock, sim.faults, p.salt)
+                .run_incremental(&p.sched, resume.as_deref(), &caps),
+            None => Engine::with_faults(sim.dev, sim.clock, sim.faults, p.salt)
+                .run_incremental(&p.sched, resume.as_deref(), &caps),
+        };
         runs.push((
             i,
             match res {
@@ -305,6 +319,18 @@ pub struct Report {
     /// groups per batch means deeper shared prefixes between consecutive
     /// trials. Zero with the cache off.
     pub prefix_group_count: u64,
+    /// SM busy fraction per device during the winning playoff run, indexed
+    /// by device. Single-device runs report one entry; transfers and
+    /// collectives occupy links, not SMs, so they never count as busy time.
+    pub device_utilization: Vec<f64>,
+    /// Steady-state mini-batch time weighted by the topology's total device
+    /// cost (cheapest device = 1.0): lower is better, and a heterogeneous
+    /// mix only wins over a cheaper subset if its speedup outpaces its
+    /// added cost. Equals `steady_ns` on a single-device node.
+    pub cost_per_throughput: f64,
+    /// Candidate placements the placement phase considered (0 on a
+    /// single-device node, where placement never varies).
+    pub placements_explored: usize,
 }
 
 impl Report {
@@ -319,14 +345,21 @@ impl Report {
 pub struct Astra<'g> {
     ctx: PlanContext<'g>,
     dev: &'g DeviceSpec,
+    /// Multi-device node this optimizer targets, when built through
+    /// [`Astra::with_topology`]; `dev` then aliases device 0. `None` keeps
+    /// the classic single-device engine path.
+    topo: Option<&'g Topology>,
     opts: AstraOptions,
     index: ProfileIndex,
     plan_cache: PlanCache,
     sim_cache: SimCache,
-    /// Static-verification verdicts keyed by plan geometry: a plan key's
-    /// first emitted schedule is analyzed once and the verdict reused for
-    /// every later candidate sharing the geometry.
-    verify_cache: HashMap<PlanKey, bool>,
+    /// Static-verification verdicts keyed by plan geometry and device
+    /// placement: a geometry's first emitted schedule under each placement
+    /// is analyzed once and the verdict reused for every later candidate
+    /// sharing both. (Placement changes the wiring — replicas, transfers,
+    /// collectives — without changing the unit geometry, so it must key
+    /// the verdict alongside the plan key.)
+    verify_cache: HashMap<(PlanKey, DevicePlacement), bool>,
     /// Cumulative count of verifier executions (cache misses).
     plans_verified: u64,
     /// Cumulative count of rejected plans.
@@ -350,6 +383,19 @@ impl<'g> Astra<'g> {
     /// Enumerates the optimization state space for `graph` on `dev`.
     pub fn new(graph: &'g Graph, dev: &'g DeviceSpec, opts: AstraOptions) -> Self {
         Astra::with_index(graph, dev, opts, ProfileIndex::new())
+    }
+
+    /// Enumerates the optimization state space for `graph` on a (possibly
+    /// multi-device) `topo`. Device 0 doubles as the reference device for
+    /// kernel cost lookups; on a multi-device node the placement dimension
+    /// joins the exploration, and every simulated mini-batch runs on the
+    /// topology engine (per-device clocks, link contention, collectives).
+    /// A single-device topology behaves exactly like [`Astra::new`] on
+    /// that device.
+    pub fn with_topology(graph: &'g Graph, topo: &'g Topology, opts: AstraOptions) -> Self {
+        let mut astra = Astra::with_index(graph, topo.device(0), opts, ProfileIndex::new());
+        astra.topo = Some(topo);
+        astra
     }
 
     /// Like [`Astra::new`], but seeded with an existing profile index —
@@ -377,6 +423,7 @@ impl<'g> Astra<'g> {
         Astra {
             ctx,
             dev,
+            topo: None,
             opts,
             index,
             plan_cache: PlanCache::new(),
@@ -411,6 +458,17 @@ impl<'g> Astra<'g> {
         effective_workers(self.opts.workers)
     }
 
+    /// The sim-cache key context for this optimizer's runs. Multi-device
+    /// topologies fold their fingerprint into the key so a checkpoint
+    /// captured under one device mix can never resume a run on another;
+    /// single-device topologies key exactly like the plain device path.
+    fn key_ctx(&self) -> KeyCtx {
+        match self.topo {
+            Some(t) => KeyCtx::with_topology(t, self.opts.clock, &self.opts.faults),
+            None => KeyCtx::new(self.dev, self.opts.clock, &self.opts.faults),
+        }
+    }
+
     /// Probes the sim cache for the deepest checkpoint matching `sched`
     /// and plans this run's captures. Boundary-free schedules (the native
     /// baseline) and a disabled cache bypass entirely, counting nothing.
@@ -422,8 +480,8 @@ impl<'g> Astra<'g> {
         if !self.opts.sim_cache {
             return (None, Vec::new());
         }
-        self.sim_cache
-            .probe_and_plan(sched, self.dev, self.opts.clock, &self.opts.faults, salt)
+        let ctx = self.key_ctx();
+        self.sim_cache.probe_and_plan_ctx(sched, &ctx, salt)
     }
 
     /// Commits the checkpoints one run captured. Called in candidate order
@@ -432,7 +490,8 @@ impl<'g> Astra<'g> {
         if captured.is_empty() {
             return;
         }
-        self.sim_cache.absorb(self.dev, self.opts.clock, &self.opts.faults, salt, captured);
+        let ctx = self.key_ctx();
+        self.sim_cache.absorb_ctx(&ctx, salt, captured);
     }
 
     /// Runs one prepared lookahead batch cache-aware and returns the
@@ -468,7 +527,7 @@ impl<'g> Astra<'g> {
         } else {
             PrefixPlan::naive(prepared.len())
         };
-        let ctx = KeyCtx::new(self.dev, self.opts.clock, &self.opts.faults);
+        let ctx = self.key_ctx();
         let branches = Arc::new(plan.branches);
 
         let mut slots: Vec<Option<Prepared>> = prepared;
@@ -498,15 +557,18 @@ impl<'g> Astra<'g> {
                 Vec::with_capacity(jobs.len());
             for job in jobs {
                 let dev = self.dev.clone();
+                let topo = self.topo.cloned();
                 let branches = Arc::clone(&branches);
                 boxed.push(Box::new(move || {
-                    run_group(job, &dev, clock, faults, ctx, &branches, use_cache)
+                    let sim = SimTarget { dev: &dev, topo: topo.as_ref(), clock, faults };
+                    run_group(job, sim, ctx, &branches, use_cache)
                 }));
             }
             self.pool.get_or_insert_with(|| WorkerPool::new(workers)).run(boxed)
         } else {
+            let sim = SimTarget { dev: self.dev, topo: self.topo, clock, faults };
             jobs.into_iter()
-                .map(|job| run_group(job, self.dev, clock, faults, ctx, &branches, use_cache))
+                .map(|job| run_group(job, sim, ctx, &branches, use_cache))
                 .collect()
         };
 
@@ -532,7 +594,7 @@ impl<'g> Astra<'g> {
         if !self.opts.verify {
             return true;
         }
-        let key = PlanCache::key(&self.ctx, cfg);
+        let key = (PlanCache::key(&self.ctx, cfg), cfg.placement.clone());
         if let Some(&clean) = self.verify_cache.get(&key) {
             return clean;
         }
@@ -552,9 +614,12 @@ impl<'g> Astra<'g> {
     /// playoff runs, and fault retries all come through here.
     fn sim_run(&mut self, sched: &Schedule, salt: u64) -> Result<RunResult, AstraError> {
         let (resume, caps) = self.sim_probe(sched, salt);
-        let (r, captured) =
-            Engine::with_faults(self.dev, self.opts.clock, self.opts.faults, salt)
-                .run_incremental(sched, resume.as_deref(), &caps)?;
+        let (r, captured) = match self.topo {
+            Some(t) => Engine::with_topology(t, self.opts.clock, self.opts.faults, salt)
+                .run_incremental(sched, resume.as_deref(), &caps)?,
+            None => Engine::with_faults(self.dev, self.opts.clock, self.opts.faults, salt)
+                .run_incremental(sched, resume.as_deref(), &caps)?,
+        };
         self.sim_absorb(salt, captured);
         Ok(r)
     }
@@ -622,7 +687,7 @@ impl<'g> Astra<'g> {
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
 
-        let mut best_overall: Option<(f64, ExecConfig, usize)> = None;
+        let mut best_overall: Option<(f64, ExecConfig, usize, Vec<f64>)> = None;
 
         for strategy in 0..strategies {
             let mut cfg = ExecConfig::baseline();
@@ -639,12 +704,20 @@ impl<'g> Astra<'g> {
             if dims.streams {
                 partition = self.explore_streams(&mut cfg, strat_ctx.as_deref(), &mut stats)?;
             }
+            // Phase P: placement across the node's devices (no-op without a
+            // multi-device topology).
+            self.explore_placements(&mut cfg, strat_ctx.as_deref(), &mut stats)?;
 
             // Context playoff run: best configuration end-to-end (§4.7).
             // Bounded fault retries keep the strategy comparison honest — a
             // spiked playoff would otherwise disqualify a good context.
+            // Super-epoch partitions only shape single-device schedules:
+            // multi-device placements emit their own wiring.
             let units = self.plan_cache.units_for(&self.ctx, &cfg)?;
-            let (sched, _) = emit_schedule(&self.ctx, &cfg, &units, partition.as_ref(), &ProbeSpec::none());
+            let playoff_partition =
+                if cfg.placement.is_single() { partition.as_ref() } else { None };
+            let (sched, _) =
+                emit_schedule(&self.ctx, &cfg, &units, playoff_partition, &ProbeSpec::none());
             if !self.verify_candidate(&cfg, &units, &sched) {
                 stats.quarantined += 1;
                 continue;
@@ -654,14 +727,22 @@ impl<'g> Astra<'g> {
             let (r, runs, spent) = self.measured_run(&sched, salt, &mut stats)?;
             stats.trials += runs;
             stats.exploration_ns += spent;
-            let se_count = partition.as_ref().map_or(0, |p| p.super_epochs.len());
-            if best_overall.as_ref().is_none_or(|(b, _, _)| r.total_ns < *b) {
-                best_overall = Some((r.total_ns, cfg, se_count));
+            let se_count = playoff_partition.map_or(0, |p| p.super_epochs.len());
+            if best_overall.as_ref().is_none_or(|(b, ..)| r.total_ns < *b) {
+                // Utilization covers every device in the node, including
+                // ones the winning placement leaves idle.
+                let mut util = r.device_utilization(&sched);
+                util.resize(self.topo.map_or(1, Topology::num_devices), 0.0);
+                best_overall = Some((r.total_ns, cfg, se_count, util));
             }
         }
 
-        let (steady_ns, best, super_epochs) =
+        let (steady_ns, best, super_epochs, device_utilization) =
             best_overall.expect("at least one strategy explored");
+        let cost_per_throughput = match self.topo {
+            Some(t) => t.total_cost() * steady_ns,
+            None => steady_ns,
+        };
         Ok(Report {
             native_ns,
             steady_ns,
@@ -698,7 +779,164 @@ impl<'g> Astra<'g> {
                 std::array::from_fn(|b| now[b] - sim_depth0[b])
             },
             prefix_group_count: self.prefix_groups - groups0,
+            device_utilization,
+            cost_per_throughput,
+            placements_explored: stats.placements,
         })
+    }
+
+    /// Phase P: placement exploration across the node's devices. The
+    /// candidate placements — single-device, data-parallel batch splits
+    /// (equal and, on heterogeneous mixes, capability-proportional), and
+    /// layer-wise model-parallel cuts — form one parallel adaptive
+    /// variable, explored through the same lookahead / batched /
+    /// cache-aware trial machinery as the other phases. The metric is the
+    /// whole mini-batch time; profile keys fold the topology fingerprint
+    /// so a shared index never leaks timings across device mixes.
+    fn explore_placements(
+        &mut self,
+        cfg: &mut ExecConfig,
+        strat_ctx: Option<&str>,
+        stats: &mut ExploreStats,
+    ) -> Result<(), AstraError> {
+        let Some(topo) = self.topo else { return Ok(()) };
+        if !topo.is_multi() {
+            return Ok(());
+        }
+        let units = self.plan_cache.units_for(&self.ctx, cfg)?;
+        let candidates = placement_candidates(topo, &units);
+        stats.placements = stats.placements.max(candidates.len());
+        if candidates.len() <= 1 {
+            return Ok(());
+        }
+
+        let bucket_ctx = self.opts.key_context.clone();
+        let fp = topo.fingerprint();
+        let strat_owned = strat_ctx.map(str::to_owned);
+        let key_for = move |choice: usize| {
+            let mut k = ProfileKey::entity(format!("place:{fp:016x}"), choice);
+            if let Some(c) = &strat_owned {
+                k = k.in_context(c.clone());
+            }
+            if let Some(b) = &bucket_ctx {
+                k = k.in_context(b.clone());
+            }
+            k
+        };
+
+        let all_hit = (0..candidates.len()).all(|c| self.index.contains(&key_for(c)));
+        if all_hit {
+            let (best, _) = self
+                .index
+                .best_choice(&key_for, candidates.len())
+                .expect("all hits implies a best");
+            cfg.placement = candidates[best].clone();
+            return Ok(());
+        }
+
+        let mut tree = UpdateTree::new(UpdateNode::group(
+            ExploreMode::Parallel,
+            vec![UpdateNode::var("placement".to_owned(), candidates.len())],
+        ));
+
+        loop {
+            let batch = tree.lookahead(LOOKAHEAD_TRIALS);
+            if batch.is_empty() {
+                break;
+            }
+            let cfgs: Vec<ExecConfig> = batch
+                .iter()
+                .map(|asg| {
+                    let mut c = cfg.clone();
+                    c.placement = candidates[asg["placement"]].clone();
+                    c
+                })
+                .collect();
+
+            let salt0 = self.fault_seq;
+            self.fault_seq += batch.len() as u64;
+
+            // Sequential prepare in candidate order: placements share the
+            // unit geometry, so every trial is a schedule-cache hit and
+            // only the wiring differs.
+            let mut prepared: Vec<Option<Prepared>> = Vec::with_capacity(cfgs.len());
+            for (i, c) in cfgs.iter().enumerate() {
+                let salt = salt0 + i as u64;
+                let alloc_fault = self.opts.faults.alloc_event(salt);
+                let frag;
+                let units_run: &[Unit] = match alloc_fault {
+                    Some(word) => {
+                        frag = build_units_fragmented(&self.ctx, c, word)?;
+                        &frag
+                    }
+                    None => &units,
+                };
+                let (sched, probes) =
+                    emit_schedule(&self.ctx, c, units_run, None, &ProbeSpec::none());
+                if alloc_fault.is_none() && !self.verify_candidate(c, units_run, &sched) {
+                    stats.quarantined += 1;
+                    prepared.push(None);
+                    continue;
+                }
+                prepared.push(Some(Prepared { sched, probes, salt }));
+            }
+
+            let results = self.run_batch(prepared);
+
+            for (bi, outcome) in results.into_iter().enumerate() {
+                let asg = tree.next_trial().expect("lookahead bounds the batch");
+                debug_assert_eq!(asg, batch[bi]);
+                let salt = salt0 + bi as u64;
+                let Some((r, _)) = outcome? else {
+                    tree.poison("placement");
+                    continue;
+                };
+                let mut total = r.total_ns;
+                let mut faulted = r.faults.any();
+                let mut attempt = 0u32;
+                let committed = loop {
+                    stats.trials += 1;
+                    stats.exploration_ns += total;
+                    if faulted {
+                        stats.fault_events += 1;
+                    }
+                    let suspect =
+                        faulted || is_outlier(&self.index, &key_for(asg["placement"]), total);
+                    if !suspect {
+                        tree.record("placement", total);
+                        self.index.record(&key_for(asg["placement"]), total);
+                        break true;
+                    }
+                    if attempt >= MAX_FAULT_RETRIES {
+                        break false;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                    let rsalt = FaultPlan::attempt_salt(salt, attempt);
+                    let frag;
+                    let units_r: &[Unit] = match self.opts.faults.alloc_event(rsalt) {
+                        Some(word) => {
+                            frag = build_units_fragmented(&self.ctx, &cfgs[bi], word)?;
+                            &frag
+                        }
+                        None => &units,
+                    };
+                    let (sched, _) =
+                        emit_schedule(&self.ctx, &cfgs[bi], units_r, None, &ProbeSpec::none());
+                    let r = self.sim_run(&sched, rsalt)?;
+                    total = r.total_ns;
+                    faulted = r.faults.any();
+                };
+                if !committed {
+                    stats.quarantined += 1;
+                    tree.poison("placement");
+                }
+            }
+        }
+
+        let best = tree.best_assignment();
+        cfg.placement = candidates[best["placement"]].clone();
+        Ok(())
     }
 
     /// Phase F: parallel exploration of per-set chunk choices.

@@ -68,12 +68,12 @@ pub use error::AstraError;
 pub use parallel::{effective_workers, parallel_map, WorkerPool};
 pub use plan::{
     bind_libs, build_allocation_plan, build_units, build_units_fragmented, emit_schedule,
-    ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId,
-    SYNTHETIC_BUF_BASE,
+    flop_balanced_cuts, gradient_sync_bytes, placement_candidates, DevicePlacement, ExecConfig,
+    PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId, SYNTHETIC_BUF_BASE,
 };
 pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};
 pub use simcache::{
     plan_prefix_batch, GroupShard, KeyCtx, PrefixPlan, SimCache, TrialBase, HIT_DEPTH_BUCKETS,
 };
-pub use verify::{access_table, verify_plan};
+pub use verify::{access_table, verify_plan, REPLICA_BUF_STRIDE};

@@ -124,6 +124,67 @@ impl<'g> PlanContext<'g> {
     }
 }
 
+/// How a plan maps onto the devices of a [`Topology`](astra_gpu::Topology).
+///
+/// Placement is an adaptive variable like fusion chunks or stream counts:
+/// the driver enumerates a handful of candidates, measures each on the
+/// simulated machine, and keeps the winner. The variants are deliberately
+/// *parameterized* (non-uniform shares, arbitrary cut points) so that
+/// heterogeneous device mixes can be served proportionally rather than
+/// only uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DevicePlacement {
+    /// Everything on device 0 (the single-device plan).
+    Single,
+    /// Replicate the model; split the mini-batch across devices with
+    /// `shares[d]` parts of the batch on device `d` (ring all-reduce of the
+    /// gradients at the end of the step).
+    DataParallel {
+        /// Relative batch shares per device, all ≥ 1.
+        shares: Vec<u32>,
+    },
+    /// Partition the (topologically sorted) unit DAG into contiguous
+    /// layer-wise segments: device `d` runs units `cuts[d-1]..cuts[d]`
+    /// (with implicit `cuts[-1] = 0` and `cuts[ndev-1] = units.len()`).
+    /// Cross-segment dependencies become explicit device-to-device
+    /// transfers.
+    ModelParallel {
+        /// Strictly increasing interior cut points (`ndev - 1` of them).
+        cuts: Vec<usize>,
+    },
+}
+
+impl DevicePlacement {
+    /// Number of devices this placement spans.
+    pub fn num_devices(&self) -> usize {
+        match self {
+            DevicePlacement::Single => 1,
+            DevicePlacement::DataParallel { shares } => shares.len(),
+            DevicePlacement::ModelParallel { cuts } => cuts.len() + 1,
+        }
+    }
+
+    /// Whether this is the single-device placement.
+    pub fn is_single(&self) -> bool {
+        matches!(self, DevicePlacement::Single)
+    }
+
+    /// Short human-readable label (`single`, `dp[1:2]`, `mp[@7,@13]`).
+    pub fn label(&self) -> String {
+        match self {
+            DevicePlacement::Single => "single".to_owned(),
+            DevicePlacement::DataParallel { shares } => {
+                let parts: Vec<String> = shares.iter().map(u32::to_string).collect();
+                format!("dp[{}]", parts.join(":"))
+            }
+            DevicePlacement::ModelParallel { cuts } => {
+                let parts: Vec<String> = cuts.iter().map(|c| format!("@{c}")).collect();
+                format!("mp[{}]", parts.join(","))
+            }
+        }
+    }
+}
+
 /// A complete binding of all adaptive variables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecConfig {
@@ -133,10 +194,12 @@ pub struct ExecConfig {
     pub libs: BTreeMap<GemmShape, GemmLibrary>,
     /// Allocation strategy index into [`PlanContext::alloc`].
     pub strategy: usize,
-    /// Number of streams (1 = no stream adaptation).
+    /// Number of streams *per device* (1 = no stream adaptation).
     pub num_streams: usize,
     /// Stream of each unit (missing units default to stream 0).
     pub streams: BTreeMap<UnitId, usize>,
+    /// Device placement (ignored by unit building; honored by emission).
+    pub placement: DevicePlacement,
 }
 
 impl ExecConfig {
@@ -149,6 +212,7 @@ impl ExecConfig {
             strategy: 0,
             num_streams: 1,
             streams: BTreeMap::new(),
+            placement: DevicePlacement::Single,
         }
     }
 
@@ -715,6 +779,9 @@ impl PlanCache {
             strategy: cfg.strategy,
             num_streams: 1,
             streams: BTreeMap::new(),
+            // Units are placement-independent: the same DAG is replicated
+            // (data parallel) or segmented (model parallel) at emission.
+            placement: DevicePlacement::Single,
         };
         build_units(ctx, &canonical).map(Arc::from)
     }
@@ -867,6 +934,14 @@ pub struct Probes {
 /// When `partition` is `Some`, units are emitted super-epoch by super-epoch
 /// with device-wide barriers between super-epochs (§4.5.3); cross-stream
 /// dependencies synchronize through events.
+///
+/// Multi-device placements ([`ExecConfig::placement`]) take their own
+/// emission paths: data parallel replicates the unit program per device
+/// with batch-share-scaled kernels and a trailing gradient all-reduce;
+/// model parallel segments the DAG and threads cross-segment dependencies
+/// through explicit transfers. Both ignore `partition` and probe regions
+/// (placement trials are measured by whole-run time, not fine-grained
+/// probes).
 pub fn emit_schedule(
     ctx: &PlanContext<'_>,
     cfg: &ExecConfig,
@@ -874,6 +949,15 @@ pub fn emit_schedule(
     partition: Option<&crate::enumerate::epochs::Partition>,
     probe: &ProbeSpec,
 ) -> (Schedule, Probes) {
+    match &cfg.placement {
+        DevicePlacement::Single => {}
+        DevicePlacement::DataParallel { shares } => {
+            return (emit_data_parallel(ctx, cfg, units, shares), Probes::default());
+        }
+        DevicePlacement::ModelParallel { cuts } => {
+            return (emit_model_parallel(cfg, units, cuts), Probes::default());
+        }
+    }
     let num_streams = cfg.num_streams.max(1);
     let mut sched = Schedule::new(num_streams);
     let mut probes = Probes::default();
@@ -1015,6 +1099,293 @@ pub fn emit_schedule(
 
     let _ = ctx;
     (sched, probes)
+}
+
+/// Stream → device map giving device `d` the stream block
+/// `d*per .. (d+1)*per`.
+fn device_stream_map(ndev: usize, per: usize) -> Vec<usize> {
+    (0..ndev * per).map(|s| s / per).collect()
+}
+
+/// Total gradient payload of one training step, in bytes: every parameter
+/// gets a same-shaped gradient that data-parallel replicas must all-reduce.
+pub fn gradient_sync_bytes(graph: &Graph) -> u64 {
+    (0..graph.num_tensors() as u32)
+        .map(astra_ir::TensorId)
+        .filter(|&t| graph.tensor(t).kind == astra_ir::TensorKind::Param)
+        .map(|t| graph.shape(t).bytes())
+        .sum()
+}
+
+fn scale_count(v: u64, num: u64, den: u64) -> u64 {
+    (v * num).div_ceil(den).max(1)
+}
+
+/// Scales a kernel's batch-proportional extent by `num/den` — the
+/// per-device slice of the mini-batch under non-uniform data parallelism.
+/// Row/batch dimensions shrink; reduction widths and per-element arithmetic
+/// do not.
+fn scale_kernel(k: &KernelDesc, num: u64, den: u64) -> KernelDesc {
+    let f = num as f64 / den as f64;
+    match *k {
+        KernelDesc::Gemm { shape, lib } => KernelDesc::Gemm {
+            shape: GemmShape::new(scale_count(shape.m, num, den), shape.n, shape.k),
+            lib,
+        },
+        KernelDesc::Elementwise { elements, flops_per_element, inputs, outputs } => {
+            KernelDesc::Elementwise {
+                elements: scale_count(elements, num, den),
+                flops_per_element,
+                inputs,
+                outputs,
+            }
+        }
+        KernelDesc::Softmax { rows, cols } => {
+            KernelDesc::Softmax { rows: scale_count(rows, num, den), cols }
+        }
+        KernelDesc::EmbeddingLookup { rows, width } => {
+            KernelDesc::EmbeddingLookup { rows: scale_count(rows, num, den), width }
+        }
+        KernelDesc::Compound { flops, bytes } => {
+            KernelDesc::Compound { flops: flops * f, bytes: bytes * f }
+        }
+        KernelDesc::MemCopy { bytes } => KernelDesc::MemCopy { bytes: bytes * f },
+        KernelDesc::HostRoundtrip { bytes } => KernelDesc::HostRoundtrip { bytes: bytes * f },
+        KernelDesc::Conv { batch, gemm_m, gemm_k, gemm_n } => KernelDesc::Conv {
+            batch: scale_count(batch, num, den),
+            gemm_m: scale_count(gemm_m, num, den),
+            gemm_k,
+            gemm_n,
+        },
+    }
+}
+
+/// Data-parallel emission: device `d` replicates the whole unit program on
+/// its own stream block with kernels scaled to its batch share, then all
+/// replicas join at a barrier and each device's lead stream ring-all-reduces
+/// the full gradient payload (group 0). Within a device, cross-stream
+/// dependencies synchronize through events exactly as in the single-device
+/// path; across devices the replicas are independent until the gradient
+/// sync — which is what makes the placement profitable at all.
+fn emit_data_parallel(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    units: &[Unit],
+    shares: &[u32],
+) -> Schedule {
+    let ndev = shares.len().max(1);
+    let per = cfg.num_streams.max(1);
+    let total: u64 = shares.iter().map(|&s| u64::from(s.max(1))).sum();
+    let mut sched = Schedule::with_devices(ndev * per, device_stream_map(ndev, per));
+    let stream_of = |u: &Unit| cfg.streams.get(&u.id).copied().unwrap_or(0).min(per - 1);
+
+    let mut needs_event = vec![false; units.len()];
+    if per > 1 {
+        for u in units {
+            let s = stream_of(u);
+            for &d in &u.deps {
+                if stream_of(&units[d]) != s {
+                    needs_event[d] = true;
+                }
+            }
+        }
+    }
+
+    let mut done: Vec<Vec<Option<EventId>>> = vec![vec![None; units.len()]; ndev];
+    for (i, u) in units.iter().enumerate() {
+        for dev in 0..ndev {
+            let num = u64::from(shares[dev].max(1));
+            let stream = StreamId(dev * per + stream_of(u));
+            let waits: Vec<EventId> = u
+                .deps
+                .iter()
+                .filter_map(|&d| {
+                    if stream_of(&units[d]) != stream_of(u) {
+                        done[dev][d]
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if u.pre_copy_bytes > 0.0 {
+                let c = sched.launch_after(
+                    stream,
+                    KernelDesc::MemCopy { bytes: u.pre_copy_bytes * num as f64 / total as f64 },
+                    waits.clone(),
+                );
+                sched.set_tag(c, i as u32);
+            }
+            let k = sched.launch_after(
+                stream,
+                scale_kernel(&u.kernel, num, total),
+                if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits },
+            );
+            sched.set_tag(k, i as u32);
+            if needs_event[i] {
+                done[dev][i] = Some(sched.record(stream));
+            }
+        }
+        sched.mark_boundary();
+    }
+
+    // Gradient sync: the barrier joins every replica stream (compute must
+    // finish before reduction), then each device contributes the full
+    // parameter-gradient payload to one rendezvous group.
+    let grad = gradient_sync_bytes(ctx.graph).max(1);
+    sched.barrier();
+    for dev in 0..ndev {
+        let _ = sched.all_reduce(StreamId(dev * per), grad, 0);
+    }
+    sched.mark_boundary();
+    sched
+}
+
+/// Model-parallel emission: the topologically sorted unit DAG is split into
+/// contiguous segments at `cuts`, device `d` runs segment `d` on its stream
+/// block, and every cross-segment dependency ships the producer's output
+/// once per consuming device — a transfer on the first consumer's stream
+/// that waits on the producer's completion event, followed by a record that
+/// all consumers on that device wait on. Contiguity in topological order
+/// means data only ever flows to higher-numbered devices, so the link
+/// graph is acyclic by construction.
+fn emit_model_parallel(cfg: &ExecConfig, units: &[Unit], cuts: &[usize]) -> Schedule {
+    let ndev = cuts.len() + 1;
+    let per = cfg.num_streams.max(1);
+    let mut sched = Schedule::with_devices(ndev * per, device_stream_map(ndev, per));
+    let dev_of = |i: usize| cuts.iter().take_while(|&&c| c <= i).count();
+    let stream_of = |u: &Unit| cfg.streams.get(&u.id).copied().unwrap_or(0).min(per - 1);
+
+    // A unit needs a completion event when any consumer runs on a different
+    // physical stream: another logical stream of the same device, or any
+    // stream of a later device (the transfer waits on the event there).
+    let mut needs_event = vec![false; units.len()];
+    for (i, u) in units.iter().enumerate() {
+        for &d in &u.deps {
+            if dev_of(d) != dev_of(i) || stream_of(&units[d]) != stream_of(u) {
+                needs_event[d] = true;
+            }
+        }
+    }
+
+    let mut done: Vec<Option<EventId>> = vec![None; units.len()];
+    // (producer unit, destination device) → event after its transfer.
+    let mut shipped: HashMap<(usize, usize), EventId> = HashMap::new();
+    for (i, u) in units.iter().enumerate() {
+        let du = dev_of(i);
+        let stream = StreamId(du * per + stream_of(u));
+        let mut waits: Vec<EventId> = Vec::new();
+        for &d in &u.deps {
+            let dd = dev_of(d);
+            if dd == du {
+                if stream_of(&units[d]) != stream_of(u) {
+                    if let Some(e) = done[d] {
+                        waits.push(e);
+                    }
+                }
+            } else {
+                let e = *shipped.entry((d, du)).or_insert_with(|| {
+                    let bytes = units[d].out_bytes.max(1.0) as u64;
+                    let produced =
+                        done[d].expect("cross-device producers record a completion event");
+                    let _ = sched.transfer(stream, bytes, dd, du, vec![produced]);
+                    sched.record(stream)
+                });
+                waits.push(e);
+            }
+        }
+        if u.pre_copy_bytes > 0.0 {
+            let c = sched.launch_after(
+                stream,
+                KernelDesc::MemCopy { bytes: u.pre_copy_bytes },
+                waits.clone(),
+            );
+            sched.set_tag(c, i as u32);
+        }
+        let k = sched.launch_after(
+            stream,
+            u.kernel,
+            if u.pre_copy_bytes > 0.0 { Vec::new() } else { waits },
+        );
+        sched.set_tag(k, i as u32);
+        if needs_event[i] {
+            done[i] = Some(sched.record(stream));
+        }
+        sched.mark_boundary();
+    }
+    sched.mark_boundary();
+    sched
+}
+
+/// Interior cut points splitting `units` into `weights.len()` contiguous
+/// segments whose FLOP loads are proportional to `weights` (compute-
+/// proportional segmentation for heterogeneous device mixes; uniform
+/// weights give balanced halves/quarters). Every segment keeps at least one
+/// unit.
+///
+/// # Panics
+///
+/// Panics if there are fewer units than segments or fewer than two
+/// segments.
+pub fn flop_balanced_cuts(units: &[Unit], weights: &[f64]) -> Vec<usize> {
+    let n = weights.len();
+    assert!(n >= 2, "segmentation needs at least two devices");
+    assert!(units.len() >= n, "each segment needs at least one unit");
+    let flops: Vec<f64> = units.iter().map(|u| u.flops.max(1.0)).collect();
+    let total: f64 = flops.iter().sum();
+    let wsum: f64 = weights.iter().sum();
+    let mut cuts = Vec::with_capacity(n - 1);
+    let mut wacc = 0.0;
+    for (k, w) in weights[..n - 1].iter().enumerate() {
+        wacc += w;
+        let target = total * wacc / wsum;
+        let mut acc = 0.0;
+        let mut i = 0;
+        while i < units.len() && acc + flops[i] <= target {
+            acc += flops[i];
+            i += 1;
+        }
+        let lo = cuts.last().map_or(1, |&c| c + 1);
+        let hi = units.len() - (n - 1 - k);
+        cuts.push(i.clamp(lo, hi));
+    }
+    cuts
+}
+
+/// The placement candidates the driver explores on `topo`: the single-
+/// device plan, uniform data parallelism, FLOP-balanced model parallelism,
+/// and — on heterogeneous mixes — compute-proportional variants of both, so
+/// a fast device can take a larger batch share or a larger slice of the
+/// layer stack.
+pub fn placement_candidates(
+    topo: &astra_gpu::Topology,
+    units: &[Unit],
+) -> Vec<DevicePlacement> {
+    let n = topo.num_devices();
+    if n <= 1 {
+        return vec![DevicePlacement::Single];
+    }
+    let mut out = vec![DevicePlacement::Single];
+    out.push(DevicePlacement::DataParallel { shares: vec![1; n] });
+    let w: Vec<f64> = topo.devices().iter().map(|d| d.peak_flops_per_ns()).collect();
+    if !topo.is_homogeneous() {
+        let wmin = w.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        let shares: Vec<u32> =
+            w.iter().map(|x| ((x / wmin) * 4.0).round().max(1.0) as u32).collect();
+        if shares.iter().any(|&s| s != shares[0]) {
+            out.push(DevicePlacement::DataParallel { shares });
+        }
+    }
+    if units.len() >= 2 * n {
+        let uniform = flop_balanced_cuts(units, &vec![1.0; n]);
+        out.push(DevicePlacement::ModelParallel { cuts: uniform.clone() });
+        if !topo.is_homogeneous() {
+            let prop = flop_balanced_cuts(units, &w);
+            if prop != uniform {
+                out.push(DevicePlacement::ModelParallel { cuts: prop });
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

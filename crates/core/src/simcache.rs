@@ -74,7 +74,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use astra_gpu::{ClockMode, DeviceSpec, EngineCheckpoint, FaultPlan, Schedule};
+use astra_gpu::{ClockMode, DeviceSpec, EngineCheckpoint, FaultPlan, Schedule, Topology};
 
 /// Default bound on cached checkpoints. Checkpoints are a few KB each
 /// (per-stream queues + the result so far), so this keeps the cache in the
@@ -164,6 +164,25 @@ impl KeyCtx {
             fault: if clean { 0 } else { faults.fingerprint() },
             clean,
         }
+    }
+
+    /// Like [`KeyCtx::new`], but for runs on a multi-device [`Topology`]:
+    /// the device component covers *every* device and the interconnect, so
+    /// the same schedule simulated on two different device mixes (or links)
+    /// can never share a checkpoint — per-device clocks and link contention
+    /// make their engine states incompatible. A single-device topology
+    /// degenerates to exactly [`KeyCtx::new`] on its device, keeping
+    /// checkpoints interchangeable with plain single-device runs.
+    pub fn with_topology(topo: &Topology, clock: ClockMode, faults: &FaultPlan) -> Self {
+        let mut ctx = KeyCtx::new(topo.device(0), clock, faults);
+        if topo.is_multi() {
+            let t = topo.fingerprint();
+            let mut h = ctx.device ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ctx.device = h ^ (h >> 31);
+        }
+        ctx
     }
 
     fn key(&self, prefix_hash: u64, salt: u64) -> SimKey {
@@ -325,7 +344,18 @@ impl SimCache {
         faults: &FaultPlan,
         salt: u64,
     ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
-        let ctx = KeyCtx::new(dev, clock, faults);
+        self.probe_and_plan_ctx(sched, &KeyCtx::new(dev, clock, faults), salt)
+    }
+
+    /// [`SimCache::probe_and_plan`] with a prebuilt [`KeyCtx`] — the entry
+    /// point for topology-aware drivers, whose key context fingerprints the
+    /// whole device mix (see [`KeyCtx::with_topology`]).
+    pub fn probe_and_plan_ctx(
+        &mut self,
+        sched: &Schedule,
+        ctx: &KeyCtx,
+        salt: u64,
+    ) -> (Option<Arc<EngineCheckpoint>>, Vec<usize>) {
         let boundaries = sched.boundaries();
         if boundaries.is_empty() {
             return (None, Vec::new());
@@ -385,7 +415,11 @@ impl SimCache {
         salt: u64,
         captured: Vec<EngineCheckpoint>,
     ) {
-        let ctx = KeyCtx::new(dev, clock, faults);
+        self.absorb_ctx(&KeyCtx::new(dev, clock, faults), salt, captured);
+    }
+
+    /// [`SimCache::absorb`] with a prebuilt [`KeyCtx`].
+    pub fn absorb_ctx(&mut self, ctx: &KeyCtx, salt: u64, captured: Vec<EngineCheckpoint>) {
         for ck in captured {
             self.insert(ctx.key(ck.prefix_hash(), salt), Arc::new(ck));
         }

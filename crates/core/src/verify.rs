@@ -3,16 +3,33 @@
 //! the per-command [`AccessTable`] `astra-verify` needs, and bundles the
 //! allocation plan alongside.
 
-use astra_gpu::Schedule;
+use astra_gpu::{BufId, Cmd, Schedule};
 use astra_verify::{AccessRef, AccessTable, VerifyOptions, VerifyReport};
 
 use crate::plan::{build_allocation_plan, ExecConfig, PlanContext, Unit};
 
+/// Buffer-id stride separating per-device replica footprints in the access
+/// table. Data-parallel emission replicates every unit once per device;
+/// replicas of the *same* buffer on *different* devices live in different
+/// memories and must not alias, so device `d`'s copy of buffer `b` is
+/// presented to the verifier as `b + d * REPLICA_BUF_STRIDE`. The stride
+/// sits far above both lowered tensor buffers and the synthetic range at
+/// [`SYNTHETIC_BUF_BASE`](crate::plan::SYNTHETIC_BUF_BASE).
+pub const REPLICA_BUF_STRIDE: u64 = 1 << 40;
+
 /// Builds the per-command access table for a schedule emitted from `units`.
 /// Every tagged command (the wirer tags kernel launches and their gather
 /// copies with the unit index) gets that unit's read/write footprint;
-/// untagged commands (records, barriers, host syncs, probes) carry none.
-/// Commands of the same unit share one interned footprint.
+/// untagged commands (records, barriers, host syncs, probes, transfers)
+/// carry none. Commands of the same unit share one interned footprint.
+///
+/// When the same unit tag appears on more than one device — data-parallel
+/// replication — each device's replica gets its own footprint, with buffer
+/// ids offset by device ([`REPLICA_BUF_STRIDE`]): replica state is private
+/// per device and must not produce cross-device aliasing diagnostics.
+/// Model-parallel schedules place each unit on exactly one device and keep
+/// the original buffer ids, so cross-device dataflow *is* checked for
+/// interposed transfers.
 ///
 /// # Panics
 ///
@@ -20,13 +37,51 @@ use crate::plan::{build_allocation_plan, ExecConfig, PlanContext, Unit};
 /// emitted from a different unit vector.
 pub fn access_table(units: &[Unit], sched: &Schedule) -> AccessTable {
     let mut table = AccessTable::new(sched.cmds().len());
-    let mut interned: Vec<Option<AccessRef>> = vec![None; units.len()];
+    let devs = sched.stream_devices();
+    let dev_of = |i: usize| -> usize {
+        match &sched.cmds()[i] {
+            Cmd::Launch { stream, .. } | Cmd::Transfer { stream, .. } => devs[stream.0],
+            _ => 0,
+        }
+    };
+    let mut home: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut replicated = false;
     for (i, tag) in sched.tags().iter().enumerate() {
-        let Some(u) = tag else { continue };
-        let u = *u as usize;
-        let r = *interned[u]
-            .get_or_insert_with(|| table.intern_slices(&units[u].reads, &units[u].writes));
-        table.assign(i, r);
+        if let Some(t) = tag {
+            let d = dev_of(i);
+            if *home.entry(*t).or_insert(d) != d {
+                replicated = true;
+            }
+        }
+    }
+    if !replicated {
+        let mut interned: Vec<Option<AccessRef>> = vec![None; units.len()];
+        for (i, tag) in sched.tags().iter().enumerate() {
+            let Some(u) = tag else { continue };
+            let u = *u as usize;
+            let r = *interned[u]
+                .get_or_insert_with(|| table.intern_slices(&units[u].reads, &units[u].writes));
+            table.assign(i, r);
+        }
+    } else {
+        let mut interned: std::collections::HashMap<(usize, usize), AccessRef> =
+            std::collections::HashMap::new();
+        for (i, tag) in sched.tags().iter().enumerate() {
+            let Some(u) = tag else { continue };
+            let u = *u as usize;
+            let d = dev_of(i);
+            let r = *interned.entry((u, d)).or_insert_with(|| {
+                if d == 0 {
+                    table.intern_slices(&units[u].reads, &units[u].writes)
+                } else {
+                    let off = |b: &BufId| BufId(b.0 + REPLICA_BUF_STRIDE * d as u64);
+                    let reads: Vec<BufId> = units[u].reads.iter().map(off).collect();
+                    let writes: Vec<BufId> = units[u].writes.iter().map(off).collect();
+                    table.intern_slices(&reads, &writes)
+                }
+            });
+            table.assign(i, r);
+        }
     }
     table
 }
@@ -134,6 +189,12 @@ mod tests {
                 }
                 Cmd::Barrier => dropped.barrier(),
                 Cmd::HostSync => dropped.host_sync(),
+                Cmd::Transfer { stream, bytes, src, dst, waits } => {
+                    let _ = dropped.transfer(*stream, *bytes, *src, *dst, waits.clone());
+                }
+                Cmd::AllReduce { stream, bytes, group } => {
+                    let _ = dropped.all_reduce(*stream, *bytes, *group);
+                }
             }
         }
         assert!(stripped, "fixture needs at least one cross-stream wait");

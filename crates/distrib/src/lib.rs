@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 mod interconnect;
+mod node;
 mod scale;
 
 pub use interconnect::{ring_allreduce_ns, LinkSpec};
+pub use node::{link_desc, node_topology, parse_devices, parse_link};
 pub use scale::{explore_scaling, gradient_bytes, ScalePoint, ScaleReport};

@@ -1,0 +1,119 @@
+//! Building simulated multi-device nodes from CLI-style descriptions.
+//!
+//! The bridge between this crate's coarse [`LinkSpec`] cost model (used by
+//! [`explore_scaling`](crate::explore_scaling) for analytic replica-count
+//! sweeps) and the engine-side [`Topology`]/[`LinkDesc`] the discrete-event
+//! simulator runs placements on: same physical numbers, plus the contention
+//! class the simulator needs.
+
+use astra_gpu::{DeviceSpec, LinkDesc, Topology};
+
+use crate::interconnect::LinkSpec;
+
+/// Engine-side link description for a [`LinkSpec`]: identical bandwidth and
+/// latency, with the contention class inferred from the link family —
+/// PCIe-style buses and cluster ethernet share one bandwidth pool across
+/// every concurrent transfer, NVLink-style fabrics give each ordered device
+/// pair a private lane.
+pub fn link_desc(spec: &LinkSpec) -> LinkDesc {
+    LinkDesc {
+        name: spec.name.clone(),
+        gbps: spec.gbps,
+        latency_ns: spec.latency_ns,
+        shared: !spec.name.starts_with("nvlink"),
+    }
+}
+
+/// Parses an interconnect name (`nvlink`, `pcie3`, `ethernet`) into the
+/// engine link description.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted links on anything else.
+pub fn parse_link(name: &str) -> Result<LinkDesc, String> {
+    match name {
+        "nvlink" => Ok(link_desc(&LinkSpec::nvlink())),
+        "pcie3" => Ok(link_desc(&LinkSpec::pcie3())),
+        "ethernet" => Ok(link_desc(&LinkSpec::ethernet())),
+        other => Err(format!("unknown topology '{other}' (expected nvlink, pcie3, or ethernet)")),
+    }
+}
+
+/// Parses a device-list description: a bare count (`"4"`) means that many
+/// copies of `default`, a comma-separated model list (`"p100,v100"`) names
+/// each device explicitly.
+///
+/// # Errors
+///
+/// Returns a message on a zero count or an unknown model name.
+pub fn parse_devices(spec: &str, default: &DeviceSpec) -> Result<Vec<DeviceSpec>, String> {
+    if let Ok(n) = spec.parse::<usize>() {
+        if n == 0 {
+            return Err("device count must be at least 1".to_owned());
+        }
+        return Ok(vec![default.clone(); n]);
+    }
+    spec.split(',')
+        .map(|name| match name.trim() {
+            "p100" => Ok(DeviceSpec::p100()),
+            "v100" => Ok(DeviceSpec::v100()),
+            other => Err(format!("unknown device '{other}' (expected p100 or v100)")),
+        })
+        .collect()
+}
+
+/// Builds the simulated node a `--devices`/`--topology` pair describes:
+/// `devices` as in [`parse_devices`], `link` as in [`parse_link`].
+///
+/// # Errors
+///
+/// Propagates the parse errors of either half.
+pub fn node_topology(
+    devices: &str,
+    link: &str,
+    default: &DeviceSpec,
+) -> Result<Topology, String> {
+    Ok(Topology::new(parse_devices(devices, default)?, parse_link(link)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_expand_to_default_copies() {
+        let devs = parse_devices("3", &DeviceSpec::p100()).unwrap();
+        assert_eq!(devs.len(), 3);
+        assert!(devs.iter().all(|d| *d == DeviceSpec::p100()));
+        assert!(parse_devices("0", &DeviceSpec::p100()).is_err());
+    }
+
+    #[test]
+    fn model_lists_build_heterogeneous_mixes() {
+        let t = node_topology("p100,v100", "nvlink", &DeviceSpec::p100()).unwrap();
+        assert_eq!(t.num_devices(), 2);
+        assert!(!t.is_homogeneous());
+        assert!(parse_devices("p100,tpu", &DeviceSpec::p100()).is_err());
+    }
+
+    #[test]
+    fn link_classes_keep_their_contention_model() {
+        assert!(!parse_link("nvlink").unwrap().shared);
+        assert!(parse_link("pcie3").unwrap().shared);
+        assert!(parse_link("ethernet").unwrap().shared);
+        assert!(parse_link("infiniband").is_err());
+    }
+
+    #[test]
+    fn link_desc_preserves_the_cost_model_numbers() {
+        for spec in [LinkSpec::nvlink(), LinkSpec::pcie3(), LinkSpec::ethernet()] {
+            let d = link_desc(&spec);
+            assert_eq!(d.gbps, spec.gbps);
+            assert_eq!(d.latency_ns, spec.latency_ns);
+            // Both halves must price a ring all-reduce identically.
+            let a = d.ring_allreduce_ns(1e8, 4);
+            let b = crate::ring_allreduce_ns(1e8, 4, &spec);
+            assert!((a - b).abs() < 1e-6, "{}: {a} vs {b}", spec.name);
+        }
+    }
+}

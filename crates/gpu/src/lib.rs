@@ -60,6 +60,7 @@ mod kernel;
 mod memory;
 mod profiler;
 mod schedule;
+mod topology;
 mod tracing;
 
 pub use clock::{Clock, ClockMode};
@@ -74,5 +75,6 @@ pub use gemm::{best_library, time_gemm, GemmLibrary, GemmShape, GemmTiming};
 pub use kernel::{KernelCost, KernelDesc};
 pub use memory::{AllocationPlan, BufId, Placement};
 pub use profiler::ProfilePlan;
+pub use topology::{LinkDesc, Topology};
 pub use tracing::trace_json;
 pub use schedule::{Cmd, EventId, Schedule, StreamId};

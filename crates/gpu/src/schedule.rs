@@ -60,6 +60,36 @@ pub enum Cmd {
     Barrier,
     /// The CPU blocks until the device is idle, then pays a host round trip.
     HostSync,
+    /// Cross-device copy of `bytes` from device `src` to device `dst`,
+    /// issued on `stream` (which must live on `dst` — the transfer lands the
+    /// data where its consumer runs). Occupies the stream for the link
+    /// latency plus the bandwidth time, contending with other transfers on
+    /// the same link.
+    Transfer {
+        /// Stream the transfer occupies (on the destination device).
+        stream: StreamId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Source device index.
+        src: usize,
+        /// Destination device index.
+        dst: usize,
+        /// Events that must fire before the copy may start (normally the
+        /// producer's done-event on the source device).
+        waits: Vec<EventId>,
+    },
+    /// Ring all-reduce rendezvous: every stream issuing an `AllReduce` with
+    /// the same `group` id blocks until all participants arrive, then all
+    /// pay the ring cost of `bytes` over the topology link together.
+    AllReduce {
+        /// Participating stream.
+        stream: StreamId,
+        /// Per-participant payload in bytes (gradient size).
+        bytes: u64,
+        /// Rendezvous group id; participant count is the number of
+        /// `AllReduce` commands sharing it.
+        group: u32,
+    },
 }
 
 /// An ordered multi-stream command list, plus the number of streams it uses.
@@ -97,10 +127,16 @@ pub struct Schedule {
     // Emitter tag per command (e.g. the wirer's unit index). Pure metadata:
     // excluded from render() and from the prefix hash, like span labels.
     tags: Vec<Option<u32>>,
+    // Device index each stream dispatches onto. All zeros for single-device
+    // schedules (the default), in which case it is invisible to render()
+    // and the prefix hash — existing golden traces stay byte-stable.
+    device_of: Vec<usize>,
+    // Expected participant count per all-reduce rendezvous group.
+    allreduce_expect: Vec<(u32, usize)>,
 }
 
 /// One splitmix64-style fold step for the rolling prefix hash.
-fn fold_hash(h: u64, v: u64) -> u64 {
+pub(crate) fn fold_hash(h: u64, v: u64) -> u64 {
     let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -108,7 +144,7 @@ fn fold_hash(h: u64, v: u64) -> u64 {
 }
 
 /// FNV-1a over a byte string; feeds [`fold_hash`] with command content.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325_u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -137,12 +173,79 @@ impl Schedule {
             boundaries: Vec::new(),
             span_labels: Vec::new(),
             tags: Vec::new(),
+            device_of: vec![0; num_streams],
+            allreduce_expect: Vec::new(),
         }
+    }
+
+    /// Creates an empty schedule whose streams are placed on explicit
+    /// devices: stream `i` dispatches onto device `device_of[i]`. The
+    /// mapping participates in the prefix hash (the same command list over a
+    /// different placement is a different schedule), *unless* every stream
+    /// sits on device 0, in which case this is exactly [`Schedule::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device_of.len() != num_streams` or `num_streams == 0`.
+    pub fn with_devices(num_streams: usize, device_of: Vec<usize>) -> Self {
+        assert_eq!(
+            device_of.len(),
+            num_streams,
+            "device map must cover every stream"
+        );
+        let mut s = Schedule::new(num_streams);
+        if device_of.iter().any(|&d| d != 0) {
+            for &d in &device_of {
+                s.prefix_hash = fold_hash(s.prefix_hash, d as u64 + 1);
+            }
+            s.device_of = device_of;
+        }
+        s
     }
 
     /// Number of streams the schedule dispatches onto.
     pub fn num_streams(&self) -> usize {
         self.num_streams
+    }
+
+    /// Device index each stream dispatches onto (all zeros for
+    /// single-device schedules).
+    pub fn stream_devices(&self) -> &[usize] {
+        &self.device_of
+    }
+
+    /// Device index of one stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn stream_device(&self, stream: StreamId) -> usize {
+        self.device_of[stream.0]
+    }
+
+    /// Whether any stream is placed on a device other than 0.
+    pub fn is_multi_device(&self) -> bool {
+        self.device_of.iter().any(|&d| d != 0)
+    }
+
+    /// Number of devices the schedule spans (`max(device) + 1`).
+    pub fn num_devices(&self) -> usize {
+        self.device_of.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// Every all-reduce group in the schedule with its participant count,
+    /// in first-appearance order.
+    pub fn allreduce_groups(&self) -> &[(u32, usize)] {
+        &self.allreduce_expect
+    }
+
+    /// Expected participant count of all-reduce `group` (the number of
+    /// [`Cmd::AllReduce`] commands appended with that group id).
+    pub fn allreduce_expect(&self, group: u32) -> usize {
+        self.allreduce_expect
+            .iter()
+            .find(|&&(g, _)| g == group)
+            .map_or(0, |&(_, n)| n)
     }
 
     /// The commands, in dispatch order.
@@ -310,6 +413,60 @@ impl Schedule {
         self.absorb_last();
     }
 
+    /// Appends a cross-device transfer of `bytes` from device `src` to
+    /// device `dst`, issued on `stream` and gated on `waits`. Returns the
+    /// command index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range, if `src == dst`, or if `stream`
+    /// does not live on `dst` (transfers land data where the consumer runs).
+    pub fn transfer(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        src: usize,
+        dst: usize,
+        waits: Vec<EventId>,
+    ) -> usize {
+        self.check_stream(stream);
+        assert_ne!(src, dst, "a transfer must cross devices");
+        assert_eq!(
+            self.device_of[stream.0], dst,
+            "transfer stream must live on the destination device"
+        );
+        self.stream_cmds[stream.0] += 1;
+        self.span_labels.push(Some(Arc::from(
+            format!("xfer[{:.1}KB d{src}->d{dst}]", bytes as f64 / 1e3).as_str(),
+        )));
+        self.tags.push(None);
+        self.cmds.push(Cmd::Transfer { stream, bytes, src, dst, waits });
+        self.absorb_last();
+        self.cmds.len() - 1
+    }
+
+    /// Appends an all-reduce rendezvous participant on `stream` for `group`.
+    /// Returns the command index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range.
+    pub fn all_reduce(&mut self, stream: StreamId, bytes: u64, group: u32) -> usize {
+        self.check_stream(stream);
+        self.stream_cmds[stream.0] += 1;
+        self.span_labels.push(Some(Arc::from(
+            format!("allreduce[{:.1}KB g{group}]", bytes as f64 / 1e3).as_str(),
+        )));
+        self.tags.push(None);
+        match self.allreduce_expect.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, n)) => *n += 1,
+            None => self.allreduce_expect.push((group, 1)),
+        }
+        self.cmds.push(Cmd::AllReduce { stream, bytes, group });
+        self.absorb_last();
+        self.cmds.len() - 1
+    }
+
     /// Renders the schedule as stable, line-oriented text: one command per
     /// line, in dispatch order, with kernel labels, stream bindings, and
     /// event wiring spelled out. Golden-trace tests snapshot this exact
@@ -327,18 +484,26 @@ impl Schedule {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "streams {}", self.num_streams);
+        if self.is_multi_device() {
+            let devs: Vec<String> = self.device_of.iter().map(|d| d.to_string()).collect();
+            let _ = writeln!(out, "devices {}", devs.join(","));
+        }
+        let fmt_waits = |out: &mut String, waits: &[EventId]| {
+            use std::fmt::Write as _;
+            if !waits.is_empty() {
+                let _ = write!(out, " waits[");
+                for (i, w) in waits.iter().enumerate() {
+                    let sep = if i > 0 { "," } else { "" };
+                    let _ = write!(out, "{sep}e{}", w.0);
+                }
+                let _ = write!(out, "]");
+            }
+        };
         for cmd in &self.cmds {
             match cmd {
                 Cmd::Launch { stream, kernel, waits, label } => {
                     let _ = write!(out, "launch s{}", stream.0);
-                    if !waits.is_empty() {
-                        let _ = write!(out, " waits[");
-                        for (i, w) in waits.iter().enumerate() {
-                            let sep = if i > 0 { "," } else { "" };
-                            let _ = write!(out, "{sep}e{}", w.0);
-                        }
-                        let _ = write!(out, "]");
-                    }
+                    fmt_waits(&mut out, waits);
                     let name = label.clone().unwrap_or_else(|| kernel.label());
                     let _ = writeln!(out, " {name}");
                 }
@@ -347,6 +512,14 @@ impl Schedule {
                 }
                 Cmd::Barrier => out.push_str("barrier\n"),
                 Cmd::HostSync => out.push_str("hostsync\n"),
+                Cmd::Transfer { stream, bytes, src, dst, waits } => {
+                    let _ = write!(out, "transfer s{}", stream.0);
+                    fmt_waits(&mut out, waits);
+                    let _ = writeln!(out, " {bytes}B d{src}->d{dst}");
+                }
+                Cmd::AllReduce { stream, bytes, group } => {
+                    let _ = writeln!(out, "allreduce s{} {bytes}B g{group}", stream.0);
+                }
             }
         }
         out
@@ -471,6 +644,53 @@ mod tests {
         assert_eq!(a.prefix_hash(), b.prefix_hash(), "tags are invisible to the hash");
         assert_eq!(b.tags(), &[Some(7), None]);
         assert_eq!(a.tags(), &[None, None]);
+    }
+
+    #[test]
+    fn device_map_participates_in_hash_but_zeros_are_invisible() {
+        let plain = Schedule::new(2);
+        let zeros = Schedule::with_devices(2, vec![0, 0]);
+        assert_eq!(plain.prefix_hash(), zeros.prefix_hash());
+        assert_eq!(plain.render(), zeros.render());
+        assert!(!zeros.is_multi_device());
+        let multi = Schedule::with_devices(2, vec![0, 1]);
+        assert_ne!(plain.prefix_hash(), multi.prefix_hash());
+        let other = Schedule::with_devices(2, vec![1, 0]);
+        assert_ne!(multi.prefix_hash(), other.prefix_hash(), "mapping order matters");
+        assert!(multi.is_multi_device());
+        assert_eq!(multi.num_devices(), 2);
+        assert_eq!(multi.stream_device(StreamId(1)), 1);
+        assert!(multi.render().lines().nth(1) == Some("devices 0,1"));
+    }
+
+    #[test]
+    fn transfer_and_allreduce_render_and_count() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 64.0 });
+        let ev = s.record(StreamId(0));
+        s.transfer(StreamId(1), 4096, 0, 1, vec![ev]);
+        s.all_reduce(StreamId(0), 1024, 0);
+        s.all_reduce(StreamId(1), 1024, 0);
+        let text = s.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[4], "transfer s1 waits[e0] 4096B d0->d1");
+        assert_eq!(lines[5], "allreduce s0 1024B g0");
+        assert_eq!(lines[6], "allreduce s1 1024B g0");
+        assert_eq!(s.allreduce_expect(0), 2);
+        assert_eq!(s.allreduce_expect(9), 0);
+        // Transfers and all-reduces occupy their streams but are not kernel
+        // launches.
+        assert_eq!(s.num_launches(), 1);
+        assert_eq!(s.stream_cmd_counts(), &[3, 2]);
+        assert!(s.span_labels()[2].as_deref().unwrap().starts_with("xfer["));
+        assert!(s.span_labels()[3].as_deref().unwrap().starts_with("allreduce["));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination device")]
+    fn transfer_on_wrong_device_panics() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        s.transfer(StreamId(0), 64, 0, 1, Vec::new());
     }
 
     #[test]

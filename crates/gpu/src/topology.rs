@@ -1,0 +1,252 @@
+//! Multi-device node topologies: a set of [`DeviceSpec`]s joined by an
+//! interconnect.
+//!
+//! A [`Topology`] is what the engine simulates when a schedule places
+//! streams on more than one device: each device contributes its own
+//! thread-block slot pool (so per-device SM rates are computed independently,
+//! heterogeneous mixes included), and cross-device traffic — explicit
+//! [`Cmd::Transfer`](crate::schedule::Cmd::Transfer) copies and
+//! [`Cmd::AllReduce`](crate::schedule::Cmd::AllReduce) rendezvous — is priced
+//! against the [`LinkDesc`]'s bandwidth and latency, with contention on
+//! shared links (concurrent transfers on one bus split its bandwidth).
+//!
+//! The topology also carries the *cost weights* used for the
+//! cost-per-throughput report: a device's weight is proportional to its peak
+//! arithmetic throughput (a faster part rents for more), normalized so the
+//! cheapest device in the mix costs 1.0.
+
+use crate::device::DeviceSpec;
+use crate::schedule::{fnv1a, fold_hash};
+
+/// One interconnect class joining the devices of a [`Topology`].
+///
+/// Bandwidth is in GB/s (equivalently bytes/ns), latency in ns. `shared`
+/// selects the contention model: a shared bus (PCIe-style) makes every
+/// concurrent transfer split one bandwidth pool, while a point-to-point
+/// fabric (NVLink-style) gives each ordered device pair its own pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDesc {
+    /// Human-readable link name.
+    pub name: String,
+    /// Bandwidth in GB/s (== bytes/ns).
+    pub gbps: f64,
+    /// One-way message latency in ns.
+    pub latency_ns: f64,
+    /// Whether all transfers contend on a single shared bus (`true`) or each
+    /// ordered device pair owns a private lane (`false`).
+    pub shared: bool,
+}
+
+impl LinkDesc {
+    /// NVLink-style point-to-point fabric: 18 GB/s per lane, 4 us latency.
+    pub fn nvlink() -> Self {
+        LinkDesc { name: "nvlink".to_owned(), gbps: 18.0, latency_ns: 4_000.0, shared: false }
+    }
+
+    /// PCIe 3.0 shared bus: 12 GB/s, 12 us latency, all transfers contend.
+    pub fn pcie3() -> Self {
+        LinkDesc { name: "pcie3".to_owned(), gbps: 12.0, latency_ns: 12_000.0, shared: true }
+    }
+
+    /// Commodity ethernet: 3 GB/s, 50 us latency, shared.
+    pub fn ethernet() -> Self {
+        LinkDesc { name: "ethernet".to_owned(), gbps: 3.0, latency_ns: 50_000.0, shared: true }
+    }
+
+    /// Bandwidth in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.gbps
+    }
+
+    /// Wall-clock of a ring all-reduce of `bytes` across `parts` participants:
+    /// `2(P-1)/P` of the payload crosses the link, plus `2(P-1)` hops of
+    /// latency. One participant reduces locally for free.
+    pub fn ring_allreduce_ns(&self, bytes: f64, parts: usize) -> f64 {
+        if parts <= 1 {
+            return 0.0;
+        }
+        let p = parts as f64;
+        2.0 * (p - 1.0) / p * bytes / self.bytes_per_ns() + 2.0 * (p - 1.0) * self.latency_ns
+    }
+}
+
+/// A simulated multi-device node: an ordered device list plus the
+/// interconnect joining them.
+///
+/// # Examples
+///
+/// ```
+/// use astra_gpu::{DeviceSpec, LinkDesc, Topology};
+///
+/// let t = Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::nvlink());
+/// assert_eq!(t.num_devices(), 2);
+/// assert!(t.is_multi());
+/// let het = Topology::new(vec![DeviceSpec::p100(), DeviceSpec::v100()], LinkDesc::nvlink());
+/// assert!(het.cost_weights()[1] > het.cost_weights()[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    devices: Vec<DeviceSpec>,
+    link: LinkDesc,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit device list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new(devices: Vec<DeviceSpec>, link: LinkDesc) -> Self {
+        assert!(!devices.is_empty(), "a topology needs at least one device");
+        Topology { devices, link }
+    }
+
+    /// A single-device "topology" (the degenerate case the rest of the
+    /// pipeline treats as plain single-device execution).
+    pub fn single(dev: DeviceSpec) -> Self {
+        Topology { devices: vec![dev], link: LinkDesc::nvlink() }
+    }
+
+    /// `n` identical copies of `dev` joined by `link`.
+    pub fn homogeneous(dev: DeviceSpec, n: usize, link: LinkDesc) -> Self {
+        assert!(n > 0, "a topology needs at least one device");
+        Topology { devices: vec![dev; n], link }
+    }
+
+    /// Number of devices in the node.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether more than one device is present.
+    pub fn is_multi(&self) -> bool {
+        self.devices.len() > 1
+    }
+
+    /// The devices, in placement order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device(&self, i: usize) -> &DeviceSpec {
+        &self.devices[i]
+    }
+
+    /// The interconnect description.
+    pub fn link(&self) -> &LinkDesc {
+        &self.link
+    }
+
+    /// Whether every device in the mix is identical.
+    pub fn is_homogeneous(&self) -> bool {
+        self.devices.iter().all(|d| *d == self.devices[0])
+    }
+
+    /// Per-device cost weights for the cost-per-throughput report:
+    /// proportional to peak arithmetic throughput, normalized so the
+    /// cheapest device costs exactly 1.0.
+    pub fn cost_weights(&self) -> Vec<f64> {
+        let min = self
+            .devices
+            .iter()
+            .map(|d| d.peak_gflops)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        self.devices.iter().map(|d| d.peak_gflops / min).collect()
+    }
+
+    /// Sum of all device cost weights (the "node rent" a throughput number
+    /// is divided by).
+    pub fn total_cost(&self) -> f64 {
+        self.cost_weights().iter().sum()
+    }
+
+    /// Content fingerprint covering every device's architectural parameters
+    /// and the link. Two topologies that could ever disagree on a simulated
+    /// timing have different fingerprints (modulo 64-bit collision), which
+    /// is what keeps sim-cache checkpoints from crossing topologies.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fold_hash(0x7079_0105, self.devices.len() as u64);
+        for d in &self.devices {
+            h = fold_hash(h, fnv1a(d.name.as_bytes()));
+            h = fold_hash(h, u64::from(d.sm_count));
+            h = fold_hash(h, u64::from(d.blocks_per_sm));
+            for f in [
+                d.peak_gflops,
+                d.hbm_gbps,
+                d.launch_overhead_ns,
+                d.dispatch_cost_ns,
+                d.event_record_cost_ns,
+                d.stream_sync_cost_ns,
+                d.barrier_sync_cost_ns,
+                d.host_roundtrip_ns,
+            ] {
+                h = fold_hash(h, f.to_bits());
+            }
+        }
+        h = fold_hash(h, fnv1a(self.link.name.as_bytes()));
+        h = fold_hash(h, self.link.gbps.to_bits());
+        h = fold_hash(h, self.link.latency_ns.to_bits());
+        fold_hash(h, u64::from(self.link.shared))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_mixes_and_links() {
+        let p = DeviceSpec::p100();
+        let v = DeviceSpec::v100();
+        let a = Topology::homogeneous(p.clone(), 2, LinkDesc::nvlink());
+        let b = Topology::homogeneous(p.clone(), 4, LinkDesc::nvlink());
+        let c = Topology::new(vec![p.clone(), v.clone()], LinkDesc::nvlink());
+        let d = Topology::new(vec![v, p.clone()], LinkDesc::nvlink());
+        let e = Topology::homogeneous(p, 2, LinkDesc::pcie3());
+        let prints = [a.fingerprint(), b.fingerprint(), c.fingerprint(), d.fingerprint(),
+            e.fingerprint()];
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(prints[i], prints[j], "topologies {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_weights_normalize_to_cheapest() {
+        let t = Topology::new(
+            vec![DeviceSpec::p100(), DeviceSpec::v100()],
+            LinkDesc::nvlink(),
+        );
+        let w = t.cost_weights();
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 15_700.0 / 9_300.0).abs() < 1e-12);
+        assert!((t.total_cost() - (w[0] + w[1])).abs() < 1e-12);
+        assert!(!t.is_homogeneous());
+        assert!(Topology::homogeneous(DeviceSpec::p100(), 3, LinkDesc::pcie3()).is_homogeneous());
+    }
+
+    #[test]
+    fn ring_allreduce_scales_with_participants() {
+        let l = LinkDesc::nvlink();
+        assert_eq!(l.ring_allreduce_ns(1e9, 1), 0.0);
+        let two = l.ring_allreduce_ns(1e9, 2);
+        let four = l.ring_allreduce_ns(1e9, 4);
+        assert!(two > 0.0);
+        assert!(four > two, "more participants move more total bytes");
+        // The bandwidth term approaches 2B/bw from below.
+        assert!(four < 2.0 * 1e9 / l.bytes_per_ns() + 8.0 * l.latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_topology_panics() {
+        let _ = Topology::new(Vec::new(), LinkDesc::nvlink());
+    }
+}

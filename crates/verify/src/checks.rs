@@ -59,38 +59,41 @@ pub(crate) fn check_events(sched: &Schedule, records: &HashMap<u32, Vec<usize>>)
     let mut missing_record = false;
 
     for (i, cmd) in sched.cmds().iter().enumerate() {
-        if let Cmd::Launch { waits, .. } = cmd {
-            for w in waits {
-                waited.insert(w.0);
-                match records.get(&w.0) {
-                    None => {
-                        missing_record = true;
+        let (what, waits) = match cmd {
+            Cmd::Launch { waits, .. } => ("launch", waits),
+            Cmd::Transfer { waits, .. } => ("transfer", waits),
+            _ => continue,
+        };
+        for w in waits {
+            waited.insert(w.0);
+            match records.get(&w.0) {
+                None => {
+                    missing_record = true;
+                    out.push(diag(
+                        sched,
+                        RuleId::WaitNeverRecorded,
+                        vec![i],
+                        format!("{what} {i} waits on e{} which is never recorded", w.0),
+                    ));
+                }
+                Some(recs) => {
+                    record_after_wait |= recs.iter().any(|&r| r > i);
+                    // Satisfiable only if some record is dispatched
+                    // before the wait (cudaStreamWaitEvent on a
+                    // not-yet-recorded event is a no-op on real
+                    // hardware).
+                    let first = *recs.first().expect("non-empty by construction");
+                    if recs.iter().all(|&r| r > i) {
                         out.push(diag(
                             sched,
-                            RuleId::WaitNeverRecorded,
-                            vec![i],
-                            format!("launch {i} waits on e{} which is never recorded", w.0),
+                            RuleId::WaitBeforeRecord,
+                            vec![i, first],
+                            format!(
+                                "{what} {i} waits on e{} whose first record is at {first}, \
+                                 after the wait",
+                                w.0
+                            ),
                         ));
-                    }
-                    Some(recs) => {
-                        record_after_wait |= recs.iter().any(|&r| r > i);
-                        // Satisfiable only if some record is dispatched
-                        // before the wait (cudaStreamWaitEvent on a
-                        // not-yet-recorded event is a no-op on real
-                        // hardware).
-                        let first = *recs.first().expect("non-empty by construction");
-                        if recs.iter().all(|&r| r > i) {
-                            out.push(diag(
-                                sched,
-                                RuleId::WaitBeforeRecord,
-                                vec![i, first],
-                                format!(
-                                    "launch {i} waits on e{} whose first record is at {first}, \
-                                     after the wait",
-                                    w.0
-                                ),
-                            ));
-                        }
                     }
                 }
             }
@@ -142,7 +145,10 @@ pub(crate) fn check_orphan_barriers(sched: &Schedule) -> Option<Diagnostic> {
     for (i, cmd) in sched.cmds().iter().enumerate() {
         match cmd {
             Cmd::Barrier => barrier_cmds.push(i),
-            Cmd::Launch { stream, .. } | Cmd::Record { stream, .. } => active[stream.0] = true,
+            Cmd::Launch { stream, .. }
+            | Cmd::Record { stream, .. }
+            | Cmd::Transfer { stream, .. }
+            | Cmd::AllReduce { stream, .. } => active[stream.0] = true,
             Cmd::HostSync => {}
         }
     }
@@ -172,7 +178,7 @@ pub(crate) fn check_dead_code(
     // Stuckness only ever starts at a wait on a never-recorded event; with
     // every wait recorded somewhere, nothing can be dead.
     let any_root = cmds.iter().any(|c| {
-        matches!(c, Cmd::Launch { waits, .. }
+        matches!(c, Cmd::Launch { waits, .. } | Cmd::Transfer { waits, .. }
             if waits.iter().any(|w| !records.contains_key(&w.0)))
     });
     if !any_root {
@@ -185,10 +191,14 @@ pub(crate) fn check_dead_code(
     // join commands fan in.
     let mut chain_pred: Vec<u32> = vec![u32::MAX; n];
     let mut join_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut ar_members: HashMap<u32, Vec<usize>> = HashMap::new();
     let mut last_in_stream: Vec<Option<usize>> = vec![None; sched.num_streams()];
     for (i, cmd) in cmds.iter().enumerate() {
         match cmd {
-            Cmd::Launch { stream, .. } | Cmd::Record { stream, .. } => {
+            Cmd::Launch { stream, .. }
+            | Cmd::Record { stream, .. }
+            | Cmd::Transfer { stream, .. }
+            | Cmd::AllReduce { stream, .. } => {
                 if let Some(p) = last_in_stream[stream.0] {
                     chain_pred[i] = p as u32;
                 }
@@ -203,6 +213,9 @@ pub(crate) fn check_dead_code(
                 }
             }
         }
+        if let Cmd::AllReduce { group, .. } = cmd {
+            ar_members.entry(*group).or_default().push(i);
+        }
     }
 
     let mut stuck = vec![false; n];
@@ -215,7 +228,7 @@ pub(crate) fn check_dead_code(
             }
             let mut is_stuck = (chain_pred[i] != u32::MAX && stuck[chain_pred[i] as usize])
                 || join_preds[i].iter().any(|&p| stuck[p]);
-            if let Cmd::Launch { waits, .. } = &cmds[i] {
+            if let Cmd::Launch { waits, .. } | Cmd::Transfer { waits, .. } = &cmds[i] {
                 for w in waits {
                     match records.get(&w.0) {
                         // A wait whose event is never recorded blocks its
@@ -232,6 +245,12 @@ pub(crate) fn check_dead_code(
                             }
                         }
                     }
+                }
+            }
+            // A rendezvous whose other arrivals never happen never releases.
+            if let Cmd::AllReduce { group, .. } = &cmds[i] {
+                if ar_members[group].iter().any(|&m| m != i && stuck[m]) {
+                    is_stuck = true;
                 }
             }
             if is_stuck {
@@ -313,6 +332,50 @@ fn classify_pair(sched: &Schedule, a: &Footprint, b: &Footprint) -> Option<Diagn
     Some(diag(sched, rule, vec![a.cmd, b.cmd], msg))
 }
 
+/// An ordered cross-device pair still races through memory: device memories
+/// are not coherent, so a consumer ordered after a remote producer reads a
+/// stale replica unless a matching transfer is interposed between them
+/// (producer → transfer → consumer, shipping src-device bytes to the
+/// consumer's device).
+fn classify_cross_device(
+    sched: &Schedule,
+    a: &Footprint,
+    b: &Footprint,
+    devs: &[usize],
+    transfers: &[(usize, usize, usize)],
+    hb: &HbGraph,
+) -> Option<Diagnostic> {
+    let check = |w: &Footprint, r: &Footprint| -> Option<Diagnostic> {
+        if !hb.reaches(w.cmd, r.cmd) {
+            return None;
+        }
+        let [x, y] = any_overlap(&w.writes, &r.reads)?;
+        let (dw, dr) = (devs[w.stream], devs[r.stream]);
+        let shipped = transfers.iter().any(|&(t, src, dst)| {
+            src == dw && dst == dr && hb.reaches(w.cmd, t) && hb.reaches(t, r.cmd)
+        });
+        if shipped {
+            return None;
+        }
+        let msg = format!(
+            "launch {} (s{} on d{dw}) produces buf {} {} that launch {} (s{} on d{dr}) \
+             consumes as buf {} {} with no interposed d{dw}->d{dr} transfer",
+            w.cmd,
+            w.stream,
+            x.0 .0,
+            region_str(x.1),
+            r.cmd,
+            r.stream,
+            y.0 .0,
+            region_str(y.1),
+        );
+        let mut cmds = vec![w.cmd.min(r.cmd), w.cmd.max(r.cmd)];
+        cmds.dedup();
+        Some(diag(sched, RuleId::DeviceAliasing, cmds, msg))
+    };
+    check(a, b).or_else(|| check(b, a))
+}
+
 /// Cross-stream data-hazard scan. Returns the diagnostics plus the number
 /// of cross-stream pairs examined. `workers > 1` splits the scan over that
 /// many threads; the final report is sorted canonically, so the output is
@@ -338,6 +401,16 @@ pub(crate) fn check_hazards(
             writes: acc.writes.iter().map(|&b| (b, resolve(b, plan))).collect(),
         });
     }
+    let devs = sched.stream_devices();
+    let transfers: Vec<(usize, usize, usize)> = sched
+        .cmds()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match c {
+            Cmd::Transfer { src, dst, .. } => Some((i, *src, *dst)),
+            _ => None,
+        })
+        .collect();
 
     let scan_chunk = |lo: usize, hi: usize| -> (Vec<Diagnostic>, u64) {
         let mut diags = Vec::new();
@@ -350,6 +423,12 @@ pub(crate) fn check_hazards(
                 }
                 pairs += 1;
                 if hb.ordered(a.cmd, b.cmd) {
+                    if devs[a.stream] != devs[b.stream] {
+                        if let Some(d) = classify_cross_device(sched, a, b, devs, &transfers, hb)
+                        {
+                            diags.push(d);
+                        }
+                    }
                     continue;
                 }
                 if let Some(d) = classify_pair(sched, a, b) {
@@ -449,6 +528,110 @@ pub(crate) fn check_placements(
                     ba.0, bb.0
                 ),
             ));
+        }
+    }
+    out
+}
+
+/// Transfer-before-produce rule: a cross-device copy must wait on at least
+/// one event recorded on its *source* device before it is dispatched —
+/// otherwise the copy can ship bytes its producer has not written yet.
+pub(crate) fn check_transfers(
+    sched: &Schedule,
+    records: &HashMap<u32, Vec<usize>>,
+) -> Vec<Diagnostic> {
+    let devs = sched.stream_devices();
+    let cmds = sched.cmds();
+    let mut out = Vec::new();
+    for (i, cmd) in cmds.iter().enumerate() {
+        let Cmd::Transfer { src, waits, .. } = cmd else { continue };
+        let produced = waits.iter().any(|w| {
+            records.get(&w.0).is_some_and(|recs| {
+                recs.iter().any(|&r| {
+                    r < i
+                        && matches!(&cmds[r], Cmd::Record { stream, .. }
+                            if devs[stream.0] == *src)
+                })
+            })
+        });
+        if !produced {
+            out.push(diag(
+                sched,
+                RuleId::TransferBeforeProduce,
+                vec![i],
+                format!(
+                    "transfer {i} copies from d{src} without waiting on any event recorded \
+                     on d{src}: the payload may not be produced yet"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Link-deadlock rule: all-reduce rendezvous that can never complete. Two
+/// shapes — one group arriving twice on the same stream (the first
+/// rendezvous waits on an arrival queued behind itself), and two groups
+/// meeting in opposite orders on different streams (each blocks the
+/// other's missing arrival).
+pub(crate) fn check_collectives(sched: &Schedule) -> Vec<Diagnostic> {
+    let mut per_stream: Vec<Vec<(u32, usize)>> = vec![Vec::new(); sched.num_streams()];
+    for (i, cmd) in sched.cmds().iter().enumerate() {
+        if let Cmd::AllReduce { stream, group, .. } = cmd {
+            per_stream[stream.0].push((*group, i));
+        }
+    }
+    let mut out = Vec::new();
+
+    for sv in &per_stream {
+        for (k, &(g, i)) in sv.iter().enumerate() {
+            if let Some(&(_, j)) = sv[k + 1..].iter().find(|&&(h, _)| h == g) {
+                out.push(diag(
+                    sched,
+                    RuleId::LinkDeadlock,
+                    vec![i, j],
+                    format!(
+                        "all-reduce group g{g} arrives twice on one stream (cmds {i} and {j}): \
+                         the first rendezvous waits on an arrival queued behind it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // First witness of every observed "g rendezvouses before h" order; a
+    // later stream observing the reverse order is a deadlock. One
+    // diagnostic per unordered group pair.
+    let mut seen: HashMap<(u32, u32), (usize, usize)> = HashMap::new();
+    let mut flagged: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for sv in &per_stream {
+        for a in 0..sv.len() {
+            for b in a + 1..sv.len() {
+                let (g, ig) = sv[a];
+                let (h, ih) = sv[b];
+                if g == h {
+                    continue;
+                }
+                if let Some(&(jh, jg)) = seen.get(&(h, g)) {
+                    let key = (g.min(h), g.max(h));
+                    if flagged.insert(key) {
+                        let mut cmds = vec![jh, jg, ig, ih];
+                        cmds.sort_unstable();
+                        cmds.dedup();
+                        out.push(diag(
+                            sched,
+                            RuleId::LinkDeadlock,
+                            cmds,
+                            format!(
+                                "all-reduce groups g{} and g{} rendezvous in opposite orders \
+                                 on different streams (deadlock)",
+                                key.0, key.1
+                            ),
+                        ));
+                    }
+                }
+                seen.entry((g, h)).or_insert((ig, ih));
+            }
         }
     }
     out
@@ -611,6 +794,100 @@ mod tests {
         assert_eq!(d1[0].rule, RuleId::CrossStreamWaw);
         assert_eq!(p1, p4);
         assert_eq!(d1, d4, "worker count must not change findings");
+    }
+
+    #[test]
+    fn transfer_without_source_event_is_flagged() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        s.launch(StreamId(0), copy()); // 0 producer, but no record
+        s.transfer(StreamId(1), 4096, 0, 1, Vec::new()); // 1: nothing guards the copy
+        let diags = check_transfers(&s, &records_by_event(&s));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::TransferBeforeProduce);
+        assert_eq!(diags[0].cmds, vec![1]);
+
+        // Waiting on an event recorded on the *destination* is not enough.
+        let mut w = Schedule::with_devices(2, vec![0, 1]);
+        let e = w.record(StreamId(1));
+        w.transfer(StreamId(1), 64, 0, 1, vec![e]);
+        assert_eq!(check_transfers(&w, &records_by_event(&w)).len(), 1);
+
+        // The producer's done-event on the source device clears it.
+        let mut ok = Schedule::with_devices(2, vec![0, 1]);
+        ok.launch(StreamId(0), copy());
+        let e = ok.record(StreamId(0));
+        ok.transfer(StreamId(1), 64, 0, 1, vec![e]);
+        assert!(check_transfers(&ok, &records_by_event(&ok)).is_empty());
+    }
+
+    #[test]
+    fn crossed_and_doubled_allreduce_groups_deadlock() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        s.all_reduce(StreamId(0), 64, 0);
+        s.all_reduce(StreamId(0), 64, 1);
+        s.all_reduce(StreamId(1), 64, 1);
+        s.all_reduce(StreamId(1), 64, 0);
+        let diags = check_collectives(&s);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::LinkDeadlock);
+        assert_eq!(diags[0].cmds, vec![0, 1, 2, 3]);
+
+        let mut d = Schedule::with_devices(2, vec![0, 1]);
+        d.all_reduce(StreamId(0), 64, 5);
+        d.all_reduce(StreamId(0), 64, 5);
+        let diags = check_collectives(&d);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].cmds, vec![0, 1]);
+
+        let mut ok = Schedule::with_devices(2, vec![0, 1]);
+        ok.all_reduce(StreamId(0), 64, 0);
+        ok.all_reduce(StreamId(1), 64, 0);
+        ok.all_reduce(StreamId(0), 64, 1);
+        ok.all_reduce(StreamId(1), 64, 1);
+        assert!(check_collectives(&ok).is_empty(), "consistent order is fine");
+    }
+
+    #[test]
+    fn cross_device_raw_needs_an_interposed_transfer() {
+        // Producer on d0, consumer on d1 ordered via record/wait but with no
+        // transfer: stale-replica read.
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        let p = s.launch(StreamId(0), copy()); // 0
+        let e = s.record(StreamId(0)); // 1
+        let c = s.launch_after(StreamId(1), copy(), vec![e]); // 2
+        let mut t = AccessTable::new(s.cmds().len());
+        t.set(p, Access { reads: vec![], writes: vec![BufId(1)] });
+        t.set(c, Access { reads: vec![BufId(1)], writes: vec![] });
+        let hb = HbGraph::build(&s);
+        let (diags, _) = check_hazards(&s, &t, None, &hb, 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::DeviceAliasing);
+        assert_eq!(diags[0].cmds, vec![0, 2]);
+
+        // Same shape with the transfer interposed: clean.
+        let mut s2 = Schedule::with_devices(2, vec![0, 1]);
+        let p = s2.launch(StreamId(0), copy()); // 0
+        let e = s2.record(StreamId(0)); // 1
+        s2.transfer(StreamId(1), 64, 0, 1, vec![e]); // 2
+        let c = s2.launch(StreamId(1), copy()); // 3
+        let mut t2 = AccessTable::new(s2.cmds().len());
+        t2.set(p, Access { reads: vec![], writes: vec![BufId(1)] });
+        t2.set(c, Access { reads: vec![BufId(1)], writes: vec![] });
+        let hb2 = HbGraph::build(&s2);
+        let (diags2, _) = check_hazards(&s2, &t2, None, &hb2, 1);
+        assert!(diags2.is_empty(), "shipped replica is coherent: {diags2:?}");
+
+        // Same device, ordered: never flagged.
+        let mut s3 = Schedule::new(2);
+        let p = s3.launch(StreamId(0), copy());
+        let e = s3.record(StreamId(0));
+        let c = s3.launch_after(StreamId(1), copy(), vec![e]);
+        let mut t3 = AccessTable::new(s3.cmds().len());
+        t3.set(p, Access { reads: vec![], writes: vec![BufId(1)] });
+        t3.set(c, Access { reads: vec![BufId(1)], writes: vec![] });
+        let hb3 = HbGraph::build(&s3);
+        let (diags3, _) = check_hazards(&s3, &t3, None, &hb3, 1);
+        assert!(diags3.is_empty());
     }
 
     #[test]

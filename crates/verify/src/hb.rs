@@ -34,19 +34,47 @@ pub(crate) struct HbGraph {
 }
 
 /// Calls `f(u, v)` for every happens-before edge `u -> v` of the schedule:
-/// stream program order, barrier/host-sync joins, and record→wait wiring
-/// (the record of an event precedes every launch waiting on it, regardless
-/// of dispatch-order index). Iterated twice — once to size the CSR arrays,
-/// once to fill them — so it must be deterministic, which it is.
+/// stream program order, barrier/host-sync joins, record→wait wiring (the
+/// record of an event precedes every launch or transfer waiting on it,
+/// regardless of dispatch-order index), and all-reduce rendezvous joins
+/// (every member's stream predecessor precedes every member's completion —
+/// the release fires at the last arrival, so crossed group orders become
+/// graph cycles). Iterated twice — once to size the CSR arrays, once to
+/// fill them — so it must be deterministic, which it is.
 fn for_each_edge(
     sched: &Schedule,
     records: &HashMap<u32, Vec<usize>>,
     mut f: impl FnMut(usize, usize),
 ) {
+    let cmds = sched.cmds();
+
+    // Rendezvous edges point from the stream predecessors of *later* members
+    // back to earlier members, so both are precomputed in one forward sweep.
+    let mut pred: Vec<Option<usize>> = vec![None; cmds.len()];
+    let mut members: HashMap<u32, Vec<usize>> = HashMap::new();
+    {
+        let mut last: Vec<Option<usize>> = vec![None; sched.num_streams()];
+        for (i, cmd) in cmds.iter().enumerate() {
+            match cmd {
+                Cmd::Launch { stream, .. }
+                | Cmd::Record { stream, .. }
+                | Cmd::Transfer { stream, .. }
+                | Cmd::AllReduce { stream, .. } => {
+                    pred[i] = last[stream.0];
+                    last[stream.0] = Some(i);
+                }
+                Cmd::Barrier | Cmd::HostSync => last.fill(Some(i)),
+            }
+            if let Cmd::AllReduce { group, .. } = cmd {
+                members.entry(*group).or_default().push(i);
+            }
+        }
+    }
+
     let mut last_in_stream: Vec<Option<usize>> = vec![None; sched.num_streams()];
-    for (i, cmd) in sched.cmds().iter().enumerate() {
+    for (i, cmd) in cmds.iter().enumerate() {
         match cmd {
-            Cmd::Launch { stream, waits, .. } => {
+            Cmd::Launch { stream, waits, .. } | Cmd::Transfer { stream, waits, .. } => {
                 if let Some(p) = last_in_stream[stream.0] {
                     f(p, i);
                 }
@@ -64,6 +92,22 @@ fn for_each_edge(
                     f(p, i);
                 }
                 last_in_stream[stream.0] = Some(i);
+            }
+            Cmd::AllReduce { stream, group, .. } => {
+                if let Some(p) = last_in_stream[stream.0] {
+                    f(p, i);
+                }
+                last_in_stream[stream.0] = Some(i);
+                // A member completes only when every member has arrived;
+                // members themselves stay mutually unordered (their
+                // completions coincide at the release).
+                for &m in &members[group] {
+                    if m != i {
+                        if let Some(p) = pred[m] {
+                            f(p, i);
+                        }
+                    }
+                }
             }
             Cmd::Barrier | Cmd::HostSync => {
                 for slot in &mut last_in_stream {
@@ -179,7 +223,10 @@ impl HbGraph {
         self.reaches(i, j) || self.reaches(j, i)
     }
 
-    fn reaches(&self, from: usize, to: usize) -> bool {
+    /// Whether a happens-before path runs `from` → `to` (direction matters;
+    /// the device-aliasing check needs writer-before-reader specifically).
+    /// Only meaningful on acyclic graphs with the closure built.
+    pub(crate) fn reaches(&self, from: usize, to: usize) -> bool {
         self.reach[from * self.words + to / 64] & (1u64 << (to % 64)) != 0
     }
 }
@@ -250,5 +297,46 @@ mod tests {
         let hb = HbGraph::build(&s);
         assert!(!hb.is_cyclic());
         assert!(hb.cycle_residue().is_empty());
+    }
+
+    #[test]
+    fn transfers_chain_and_obey_waits() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        let p = s.launch(StreamId(0), copy()); // 0 producer on d0
+        let e = s.record(StreamId(0)); // 1
+        let t = s.transfer(StreamId(1), 4096, 0, 1, vec![e]); // 2
+        let c = s.launch(StreamId(1), copy()); // 3 consumer on d1
+        let hb = HbGraph::build(&s);
+        assert!(!hb.is_cyclic());
+        assert!(hb.reaches(p, t), "record/wait orders producer before transfer");
+        assert!(hb.reaches(t, c), "stream order chains transfer before consumer");
+        assert!(hb.reaches(p, c));
+    }
+
+    #[test]
+    fn allreduce_rendezvous_orders_arrivals_before_every_member() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        let a = s.launch(StreamId(0), copy()); // 0
+        let b = s.launch(StreamId(1), copy()); // 1
+        let r0 = s.all_reduce(StreamId(0), 1024, 0); // 2
+        let r1 = s.all_reduce(StreamId(1), 1024, 0); // 3
+        let c = s.launch(StreamId(0), copy()); // 4
+        let hb = HbGraph::build(&s);
+        assert!(!hb.is_cyclic());
+        assert!(hb.reaches(a, r1), "s0's arrival gates s1's release");
+        assert!(hb.reaches(b, r0), "s1's arrival gates s0's release");
+        assert!(!hb.ordered(r0, r1), "member completions coincide");
+        assert!(hb.reaches(b, c), "post-rendezvous work follows all arrivals");
+    }
+
+    #[test]
+    fn crossed_allreduce_groups_are_a_cycle() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        s.all_reduce(StreamId(0), 64, 0); // 0: s0 meets g0 first
+        s.all_reduce(StreamId(0), 64, 1); // 1
+        s.all_reduce(StreamId(1), 64, 1); // 2: s1 meets g1 first
+        s.all_reduce(StreamId(1), 64, 0); // 3
+        let hb = HbGraph::build(&s);
+        assert!(hb.is_cyclic(), "opposite rendezvous orders deadlock");
     }
 }

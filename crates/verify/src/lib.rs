@@ -16,11 +16,20 @@
 //!    before their record (a no-op on real hardware), double records, and
 //!    recorded-but-unwaited events.
 //! 2. **Happens-before graph** — stream program order, barrier/host-sync
-//!    joins, and record→wait edges; a cycle is a guaranteed deadlock.
+//!    joins, record→wait edges, and (on multi-device schedules) transfer
+//!    waits plus all-reduce rendezvous joins; a cycle is a guaranteed
+//!    deadlock.
 //! 3. **Cross-stream hazard scan** — every unordered cross-stream launch
-//!    pair whose resolved footprints overlap is a RAW/WAR/WAW race.
+//!    pair whose resolved footprints overlap is a RAW/WAR/WAW race; an
+//!    *ordered* cross-device pair sharing a footprint with no interposed
+//!    transfer is a stale-replica read (`device-aliasing`).
 //! 4. **Allocation aliasing audit** — distinct buffers placed on
 //!    overlapping arena ranges while both are live.
+//!
+//! Multi-device schedules get two more structural rules: every transfer
+//! must wait on an event recorded on its source device
+//! (`transfer-before-produce`), and all-reduce rendezvous orders must be
+//! consistent across streams (`link-deadlock`).
 //!
 //! Results come back as a [`VerifyReport`] of [`Diagnostic`]s, each tagged
 //! with a stable [`RuleId`] and [`Severity`]; [`VerifyReport::is_clean`] is
@@ -105,11 +114,12 @@ pub fn verify(
     // The transitive closure only feeds the cross-stream hazard scan; skip
     // the quadratic work whenever that scan cannot run. The graph itself is
     // only needed for that scan or for cycle detection — and every HB edge
-    // except record-after-wait wiring points forward in dispatch order, so
-    // without one of those the graph is acyclic by construction and need
-    // not be built at all.
+    // except record-after-wait wiring and all-reduce rendezvous joins
+    // points forward in dispatch order, so without one of those the graph
+    // is acyclic by construction and need not be built at all.
     let want_closure = sched.num_streams() >= 2 && access.is_some();
-    let hb = if want_closure || scan.record_after_wait {
+    let has_collectives = !sched.allreduce_groups().is_empty();
+    let hb = if want_closure || scan.record_after_wait || has_collectives {
         Some(hb::HbGraph::build_with(sched, want_closure, &records))
     } else {
         None
@@ -120,6 +130,8 @@ pub fn verify(
     if let Some(d) = checks::check_orphan_barriers(sched) {
         diagnostics.push(d);
     }
+    diagnostics.extend(checks::check_transfers(sched, &records));
+    diagnostics.extend(checks::check_collectives(sched));
     // Dead code only ever roots at a wait on a never-recorded event.
     if scan.missing_record {
         if let Some(d) = checks::check_dead_code(sched, &records) {

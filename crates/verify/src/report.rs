@@ -43,6 +43,18 @@ pub enum RuleId {
     /// Two distinct buffers with overlapping live ranges are placed on
     /// overlapping arena byte ranges.
     PlacementOverlap,
+    /// A cross-device transfer waits on no event recorded on its source
+    /// device: the copy may ship bytes its producer has not written yet.
+    TransferBeforeProduce,
+    /// All-reduce rendezvous that can never complete: two groups meet in
+    /// opposite orders on different streams, or one group arrives twice on
+    /// the same stream (the first rendezvous waits on an arrival queued
+    /// behind it).
+    LinkDeadlock,
+    /// A command on one device consumes data last written on another device
+    /// with no interposed transfer between them — device memories are not
+    /// coherent, so the consumer reads a stale replica.
+    DeviceAliasing,
 }
 
 impl RuleId {
@@ -60,6 +72,9 @@ impl RuleId {
             RuleId::DeadCode => "dead-code",
             RuleId::UnwaitedEvent => "unwaited-event",
             RuleId::PlacementOverlap => "placement-overlap",
+            RuleId::TransferBeforeProduce => "transfer-before-produce",
+            RuleId::LinkDeadlock => "link-deadlock",
+            RuleId::DeviceAliasing => "device-aliasing",
         }
     }
 
@@ -73,7 +88,10 @@ impl RuleId {
             | RuleId::WaitNeverRecorded
             | RuleId::DoubleRecord
             | RuleId::EventCycle
-            | RuleId::PlacementOverlap => Severity::Error,
+            | RuleId::PlacementOverlap
+            | RuleId::TransferBeforeProduce
+            | RuleId::LinkDeadlock
+            | RuleId::DeviceAliasing => Severity::Error,
             RuleId::OrphanBarrier | RuleId::DeadCode => Severity::Warning,
             RuleId::UnwaitedEvent => Severity::Info,
         }
@@ -326,6 +344,9 @@ mod tests {
             RuleId::DeadCode,
             RuleId::UnwaitedEvent,
             RuleId::PlacementOverlap,
+            RuleId::TransferBeforeProduce,
+            RuleId::LinkDeadlock,
+            RuleId::DeviceAliasing,
         ];
         let ids: std::collections::HashSet<_> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len());

@@ -1,0 +1,239 @@
+//! The distributed test tier: placement search on multi-device topologies.
+//!
+//! Pins the tentpole contracts of multi-device exploration: the placement
+//! the driver picks must be the one an exhaustive sweep of the candidate
+//! space ranks best (per topology, heterogeneous mixes included), the
+//! chosen placement must stay within the 5% robustness bound when the
+//! exploration runs under fault injection, and the full optimization
+//! report must be bit-identical at any worker count.
+
+use astra::core::{
+    build_units, emit_schedule, placement_candidates, Astra, AstraOptions, DevicePlacement,
+    Dims, ExecConfig, PlanContext, ProbeSpec, Report,
+};
+use astra::gpu::{ClockMode, DeviceSpec, Engine, FaultPlan, LinkDesc, Topology};
+use astra::models::{Model, ModelConfig};
+
+/// Convergence bound under faults, matching the single-device tier.
+const CONVERGENCE_SLACK: f64 = 1.05;
+
+fn built_model() -> astra::models::BuiltModel {
+    // Large-batch, moderate-hidden: the GEMMs are compute-bound (their time
+    // scales with the per-device batch share) and the gradient all-reduce
+    // stays small next to a mini-batch, so splitting work across devices
+    // genuinely pays — the regime where placement choice matters.
+    let cfg =
+        ModelConfig { seq_len: 8, hidden: 256, input: 256, vocab: 1000, ..ModelConfig::ptb(256) };
+    Model::SubLstm.build(&cfg)
+}
+
+/// Placement is the only dimension under exploration: everything else stays
+/// at the baseline so the driver's pick is directly comparable to a sweep
+/// over baseline-config placements.
+fn placement_only(workers: usize, faults: FaultPlan, clock: ClockMode) -> AstraOptions {
+    AstraOptions {
+        dims: Dims { fusion: false, kernel: false, streams: false, alloc: false },
+        workers,
+        faults,
+        clock,
+        ..Default::default()
+    }
+}
+
+fn explore(built: &astra::models::BuiltModel, topo: &Topology, opts: AstraOptions) -> Report {
+    let mut astra = Astra::with_topology(&built.graph, topo, opts);
+    astra.optimize().expect("multi-device exploration completes")
+}
+
+/// Exhaustively simulates every candidate placement of the baseline config
+/// on `topo` with all noise off: the ground truth the driver must match.
+fn sweep(built: &astra::models::BuiltModel, topo: &Topology) -> Vec<(DevicePlacement, f64)> {
+    let ctx = PlanContext::new(&built.graph);
+    let cfg = ExecConfig::baseline();
+    let units = build_units(&ctx, &cfg).expect("baseline units build");
+    placement_candidates(topo, &units)
+        .into_iter()
+        .map(|p| {
+            let mut c = cfg.clone();
+            c.placement = p.clone();
+            let (sched, _) = emit_schedule(&ctx, &c, &units, None, &ProbeSpec::none());
+            let r = Engine::with_topology(topo, ClockMode::Fixed, FaultPlan::none(), 0)
+                .run(&sched)
+                .expect("sweep run");
+            (p, r.total_ns)
+        })
+        .collect()
+}
+
+/// Clean multi-device time of `cfg` on `topo` (noise-free yardstick).
+fn clean_ns(built: &astra::models::BuiltModel, topo: &Topology, cfg: &ExecConfig) -> f64 {
+    let ctx = PlanContext::new(&built.graph);
+    let units = build_units(&ctx, cfg).expect("chosen config builds");
+    let (sched, _) = emit_schedule(&ctx, cfg, &units, None, &ProbeSpec::none());
+    Engine::with_topology(topo, ClockMode::Fixed, FaultPlan::none(), 0)
+        .run(&sched)
+        .expect("clean run")
+        .total_ns
+}
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("2xp100-nvlink", Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::nvlink())),
+        ("4xp100-nvlink", Topology::homogeneous(DeviceSpec::p100(), 4, LinkDesc::nvlink())),
+        (
+            "p100+v100-nvlink",
+            Topology::new(vec![DeviceSpec::p100(), DeviceSpec::v100()], LinkDesc::nvlink()),
+        ),
+    ]
+}
+
+#[test]
+fn exploration_picks_the_sweep_best_placement() {
+    let built = built_model();
+    for (name, topo) in topologies() {
+        let r = explore(&built, &topo, placement_only(1, FaultPlan::none(), ClockMode::Fixed));
+        let table = sweep(&built, &topo);
+        assert!(table.len() > 1, "{name}: sweep must have real alternatives");
+        assert_eq!(
+            r.placements_explored,
+            table.len(),
+            "{name}: driver must consider the whole candidate space"
+        );
+        let best = table.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+        let chosen = table
+            .iter()
+            .find(|(p, _)| *p == r.best.placement)
+            .unwrap_or_else(|| panic!("{name}: driver chose {:?}, not a sweep candidate", r.best.placement));
+        assert!(
+            chosen.1 <= best * (1.0 + 1e-9),
+            "{name}: driver chose {} at {:.0}ns, sweep best is {:.0}ns:\n{:#?}",
+            r.best.placement.label(),
+            chosen.1,
+            best,
+            table.iter().map(|(p, t)| (p.label(), *t)).collect::<Vec<_>>()
+        );
+        // The playoff measurement itself must agree with the sweep's clean
+        // simulation of the same placement.
+        assert_eq!(r.steady_ns.to_bits(), chosen.1.to_bits(), "{name}: playoff drifted");
+        // Utilization and cost accounting cover every device.
+        assert_eq!(r.device_utilization.len(), topo.num_devices(), "{name}");
+        assert!(r.device_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)), "{name}");
+        assert_eq!(
+            r.cost_per_throughput.to_bits(),
+            (topo.total_cost() * r.steady_ns).to_bits(),
+            "{name}: cost-per-throughput must price the whole node"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_mix_selects_a_nonuniform_placement() {
+    // On a P100+V100 node the capability-proportional split keeps the V100
+    // from idling at the gradient barrier: the driver must find it, and the
+    // sweep must confirm it beats both the single-device and the uniform
+    // data-parallel placements.
+    let built = built_model();
+    let topo = Topology::new(vec![DeviceSpec::p100(), DeviceSpec::v100()], LinkDesc::nvlink());
+    let r = explore(&built, &topo, placement_only(1, FaultPlan::none(), ClockMode::Fixed));
+    let nonuniform = match &r.best.placement {
+        DevicePlacement::Single => false,
+        DevicePlacement::DataParallel { shares } => shares.windows(2).any(|w| w[0] != w[1]),
+        DevicePlacement::ModelParallel { .. } => true,
+    };
+    assert!(
+        nonuniform,
+        "heterogeneous mix must pick a non-uniform placement, got {}",
+        r.best.placement.label()
+    );
+    let table = sweep(&built, &topo);
+    let t_of = |p: &DevicePlacement| {
+        table.iter().find(|(q, _)| q == p).map(|&(_, t)| t).expect("candidate present")
+    };
+    let chosen = t_of(&r.best.placement);
+    assert!(chosen < t_of(&DevicePlacement::Single), "must beat single-device");
+    assert!(
+        chosen < t_of(&DevicePlacement::DataParallel { shares: vec![1, 1] }),
+        "must beat the uniform data-parallel split"
+    );
+    // Both devices must actually work under the winner.
+    assert!(
+        r.device_utilization.iter().all(|&u| u > 0.0),
+        "every device busy: {:?}",
+        r.device_utilization
+    );
+}
+
+#[test]
+fn faulted_exploration_converges_within_the_bound() {
+    // Same contract as the single-device robustness tier, on a 2-device
+    // node: exploration under each fault profile must still land on a
+    // placement whose clean time is within 5% of the noise-free pick.
+    let built = built_model();
+    let topo = Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::nvlink());
+    let gt = explore(&built, &topo, placement_only(1, FaultPlan::none(), ClockMode::Fixed));
+    assert_eq!((gt.fault_events, gt.retries, gt.quarantined), (0, 0, 0));
+    let gt_ns = clean_ns(&built, &topo, &gt.best);
+
+    let mut fired = 0usize;
+    for (name, plan) in [
+        ("spikes", FaultPlan::timing_spikes(0xD15B_0001)),
+        ("straggler", FaultPlan::stragglers(43)),
+        ("chaos", FaultPlan::chaos(0xD15B_0003)),
+    ] {
+        let clock = ClockMode::Autoboost { seed: 17 };
+        let r = explore(&built, &topo, placement_only(1, plan, clock));
+        fired += r.fault_events;
+        let achieved = clean_ns(&built, &topo, &r.best);
+        assert!(
+            achieved <= gt_ns * CONVERGENCE_SLACK,
+            "{name}: converged to {achieved:.0}ns, ground truth {gt_ns:.0}ns (gap {:.2}%)",
+            (achieved / gt_ns - 1.0) * 100.0
+        );
+    }
+    assert!(fired > 0, "no fault profile ever fired — seeds need tuning");
+}
+
+#[test]
+fn reports_are_bit_identical_across_worker_counts() {
+    // The full report — every counter, every timing, the winning config —
+    // at workers 1 vs 4, clean and under chaos. ExecConfig holds only
+    // ordered maps, so the Debug rendering is a faithful whole-report
+    // fingerprint; the key floats are additionally compared bit-for-bit.
+    let built = built_model();
+    let topo = Topology::new(vec![DeviceSpec::p100(), DeviceSpec::v100()], LinkDesc::nvlink());
+    for faults in [FaultPlan::none(), FaultPlan::chaos(0xD15B_0004)] {
+        let r1 = explore(&built, &topo, placement_only(1, faults, ClockMode::Fixed));
+        let r4 = explore(&built, &topo, placement_only(4, faults, ClockMode::Fixed));
+        assert_eq!(r1.steady_ns.to_bits(), r4.steady_ns.to_bits(), "steady_ns drifted");
+        assert_eq!(r1.native_ns.to_bits(), r4.native_ns.to_bits(), "native_ns drifted");
+        assert_eq!(
+            r1.exploration_ns.to_bits(),
+            r4.exploration_ns.to_bits(),
+            "exploration_ns drifted"
+        );
+        assert_eq!(r1.best, r4.best, "winning config drifted");
+        assert_eq!(
+            format!("{r1:?}"),
+            format!("{r4:?}"),
+            "full report must be bit-identical at workers 1 vs 4"
+        );
+    }
+}
+
+#[test]
+fn single_device_topology_matches_the_plain_device_path() {
+    // Astra::with_topology on a 1-device node must be indistinguishable
+    // from Astra::new on that device — same winner, same timings, no
+    // placement dimension.
+    let built = built_model();
+    let topo = Topology::single(DeviceSpec::p100());
+    let dev = DeviceSpec::p100();
+    let opts = AstraOptions { dims: Dims::fk(), ..Default::default() };
+    let rt = explore(&built, &topo, opts.clone());
+    let mut plain = Astra::new(&built.graph, &dev, opts);
+    let rp = plain.optimize().expect("plain exploration completes");
+    assert_eq!(rt.steady_ns.to_bits(), rp.steady_ns.to_bits());
+    assert_eq!(rt.best, rp.best);
+    assert_eq!(rt.placements_explored, 0, "no placement dimension on one device");
+    assert_eq!(rt.device_utilization.len(), 1);
+}

@@ -13,7 +13,10 @@
 //!
 //! and the updated files under `tests/golden/` are reviewed like code.
 
-use astra::core::{build_units, emit_schedule, ExecConfig, PlanContext, ProbeSpec};
+use astra::core::{
+    build_units, emit_schedule, flop_balanced_cuts, DevicePlacement, ExecConfig, PlanContext,
+    ProbeSpec,
+};
 use astra::models::Model;
 
 fn tiny(model: Model) -> astra::models::BuiltModel {
@@ -57,12 +60,37 @@ fn rendered_schedule(model: Model) -> String {
     sched.render()
 }
 
-fn check_golden(model: Model, fixture: &str) {
-    let got = rendered_schedule(model);
+/// Renders the model's schedule under `placement` on a two-device node: the
+/// baseline single-stream configuration, data- or model-parallel wiring.
+/// The cross-device structure — stream→device map, transfers, all-reduce
+/// rendezvous — is exactly what the fixture pins.
+fn rendered_placement_schedule(model: Model, placement: Placement2) -> String {
+    let built = tiny(model);
+    let ctx = PlanContext::new(&built.graph);
+    let mut cfg = ExecConfig::baseline();
+    let units = build_units(&ctx, &cfg).expect("baseline config is valid");
+    cfg.placement = match placement {
+        Placement2::Data => DevicePlacement::DataParallel { shares: vec![1, 1] },
+        Placement2::Model => {
+            DevicePlacement::ModelParallel { cuts: flop_balanced_cuts(&units, &[1.0, 1.0]) }
+        }
+    };
+    let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+    sched.render()
+}
+
+/// The two multi-device placement families pinned by fixtures.
+#[derive(Clone, Copy)]
+enum Placement2 {
+    Data,
+    Model,
+}
+
+fn check_golden_text(name: &str, got: &str, fixture: &str) {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(fixture);
     if std::env::var_os("ASTRA_REGEN_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
-        std::fs::write(&path, &got).expect("write fixture");
+        std::fs::write(&path, got).expect("write fixture");
         return;
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -81,7 +109,7 @@ fn check_golden(model: Model, fixture: &str) {
             .position(|(g, w)| g != w)
             .map_or(got.lines().count().min(want.lines().count()), |i| i);
         panic!(
-            "{model}: schedule drifted from {} at line {} —\n  expected: {:?}\n  got:      {:?}\n\
+            "{name}: schedule drifted from {} at line {} —\n  expected: {:?}\n  got:      {:?}\n\
              if intentional, regenerate with ASTRA_REGEN_GOLDEN=1 cargo test --test golden_schedules",
             path.display(),
             diff_line + 1,
@@ -89,6 +117,10 @@ fn check_golden(model: Model, fixture: &str) {
             got.lines().nth(diff_line).unwrap_or("<eof>"),
         );
     }
+}
+
+fn check_golden(model: Model, fixture: &str) {
+    check_golden_text(&model.to_string(), &rendered_schedule(model), fixture);
 }
 
 #[test]
@@ -102,10 +134,35 @@ fn scrnn_schedule_matches_golden() {
 }
 
 #[test]
+fn sublstm_data_parallel_schedule_matches_golden() {
+    check_golden_text(
+        "sublstm dp[1:1]",
+        &rendered_placement_schedule(Model::SubLstm, Placement2::Data),
+        "sublstm_dp_2dev.txt",
+    );
+}
+
+#[test]
+fn sublstm_model_parallel_schedule_matches_golden() {
+    check_golden_text(
+        "sublstm mp",
+        &rendered_placement_schedule(Model::SubLstm, Placement2::Model),
+        "sublstm_mp_2dev.txt",
+    );
+}
+
+#[test]
 fn rendered_schedules_are_deterministic() {
     // The generator itself must be a pure function of the model — otherwise
     // the fixtures would flap.
     for model in [Model::SubLstm, Model::Scrnn] {
         assert_eq!(rendered_schedule(model), rendered_schedule(model), "{model} render unstable");
+    }
+    for p in [Placement2::Data, Placement2::Model] {
+        assert_eq!(
+            rendered_placement_schedule(Model::SubLstm, p),
+            rendered_placement_schedule(Model::SubLstm, p),
+            "placement render unstable"
+        );
     }
 }

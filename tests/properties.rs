@@ -494,3 +494,226 @@ fn every_ptb_bucket_schedule_verifies_clean() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-device properties: placement round-trips and topology-keyed caching.
+// ---------------------------------------------------------------------------
+
+fn small_built_model() -> astra::models::BuiltModel {
+    use astra::models::{Model, ModelConfig};
+    let cfg =
+        ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64, ..ModelConfig::ptb(8) };
+    Model::SubLstm.build(&cfg)
+}
+
+fn property_topologies() -> Vec<(&'static str, astra::gpu::Topology)> {
+    use astra::gpu::{DeviceSpec, LinkDesc, Topology};
+    vec![
+        ("2xp100-nvlink", Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::nvlink())),
+        ("2xp100-pcie3", Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::pcie3())),
+        ("4xp100-nvlink", Topology::homogeneous(DeviceSpec::p100(), 4, LinkDesc::nvlink())),
+        (
+            "p100+v100-nvlink",
+            Topology::new(vec![DeviceSpec::p100(), DeviceSpec::v100()], LinkDesc::nvlink()),
+        ),
+        (
+            "v100+p100-nvlink",
+            Topology::new(vec![DeviceSpec::v100(), DeviceSpec::p100()], LinkDesc::nvlink()),
+        ),
+    ]
+}
+
+/// Generator–verifier agreement, multi-device edition: every placement
+/// candidate on every topology, for every model in the zoo, emits a
+/// schedule the static verifier accepts — transfers ordered behind their
+/// producers, all-reduce rendezvous deadlock-free, replicas coherent. A
+/// finding here is a real latent hazard in the placement emitter.
+#[test]
+fn emitted_placements_verify_clean_across_zoo_and_topologies() {
+    use astra::core::{placement_candidates, verify_plan};
+    use astra::models::Model;
+
+    for m in Model::all() {
+        let mut c = m.default_config(8);
+        c.hidden = 64;
+        c.input = 64;
+        c.vocab = 128;
+        c.seq_len = 3;
+        c.layers = c.layers.min(2);
+        let built = m.build(&c);
+        let ctx = PlanContext::new(&built.graph);
+        let base = ExecConfig::baseline();
+        let units = build_units(&ctx, &base).expect("baseline units build");
+        for (name, topo) in property_topologies() {
+            for placement in placement_candidates(&topo, &units) {
+                let mut cfg = base.clone();
+                cfg.placement = placement;
+                let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+                let report = verify_plan(&ctx, &cfg, &units, &sched, 2);
+                assert!(
+                    report.is_clean(),
+                    "{m} on {name} with {} must verify clean:\n{}",
+                    cfg.placement.label(),
+                    report.render()
+                );
+            }
+        }
+    }
+}
+
+/// Every emitted placement's cross-device wiring survives a render →
+/// parse round-trip: stream count, stream→device map, the multiset of
+/// transfers (with their wait counts), and the all-reduce group table all
+/// reconstruct exactly from the text. (Kernel bodies intentionally parse as
+/// placeholders, so the comparison targets the wiring, not kernel costs.)
+#[test]
+fn placement_wiring_round_trips_through_render_and_parse() {
+    use astra::core::placement_candidates;
+    use astra::gpu::Cmd;
+    use astra::verify::parse_rendered;
+
+    let wiring = |s: &Schedule| {
+        let mut transfers: Vec<(usize, u64, usize, usize, usize)> = Vec::new();
+        let mut reduces: Vec<(usize, u64, u32)> = Vec::new();
+        for cmd in s.cmds() {
+            match cmd {
+                Cmd::Transfer { stream, bytes, src, dst, waits } => {
+                    transfers.push((stream.0, *bytes, *src, *dst, waits.len()));
+                }
+                Cmd::AllReduce { stream, bytes, group } => {
+                    reduces.push((stream.0, *bytes, *group));
+                }
+                _ => {}
+            }
+        }
+        transfers.sort_unstable();
+        reduces.sort_unstable();
+        (transfers, reduces)
+    };
+
+    let built = small_built_model();
+    let ctx = PlanContext::new(&built.graph);
+    let base = ExecConfig::baseline();
+    let units = build_units(&ctx, &base).expect("baseline units build");
+    for (name, topo) in property_topologies() {
+        for placement in placement_candidates(&topo, &units) {
+            let mut cfg = base.clone();
+            cfg.placement = placement;
+            let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+            let parsed = parse_rendered(&sched.render())
+                .unwrap_or_else(|e| panic!("{name}/{}: parse failed: {e}", cfg.placement.label()));
+            let tag = format!("{name}/{}", cfg.placement.label());
+            assert_eq!(parsed.num_streams(), sched.num_streams(), "{tag}: stream count");
+            assert_eq!(parsed.stream_devices(), sched.stream_devices(), "{tag}: device map");
+            assert_eq!(parsed.num_devices(), sched.num_devices(), "{tag}: device span");
+            assert_eq!(wiring(&parsed), wiring(&sched), "{tag}: cross-device wiring");
+            assert_eq!(
+                parsed.allreduce_groups(),
+                sched.allreduce_groups(),
+                "{tag}: all-reduce rendezvous table"
+            );
+        }
+    }
+}
+
+/// The stream→device map participates in the schedule prefix hash: the same
+/// command sequence bound to different device maps must never share a hash
+/// (its checkpoints describe different engine states), while the all-zeros
+/// map is identical to a plain single-device schedule.
+#[test]
+fn device_maps_perturb_the_prefix_hash() {
+    let fill = |mut s: Schedule| {
+        s.launch(StreamId(0), KernelDesc::MemCopy { bytes: 512.0 });
+        let ev = s.record(StreamId(0));
+        s.launch(StreamId(1), KernelDesc::MemCopy { bytes: 256.0 });
+        s.launch_labeled(StreamId(1), KernelDesc::MemCopy { bytes: 64.0 }, vec![ev], "tail");
+        s
+    };
+    let maps: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 0], vec![0, 2], vec![1, 1]];
+    let mut hashes: Vec<(Vec<usize>, u64)> = Vec::new();
+    for map in maps {
+        let s = fill(Schedule::with_devices(2, map.clone()));
+        hashes.push((map, s.prefix_hash()));
+    }
+    let plain = fill(Schedule::new(2));
+    hashes.push((vec![0, 0], plain.prefix_hash()));
+    for i in 0..hashes.len() {
+        for j in (i + 1)..hashes.len() {
+            assert_ne!(
+                hashes[i].1, hashes[j].1,
+                "maps {:?} and {:?} must hash apart",
+                hashes[i].0, hashes[j].0
+            );
+        }
+    }
+    // The trivial map *is* the single-device schedule.
+    let zeroed = fill(Schedule::with_devices(2, vec![0, 0]));
+    assert_eq!(zeroed.prefix_hash(), plain.prefix_hash());
+    assert_eq!(zeroed.render(), plain.render());
+}
+
+/// Checkpoint keys are injective across topologies: a checkpoint absorbed
+/// under one device mix must never resume a run of the *same schedule* on a
+/// different mix (different per-device clocks and link state), while a
+/// single-device topology's context stays interchangeable with the plain
+/// device context so its checkpoints are shared, not duplicated.
+#[test]
+fn simcache_checkpoints_never_cross_topologies() {
+    use astra::core::{DevicePlacement, KeyCtx, SimCache};
+    use astra::gpu::{ClockMode, DeviceSpec, Engine, FaultPlan, Topology};
+
+    let built = small_built_model();
+    let ctx = PlanContext::new(&built.graph);
+    let mut cfg = ExecConfig::baseline();
+    cfg.placement = DevicePlacement::DataParallel { shares: vec![1, 1] };
+    let units = build_units(&ctx, &cfg).expect("dp units build");
+    let (sched, _) = emit_schedule(&ctx, &cfg, &units, None, &ProbeSpec::none());
+    assert!(!sched.boundaries().is_empty(), "dp emission must mark boundaries");
+
+    let topos = property_topologies();
+    let (home_name, home) = &topos[0];
+    let mut cache = SimCache::new();
+    let key_of = |t: &Topology| KeyCtx::with_topology(t, ClockMode::Fixed, &FaultPlan::none());
+
+    // Populate the cache from a run on the home topology.
+    let home_ctx = key_of(home);
+    let (resume, caps) = cache.probe_and_plan_ctx(&sched, &home_ctx, 0);
+    assert!(resume.is_none(), "cold cache must miss");
+    assert!(!caps.is_empty(), "cold probe must plan captures");
+    let (_, captured) = Engine::with_topology(home, ClockMode::Fixed, FaultPlan::none(), 0)
+        .run_incremental(&sched, None, &caps)
+        .expect("home run");
+    assert!(!captured.is_empty(), "home run must capture checkpoints");
+    cache.absorb_ctx(&home_ctx, 0, captured);
+
+    // The matching context resumes; every other topology's context misses.
+    let (hit, _) = cache.probe_and_plan_ctx(&sched, &home_ctx, 0);
+    assert!(hit.is_some(), "{home_name}: same topology must resume its own checkpoint");
+    for (name, other) in &topos[1..] {
+        let (stolen, _) = cache.probe_and_plan_ctx(&sched, &key_of(other), 0);
+        assert!(
+            stolen.is_none(),
+            "{name}: checkpoint captured on {home_name} must not resume here"
+        );
+    }
+
+    // A 1-device topology degenerates to the plain device context: a
+    // checkpoint absorbed under KeyCtx::new is visible through it.
+    let dev = DeviceSpec::p100();
+    let single = Topology::single(DeviceSpec::p100());
+    let base = ExecConfig::baseline();
+    let sunits = build_units(&ctx, &base).expect("single units build");
+    let (ssched, _) = emit_schedule(&ctx, &base, &sunits, None, &ProbeSpec::none());
+    let plain_ctx = KeyCtx::new(&dev, ClockMode::Fixed, &FaultPlan::none());
+    let (_, scaps) = cache.probe_and_plan_ctx(&ssched, &plain_ctx, 0);
+    let (_, scaptured) = Engine::with_faults(&dev, ClockMode::Fixed, FaultPlan::none(), 0)
+        .run_incremental(&ssched, None, &scaps)
+        .expect("single-device run");
+    cache.absorb_ctx(&plain_ctx, 0, scaptured);
+    let single_ctx = KeyCtx::with_topology(&single, ClockMode::Fixed, &FaultPlan::none());
+    let (shared, _) = cache.probe_and_plan_ctx(&ssched, &single_ctx, 0);
+    assert!(
+        shared.is_some(),
+        "a 1-device topology context must share plain-device checkpoints"
+    );
+}

@@ -8,10 +8,12 @@
 //! every mutation below breaks exactly the invariant its rule describes.
 
 use astra::core::{
-    access_table, build_allocation_plan, build_units, emit_schedule, verify_plan, ExecConfig,
-    PlanContext, ProbeSpec, Unit,
+    access_table, build_allocation_plan, build_units, emit_schedule, placement_candidates,
+    verify_plan, DevicePlacement, ExecConfig, PlanContext, ProbeSpec, Unit,
 };
-use astra::gpu::{AllocationPlan, Cmd, EventId, Placement, Schedule};
+use astra::gpu::{
+    AllocationPlan, Cmd, DeviceSpec, EventId, KernelDesc, LinkDesc, Placement, Schedule, Topology,
+};
 use astra::models::{Model, ModelConfig};
 use astra::verify::{verify, RuleId, VerifyOptions, VerifyReport};
 
@@ -34,6 +36,37 @@ fn two_stream_plan(ctx: &PlanContext<'_>) -> (ExecConfig, Vec<Unit>, Schedule) {
     (cfg, units, sched)
 }
 
+/// Model-parallel plan on a 2-device node: `(cfg, units, schedule)`,
+/// verified clean. Ships every cross-cut dependency over the interconnect,
+/// so the fixture has real guarded transfers to corrupt.
+fn model_parallel_plan(ctx: &PlanContext<'_>) -> (ExecConfig, Vec<Unit>, Schedule) {
+    let topo = Topology::homogeneous(DeviceSpec::p100(), 2, LinkDesc::nvlink());
+    let mut cfg = ExecConfig::baseline();
+    let units = build_units(ctx, &cfg).expect("baseline units build");
+    cfg.placement = placement_candidates(&topo, &units)
+        .into_iter()
+        .find(|p| matches!(p, DevicePlacement::ModelParallel { .. }))
+        .expect("2-device topology offers a model-parallel candidate");
+    let (sched, _) = emit_schedule(ctx, &cfg, &units, None, &ProbeSpec::none());
+    (cfg, units, sched)
+}
+
+/// Data-parallel plan on a 2-device node: `(cfg, units, schedule)`,
+/// verified clean, with one all-reduce arrival per device.
+fn data_parallel_plan(ctx: &PlanContext<'_>) -> (ExecConfig, Vec<Unit>, Schedule) {
+    let mut cfg = ExecConfig::baseline();
+    cfg.placement = DevicePlacement::DataParallel { shares: vec![1, 1] };
+    let units = build_units(ctx, &cfg).expect("dp units build");
+    let (sched, _) = emit_schedule(ctx, &cfg, &units, None, &ProbeSpec::none());
+    (cfg, units, sched)
+}
+
+/// A fresh multi-device schedule shell matching `sched`'s stream→device map,
+/// ready for [`replay_on`].
+fn shell_of(sched: &Schedule) -> Schedule {
+    Schedule::with_devices(sched.num_streams(), sched.stream_devices().to_vec())
+}
+
 /// Replays `cmds` (with their unit tags) into a fresh schedule, remapping
 /// each wait through `wait_map`. Record commands re-record in order, so as
 /// long as the replay keeps every record, auto-assigned event ids match the
@@ -43,7 +76,15 @@ fn replay(
     cmds: &[(Cmd, Option<u32>)],
     wait_map: impl Fn(EventId) -> EventId,
 ) -> Schedule {
-    let mut s = Schedule::new(num_streams);
+    replay_on(Schedule::new(num_streams), cmds, wait_map)
+}
+
+/// Like [`replay`] but onto a caller-built (possibly multi-device) schedule.
+fn replay_on(
+    mut s: Schedule,
+    cmds: &[(Cmd, Option<u32>)],
+    wait_map: impl Fn(EventId) -> EventId,
+) -> Schedule {
     for (cmd, tag) in cmds {
         match cmd {
             Cmd::Launch { stream, kernel, waits, label } => {
@@ -61,6 +102,16 @@ fn replay(
             }
             Cmd::Barrier => s.barrier(),
             Cmd::HostSync => s.host_sync(),
+            Cmd::Transfer { stream, bytes, src, dst, waits } => {
+                let waits = waits.iter().map(|&e| wait_map(e)).collect();
+                let c = s.transfer(*stream, *bytes, *src, *dst, waits);
+                if let Some(t) = tag {
+                    s.set_tag(c, *t);
+                }
+            }
+            Cmd::AllReduce { stream, bytes, group } => {
+                let _ = s.all_reduce(*stream, *bytes, *group);
+            }
         }
     }
     s
@@ -267,14 +318,107 @@ fn overlapping_placements_flag_placement_overlap() {
 }
 
 #[test]
-fn the_four_mutation_rules_are_distinct() {
-    // The checklist's four mutation classes must map to four *different*
-    // rules — a verifier that collapses them is much harder to act on.
+fn stripping_transfer_waits_flags_transfer_before_produce() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = model_parallel_plan(&ctx);
+    assert!(verify_plan(&ctx, &cfg, &units, &sched, 1).is_clean());
+
+    // Strip the waits off the first guarded transfer: nothing orders the
+    // copy behind its producer on the source device any more, so the copy
+    // may ship bytes the producer has not written yet.
+    let mut cmds = tagged_cmds(&sched);
+    let victim = cmds
+        .iter()
+        .position(|(c, _)| matches!(c, Cmd::Transfer { waits, .. } if !waits.is_empty()))
+        .expect("model-parallel schedule ships data via guarded transfers");
+    if let (Cmd::Transfer { waits, .. }, _) = &mut cmds[victim] {
+        waits.clear();
+    }
+    let mutated = replay_on(shell_of(&sched), &cmds, |e| e);
+
+    let report = assert_worker_invariant(
+        |w| verify_plan(&ctx, &cfg, &units, &mutated, w),
+        RuleId::TransferBeforeProduce,
+    );
+    assert!(
+        report.of_rule(RuleId::TransferBeforeProduce).iter().any(|d| d.cmds.contains(&victim)),
+        "the stripped transfer must be the one named:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn doubling_an_allreduce_arrival_flags_link_deadlock() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = data_parallel_plan(&ctx);
+    assert!(verify_plan(&ctx, &cfg, &units, &sched, 1).is_clean());
+
+    // Queue a second arrival of the gradient-sync group on a stream that
+    // already participates: the first rendezvous waits on an arrival queued
+    // behind itself, which can never come.
+    let mut cmds = tagged_cmds(&sched);
+    let arrival = cmds
+        .iter()
+        .find(|(c, _)| matches!(c, Cmd::AllReduce { .. }))
+        .cloned()
+        .expect("data-parallel schedule syncs gradients");
+    cmds.push(arrival);
+    let mutated = replay_on(shell_of(&sched), &cmds, |e| e);
+
+    assert_worker_invariant(
+        |w| verify_plan(&ctx, &cfg, &units, &mutated, w),
+        RuleId::LinkDeadlock,
+    );
+}
+
+#[test]
+fn replacing_transfers_with_local_kernels_flags_device_aliasing() {
+    let built = model();
+    let ctx = PlanContext::new(&built.graph);
+    let (cfg, units, sched) = model_parallel_plan(&ctx);
+    assert!(verify_plan(&ctx, &cfg, &units, &sched, 1).is_clean());
+
+    // Swap every cross-device transfer for a same-device kernel carrying
+    // identical waits: the happens-before wiring survives untouched (every
+    // record stays, every event keeps its id), but no bytes ever cross the
+    // interconnect — each consumer now reads a stale remote replica.
+    let mut cmds = tagged_cmds(&sched);
+    let mut replaced = 0usize;
+    for (c, _) in &mut cmds {
+        if let Cmd::Transfer { stream, bytes, waits, .. } = c {
+            *c = Cmd::Launch {
+                stream: *stream,
+                kernel: KernelDesc::MemCopy { bytes: *bytes as f64 },
+                waits: waits.clone(),
+                label: None,
+            };
+            replaced += 1;
+        }
+    }
+    assert!(replaced > 0, "model-parallel schedule has transfers to lose");
+    let mutated = replay_on(shell_of(&sched), &cmds, |e| e);
+
+    let report = assert_worker_invariant(
+        |w| verify_plan(&ctx, &cfg, &units, &mutated, w),
+        RuleId::DeviceAliasing,
+    );
+    assert!(report.errors() >= 1);
+}
+
+#[test]
+fn the_seven_mutation_rules_are_distinct() {
+    // The checklist's mutation classes must map to *different* rules — a
+    // verifier that collapses them is much harder to act on.
     let rules = [
         RuleId::CrossStreamRaw,
         RuleId::WaitNeverRecorded,
         RuleId::WaitBeforeRecord,
         RuleId::PlacementOverlap,
+        RuleId::TransferBeforeProduce,
+        RuleId::LinkDeadlock,
+        RuleId::DeviceAliasing,
     ];
     for (a, ra) in rules.iter().enumerate() {
         for rb in rules.iter().skip(a + 1) {
