@@ -63,6 +63,37 @@ for devs in 2 4 p100,v100; do
     ./target/release/astra-cli verify --model sublstm --batch 8 --devices "$devs"
 done
 
+echo "== predictor gate (>= 30% trials saved, best plan unchanged) =="
+# The learned cost model must prune at least 30% of the lookahead trials
+# on the gate workload while the surviving search still selects a plan
+# whose steady state is bit-identical to the unpruned baseline's — and
+# `--predictor off` must reproduce the pre-predictor driver exactly
+# (zero counters).
+gate_args=(optimize --model milstm --batch 16 --dims all --top-k 1 --json)
+on_json=$(./target/release/astra-cli "${gate_args[@]}")
+off_json=$(./target/release/astra-cli "${gate_args[@]}" --predictor off)
+field() { printf '%s' "$1" | grep -o "\"$2\":[0-9.e+-]*" | head -1 | cut -d: -f2; }
+steady_on=$(field "$on_json" steady_ns); steady_off=$(field "$off_json" steady_ns)
+pruned=$(field "$on_json" trials_pruned); simulated=$(field "$on_json" configs_explored)
+total=$(field "$off_json" configs_explored); mae=$(field "$on_json" predicted_vs_measured_mae_ns)
+if [[ "$steady_on" != "$steady_off" ]]; then
+    echo "ci: FAIL — pruned search changed the plan (steady $steady_on vs $steady_off)" >&2
+    exit 1
+fi
+if (( simulated + pruned != total )); then
+    echo "ci: FAIL — simulated ($simulated) + pruned ($pruned) != unpruned trials ($total)" >&2
+    exit 1
+fi
+if (( pruned * 100 < total * 30 )); then
+    echo "ci: FAIL — predictor saved only $pruned of $total trials (< 30%)" >&2
+    exit 1
+fi
+if [[ "$(field "$off_json" trials_pruned)" != 0 || "$(field "$off_json" predictor_updates)" != 0 ]]; then
+    echo "ci: FAIL — predictor off must report zero counters" >&2
+    exit 1
+fi
+echo "predictor gate: $pruned of $total trials pruned ($((pruned * 100 / total))%), MAE ${mae}ns, plan unchanged"
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

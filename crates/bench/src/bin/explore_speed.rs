@@ -24,6 +24,12 @@
 //! pure CPU-bound simulation, so on a 1-CPU host extra workers can only
 //! time-slice.
 //!
+//! **Predictor pruning.** The full exploration with the learned cost
+//! model on versus off, interleaved min-of-N, each mode timed over a cold
+//! and a steady-state pass. Rows report the trials-saved fraction and the
+//! prediction MAE; the MiLSTM gate row must save >= 30% of simulated
+//! trials while selecting the unpruned baseline's plan bit-for-bit.
+//!
 //! Prints one JSON document (`ci.sh bench` redirects it to
 //! `BENCH_explore_speed.json`).
 
@@ -170,6 +176,12 @@ fn run_driver_cold_warm(
         faults: FaultPlan::none(),
         sim_cache,
         verify: true,
+        // Off on purpose: this section benchmarks the sim cache's
+        // steady-state regime, whose cold/warm bit-identity contract the
+        // predictor's bounded-regret pruning intentionally relaxes (the
+        // warm pass starts with a fully trained model and prunes from the
+        // first batch). The predictor has its own section below.
+        predictor: false,
         ..Default::default()
     };
     let mut astra = Astra::new(graph, dev, opts);
@@ -408,6 +420,135 @@ fn main() {
         ));
     }
 
+    // Predictor pruning: the full exploration with the learned cost model
+    // scoring lookahead batches (top-1 per variable + epsilon tail
+    // simulated, the rest inheriting predicted costs) versus the unpruned
+    // driver. Each rep interleaves on and off, and each mode runs a cold
+    // pass plus a steady-state (warm) pass on one `Astra` instance; every
+    // mode keeps its per-pass minimum. The MiLSTM row is the gate: it must
+    // save >= 30% of simulated trials while selecting a plan whose steady
+    // state is bit-identical to the unpruned baseline's.
+    let mut predictor_rows = Vec::new();
+    for (name, model, seq, gate) in [
+        ("sc-rnn", Model::Scrnn, Some(12), false),
+        ("sublstm", Model::SubLstm, Some(12), false),
+        ("milstm", Model::MiLstm, None, true),
+    ] {
+        let mut cfg = model.default_config(16);
+        if let Some(s) = seq {
+            cfg.seq_len = s;
+        }
+        let built = model.build(&cfg);
+        let run_pred = |predictor: bool| {
+            let opts = AstraOptions {
+                dims: Dims::all(),
+                faults: FaultPlan::none(),
+                predictor,
+                predictor_top_k: 1,
+                ..Default::default()
+            };
+            let mut astra = Astra::new(&built.graph, &dev, opts);
+            let t0 = Instant::now();
+            let cold = astra.optimize().expect("predictor cold pass succeeds");
+            let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            let warm = astra.optimize().expect("predictor warm pass succeeds");
+            (cold, cold_ms, warm, t0.elapsed().as_secs_f64() * 1e3)
+        };
+
+        let reps = if gate { 2 } else { 3 };
+        let mut on_cold_ms = Vec::with_capacity(reps);
+        let mut on_warm_ms = Vec::with_capacity(reps);
+        let mut off_cold_ms = Vec::with_capacity(reps);
+        let mut off_warm_ms = Vec::with_capacity(reps);
+        let mut on_rep: Option<(Report, Report)> = None;
+        let mut off_rep: Option<(Report, Report)> = None;
+        for _ in 0..reps {
+            let (c, c_ms, w, w_ms) = run_pred(true);
+            on_cold_ms.push(c_ms);
+            on_warm_ms.push(w_ms);
+            if let Some((pc, pw)) = &on_rep {
+                assert_eq!(pc.steady_ns.to_bits(), c.steady_ns.to_bits(), "{name}: on drifted");
+                assert_eq!(pc.trials_pruned, c.trials_pruned, "{name}: pruning drifted");
+                assert_eq!(pw.trials_pruned, w.trials_pruned, "{name}: warm pruning drifted");
+            }
+            on_rep = Some((c, w));
+            let (c, c_ms, w, w_ms) = run_pred(false);
+            off_cold_ms.push(c_ms);
+            off_warm_ms.push(w_ms);
+            if let Some((pc, _)) = &off_rep {
+                assert_eq!(pc.steady_ns.to_bits(), c.steady_ns.to_bits(), "{name}: off drifted");
+            }
+            off_rep = Some((c, w));
+        }
+        let (on_cold, on_warm) = on_rep.expect("predictor-on reps ran");
+        let (off_cold, off_warm) = off_rep.expect("predictor-off reps ran");
+
+        // The off path is exactly the pre-predictor driver.
+        for r in [&off_cold, &off_warm] {
+            assert_eq!(
+                (r.trials_pruned, r.predictor_updates),
+                (0, 0),
+                "{name}: predictor off must report zero counters"
+            );
+            assert_eq!(r.predicted_vs_measured_mae, 0.0, "{name}: off must report zero MAE");
+        }
+        assert!(on_cold.predictor_updates > 0, "{name}: committed trials must train the model");
+
+        let total = off_cold.configs_explored as f64;
+        let saved = on_cold.trials_pruned as f64 / total;
+        let drift =
+            (on_cold.steady_ns - off_cold.steady_ns).abs() / off_cold.steady_ns;
+        assert!(
+            drift <= 0.05,
+            "{name}: pruned search must converge within 5% (drifted {:.2}%)",
+            drift * 100.0
+        );
+        if gate {
+            assert!(
+                saved >= 0.30,
+                "{name}: the gate workload must save >= 30% of simulated trials, \
+                 got {:.1}% ({} pruned of {})",
+                saved * 100.0,
+                on_cold.trials_pruned,
+                off_cold.configs_explored
+            );
+            assert_eq!(
+                on_cold.steady_ns.to_bits(),
+                off_cold.steady_ns.to_bits(),
+                "{name}: the gate workload must select the unpruned baseline's plan"
+            );
+            assert_eq!(on_cold.best, off_cold.best, "{name}: gate winner drifted");
+            assert_eq!(
+                on_cold.configs_explored + on_cold.trials_pruned,
+                off_cold.configs_explored,
+                "{name}: simulated + pruned must cover the unpruned space"
+            );
+        }
+        // Steady state: the warm model prunes at least as hard as the cold
+        // pass's (it starts fully trained).
+        let warm_saved =
+            on_warm.trials_pruned as f64 / off_warm.configs_explored.max(1) as f64;
+        predictor_rows.push(format!(
+            "{{\"model\":\"{name}\",\"reps\":{reps},\"gate\":{gate},\
+             \"on_cold_ms\":{:.1},\"on_warm_ms\":{:.1},\
+             \"off_cold_ms\":{:.1},\"off_warm_ms\":{:.1},\
+             \"trials_pruned\":{},\"trials_simulated\":{},\"unpruned_trials\":{},\
+             \"trials_saved_frac\":{saved:.3},\"warm_trials_saved_frac\":{warm_saved:.3},\
+             \"steady_drift_frac\":{drift:.5},\"predictor_updates\":{},\
+             \"predicted_vs_measured_mae_us\":{:.2}}}",
+            min_ms(&on_cold_ms),
+            min_ms(&on_warm_ms),
+            min_ms(&off_cold_ms),
+            min_ms(&off_warm_ms),
+            on_cold.trials_pruned,
+            on_cold.configs_explored,
+            off_cold.configs_explored,
+            on_cold.predictor_updates,
+            on_cold.predicted_vs_measured_mae / 1e3,
+        ));
+    }
+
     // Multi-device placement search: the same exploration on 1/2/4-device
     // nvlink nodes. Single-device placement is always a candidate, so the
     // multi-device winner can never be slower than the devices=1 steady
@@ -486,10 +627,11 @@ fn main() {
     }
 
     println!(
-        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n],\n\"verify_overhead\":[\n{}\n],\n\"devices_sweep\":[\n{}\n]\n}}",
+        "{{\n\"host_cpus\":{host_cpus},\n\"exhaustive_sweep\":[\n{}\n],\n\"driver\":[\n{}\n],\n\"verify_overhead\":[\n{}\n],\n\"predictor\":[\n{}\n],\n\"devices_sweep\":[\n{}\n]\n}}",
         sweep_rows.join(",\n"),
         driver_rows.join(",\n"),
         verify_rows.join(",\n"),
+        predictor_rows.join(",\n"),
         device_rows.join(",\n"),
     );
 }

@@ -71,6 +71,13 @@ commands:
                               (default none; seed defaults to 42)
             [--no-sim-cache]  simulate every trial from t=0 instead of resuming cached
                               engine checkpoints (results are identical either way)
+            [--predictor on|off] [--top-k <n>] [--epsilon <p>]
+                              learned cost model that prunes each lookahead batch to the
+                              predicted top-k choices per variable plus an epsilon tail of
+                              random re-admissions (default on, k=2, p=0.1); pruned trials
+                              inherit predicted costs under a bounded-regret guard, and
+                              `off` reproduces the unpruned exploration exactly
+            [--json]          print the optimization report as JSON instead of text
             [--devices <n|list>] [--topology nvlink|pcie3|ethernet]
                               explore placements on a simulated multi-device node: a count
                               (`--devices 4`) means that many copies of the base device, a
@@ -159,6 +166,22 @@ fn parse_faults(opts: &Opts<'_>) -> Result<FaultPlan, String> {
     }
 }
 
+/// Predictor controls: `--predictor on|off` plus its `--top-k` /
+/// `--epsilon` knobs (defaults match [`AstraOptions::default`]).
+fn parse_predictor(opts: &Opts<'_>) -> Result<(bool, usize, f64), String> {
+    let on = match opts.get("--predictor").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("invalid --predictor '{other}' (on|off)")),
+    };
+    let top_k: usize = opts.parse("--top-k", 2)?;
+    let epsilon: f64 = opts.parse("--epsilon", 0.1)?;
+    if !(0.0..=1.0).contains(&epsilon) {
+        return Err(format!("--epsilon must be in [0, 1], got {epsilon}"));
+    }
+    Ok((on, top_k, epsilon))
+}
+
 fn parse_dims(opts: &Opts<'_>) -> Result<Dims, String> {
     match opts.get("--dims").unwrap_or("all") {
         "f" => Ok(Dims::f()),
@@ -213,31 +236,48 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let built = build(model, &opts)?;
 
     let sim_cache = !opts.flag("--no-sim-cache");
+    let (predictor, predictor_top_k, predictor_epsilon) = parse_predictor(&opts)?;
     let node = parse_node(&opts, &dev)?;
-    let options =
-        AstraOptions { dims, num_streams, workers, faults, sim_cache, ..Default::default() };
+    let options = AstraOptions {
+        dims,
+        num_streams,
+        workers,
+        faults,
+        sim_cache,
+        predictor,
+        predictor_top_k,
+        predictor_epsilon,
+        ..Default::default()
+    };
     let mut astra = match &node {
         Some(topo) => Astra::with_topology(&built.graph, topo, options),
         None => Astra::new(&built.graph, &dev, options),
     };
-    println!(
-        "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
-        model.name(),
-        dev.name,
-        built.graph.nodes().len(),
-        astra.context().sets.len(),
-        astra.context().alloc.strategies.len()
-    );
-    if let Some(topo) = &node {
-        let names: Vec<&str> = topo.devices().iter().map(|d| d.name.as_str()).collect();
+    let json = opts.flag("--json");
+    if !json {
         println!(
-            "node: {} device(s) [{}] over {}",
-            topo.num_devices(),
-            names.join(", "),
-            topo.link().name
+            "{} on {} — {} graph nodes, {} fusion sets, {} allocation strategies",
+            model.name(),
+            dev.name,
+            built.graph.nodes().len(),
+            astra.context().sets.len(),
+            astra.context().alloc.strategies.len()
         );
+        if let Some(topo) = &node {
+            let names: Vec<&str> = topo.devices().iter().map(|d| d.name.as_str()).collect();
+            println!(
+                "node: {} device(s) [{}] over {}",
+                topo.num_devices(),
+                names.join(", "),
+                topo.link().name
+            );
+        }
     }
     let r = astra.optimize().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report_json(&r, node.as_ref()));
+        return Ok(());
+    }
     println!("native:   {:>10.2} ms/mini-batch", r.native_ns / 1e6);
     println!("Astra:    {:>10.2} ms/mini-batch", r.steady_ns / 1e6);
     println!("speedup:  {:>10.2}x", r.speedup());
@@ -260,6 +300,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         r.fault_events, r.retries, r.quarantined
     );
     println!("verify: {} plans analyzed, {} rejected", r.plans_verified, r.verify_rejects);
+    println!(
+        "predictor: {} trials pruned / {} simulated ({} model updates, MAE {:.2} us)",
+        r.trials_pruned,
+        r.configs_explored,
+        r.predictor_updates,
+        r.predicted_vs_measured_mae / 1e3
+    );
     if let Some(topo) = &node {
         println!(
             "placement: {} ({} candidate(s) explored)",
@@ -281,6 +328,46 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Renders the optimize report as a single JSON object (hand-rolled; the
+/// workspace takes no serialization dependency). Fixed-precision numeric
+/// formatting keeps reports diffable across runs.
+fn report_json(r: &astra_core::Report, node: Option<&astra_gpu::Topology>) -> String {
+    let mut f = vec![
+        format!("\"native_ns\":{:.1}", r.native_ns),
+        format!("\"steady_ns\":{:.1}", r.steady_ns),
+        format!("\"speedup\":{:.4}", r.speedup()),
+        format!("\"configs_explored\":{}", r.configs_explored),
+        format!("\"trials_pruned\":{}", r.trials_pruned),
+        format!("\"predictor_updates\":{}", r.predictor_updates),
+        format!("\"predicted_vs_measured_mae_ns\":{:.1}", r.predicted_vs_measured_mae),
+        format!("\"exploration_ns\":{:.1}", r.exploration_ns),
+        format!("\"profiling_overhead_frac\":{:.6}", r.profiling_overhead_frac),
+        format!("\"strategies_explored\":{}", r.strategies_explored),
+        format!("\"fusion_sets\":{}", r.fusion_sets),
+        format!("\"super_epochs\":{}", r.super_epochs),
+        format!("\"plan_cache_hits\":{}", r.plan_cache_hits),
+        format!("\"plan_cache_misses\":{}", r.plan_cache_misses),
+        format!("\"sim_cache_hits\":{}", r.sim_cache_hits),
+        format!("\"sim_cache_misses\":{}", r.sim_cache_misses),
+        format!("\"resumed_fraction\":{:.6}", r.resumed_fraction),
+        format!("\"prefix_group_count\":{}", r.prefix_group_count),
+        format!("\"fault_events\":{}", r.fault_events),
+        format!("\"retries\":{}", r.retries),
+        format!("\"quarantined\":{}", r.quarantined),
+        format!("\"plans_verified\":{}", r.plans_verified),
+        format!("\"verify_rejects\":{}", r.verify_rejects),
+    ];
+    if let Some(topo) = node {
+        f.push(format!("\"placement\":\"{}\"", r.best.placement.label()));
+        f.push(format!("\"placements_explored\":{}", r.placements_explored));
+        let util: Vec<String> = r.device_utilization.iter().map(|u| format!("{u:.4}")).collect();
+        f.push(format!("\"device_utilization\":[{}]", util.join(",")));
+        f.push(format!("\"cost_per_throughput\":{:.1}", r.cost_per_throughput));
+        f.push(format!("\"num_devices\":{}", topo.num_devices()));
+    }
+    format!("{{{}}}", f.join(","))
 }
 
 /// One verified plan for the `verify` report: where it came from and what
@@ -562,6 +649,18 @@ mod tests {
         assert_eq!(parse_faults(&Opts(&none)).unwrap(), FaultPlan::none());
         let bad = opts(&["--fault", "gamma-rays"]);
         assert!(parse_faults(&Opts(&bad)).is_err());
+    }
+
+    #[test]
+    fn predictor_flags_parse_with_defaults() {
+        let none = opts(&[]);
+        assert_eq!(parse_predictor(&Opts(&none)).unwrap(), (true, 2, 0.1));
+        let a = opts(&["--predictor", "off", "--top-k", "3", "--epsilon", "0.25"]);
+        assert_eq!(parse_predictor(&Opts(&a)).unwrap(), (false, 3, 0.25));
+        let bad = opts(&["--predictor", "maybe"]);
+        assert!(parse_predictor(&Opts(&bad)).is_err());
+        let out_of_range = opts(&["--epsilon", "1.5"]);
+        assert!(parse_predictor(&Opts(&out_of_range)).is_err());
     }
 
     #[test]

@@ -28,15 +28,18 @@ use astra_gpu::{
     RunResult, Schedule, Topology,
 };
 use astra_ir::Graph;
+use astra_predict::{FeatureVec, PredEntry};
 
 use crate::adaptive::{ExploreMode, UpdateNode, UpdateTree};
 use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, Partition};
 use crate::error::AstraError;
 use crate::parallel::{effective_workers, parallel_map, WorkerPool};
 use crate::plan::{
-    bind_libs, build_units_fragmented, emit_schedule, placement_candidates, DevicePlacement,
-    ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit,
+    bind_libs, build_units_fragmented, emit_schedule, epoch_features, fusion_features,
+    gradient_sync_bytes, kernel_features, placement_candidates, placement_features,
+    DevicePlacement, ExecConfig, PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit,
 };
+use crate::predictor::Pruner;
 use crate::profile::{ProfileIndex, ProfileKey};
 use crate::simcache::{
     plan_prefix_batch, GroupShard, KeyCtx, PrefixPlan, SimCache, TrialBase, HIT_DEPTH_BUCKETS,
@@ -86,6 +89,7 @@ struct ExploreStats {
     retries: usize,
     quarantined: usize,
     placements: usize,
+    pruned: usize,
 }
 
 /// One prepared candidate simulation: the emitted schedule, its probes,
@@ -102,6 +106,39 @@ struct Prepared {
 /// A batch trial's outcome: the simulated run plus the probes that decode
 /// it (`None` for invalid or verify-rejected candidates).
 type TrialOut = Option<(RunResult, Probes)>;
+
+/// One trial's predictor features for one *active* adaptive variable: the
+/// variable's tree id, its index in the phase's active-variable list, the
+/// choice this trial assigns, the extracted features, and the
+/// selection-time prediction (0 until the batch is scored, and forever in
+/// cold batches — a zero prediction is never counted toward the MAE).
+struct VarFeat {
+    var: String,
+    vidx: usize,
+    choice: usize,
+    feat: FeatureVec,
+    pred: f64,
+}
+
+/// Per-trial feature sets for a lookahead batch, parallel to the prepared
+/// candidates (`None` for invalid or verify-rejected trials).
+type BatchFeats = Vec<Option<Vec<VarFeat>>>;
+
+/// Outcome of one trial in a predictor-scored batch.
+enum BatchOutcome {
+    /// Invalid or verify-rejected candidate; the phase poisons its choices
+    /// exactly as it would for a `None` result of the plain batch runner.
+    Invalid,
+    /// Simulated — selected by the policy, re-admitted by the regret
+    /// guard, or part of a batch that was not pruned at all.
+    Measured(RunResult, Probes),
+    /// Pruned: the phase records the trial's predicted per-variable
+    /// metrics in the update tree instead of measurements. The regret
+    /// guard guarantees every recorded prediction exceeds the variable's
+    /// measured best by more than the policy margin, so a prediction can
+    /// never decide a variable's final assignment.
+    Pruned,
+}
 
 /// One prefix group's jobs and results: the member trials in group order,
 /// each tagged with its candidate index and pre-batch cache view.
@@ -238,6 +275,22 @@ pub struct AstraOptions {
     /// geometries cost nothing; rejected candidates are quarantined like
     /// persistently faulted ones instead of simulating. On by default.
     pub verify: bool,
+    /// Whether the learned cost predictor prunes lookahead batches (see
+    /// [`astra_predict`]): once warm, each batch simulates only the
+    /// predicted top-k choices per variable plus an exploration-epsilon
+    /// tail, and pruned candidates inherit predicted costs under a
+    /// bounded-regret guard that re-measures near-misses. Selection and
+    /// training run sequentially on the driver thread in candidate order,
+    /// so results stay bit-identical at any worker count; `false` disables
+    /// pruning entirely, reports zero predictor counters, and reproduces
+    /// the unpruned exploration exactly.
+    pub predictor: bool,
+    /// Predicted-cheapest choices per adaptive variable that are always
+    /// simulated when the predictor prunes a batch (minimum 1).
+    pub predictor_top_k: usize,
+    /// Probability that an otherwise-pruned trial is simulated anyway
+    /// (drawn from a fixed-seed deterministic RNG).
+    pub predictor_epsilon: f64,
 }
 
 impl Default for AstraOptions {
@@ -252,6 +305,9 @@ impl Default for AstraOptions {
             faults: FaultPlan::none(),
             sim_cache: true,
             verify: true,
+            predictor: true,
+            predictor_top_k: 2,
+            predictor_epsilon: 0.1,
         }
     }
 }
@@ -331,6 +387,19 @@ pub struct Report {
     /// Candidate placements the placement phase considered (0 on a
     /// single-device node, where placement never varies).
     pub placements_explored: usize,
+    /// Lookahead trials the learned predictor pruned instead of
+    /// simulating: their update-tree entries are predicted costs, kept
+    /// from ever winning a variable by the regret guard. Zero with
+    /// [`AstraOptions::predictor`] off.
+    pub trials_pruned: usize,
+    /// Committed measurements the cost model trained on this run. Zero
+    /// with the predictor off.
+    pub predictor_updates: u64,
+    /// Mean absolute error, in ns, between the predictor's selection-time
+    /// score and the committed measurement over candidates that were both
+    /// scored and simulated this run (0 when none were, or with the
+    /// predictor off).
+    pub predicted_vs_measured_mae: f64,
 }
 
 impl Report {
@@ -377,6 +446,11 @@ pub struct Astra<'g> {
     /// Cumulative count of prefix groups formed by cache-aware batch
     /// scheduling (stays zero while the sim cache is off).
     prefix_groups: u64,
+    /// The learned cost predictor: model, pruning policy, epsilon RNG, and
+    /// cumulative counters. Persists across `optimize` calls like the
+    /// profile index, so steady-state re-exploration prunes from the first
+    /// batch.
+    pruner: Pruner,
 }
 
 impl<'g> Astra<'g> {
@@ -420,6 +494,7 @@ impl<'g> Astra<'g> {
         opts: AstraOptions,
         index: ProfileIndex,
     ) -> Self {
+        let pruner = Pruner::new(opts.predictor, opts.predictor_top_k, opts.predictor_epsilon);
         Astra {
             ctx,
             dev,
@@ -434,6 +509,7 @@ impl<'g> Astra<'g> {
             fault_seq: 0,
             pool: None,
             prefix_groups: 0,
+            pruner,
         }
     }
 
@@ -585,6 +661,146 @@ impl<'g> Astra<'g> {
         results
     }
 
+    /// The topology fingerprint folded into predictor features (0 on the
+    /// plain single-device path).
+    fn topo_fp(&self) -> u64 {
+        self.topo.map_or(0, Topology::fingerprint)
+    }
+
+    /// Runs one prepared lookahead batch through the learned-predictor
+    /// pruning pipeline.
+    ///
+    /// When the predictor is cold on this phase `kind` (or off, or the
+    /// batch has no variable whose choice varies), every candidate is
+    /// simulated via [`Astra::run_batch`] unchanged. Otherwise:
+    ///
+    /// 1. **Score.** Every valid candidate's per-variable features are
+    ///    scored by the model (filling [`VarFeat::pred`]).
+    /// 2. **Select.** Per active variable, the trials carrying the top-k
+    ///    predicted-cheapest choices are simulated, plus an
+    ///    epsilon-probability tail drawn from the fixed-seed RNG.
+    /// 3. **Regret guard.** After the selected wave runs, `decode` maps
+    ///    each outcome to its per-variable metrics; any pruned trial whose
+    ///    prediction for some variable lands within `(1 + margin)` of the
+    ///    variable's measured best — including `prior_best`, the phase's
+    ///    committed history — is re-admitted and simulated in a second
+    ///    wave. What stays pruned is therefore predicted to lose by more
+    ///    than the margin, so recording its prediction in the update tree
+    ///    can never steal a variable from a measured candidate.
+    ///
+    /// Selection, the epsilon draws, and both waves happen on the driver
+    /// thread in candidate order; outcomes are returned in candidate order
+    /// for the phase's usual sequential commit loop.
+    fn run_batch_predicted(
+        &mut self,
+        kind: &'static str,
+        prepared: Vec<Option<Prepared>>,
+        feats: &mut BatchFeats,
+        prior_best: &BTreeMap<usize, f64>,
+        decode: impl Fn(&Probes, &RunResult) -> Vec<(usize, f64)>,
+        stats: &mut ExploreStats,
+    ) -> Result<Vec<BatchOutcome>, AstraError> {
+        let has_active = feats.iter().flatten().any(|fs| !fs.is_empty());
+        if !self.pruner.active(kind) || !has_active {
+            let mut outs = Vec::with_capacity(prepared.len());
+            for r in self.run_batch(prepared) {
+                outs.push(match r? {
+                    Some((r, p)) => BatchOutcome::Measured(r, p),
+                    None => BatchOutcome::Invalid,
+                });
+            }
+            return Ok(outs);
+        }
+
+        // Score every valid candidate with the current model.
+        let mut preds: Vec<Option<Vec<PredEntry>>> = Vec::with_capacity(feats.len());
+        for (fs, p) in feats.iter_mut().zip(&prepared) {
+            preds.push(match fs {
+                Some(fs) if p.is_some() => Some(
+                    fs.iter_mut()
+                        .map(|vf| {
+                            vf.pred = self.pruner.predict_ns(kind, &vf.feat);
+                            PredEntry {
+                                var: vf.vidx,
+                                choice: vf.choice,
+                                predicted_ns: vf.pred,
+                            }
+                        })
+                        .collect(),
+                ),
+                _ => None,
+            });
+        }
+        let simulate = self.pruner.select(&preds);
+
+        // Wave 1: the selected trials.
+        let mut slots = prepared;
+        let wave: Vec<Option<Prepared>> = slots
+            .iter_mut()
+            .zip(&simulate)
+            .map(|(s, &sel)| if sel { s.take() } else { None })
+            .collect();
+        let mut results: Vec<TrialOut> = Vec::with_capacity(wave.len());
+        for r in self.run_batch(wave) {
+            results.push(r?);
+        }
+
+        // Measured best per active variable: this wave plus the phase's
+        // committed history. Fault-spiked metrics only inflate values and
+        // the guard takes minima, so noise can only cause extra
+        // re-admissions, never hide one.
+        let mut best = prior_best.clone();
+        for out in results.iter().flatten() {
+            for (vidx, m) in decode(&out.1, &out.0) {
+                let e = best.entry(vidx).or_insert(f64::INFINITY);
+                if m < *e {
+                    *e = m;
+                }
+            }
+        }
+
+        // Regret guard: re-admit near-miss predictions (and any trial of a
+        // variable with no measurement at all — conservative).
+        let margin = self.pruner.margin();
+        let readmit: Vec<bool> = slots
+            .iter()
+            .zip(feats.iter())
+            .map(|(s, fs)| {
+                s.is_some()
+                    && fs.as_ref().is_some_and(|fs| {
+                        fs.iter().any(|vf| {
+                            best.get(&vf.vidx).is_none_or(|&b| vf.pred <= b * (1.0 + margin))
+                        })
+                    })
+            })
+            .collect();
+        if readmit.contains(&true) {
+            let wave2: Vec<Option<Prepared>> = slots
+                .iter_mut()
+                .zip(&readmit)
+                .map(|(s, &r)| if r { s.take() } else { None })
+                .collect();
+            for (i, r) in self.run_batch(wave2).into_iter().enumerate() {
+                if readmit[i] {
+                    results[i] = r?;
+                }
+            }
+        }
+
+        let mut outs = Vec::with_capacity(slots.len());
+        for (slot, res) in slots.into_iter().zip(results) {
+            outs.push(match res {
+                Some((r, p)) => BatchOutcome::Measured(r, p),
+                None if slot.is_some() => {
+                    stats.pruned += 1;
+                    BatchOutcome::Pruned
+                }
+                None => BatchOutcome::Invalid,
+            });
+        }
+        Ok(outs)
+    }
+
     /// Statically verifies a candidate's emitted schedule the first time
     /// its plan key is seen, caching the verdict (libs and stream maps
     /// share the key: they reshuffle a geometry the verifier has already
@@ -683,6 +899,9 @@ impl<'g> Astra<'g> {
         let groups0 = self.prefix_groups;
         let verified0 = self.plans_verified;
         let rejects0 = self.verify_rejects;
+        let pred_upd0 = self.pruner.updates();
+        let pred_err0 = self.pruner.abs_err_ns;
+        let pred_errn0 = self.pruner.err_samples;
 
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
@@ -782,6 +1001,16 @@ impl<'g> Astra<'g> {
             device_utilization,
             cost_per_throughput,
             placements_explored: stats.placements,
+            trials_pruned: stats.pruned,
+            predictor_updates: self.pruner.updates() - pred_upd0,
+            predicted_vs_measured_mae: {
+                let n = self.pruner.err_samples - pred_errn0;
+                if n == 0 {
+                    0.0
+                } else {
+                    (self.pruner.abs_err_ns - pred_err0) / n as f64
+                }
+            },
         })
     }
 
@@ -838,6 +1067,8 @@ impl<'g> Astra<'g> {
             ExploreMode::Parallel,
             vec![UpdateNode::var("placement".to_owned(), candidates.len())],
         ));
+        let sync_bytes = gradient_sync_bytes(self.ctx.graph);
+        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
 
         loop {
             let batch = tree.lookahead(LOOKAHEAD_TRIALS);
@@ -881,15 +1112,49 @@ impl<'g> Astra<'g> {
                 prepared.push(Some(Prepared { sched, probes, salt }));
             }
 
-            let results = self.run_batch(prepared);
+            let fp_self = self.topo_fp();
+            let mut feats: BatchFeats = cfgs
+                .iter()
+                .zip(&prepared)
+                .zip(&batch)
+                .map(|((c, p), asg)| {
+                    p.as_ref().map(|_| {
+                        vec![VarFeat {
+                            var: "placement".to_owned(),
+                            vidx: 0,
+                            choice: asg["placement"],
+                            feat: placement_features(c, fp_self, &units, sync_bytes),
+                            pred: 0.0,
+                        }]
+                    })
+                })
+                .collect();
 
-            for (bi, outcome) in results.into_iter().enumerate() {
+            let outcomes = self.run_batch_predicted(
+                "place",
+                prepared,
+                &mut feats,
+                &best_measured,
+                |_, r| vec![(0, r.total_ns)],
+                stats,
+            )?;
+
+            for (bi, outcome) in outcomes.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let Some((r, _)) = outcome? else {
-                    tree.poison("placement");
-                    continue;
+                let (r, _) = match outcome {
+                    BatchOutcome::Invalid => {
+                        tree.poison("placement");
+                        continue;
+                    }
+                    BatchOutcome::Pruned => {
+                        for vf in feats[bi].iter().flatten() {
+                            tree.record(&vf.var, vf.pred);
+                        }
+                        continue;
+                    }
+                    BatchOutcome::Measured(r, p) => (r, p),
                 };
                 let mut total = r.total_ns;
                 let mut faulted = r.faults.any();
@@ -905,6 +1170,11 @@ impl<'g> Astra<'g> {
                     if !suspect {
                         tree.record("placement", total);
                         self.index.record(&key_for(asg["placement"]), total);
+                        if let Some(vf) = feats[bi].iter().flatten().next() {
+                            self.pruner.observe("place", &vf.feat, vf.pred, total);
+                        }
+                        let e = best_measured.entry(0).or_insert(f64::INFINITY);
+                        *e = e.min(total);
                         break true;
                     }
                     if attempt >= MAX_FAULT_RETRIES {
@@ -997,6 +1267,16 @@ impl<'g> Astra<'g> {
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vars));
         let workers = self.workers();
+
+        // Fusion-set index (into `ctx.sets`) → active-variable index, for
+        // mapping probe metrics to predictor variables.
+        let mut si_vidx: BTreeMap<usize, usize> = BTreeMap::new();
+        for (vidx, (set_id, _, _)) in explored_sets.iter().enumerate() {
+            if let Some(si) = self.ctx.sets.iter().position(|s| s.id == *set_id) {
+                si_vidx.insert(si, vidx);
+            }
+        }
+        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
 
         // A valid candidate's harvested measurements, computed on a worker.
         struct Outcome {
@@ -1098,18 +1378,60 @@ impl<'g> Astra<'g> {
                 m
             };
 
+            // Per-trial predictor features: one entry per explored set,
+            // in active-variable order.
+            let fp_self = self.topo_fp();
+            let mut feats: BatchFeats = Vec::with_capacity(cfgs.len());
+            for ((c, p), asg) in cfgs.iter().zip(&prepared).zip(&batch) {
+                feats.push(p.as_ref().map(|_| {
+                    explored_sets
+                        .iter()
+                        .enumerate()
+                        .map(|(vidx, (set_id, choices, _))| {
+                            let (rc, cc) = choices[asg[set_id]];
+                            let set = self
+                                .ctx
+                                .sets
+                                .iter()
+                                .find(|s| s.id == *set_id)
+                                .expect("explored sets come from the enumeration");
+                            VarFeat {
+                                var: set_id.clone(),
+                                vidx,
+                                choice: asg[set_id],
+                                feat: fusion_features(c, fp_self, set, rc, cc),
+                                pred: 0.0,
+                            }
+                        })
+                        .collect()
+                }));
+            }
+
             // Fan the prepared batch out through the cache-aware runner
-            // (prefix-grouped order, per-group shards, persistent pool).
-            let results = self.run_batch(prepared);
+            // (prefix-grouped order, per-group shards, persistent pool),
+            // pruning predicted-slow candidates once the model is warm.
+            let outcomes = self.run_batch_predicted(
+                "fuse",
+                prepared,
+                &mut feats,
+                &best_measured,
+                |probes, r| {
+                    set_metrics_of(probes, r)
+                        .into_iter()
+                        .filter_map(|(si, m)| si_vidx.get(&si).map(|&v| (v, m)))
+                        .collect()
+                },
+                stats,
+            )?;
 
             // Commit measurements in candidate order: the tree and the
             // profile index see exactly the sequential driver's updates.
-            for (bi, outcome) in results.into_iter().enumerate() {
+            for (bi, outcome) in outcomes.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let mut o = match outcome? {
-                    None => {
+                let mut o = match outcome {
+                    BatchOutcome::Invalid => {
                         // Invalid or verify-rejected combination: poison
                         // these choices.
                         for (set_id, _, _) in &explored_sets {
@@ -1117,7 +1439,15 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    Some((r, probes)) => Outcome {
+                    BatchOutcome::Pruned => {
+                        // Inherit predicted set metrics; the regret guard
+                        // keeps them strictly above the measured best.
+                        for vf in feats[bi].iter().flatten() {
+                            tree.record(&vf.var, vf.pred);
+                        }
+                        continue;
+                    }
+                    BatchOutcome::Measured(r, probes) => Outcome {
                         total_ns: r.total_ns,
                         probe_records: probes.probe_records,
                         faulted: r.faults.any(),
@@ -1156,6 +1486,14 @@ impl<'g> Astra<'g> {
                             {
                                 self.index
                                     .record(&key_for(set_id, *ctx_dep, asg[set_id]), metric);
+                            }
+                            if let (Some(&v), Some(fs)) =
+                                (si_vidx.get(&si), feats[bi].as_ref())
+                            {
+                                let vf = &fs[v];
+                                self.pruner.observe("fuse", &vf.feat, vf.pred, metric);
+                                let e = best_measured.entry(v).or_insert(f64::INFINITY);
+                                *e = e.min(metric);
                             }
                         }
                         break true;
@@ -1250,6 +1588,11 @@ impl<'g> Astra<'g> {
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, vars));
 
+        // Realized GEMM shape → active-variable index for the predictor.
+        let shape_vidx: BTreeMap<GemmShape, usize> =
+            explored.iter().enumerate().map(|(v, s)| (*s, v)).collect();
+        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
+
         struct Outcome {
             total_ns: f64,
             probe_records: usize,
@@ -1319,24 +1662,69 @@ impl<'g> Astra<'g> {
                 m
             };
 
-            let results = self.run_batch(prepared);
+            // Per-trial predictor features: one entry per explored shape,
+            // in active-variable order.
+            let fp_self = self.topo_fp();
+            let mut feats: BatchFeats = Vec::with_capacity(cfgs.len());
+            for ((c, p), asg) in cfgs.iter().zip(&prepared).zip(&batch) {
+                feats.push(p.as_ref().map(|_| {
+                    explored
+                        .iter()
+                        .enumerate()
+                        .map(|(vidx, shape)| {
+                            let choice = asg[&format!("{shape}")];
+                            VarFeat {
+                                var: format!("{shape}"),
+                                vidx,
+                                choice,
+                                feat: kernel_features(c, fp_self, *shape, libs[choice]),
+                                pred: 0.0,
+                            }
+                        })
+                        .collect()
+                }));
+            }
 
-            for (bi, outcome) in results.into_iter().enumerate() {
+            let outcomes = self.run_batch_predicted(
+                "kern",
+                prepared,
+                &mut feats,
+                &best_measured,
+                |probes, r| {
+                    shape_metrics_of(probes, r)
+                        .into_iter()
+                        .filter_map(|(s, m)| shape_vidx.get(&s).map(|&v| (v, m)))
+                        .collect()
+                },
+                stats,
+            )?;
+
+            for (bi, outcome) in outcomes.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let Some((r, probes)) = outcome? else {
-                    // Verify-rejected candidate: poison its choices.
-                    for shape in &explored {
-                        tree.poison(&format!("{shape}"));
+                let mut o = match outcome {
+                    BatchOutcome::Invalid => {
+                        // Verify-rejected candidate: poison its choices.
+                        for shape in &explored {
+                            tree.poison(&format!("{shape}"));
+                        }
+                        continue;
                     }
-                    continue;
-                };
-                let mut o = Outcome {
-                    total_ns: r.total_ns,
-                    probe_records: probes.probe_records,
-                    faulted: r.faults.any(),
-                    shape_metrics: shape_metrics_of(&probes, &r),
+                    BatchOutcome::Pruned => {
+                        // Inherit predicted per-shape metrics; the regret
+                        // guard keeps them strictly above the measured best.
+                        for vf in feats[bi].iter().flatten() {
+                            tree.record(&vf.var, vf.pred);
+                        }
+                        continue;
+                    }
+                    BatchOutcome::Measured(r, probes) => Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        faulted: r.faults.any(),
+                        shape_metrics: shape_metrics_of(&probes, &r),
+                    },
                 };
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -1361,6 +1749,14 @@ impl<'g> Astra<'g> {
                             tree.record(&id, metric);
                             if explored.contains(&shape) {
                                 self.index.record(&key_for(&shape, asg[&id]), metric);
+                            }
+                            if let (Some(&v), Some(fs)) =
+                                (shape_vidx.get(&shape), feats[bi].as_ref())
+                            {
+                                let vf = &fs[v];
+                                self.pruner.observe("kern", &vf.feat, vf.pred, metric);
+                                let e = best_measured.entry(v).or_insert(f64::INFINITY);
+                                *e = e.min(metric);
                             }
                         }
                         break true;
@@ -1423,6 +1819,7 @@ impl<'g> Astra<'g> {
         // member, or one stream) get no adaptive variable and no probe —
         // their only assignment is applied statically.
         let mut epoch_opts: BTreeMap<String, Vec<EpochAssignment>> = BTreeMap::new();
+        let mut id_pos: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         let mut fixed_assignment: Vec<(crate::plan::UnitId, usize)> = Vec::new();
         let mut probed: std::collections::HashSet<(usize, usize)> =
             std::collections::HashSet::new();
@@ -1437,6 +1834,7 @@ impl<'g> Astra<'g> {
                 }
                 let id = format!("se{sei}.e{ei}");
                 epoch_vars.push(UpdateNode::var(id.clone(), choices.len()));
+                id_pos.insert(id.clone(), (sei, ei));
                 epoch_opts.insert(id, choices);
                 probed.insert((sei, ei));
             }
@@ -1450,6 +1848,15 @@ impl<'g> Astra<'g> {
         }
         let mut tree = UpdateTree::new(UpdateNode::group(ExploreMode::Parallel, se_children));
         let probe_spec = ProbeSpec::epochs(probed);
+
+        // Predictor bookkeeping. Variable indices are positions in
+        // `epoch_opts` iteration order — stable across batches, so the
+        // regret guard's measured minima accumulate per epoch variable.
+        let flops_of: BTreeMap<crate::plan::UnitId, f64> =
+            units.iter().map(|u| (u.id, u.flops)).collect();
+        let id_vidx: BTreeMap<String, usize> =
+            epoch_opts.keys().enumerate().map(|(v, id)| (id.clone(), v)).collect();
+        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
 
         let apply = |cfg: &mut ExecConfig, asg: &BTreeMap<String, usize>| {
             cfg.streams.clear();
@@ -1536,24 +1943,92 @@ impl<'g> Astra<'g> {
                 m
             };
 
-            let results = self.run_batch(prepared);
+            // Active epoch variables: those whose choice varies across this
+            // batch. Frozen (prefix-fixed) epochs carry no features — their
+            // metrics are still committed, but never drive pruning.
+            let active: Vec<&String> = epoch_opts
+                .keys()
+                .filter(|id| {
+                    let first = batch[0][*id];
+                    batch.iter().any(|asg| asg[*id] != first)
+                })
+                .collect();
+            let mut active_vidx: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+            let mut active_slot: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+            for (slot, id) in active.iter().enumerate() {
+                active_vidx.insert(id_pos[*id], id_vidx[*id]);
+                active_slot.insert(id_pos[*id], slot);
+            }
+            let fp_self = self.topo_fp();
+            let mut feats: BatchFeats = Vec::with_capacity(cfgs.len());
+            for ((c, p), asg) in cfgs.iter().zip(&prepared).zip(&batch) {
+                feats.push(p.as_ref().map(|_| {
+                    active
+                        .iter()
+                        .map(|id| {
+                            let (sei, ei) = id_pos[*id];
+                            let choice = asg[*id];
+                            VarFeat {
+                                var: (*id).clone(),
+                                vidx: id_vidx[*id],
+                                choice,
+                                feat: epoch_features(
+                                    c,
+                                    fp_self,
+                                    sei,
+                                    ei,
+                                    choice,
+                                    &epoch_opts[*id][choice],
+                                    &flops_of,
+                                ),
+                                pred: 0.0,
+                            }
+                        })
+                        .collect()
+                }));
+            }
 
-            for (bi, outcome) in results.into_iter().enumerate() {
+            let outcomes = self.run_batch_predicted(
+                "epoch",
+                prepared,
+                &mut feats,
+                &best_measured,
+                |probes, r| {
+                    epoch_metrics_of(probes, r)
+                        .into_iter()
+                        .filter_map(|(pos, m)| active_vidx.get(&pos).map(|&v| (v, m)))
+                        .collect()
+                },
+                stats,
+            )?;
+
+            for (bi, outcome) in outcomes.into_iter().enumerate() {
                 let asg = tree.next_trial().expect("lookahead bounds the batch");
                 debug_assert_eq!(asg, batch[bi]);
                 let salt = salt0 + bi as u64;
-                let Some((r, probes)) = outcome? else {
-                    // Verify-rejected candidate: poison its choices.
-                    for id in epoch_opts.keys() {
-                        tree.poison(id);
+                let mut o = match outcome {
+                    BatchOutcome::Invalid => {
+                        // Verify-rejected candidate: poison its choices.
+                        for id in epoch_opts.keys() {
+                            tree.poison(id);
+                        }
+                        continue;
                     }
-                    continue;
-                };
-                let mut o = Outcome {
-                    total_ns: r.total_ns,
-                    probe_records: probes.probe_records,
-                    faulted: r.faults.any(),
-                    epoch_metrics: epoch_metrics_of(&probes, &r),
+                    BatchOutcome::Pruned => {
+                        // Inherit predicted epoch metrics for the batch's
+                        // active variables; the regret guard keeps them
+                        // strictly above the measured best.
+                        for vf in feats[bi].iter().flatten() {
+                            tree.record(&vf.var, vf.pred);
+                        }
+                        continue;
+                    }
+                    BatchOutcome::Measured(r, probes) => Outcome {
+                        total_ns: r.total_ns,
+                        probe_records: probes.probe_records,
+                        faulted: r.faults.any(),
+                        epoch_metrics: epoch_metrics_of(&probes, &r),
+                    },
                 };
                 let mut attempt = 0u32;
                 let committed = loop {
@@ -1578,6 +2053,30 @@ impl<'g> Astra<'g> {
                                 key = key.in_context(b.clone());
                             }
                             self.index.record(&key, metric);
+                            if let (Some(&slot), Some(fs)) =
+                                (active_slot.get(&(sei, ei)), feats[bi].as_ref())
+                            {
+                                let vf = &fs[slot];
+                                self.pruner.observe("epoch", &vf.feat, vf.pred, metric);
+                                let e = best_measured.entry(vf.vidx).or_insert(f64::INFINITY);
+                                *e = e.min(metric);
+                            } else if self.opts.predictor {
+                                // Frozen epochs train the model too — their
+                                // metrics are committed anyway, and the extra
+                                // samples warm the epoch model much faster
+                                // than the few actively-varying trials would.
+                                let choice = asg[&id];
+                                let f = epoch_features(
+                                    &cfgs[bi],
+                                    fp_self,
+                                    sei,
+                                    ei,
+                                    choice,
+                                    &epoch_opts[&id][choice],
+                                    &flops_of,
+                                );
+                                self.pruner.observe("epoch", &f, 0.0, metric);
+                            }
                         }
                         break true;
                     }

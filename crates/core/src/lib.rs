@@ -26,6 +26,11 @@
 //!   merged back deterministically at the batch barrier.
 //! * [`explore_recompute`] — the §3.4 recompute-for-memory adaptation,
 //!   backed by a liveness analysis ([`peak_activation_bytes`]).
+//! * [`fusion_features`] / [`kernel_features`] / [`epoch_features`] /
+//!   [`placement_features`] — plan feature extraction for the in-tree
+//!   learned cost model (`astra-predict`), which prunes each lookahead
+//!   batch to its predicted top-k plus an epsilon tail under a
+//!   bounded-regret guard (`AstraOptions::predictor`).
 //!
 //! ## Example
 //!
@@ -56,6 +61,7 @@ pub mod enumerate;
 mod error;
 mod parallel;
 mod plan;
+mod predictor;
 mod profile;
 mod recompute;
 mod simcache;
@@ -68,8 +74,9 @@ pub use error::AstraError;
 pub use parallel::{effective_workers, parallel_map, WorkerPool};
 pub use plan::{
     bind_libs, build_allocation_plan, build_units, build_units_fragmented, emit_schedule,
-    flop_balanced_cuts, gradient_sync_bytes, placement_candidates, DevicePlacement, ExecConfig,
-    PlanCache, PlanContext, PlanKey, ProbeSpec, Probes, Unit, UnitId, SYNTHETIC_BUF_BASE,
+    epoch_features, flop_balanced_cuts, fusion_features, gradient_sync_bytes, kernel_features,
+    placement_candidates, placement_features, DevicePlacement, ExecConfig, PlanCache, PlanContext,
+    PlanKey, ProbeSpec, Probes, Unit, UnitId, SYNTHETIC_BUF_BASE,
 };
 pub use profile::{ProfileIndex, ProfileKey, SampleStats};
 pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, RecomputeReport};

@@ -17,6 +17,7 @@ use astra_gpu::{
     AllocationPlan, BufId, EventId, GemmLibrary, GemmShape, KernelDesc, Schedule, StreamId,
 };
 use astra_ir::{Graph, NodeId, OpKind};
+use astra_predict::FeatureVec;
 
 use crate::enumerate::alloc::{enumerate_alloc, AllocEnumeration};
 use crate::enumerate::fusion::{enumerate_fusion, ColKind, FusionSet};
@@ -1386,6 +1387,168 @@ pub fn placement_candidates(
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Predictor feature extraction
+// ---------------------------------------------------------------------------
+
+/// Shared candidate features: allocation strategy, stream count, placement
+/// geometry, and the topology fingerprint. The *full* candidate identity —
+/// the chunk map and the exact placement label — is folded into the
+/// fingerprint only (see [`FeatureVec::note`]), so distinct `(chunks,
+/// strategy, placement, topology)` candidates always have distinct
+/// fingerprints regardless of hash-bucket collisions, while the model's
+/// bucketed view keeps only features it can generalize over.
+fn candidate_base(cfg: &ExecConfig, topo_fp: u64) -> FeatureVec {
+    let mut f = FeatureVec::new();
+    f.tag("strategy", &cfg.strategy.to_string());
+    f.push("num_streams", cfg.num_streams as f64);
+    f.tag("topology", &format!("{topo_fp:016x}"));
+    let kind = match &cfg.placement {
+        DevicePlacement::Single => "single",
+        DevicePlacement::DataParallel { .. } => "dp",
+        DevicePlacement::ModelParallel { .. } => "mp",
+    };
+    f.tag("place_kind", kind);
+    f.push("devices", cfg.placement.num_devices() as f64);
+    if let DevicePlacement::DataParallel { shares } = &cfg.placement {
+        let total: u32 = shares.iter().sum();
+        let max = shares.iter().copied().max().unwrap_or(1);
+        // Max share relative to a uniform split: 1.0 = balanced.
+        f.push("share_skew", f64::from(max) * shares.len() as f64 / f64::from(total.max(1)));
+    }
+    f.note("placement", &cfg.placement.label());
+    let chunks: Vec<String> =
+        cfg.chunks.iter().map(|(s, (r, c))| format!("{s}={r}x{c}")).collect();
+    f.note("chunks", &chunks.join(","));
+    f
+}
+
+/// Features of one fusion-set chunking choice: the chunk pair under
+/// evaluation plus the set's static geometry (member grid, base GEMM
+/// shape, column kind, estimated FLOPs), over the candidate base.
+pub fn fusion_features(
+    cfg: &ExecConfig,
+    topo_fp: u64,
+    set: &FusionSet,
+    rc: usize,
+    cc: usize,
+) -> FeatureVec {
+    let mut f = candidate_base(cfg, topo_fp);
+    f.tag("set", &set.id);
+    f.push("row_chunk", rc as f64);
+    f.push("col_chunk", cc as f64);
+    f.push("set_rows", set.rows() as f64);
+    f.push("set_cols", set.cols() as f64);
+    let s = set.base_shape;
+    f.push_log("set_m", s.m as f64);
+    f.push_log("set_k", s.k as f64);
+    f.push_log("set_n", s.n as f64);
+    let stacked: u64 = set.col_dims.iter().sum();
+    let flops = match set.col_kind {
+        ColKind::SharedLeft => 2.0 * s.m as f64 * s.k as f64 * stacked as f64,
+        ColKind::Ladder => 2.0 * s.m as f64 * stacked as f64 * s.n as f64,
+    } * set.rows() as f64;
+    f.push_log("set_flops", flops);
+    f.tag("col_kind", match set.col_kind {
+        ColKind::SharedLeft => "shared-left",
+        ColKind::Ladder => "ladder",
+    });
+    f.push("row_fusable", f64::from(u8::from(set.row_fusable)));
+    f
+}
+
+/// Features of one kernel-library choice for a realized GEMM shape.
+pub fn kernel_features(
+    cfg: &ExecConfig,
+    topo_fp: u64,
+    shape: GemmShape,
+    lib: GemmLibrary,
+) -> FeatureVec {
+    let mut f = candidate_base(cfg, topo_fp);
+    f.tag("lib", &format!("{lib:?}"));
+    f.push_log("gemm_m", shape.m as f64);
+    f.push_log("gemm_k", shape.k as f64);
+    f.push_log("gemm_n", shape.n as f64);
+    f.push_log("gemm_flops", 2.0 * shape.m as f64 * shape.k as f64 * shape.n as f64);
+    // Aspect ratios drive the wide-vs-tall tile tradeoff.
+    f.push("gemm_aspect_nk", ((1 + shape.n) as f64 / (1 + shape.k) as f64).log2());
+    f
+}
+
+/// Features of one epoch stream-mapping choice: fanout, occupancy, and
+/// FLOP balance of the assignment, plus the epoch's position in the
+/// partition (the epoch metric spans from the super-epoch start, so later
+/// epochs inherit their prefix's elapsed time).
+pub fn epoch_features(
+    cfg: &ExecConfig,
+    topo_fp: u64,
+    sei: usize,
+    ei: usize,
+    choice: usize,
+    assignment: &[(UnitId, usize)],
+    flops_of: &BTreeMap<UnitId, f64>,
+) -> FeatureVec {
+    let mut f = candidate_base(cfg, topo_fp);
+    f.tag("epoch", &format!("se{sei}.e{ei}"));
+    f.push("epoch_pos", ei as f64);
+    f.push("epoch_units", assignment.len() as f64);
+    let mut per_stream: BTreeMap<usize, (usize, f64)> = BTreeMap::new();
+    let mut total = 0.0;
+    for &(uid, s) in assignment {
+        let fl = flops_of.get(&uid).copied().unwrap_or(0.0);
+        let e = per_stream.entry(s).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += fl;
+        total += fl;
+    }
+    f.push("fanout", per_stream.len() as f64);
+    let max_units = per_stream.values().map(|&(n, _)| n).max().unwrap_or(0);
+    f.push("stream_occupancy", max_units as f64);
+    let max_flops = per_stream.values().map(|&(_, fl)| fl).fold(0.0, f64::max);
+    // 1/fanout = perfectly balanced, 1.0 = fully serialized.
+    f.push("flop_imbalance", if total > 0.0 { max_flops / total } else { 1.0 });
+    f.push_log("epoch_flops", total);
+    f.note("echoice", &format!("{choice}"));
+    f
+}
+
+/// Features of one device-placement choice: placement geometry plus the
+/// communication and footprint terms — all-reduce bytes and replicated
+/// parameter overlap for data parallelism, cross-cut activation transfer
+/// bytes for model parallelism.
+pub fn placement_features(
+    cfg: &ExecConfig,
+    topo_fp: u64,
+    units: &[Unit],
+    sync_bytes: u64,
+) -> FeatureVec {
+    let mut f = candidate_base(cfg, topo_fp);
+    let footprint: f64 = units.iter().map(|u| u.out_bytes).sum();
+    f.push_log("footprint", footprint);
+    match &cfg.placement {
+        DevicePlacement::Single => {}
+        DevicePlacement::DataParallel { shares } => {
+            f.push_log("allreduce_bytes", sync_bytes as f64);
+            // Parameters replicated onto every extra device.
+            f.push_log("replica_overlap", sync_bytes as f64 * (shares.len() - 1) as f64);
+        }
+        DevicePlacement::ModelParallel { cuts } => {
+            f.push("cuts", cuts.len() as f64);
+            let dev_of = |i: usize| cuts.iter().filter(|&&c| c <= i).count();
+            let mut transfer = 0.0;
+            for (i, u) in units.iter().enumerate() {
+                for &d in &u.deps {
+                    if dev_of(d) != dev_of(i) {
+                        transfer += units[d].out_bytes;
+                    }
+                }
+            }
+            f.push_log("transfer_bytes", transfer);
+        }
+    }
+    f
 }
 
 #[cfg(test)]

@@ -1,0 +1,42 @@
+//! # astra-predict — an online-learned cost model for exploration pruning
+//!
+//! Astra's exploration driver measures every candidate configuration by
+//! simulating a full training mini-batch. The profile index those
+//! measurements feed is training data nobody learns from — this crate
+//! closes the loop (AutoTVM-style: *Learning to Optimize Tensor
+//! Programs*): a feature-hashed linear regressor, trained incrementally
+//! from committed measurements, ranks the candidates of each lookahead
+//! batch so the driver simulates only the predicted top-k plus an
+//! exploration-epsilon tail. Everything else inherits its predicted cost,
+//! guarded by a bounded-regret re-admission check in the driver.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Training is plain sequential f64 arithmetic in
+//!    commit order; the epsilon tail draws from a fixed-seed
+//!    [`astra_util::Rng64`] owned by the driver. Same inputs, same
+//!    selections — at any worker count.
+//! 2. **Zero dependencies.** Feature hashing is FNV-1a, the regressor is a
+//!    normalized-LMS linear model over [`FEATURE_DIM`] hashed buckets; no
+//!    external crates.
+//! 3. **Honest about uncertainty.** The model predicts in log-cost space
+//!    (mini-batch regions span orders of magnitude) and the policy never
+//!    lets a prediction *win* — the driver's regret guard re-measures any
+//!    pruned candidate predicted within a margin of the measured best, so
+//!    final assignments are always backed by real measurements.
+//!
+//! The crate is engine-agnostic: features are plain `(name, value)` pairs
+//! pushed by the caller ([`FeatureVec`]), predictions are nanoseconds, and
+//! the selection policy ([`select_trials`]) sees candidates only as
+//! per-variable `(choice, predicted cost)` entries.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod feature;
+mod model;
+mod policy;
+
+pub use feature::{FeatureVec, FEATURE_DIM};
+pub use model::CostModel;
+pub use policy::{select_trials, PredEntry, PrunePolicy};

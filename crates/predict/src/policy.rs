@@ -1,0 +1,151 @@
+//! The pruning policy: per-variable top-k selection with an epsilon tail.
+
+use astra_util::Rng64;
+
+/// Knobs governing how aggressively a lookahead batch is pruned.
+#[derive(Debug, Clone, Copy)]
+pub struct PrunePolicy {
+    /// Per adaptive variable, the number of predicted-cheapest *choices*
+    /// whose trials are always simulated.
+    pub top_k: usize,
+    /// Probability that an otherwise-pruned trial is simulated anyway
+    /// (exploration tail; keeps the model honest off its greedy path).
+    pub epsilon: f64,
+    /// Regret-guard margin: the driver re-admits a pruned candidate whose
+    /// predicted cost is within `best · (1 + margin)` of the measured best
+    /// for some variable, so a near-miss prediction is measured rather
+    /// than trusted.
+    pub margin: f64,
+    /// Minimum committed observations of a phase kind before batches of
+    /// that kind may be pruned at all (cold models simulate everything).
+    pub min_updates: u64,
+}
+
+impl Default for PrunePolicy {
+    fn default() -> Self {
+        PrunePolicy { top_k: 2, epsilon: 0.1, margin: 0.5, min_updates: 8 }
+    }
+}
+
+/// One prediction inside a trial: the active adaptive variable it covers,
+/// the choice the trial assigns to that variable, and the predicted cost.
+#[derive(Debug, Clone, Copy)]
+pub struct PredEntry {
+    /// Index of the variable in the phase's active-variable list.
+    pub var: usize,
+    /// Choice index the trial assigns to the variable.
+    pub choice: usize,
+    /// Predicted cost of that (variable, choice) under this trial, in ns.
+    pub predicted_ns: f64,
+}
+
+/// Selects which trials of a lookahead batch to simulate.
+///
+/// `preds[t]` holds trial `t`'s predictions for every *active* variable
+/// (`None` marks an invalid candidate, which is never selected — the
+/// driver poisons it as before). For each variable, the distinct choices
+/// appearing in the batch are ranked by predicted cost and the earliest
+/// trial carrying each of the `top_k` cheapest choices is selected; ties
+/// break on (choice, trial) order so selection is deterministic. Every
+/// unselected valid trial then draws once from `rng`, in trial order, and
+/// joins the simulated set with probability `epsilon`.
+///
+/// Guarantee: every active variable gets at least `min(top_k, #choices)`
+/// distinct choices measured, so no variable is ever decided on
+/// predictions alone.
+pub fn select_trials(
+    policy: &PrunePolicy,
+    preds: &[Option<Vec<PredEntry>>],
+    rng: &mut Rng64,
+) -> Vec<bool> {
+    let mut simulate = vec![false; preds.len()];
+    let num_vars = preds
+        .iter()
+        .flatten()
+        .flat_map(|ps| ps.iter().map(|p| p.var + 1))
+        .max()
+        .unwrap_or(0);
+    for v in 0..num_vars {
+        // (predicted, choice, first trial carrying the choice).
+        let mut ranked: Vec<(f64, usize, usize)> = Vec::new();
+        for (t, ps) in preds.iter().enumerate() {
+            let Some(ps) = ps else { continue };
+            for p in ps.iter().filter(|p| p.var == v) {
+                if !ranked.iter().any(|&(_, c, _)| c == p.choice) {
+                    ranked.push((p.predicted_ns, p.choice, t));
+                }
+            }
+        }
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(_, _, t) in ranked.iter().take(policy.top_k) {
+            simulate[t] = true;
+        }
+    }
+    for (t, ps) in preds.iter().enumerate() {
+        if ps.is_some() && !simulate[t] && rng.gen_f64() < policy.epsilon {
+            simulate[t] = true;
+        }
+    }
+    simulate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(var: usize, choice: usize, ns: f64) -> PredEntry {
+        PredEntry { var, choice, predicted_ns: ns }
+    }
+
+    #[test]
+    fn top_k_covers_distinct_choices_per_variable() {
+        // One variable, 4 choices; trials 3..5 repeat the last choice (an
+        // exhausted parallel-mode variable) — top-2 must pick the trials of
+        // the two cheapest *choices*, not two copies of one.
+        let preds: Vec<Option<Vec<PredEntry>>> = vec![
+            Some(vec![entry(0, 0, 400.0)]),
+            Some(vec![entry(0, 1, 100.0)]),
+            Some(vec![entry(0, 2, 300.0)]),
+            Some(vec![entry(0, 3, 200.0)]),
+            Some(vec![entry(0, 3, 200.0)]),
+        ];
+        let policy = PrunePolicy { epsilon: 0.0, ..PrunePolicy::default() };
+        let mut rng = Rng64::new(1);
+        let sel = select_trials(&policy, &preds, &mut rng);
+        assert_eq!(sel, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn every_variable_keeps_its_top_k() {
+        // Two variables with opposite rankings: the union must cover both.
+        let preds: Vec<Option<Vec<PredEntry>>> = vec![
+            Some(vec![entry(0, 0, 1.0), entry(1, 0, 9.0)]),
+            Some(vec![entry(0, 1, 2.0), entry(1, 1, 8.0)]),
+            Some(vec![entry(0, 2, 3.0), entry(1, 2, 1.0)]),
+        ];
+        let policy = PrunePolicy { top_k: 1, epsilon: 0.0, ..PrunePolicy::default() };
+        let sel = select_trials(&policy, &preds, &mut Rng64::new(1));
+        assert_eq!(sel, vec![true, false, true]);
+    }
+
+    #[test]
+    fn invalid_trials_are_never_selected() {
+        let preds: Vec<Option<Vec<PredEntry>>> =
+            vec![None, Some(vec![entry(0, 0, 1.0)]), None];
+        let policy = PrunePolicy { epsilon: 1.0, ..PrunePolicy::default() };
+        let sel = select_trials(&policy, &preds, &mut Rng64::new(7));
+        assert_eq!(sel, vec![false, true, false]);
+    }
+
+    #[test]
+    fn selection_is_deterministic_for_a_fixed_seed() {
+        let preds: Vec<Option<Vec<PredEntry>>> = (0..16)
+            .map(|t| Some(vec![entry(0, t, 100.0 + t as f64)]))
+            .collect();
+        let policy = PrunePolicy { top_k: 3, epsilon: 0.25, ..PrunePolicy::default() };
+        let a = select_trials(&policy, &preds, &mut Rng64::new(42));
+        let b = select_trials(&policy, &preds, &mut Rng64::new(42));
+        assert_eq!(a, b);
+        assert!(a.iter().filter(|&&s| s).count() >= 3);
+    }
+}

@@ -9,6 +9,7 @@
 //! * [`exec`] — lowering and the native / cuDNN-like / XLA-like baselines.
 //! * [`core`] — the Astra enumerator + custom wirer.
 //! * [`verify`] — static schedule verifier (happens-before hazard analysis).
+//! * [`predict`] — online-learned cost model pruning the candidate space.
 //! * [`distrib`] — adaptive data-parallel scaling (the paper's §3.4 extension).
 //!
 //! ## Quickstart
@@ -36,4 +37,5 @@ pub use astra_exec as exec;
 pub use astra_gpu as gpu;
 pub use astra_ir as ir;
 pub use astra_models as models;
+pub use astra_predict as predict;
 pub use astra_verify as verify;

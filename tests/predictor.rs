@@ -1,0 +1,127 @@
+//! Integration tests for the learned cost predictor (ISSUE 8).
+//!
+//! The predictor prunes lookahead batches: candidates are scored by an
+//! online linear model, the top-k per variable (plus an epsilon tail) are
+//! simulated, and the rest inherit predicted costs under a bounded-regret
+//! guard. These tests pin the three contracts that make that safe:
+//!
+//! 1. `--predictor off` *is* the pre-predictor driver: bit-identical
+//!    reports, zero predictor counters.
+//! 2. Pruned exploration still converges — the chosen plan's steady-state
+//!    cost stays within 5% of the unpruned search, across models and
+//!    fault profiles.
+//! 3. Scoring, selection, and training run on the driver thread in
+//!    committed candidate order, so results are worker-count invariant.
+
+use astra::core::{Astra, AstraOptions, Dims, Report};
+use astra::gpu::{DeviceSpec, FaultPlan};
+use astra::models::Model;
+
+fn small(model: Model, batch: u64) -> astra::models::BuiltModel {
+    let mut c = model.default_config(batch);
+    c.hidden = 64;
+    c.input = 64;
+    c.vocab = 128;
+    c.seq_len = 4;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+fn run(built: &astra::models::BuiltModel, opts: AstraOptions) -> (Report, String) {
+    let dev = DeviceSpec::p100();
+    let mut astra = Astra::new(&built.graph, &dev, opts);
+    let r = astra.optimize().expect("optimize runs");
+    let index = format!("{:?}", astra.profile_index());
+    (r, index)
+}
+
+fn opts(predictor: bool, top_k: usize) -> AstraOptions {
+    AstraOptions { dims: Dims::all(), predictor, predictor_top_k: top_k, ..Default::default() }
+}
+
+/// With the predictor off, the driver takes exactly the old batch path:
+/// repeated runs are bit-identical and every predictor counter is zero.
+#[test]
+fn predictor_off_reports_zero_counters_and_reproduces() {
+    for model in [Model::Scrnn, Model::SubLstm, Model::MiLstm] {
+        let built = small(model, 16);
+        let (ra, ia) = run(&built, AstraOptions { predictor: false, ..opts(false, 2) });
+        let (rb, ib) = run(&built, AstraOptions { predictor: false, ..opts(false, 2) });
+        assert_eq!(ra.steady_ns.to_bits(), rb.steady_ns.to_bits(), "{model}: steady drifted");
+        assert_eq!(ra.best, rb.best, "{model}: winner drifted");
+        assert_eq!(ia, ib, "{model}: profile index drifted");
+        assert_eq!(ra.trials_pruned, 0, "{model}: off must prune nothing");
+        assert_eq!(ra.predictor_updates, 0, "{model}: off must train nothing");
+        assert_eq!(ra.predicted_vs_measured_mae, 0.0, "{model}: off must report zero MAE");
+    }
+}
+
+/// Every lookahead candidate is either simulated or pruned — the union
+/// must equal the unpruned trial count, and pruning must actually engage
+/// on a workload with warm multi-choice batches.
+#[test]
+fn pruning_accounts_for_every_candidate() {
+    let built = small(Model::MiLstm, 16);
+    let (off, _) = run(&built, opts(false, 1));
+    let (on, _) = run(&built, opts(true, 1));
+    assert_eq!(off.trials_pruned, 0);
+    assert!(on.trials_pruned > 0, "predictor must prune on this workload");
+    assert_eq!(
+        on.configs_explored + on.trials_pruned,
+        off.configs_explored,
+        "simulated + pruned must cover the unpruned candidate space"
+    );
+    assert!(on.predictor_updates > 0, "committed measurements must train the model");
+    assert!(on.predicted_vs_measured_mae > 0.0, "scored candidates must report an MAE");
+}
+
+/// Pruned exploration converges: across three models and fault profiles,
+/// the selected plan's steady-state cost is within 5% of the unpruned
+/// search's.
+#[test]
+fn pruned_search_converges_within_5pct_across_models_and_faults() {
+    for model in [Model::Scrnn, Model::SubLstm, Model::MiLstm] {
+        for (fault_name, faults) in
+            [("none", FaultPlan::none()), ("chaos", FaultPlan::chaos(11))]
+        {
+            let built = small(model, 16);
+            let mk = |predictor| AstraOptions { faults, ..opts(predictor, 1) };
+            let (off, _) = run(&built, mk(false));
+            let (on, _) = run(&built, mk(true));
+            let drift = (on.steady_ns - off.steady_ns).abs() / off.steady_ns;
+            assert!(
+                drift <= 0.05,
+                "{model}/{fault_name}: pruned steady {} vs unpruned {} drifts {:.2}%",
+                on.steady_ns,
+                off.steady_ns,
+                drift * 100.0
+            );
+            assert!(on.configs_explored <= off.configs_explored, "{model}/{fault_name}");
+        }
+    }
+}
+
+/// Predictor-guided exploration is worker-count invariant: candidate
+/// salts are pre-assigned before each batch runs and all predictor state
+/// advances in commit order, so 1 worker and 4 workers produce
+/// bit-identical reports — including the pruning counters and the MAE.
+#[test]
+fn predictor_guided_exploration_is_worker_invariant() {
+    let built = small(Model::MiLstm, 16);
+    let mk = |workers| AstraOptions { workers, ..opts(true, 1) };
+    let (ra, ia) = run(&built, mk(1));
+    let (rb, ib) = run(&built, mk(4));
+    assert_eq!(ra.steady_ns.to_bits(), rb.steady_ns.to_bits(), "steady drifted");
+    assert_eq!(ra.exploration_ns.to_bits(), rb.exploration_ns.to_bits(), "exploration drifted");
+    assert_eq!(ra.best, rb.best, "winner drifted");
+    assert_eq!(ra.configs_explored, rb.configs_explored, "trial count drifted");
+    assert_eq!(ra.trials_pruned, rb.trials_pruned, "pruned count drifted");
+    assert_eq!(ra.predictor_updates, rb.predictor_updates, "update count drifted");
+    assert_eq!(
+        ra.predicted_vs_measured_mae.to_bits(),
+        rb.predicted_vs_measured_mae.to_bits(),
+        "MAE drifted"
+    );
+    assert_eq!(ia, ib, "profile index drifted");
+    assert!(ra.trials_pruned > 0, "the invariance must be exercised under real pruning");
+}

@@ -652,6 +652,132 @@ fn device_maps_perturb_the_prefix_hash() {
     assert_eq!(zeroed.render(), plain.render());
 }
 
+// ---------------------------------------------------------------------------
+// Predictor properties: feature extraction and training order.
+// ---------------------------------------------------------------------------
+
+/// Candidate feature extraction is deterministic and injective: the same
+/// `(chunks, strategy, placement, topology)` candidate always produces
+/// bit-identical vectors, and distinct candidates always have distinct
+/// fingerprints — even when their hashed bucket views collide.
+#[test]
+fn candidate_features_are_deterministic_and_injective() {
+    use astra::core::{build_units, fusion_features, placement_features, DevicePlacement};
+
+    let built = small_built_model();
+    let ctx = PlanContext::new(&built.graph);
+    let set = &ctx.sets[0];
+    let placements = [
+        DevicePlacement::Single,
+        DevicePlacement::DataParallel { shares: vec![1, 1] },
+        DevicePlacement::DataParallel { shares: vec![2, 1] },
+        DevicePlacement::ModelParallel { cuts: vec![1] },
+    ];
+
+    let mut seen: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    for strategy in 0..ctx.alloc.strategies.len().clamp(1, 2) {
+        for placement in &placements {
+            for topo_fp in [0u64, 0x9e37_79b9_7f4a_7c15] {
+                for &rc in &set.row_chunks() {
+                    for &cc in &set.col_chunks() {
+                        let mut cfg = ExecConfig::baseline();
+                        cfg.strategy = strategy;
+                        cfg.placement = placement.clone();
+                        cfg.chunks.insert(set.id.clone(), (rc, cc));
+                        let label = format!(
+                            "s{strategy}/{}/t{topo_fp:x}/{rc}x{cc}",
+                            placement.label()
+                        );
+
+                        // Determinism: re-extraction is bit-identical.
+                        let a = fusion_features(&cfg, topo_fp, set, rc, cc);
+                        let b = fusion_features(&cfg, topo_fp, set, rc, cc);
+                        assert_eq!(a, b, "{label}: extraction must be deterministic");
+
+                        // Injectivity on the fingerprint.
+                        if let Some(prev) = seen.insert(a.fingerprint(), label.clone()) {
+                            panic!("fingerprint collision: {label} vs {prev}");
+                        }
+
+                        // Placement features are injective over the same axes
+                        // (minus the chunk choice, which they fold via the
+                        // candidate base's chunk note).
+                        if let Ok(units) = build_units(&ctx, &cfg) {
+                            let pa = placement_features(&cfg, topo_fp, &units, 4096);
+                            let pb = placement_features(&cfg, topo_fp, &units, 4096);
+                            assert_eq!(pa, pb, "{label}: placement extraction deterministic");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(seen.len() > 30, "expected a real candidate sweep, got {}", seen.len());
+}
+
+/// Kernel and epoch features distinguish their own choice axes: library
+/// for a fixed shape, stream assignment for a fixed epoch.
+#[test]
+fn kernel_and_epoch_features_distinguish_choices() {
+    use astra::core::{epoch_features, kernel_features};
+    use astra::gpu::{GemmLibrary, GemmShape};
+    use std::collections::BTreeMap;
+
+    let cfg = ExecConfig::baseline();
+    let shape = GemmShape::new(64, 128, 256);
+    let mut fps = std::collections::HashSet::new();
+    for lib in [GemmLibrary::CublasLike, GemmLibrary::OaiWide, GemmLibrary::OaiTall] {
+        assert!(fps.insert(kernel_features(&cfg, 0, shape, lib).fingerprint()));
+    }
+
+    let (u0, u1) = (astra::core::UnitId::Node(0), astra::core::UnitId::Node(1));
+    let flops: BTreeMap<_, _> = [(u0, 1e6), (u1, 2e6)].into();
+    let asg_a = [(u0, 0), (u1, 0)];
+    let asg_b = [(u0, 0), (u1, 1)];
+    let ea = epoch_features(&cfg, 0, 0, 1, 0, &asg_a, &flops);
+    let eb = epoch_features(&cfg, 0, 0, 1, 1, &asg_b, &flops);
+    assert_ne!(ea.fingerprint(), eb.fingerprint(), "assignments must be distinct");
+    assert_ne!(ea.values(), eb.values(), "fanout/balance features must differ");
+}
+
+/// The predictor trains in *committed candidate order*, and that order is
+/// load-bearing: replaying the same measurement sequence reproduces the
+/// model bit-for-bit, while permuting it changes the learned weights (the
+/// first sample seeds the bias, and NLMS steps compound). This is why the
+/// driver commits batches in candidate order at every worker count — the
+/// worker-invariance suite pins the order, this test documents why.
+#[test]
+fn predictor_training_order_is_pinned_and_load_bearing() {
+    use astra::predict::{CostModel, FeatureVec};
+
+    let sample = |i: u64, ns: f64| {
+        let mut f = FeatureVec::new();
+        f.push("choice", i as f64);
+        f.push_log("flops", 1e6 * (1 + i) as f64);
+        (f, ns)
+    };
+    let seq: Vec<_> =
+        (0..12).map(|i| sample(i, 1e4 * (12 - i) as f64)).collect();
+
+    let train = |order: &[usize]| {
+        let mut m = CostModel::new();
+        for &i in order {
+            m.observe(&seq[i].0, seq[i].1);
+        }
+        seq.iter().map(|(f, _)| m.predict_ns(f).to_bits()).collect::<Vec<_>>()
+    };
+
+    let committed: Vec<usize> = (0..seq.len()).collect();
+    assert_eq!(train(&committed), train(&committed), "same order must replay bit-identically");
+    let mut reversed = committed.clone();
+    reversed.reverse();
+    assert_ne!(
+        train(&committed),
+        train(&reversed),
+        "training order must matter — otherwise pinning it would be vacuous"
+    );
+}
+
 /// Checkpoint keys are injective across topologies: a checkpoint absorbed
 /// under one device mix must never resume a run of the *same schedule* on a
 /// different mix (different per-device clocks and link state), while a
