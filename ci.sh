@@ -94,6 +94,47 @@ if [[ "$(field "$off_json" trials_pruned)" != 0 || "$(field "$off_json" predicto
 fi
 echo "predictor gate: $pruned of $total trials pruned ($((pruned * 100 / total))%), MAE ${mae}ns, plan unchanged"
 
+echo "== lint gate (zoo clean, capacity rejection, sound bound pruning) =="
+# Every enumerated plan of every zoo model must lint with zero errors,
+# and so must the rendered golden fixtures (including the multi-device
+# ones, which size the lint topology from their device map).
+./target/release/astra-cli lint --fixtures tests/golden
+for m in scrnn milstm sublstm stackedlstm gnmt rhn; do
+    ./target/release/astra-cli lint --model "$m" --batch 8 --streams 4
+done
+# A deliberately undersized device must fail every plan with
+# lint-mem-capacity and a nonzero exit.
+if cap_out=$(./target/release/astra-cli lint --model milstm --batch 16 --mem-mib 64 2>&1); then
+    echo "ci: FAIL — 64 MiB device passed lint (expected capacity rejection)" >&2
+    exit 1
+elif ! grep -q "lint-mem-capacity" <<< "$cap_out"; then
+    echo "ci: FAIL — capacity rejection did not cite lint-mem-capacity:" >&2
+    printf '%s\n' "$cap_out" >&2
+    exit 1
+fi
+# Bound pruning must skip >= 10% of simulated trials on the MI-LSTM
+# fusion+kernel gate — on top of the predictor's own savings — while the
+# surviving search selects a bit-identical plan; with the flag off the
+# counter must be exactly zero.
+bp_args=(optimize --model milstm --batch 16 --dims fk --top-k 1 --json)
+bp_on=$(./target/release/astra-cli "${bp_args[@]}" --bound-prune on)
+bp_off=$(./target/release/astra-cli "${bp_args[@]}")
+bp_steady_on=$(field "$bp_on" steady_ns); bp_steady_off=$(field "$bp_off" steady_ns)
+bp_pruned=$(field "$bp_on" bound_pruned); bp_sim=$(field "$bp_on" configs_explored)
+if [[ "$bp_steady_on" != "$bp_steady_off" ]]; then
+    echo "ci: FAIL — bound pruning changed the plan (steady $bp_steady_on vs $bp_steady_off)" >&2
+    exit 1
+fi
+if (( bp_pruned * 10 < (bp_sim + bp_pruned) )); then
+    echo "ci: FAIL — bound pruning skipped only $bp_pruned of $((bp_sim + bp_pruned)) trials (< 10%)" >&2
+    exit 1
+fi
+if [[ "$(field "$bp_off" bound_pruned)" != 0 || "$(field "$bp_off" syncs_elided)" != 0 || "$(field "$bp_off" lint_rejects)" != 0 ]]; then
+    echo "ci: FAIL — lint counters must be zero with the features off" >&2
+    exit 1
+fi
+echo "lint gate: zoo clean, capacity rejected, $bp_pruned of $((bp_sim + bp_pruned)) trials bound-pruned, plan unchanged"
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -7,6 +7,8 @@
 //! astra-cli scaling  --model sublstm --global-batch 256 --link nvlink
 //! astra-cli verify   --model sublstm --streams 4      # static schedule verification
 //! astra-cli verify   --fixtures tests/golden          # verify rendered fixtures
+//! astra-cli lint     --model sublstm --streams 4      # static resource & perf lint
+//! astra-cli lint     --fixtures tests/golden          # lint rendered fixtures
 //! astra-cli models                                    # list available models
 //! ```
 //!
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "scaling" => cmd_scaling(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "models" => {
             for m in Model::all() {
                 println!(
@@ -77,6 +80,16 @@ commands:
                               random re-admissions (default on, k=2, p=0.1); pruned trials
                               inherit predicted costs under a bounded-regret guard, and
                               `off` reproduces the unpruned exploration exactly
+            [--lint on|off]   static resource lint gate on candidate plans (default on):
+                              plans whose peak live memory exceeds device capacity are
+                              quarantined before simulation (lint-mem-capacity)
+            [--elide-syncs]   drop transitively-implied event waits from every explored
+                              schedule before simulating; the rewrite is verify-clean and
+                              the simulated cost is bit-identical
+            [--bound-prune on|off]
+                              skip candidates whose critical-path lower bound already
+                              exceeds the measured best (default off); composes with the
+                              predictor and preserves the final plan bit-identically
             [--json]          print the optimization report as JSON instead of text
             [--devices <n|list>] [--topology nvlink|pcie3|ethernet]
                               explore placements on a simulated multi-device node: a count
@@ -99,6 +112,19 @@ commands:
             --fixtures <dir> [--json] [--workers <n>]
                               parse rendered schedule fixtures (*.txt) and verify their
                               event structure (no footprints: liveness checks only)
+  lint      --model <name> [--batch <n>] [--seq <n>] [--streams <n>] [--workers <n>] [--json]
+                              statically lint the model's enumerated plans: liveness peak
+                              memory against device capacity (lint-mem-capacity error,
+                              lint-mem-occupancy advisory), transitively-implied event
+                              waits (lint-redundant-sync), and the critical-path lower
+                              bound; exits nonzero on any error-severity finding
+            [--mem-mib <n>]   override per-device memory capacity in MiB (default: the
+                              device's real capacity — p100 16 GiB, v100 32 GiB)
+            [--devices <n|list>] [--topology <link>]
+                              lint candidate placements on a simulated node instead
+            --fixtures <dir> [--json] [--workers <n>]
+                              lint rendered schedule fixtures (no footprints: sync
+                              redundancy and the critical-path floor only)
   models                                        list the model zoo
 
 models: scrnn, milstm, sublstm, stackedlstm, gnmt, rhn";
@@ -182,6 +208,16 @@ fn parse_predictor(opts: &Opts<'_>) -> Result<(bool, usize, f64), String> {
     Ok((on, top_k, epsilon))
 }
 
+/// Parses an `on|off` switch with a default.
+fn parse_on_off(opts: &Opts<'_>, key: &str, default: bool) -> Result<bool, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(format!("invalid {key} '{other}' (on|off)")),
+    }
+}
+
 fn parse_dims(opts: &Opts<'_>) -> Result<Dims, String> {
     match opts.get("--dims").unwrap_or("all") {
         "f" => Ok(Dims::f()),
@@ -237,6 +273,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
 
     let sim_cache = !opts.flag("--no-sim-cache");
     let (predictor, predictor_top_k, predictor_epsilon) = parse_predictor(&opts)?;
+    let lint = parse_on_off(&opts, "--lint", true)?;
+    let bound_prune = parse_on_off(&opts, "--bound-prune", false)?;
+    let elide_syncs = opts.flag("--elide-syncs");
     let node = parse_node(&opts, &dev)?;
     let options = AstraOptions {
         dims,
@@ -247,6 +286,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         predictor,
         predictor_top_k,
         predictor_epsilon,
+        lint,
+        elide_syncs,
+        bound_prune,
         ..Default::default()
     };
     let mut astra = match &node {
@@ -300,6 +342,10 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         r.fault_events, r.retries, r.quarantined
     );
     println!("verify: {} plans analyzed, {} rejected", r.plans_verified, r.verify_rejects);
+    println!(
+        "lint: {} plans rejected, {} syncs elided, {} trials bound-pruned",
+        r.lint_rejects, r.syncs_elided, r.bound_pruned
+    );
     println!(
         "predictor: {} trials pruned / {} simulated ({} model updates, MAE {:.2} us)",
         r.trials_pruned,
@@ -358,6 +404,9 @@ fn report_json(r: &astra_core::Report, node: Option<&astra_gpu::Topology>) -> St
         format!("\"quarantined\":{}", r.quarantined),
         format!("\"plans_verified\":{}", r.plans_verified),
         format!("\"verify_rejects\":{}", r.verify_rejects),
+        format!("\"lint_rejects\":{}", r.lint_rejects),
+        format!("\"syncs_elided\":{}", r.syncs_elided),
+        format!("\"bound_pruned\":{}", r.bound_pruned),
     ];
     if let Some(topo) = node {
         f.push(format!("\"placement\":\"{}\"", r.best.placement.label()));
@@ -507,6 +556,152 @@ fn verify_fixtures(dir: &str, json: bool, workers: usize) -> Result<(), String> 
         plans.push(VerifiedPlan { label: p.display().to_string(), report });
     }
     print_verify_results(&plans, json)
+}
+
+/// One linted plan for the `lint` report: where it came from and what the
+/// linter said.
+struct LintedPlan {
+    label: String,
+    report: astra_lint::LintReport,
+}
+
+fn print_lint_results(plans: &[LintedPlan], json: bool) -> Result<(), String> {
+    let failed = plans.iter().filter(|p| p.report.errors() > 0).count();
+    if json {
+        let entries: Vec<String> = plans
+            .iter()
+            .map(|p| format!("{{\"plan\":\"{}\",\"report\":{}}}", p.label, p.report.to_json()))
+            .collect();
+        println!("[{}]", entries.join(","));
+    } else {
+        for p in plans {
+            let rendered = p.report.render();
+            if p.report.errors() == 0 {
+                let summary = rendered.lines().next().unwrap_or_default();
+                println!("{:<40} clean: {summary}", p.label);
+            } else {
+                println!("{:<40} FAILED", p.label);
+                for line in rendered.lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} plan(s) failed lint", plans.len()));
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let opts = Opts(args);
+    let json = opts.flag("--json");
+    let workers: usize = opts.parse("--workers", 1)?;
+    let mut dev = device(&opts);
+    if let Some(mib) = opts.get("--mem-mib") {
+        let mib: u64 = mib.parse().map_err(|_| format!("invalid --mem-mib {mib}"))?;
+        dev.mem_bytes = mib << 20;
+    }
+    if let Some(dir) = opts.get("--fixtures") {
+        return lint_fixtures(dir, json, workers, &dev);
+    }
+
+    let model = parse_model(&opts)?;
+    let streams: usize = opts.parse("--streams", 2)?;
+    let built = build(model, &opts)?;
+    let ctx = astra_core::PlanContext::new(&built.graph);
+
+    // Multi-device mode: lint every candidate placement on the node.
+    if let Some(topo) = parse_node(&opts, &dev)? {
+        let base = astra_core::ExecConfig::baseline();
+        let units = astra_core::build_units(&ctx, &base).map_err(|e| e.to_string())?;
+        let mut plans = Vec::new();
+        for placement in astra_core::placement_candidates(&topo, &units) {
+            let mut cfg = base.clone();
+            cfg.placement = placement;
+            let (sched, _) = astra_core::emit_schedule(
+                &ctx,
+                &cfg,
+                &units,
+                None,
+                &astra_core::ProbeSpec::none(),
+            );
+            let report = astra_core::lint_plan(&ctx, &cfg, &units, &sched, &topo, workers);
+            plans.push(LintedPlan {
+                label: format!(
+                    "{} {} on {} device(s)",
+                    flag_name(model),
+                    cfg.placement.label(),
+                    topo.num_devices()
+                ),
+                report,
+            });
+        }
+        return print_lint_results(&plans, json);
+    }
+
+    let topo = astra_gpu::Topology::single(dev);
+    let strategies = ctx.alloc.strategies.len().max(1);
+    let mut plans = Vec::new();
+    let stream_counts: Vec<usize> = if streams > 1 { vec![1, streams] } else { vec![1] };
+    for strategy in 0..strategies {
+        for &n in &stream_counts {
+            let mut cfg = astra_core::ExecConfig::baseline();
+            cfg.strategy = strategy;
+            let mut units = astra_core::build_units(&ctx, &cfg).map_err(|e| e.to_string())?;
+            if n > 1 {
+                cfg.num_streams = n;
+                for (i, u) in units.iter().enumerate() {
+                    cfg.streams.insert(u.id, i % n);
+                }
+                units = astra_core::build_units(&ctx, &cfg).map_err(|e| e.to_string())?;
+            }
+            let (sched, _) = astra_core::emit_schedule(
+                &ctx,
+                &cfg,
+                &units,
+                None,
+                &astra_core::ProbeSpec::none(),
+            );
+            let report = astra_core::lint_plan(&ctx, &cfg, &units, &sched, &topo, workers);
+            plans.push(LintedPlan {
+                label: format!("{} strategy {strategy} x {n} stream(s)", flag_name(model)),
+                report,
+            });
+        }
+    }
+    print_lint_results(&plans, json)
+}
+
+/// Lints every rendered-schedule fixture (`*.txt`) in `dir`. Fixtures
+/// carry no unit footprints or allocation plan, so the peak-memory
+/// analysis is skipped: sync redundancy and the critical-path floor only.
+fn lint_fixtures(dir: &str, json: bool, workers: usize, dev: &DeviceSpec) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .txt fixtures in {dir}"));
+    }
+    let mut plans = Vec::new();
+    for p in &paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let sched = astra_verify::parse_rendered(&text)
+            .map_err(|e| format!("{}: {e}", p.display()))?;
+        // Multi-device fixtures carry a device map; size a homogeneous
+        // topology to it so per-device accounting has a slot for every
+        // device the schedule names.
+        let n = sched.stream_devices().iter().max().map_or(1, |&d| d + 1);
+        let topo =
+            astra_gpu::Topology::homogeneous(dev.clone(), n, astra_gpu::LinkDesc::nvlink());
+        let report =
+            astra_lint::lint(&sched, &topo, None, None, &astra_lint::LintOptions { workers });
+        plans.push(LintedPlan { label: p.display().to_string(), report });
+    }
+    print_lint_results(&plans, json)
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {

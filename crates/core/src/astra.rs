@@ -90,6 +90,7 @@ struct ExploreStats {
     quarantined: usize,
     placements: usize,
     pruned: usize,
+    bound_pruned: usize,
 }
 
 /// One prepared candidate simulation: the emitted schedule, its probes,
@@ -138,6 +139,90 @@ enum BatchOutcome {
     /// measured best by more than the policy margin, so a prediction can
     /// never decide a variable's final assignment.
     Pruned,
+    /// Vetoed by a sound critical-path lower bound: every active
+    /// variable's floor strictly exceeds that variable's committed
+    /// measured best, so the trial provably cannot win any variable. The
+    /// phase records the floors (stamped into [`VarFeat::pred`]) in the
+    /// update tree; unlike [`BatchOutcome::Pruned`] these entries are
+    /// proven losses, not predictions, so no regret guard is needed.
+    BoundPruned,
+}
+
+/// Whether trial `i` is provably dominated against `best`, the running
+/// per-variable measured minima tagged with the choice that achieved each
+/// (`vidx → (metric, choice)`). A trial is vetoed only when every active
+/// variable either
+///
+/// * has a critical-path floor strictly above the variable's measured
+///   best — the trial's true metric is ≥ the floor, so this choice loses
+///   outright — or
+/// * carries the *same* choice that achieved the measured best, so
+///   re-simulating it can at most reinforce an assignment it already
+///   holds (exploration pins exhausted variables at their incumbent, and
+///   the incumbent's floor sits a jitter-width *below* its own measured
+///   value, so requiring `floor > best` there would block every veto).
+///
+/// On veto, each variable's floor (clamped to the measured best for the
+/// incumbent choice, which lacks one in epoch batches) is stamped into
+/// [`VarFeat::pred`] so the phase records an entry that provably cannot
+/// steal the variable from a measured candidate.
+fn bound_veto(
+    feats: &mut BatchFeats,
+    bounds: &[Vec<(usize, f64)>],
+    i: usize,
+    best: &BTreeMap<usize, (f64, usize)>,
+) -> bool {
+    let Some(fs) = feats.get_mut(i).and_then(Option::as_mut) else { return false };
+    if fs.is_empty() {
+        return false;
+    }
+    let b = bounds.get(i).map_or(&[][..], Vec::as_slice);
+    let floor_of = |vidx: usize| b.iter().find(|&&(v, _)| v == vidx).map(|&(_, f)| f);
+    let veto = fs.iter().all(|vf| {
+        best.get(&vf.vidx).is_some_and(|&(bst, bchoice)| {
+            vf.choice == bchoice || floor_of(vf.vidx).is_some_and(|floor| floor > bst)
+        })
+    });
+    if veto {
+        for vf in fs.iter_mut() {
+            let (bst, bchoice) = best[&vf.vidx];
+            vf.pred = match floor_of(vf.vidx) {
+                Some(f) if vf.choice == bchoice => f.min(bst),
+                Some(f) => f,
+                None => bst,
+            };
+        }
+    }
+    veto
+}
+
+/// The dominance inputs of one predicted batch: per-trial per-variable
+/// critical-path floors (`vidx → floor`, empty when bound pruning is off
+/// or the candidate had none) and the phase's committed per-variable
+/// measured minima tagged with the choice that achieved each.
+struct DominanceCtx<'a> {
+    bounds: &'a [Vec<(usize, f64)>],
+    prior_best: &'a BTreeMap<usize, (f64, usize)>,
+}
+
+/// Folds one measured trial's decoded per-variable metrics into `best`,
+/// tagging each minimum with the choice trial `i` carried for it.
+fn fold_best(
+    best: &mut BTreeMap<usize, (f64, usize)>,
+    feats: &BatchFeats,
+    i: usize,
+    metrics: &[(usize, f64)],
+) {
+    let Some(fs) = feats.get(i).and_then(Option::as_ref) else { return };
+    for &(vidx, m) in metrics {
+        let Some(choice) = fs.iter().find(|vf| vf.vidx == vidx).map(|vf| vf.choice) else {
+            continue;
+        };
+        let e = best.entry(vidx).or_insert((f64::INFINITY, choice));
+        if m < e.0 {
+            *e = (m, choice);
+        }
+    }
 }
 
 /// One prefix group's jobs and results: the member trials in group order,
@@ -275,6 +360,33 @@ pub struct AstraOptions {
     /// geometries cost nothing; rejected candidates are quarantined like
     /// persistently faulted ones instead of simulating. On by default.
     pub verify: bool,
+    /// Whether to statically lint every candidate plan before it runs
+    /// (see [`crate::lint_plan`]): liveness-based peak-memory accounting
+    /// per device against [`DeviceSpec::mem_bytes`]. A plan whose peak
+    /// live bytes exceed any device's capacity is rejected — quarantined
+    /// like a
+    /// verify-rejected plan — before a single simulated mini-batch is
+    /// spent on it. Verdicts are cached per plan key and placement, so
+    /// repeated geometries cost nothing. On by default.
+    pub lint: bool,
+    /// Whether to rewrite every emitted candidate schedule without its
+    /// redundant event waits (see [`astra_lint::elide_redundant_syncs`])
+    /// before simulating. The rewrite is reachability-preserving (elided
+    /// schedules stay verify-clean) and keeps at least one wait per
+    /// non-empty wait list, so the engine charges the same sync
+    /// penalties and the simulated cost is bit-identical; only the
+    /// schedules get shorter. Off by default.
+    pub elide_syncs: bool,
+    /// Whether sound critical-path lower bounds veto lookahead trials
+    /// before simulation (see [`astra_lint::region_floors`]): a trial
+    /// whose floor for *every* active variable strictly exceeds that
+    /// variable's committed measured best provably cannot win any
+    /// variable, so it is skipped and its floors recorded as losses.
+    /// Composes with the learned predictor (the veto runs first) and
+    /// preserves the final plan exactly. Self-disables under fault plans
+    /// with a sub-unit straggler factor (which speed kernels up and
+    /// would break the floors' soundness). Off by default.
+    pub bound_prune: bool,
     /// Whether the learned cost predictor prunes lookahead batches (see
     /// [`astra_predict`]): once warm, each batch simulates only the
     /// predicted top-k choices per variable plus an exploration-epsilon
@@ -305,6 +417,9 @@ impl Default for AstraOptions {
             faults: FaultPlan::none(),
             sim_cache: true,
             verify: true,
+            lint: true,
+            elide_syncs: false,
+            bound_prune: false,
             predictor: true,
             predictor_top_k: 2,
             predictor_epsilon: 0.1,
@@ -357,6 +472,20 @@ pub struct Report {
     /// Distinct plans the verifier rejected; every trial of a rejected
     /// plan is quarantined without simulating.
     pub verify_rejects: u64,
+    /// Distinct plans the static linter rejected for over-capacity peak
+    /// memory (`lint-mem-capacity`): every trial of a rejected plan is
+    /// quarantined before simulating. Zero with [`AstraOptions::lint`]
+    /// off.
+    pub lint_rejects: u64,
+    /// Redundant event waits elided from emitted candidate schedules
+    /// (summed over every prepared trial). Zero with
+    /// [`AstraOptions::elide_syncs`] off.
+    pub syncs_elided: u64,
+    /// Lookahead trials vetoed by sound critical-path lower bounds
+    /// instead of simulating — skipped *in addition to* the learned
+    /// predictor's `trials_pruned`, with the final plan provably
+    /// unchanged. Zero with [`AstraOptions::bound_prune`] off.
+    pub bound_pruned: usize,
     /// Simulated runs this call resumed from a cached engine checkpoint
     /// (see [`crate::SimCache`]). Zero when [`AstraOptions::sim_cache`] is
     /// off.
@@ -433,6 +562,13 @@ pub struct Astra<'g> {
     plans_verified: u64,
     /// Cumulative count of rejected plans.
     verify_rejects: u64,
+    /// Static-lint verdicts, keyed like `verify_cache` (peak memory
+    /// depends on both the unit geometry and the placement's wiring).
+    lint_cache: HashMap<(PlanKey, DevicePlacement), bool>,
+    /// Cumulative count of plans the linter rejected (over capacity).
+    lint_rejects: u64,
+    /// Cumulative count of redundant waits elided from emitted schedules.
+    syncs_elided: u64,
     /// Monotonic fault-salt counter: every measured mini-batch gets the next
     /// salt, assigned in candidate order *before* a batch evaluates. Batch
     /// boundaries partition the same candidate sequence at every worker
@@ -506,6 +642,9 @@ impl<'g> Astra<'g> {
             verify_cache: HashMap::new(),
             plans_verified: 0,
             verify_rejects: 0,
+            lint_cache: HashMap::new(),
+            lint_rejects: 0,
+            syncs_elided: 0,
             fault_seq: 0,
             pool: None,
             prefix_groups: 0,
@@ -672,7 +811,10 @@ impl<'g> Astra<'g> {
     ///
     /// When the predictor is cold on this phase `kind` (or off, or the
     /// batch has no variable whose choice varies), every candidate is
-    /// simulated via [`Astra::run_batch`] unchanged. Otherwise:
+    /// simulated via [`Astra::run_batch`] — in candidate-order chunks
+    /// when `bounds` are present so the lower-bound veto can skip trials
+    /// that earlier chunks proved dominated, in one call otherwise.
+    /// Otherwise:
     ///
     /// 1. **Score.** Every valid candidate's per-variable features are
     ///    scored by the model (filling [`VarFeat::pred`]).
@@ -694,18 +836,96 @@ impl<'g> Astra<'g> {
     fn run_batch_predicted(
         &mut self,
         kind: &'static str,
-        prepared: Vec<Option<Prepared>>,
+        mut prepared: Vec<Option<Prepared>>,
         feats: &mut BatchFeats,
-        prior_best: &BTreeMap<usize, f64>,
+        dom: DominanceCtx<'_>,
         decode: impl Fn(&Probes, &RunResult) -> Vec<(usize, f64)>,
         stats: &mut ExploreStats,
     ) -> Result<Vec<BatchOutcome>, AstraError> {
-        let has_active = feats.iter().flatten().any(|fs| !fs.is_empty());
+        let DominanceCtx { bounds, prior_best } = dom;
+        // Sound lower-bound veto, ahead of (and composing with) the
+        // learned prune. A trial is skipped only when a per-variable
+        // floor covers *every* active variable and each floor strictly
+        // exceeds that variable's measured best so far: the trial's
+        // true metrics are ≥ their floors, the bests only decrease, and
+        // ties keep the earlier entry — so the vetoed trial provably
+        // cannot change any variable's final assignment. (Under fault
+        // injection a wave measurement that later fails its retries is
+        // never committed, so a veto against it is empirical rather
+        // than proven — the same caveat the regret guard's pruning
+        // already carries.) The floors are unsound under a sub-unit
+        // straggler factor (kernels run *faster* than solo), so the
+        // veto self-disables there.
+        let bound_ok = self.opts.bound_prune && self.opts.faults.straggler_factor >= 1.0;
+        let mut vetoed = vec![false; prepared.len()];
+        if bound_ok {
+            for i in 0..prepared.len() {
+                if prepared[i].is_some() && bound_veto(feats, bounds, i, prior_best) {
+                    prepared[i] = None;
+                    vetoed[i] = true;
+                    stats.bound_pruned += 1;
+                }
+            }
+        }
+
+        let has_active =
+            feats.iter().zip(&prepared).any(|(fs, p)| {
+                p.is_some() && fs.as_ref().is_some_and(|fs| !fs.is_empty())
+            });
         if !self.pruner.active(kind) || !has_active {
-            let mut outs = Vec::with_capacity(prepared.len());
-            for r in self.run_batch(prepared) {
-                outs.push(match r? {
+            // Cold path: no learned scores to select a wave with, but the
+            // bound veto still composes — run the batch in candidate-order
+            // chunks, fold each chunk's measured per-variable minima into
+            // the running best, and re-test later chunks' floors against
+            // it. The chunk partition is a pure function of the batch
+            // length and decoding walks candidates in order, so outcomes
+            // are identical at any worker count.
+            let staged = bound_ok && bounds.iter().any(|b| !b.is_empty());
+            if !staged {
+                let mut outs = Vec::with_capacity(prepared.len());
+                for (i, r) in self.run_batch(prepared).into_iter().enumerate() {
+                    outs.push(match r? {
+                        Some((r, p)) => BatchOutcome::Measured(r, p),
+                        None if vetoed[i] => BatchOutcome::BoundPruned,
+                        None => BatchOutcome::Invalid,
+                    });
+                }
+                return Ok(outs);
+            }
+            let n = prepared.len();
+            let chunk = 2.max(n / 8);
+            let mut best = prior_best.clone();
+            let mut slots = prepared;
+            let mut results: Vec<TrialOut> = Vec::with_capacity(n);
+            results.resize_with(n, || None);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    if slots[i].is_some() && bound_veto(feats, bounds, i, &best) {
+                        slots[i] = None;
+                        vetoed[i] = true;
+                        stats.bound_pruned += 1;
+                    }
+                }
+                let wave: Vec<Option<Prepared>> = slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, s)| if (start..end).contains(&i) { s.take() } else { None })
+                    .collect();
+                for (i, r) in self.run_batch(wave).into_iter().enumerate() {
+                    let Some((run, probes)) = r? else { continue };
+                    let metrics = decode(&probes, &run);
+                    fold_best(&mut best, feats, i, &metrics);
+                    results[i] = Some((run, probes));
+                }
+                start = end;
+            }
+            let mut outs = Vec::with_capacity(n);
+            for (i, res) in results.into_iter().enumerate() {
+                outs.push(match res {
                     Some((r, p)) => BatchOutcome::Measured(r, p),
+                    None if vetoed[i] => BatchOutcome::BoundPruned,
                     None => BatchOutcome::Invalid,
                 });
             }
@@ -750,13 +970,10 @@ impl<'g> Astra<'g> {
         // the guard takes minima, so noise can only cause extra
         // re-admissions, never hide one.
         let mut best = prior_best.clone();
-        for out in results.iter().flatten() {
-            for (vidx, m) in decode(&out.1, &out.0) {
-                let e = best.entry(vidx).or_insert(f64::INFINITY);
-                if m < *e {
-                    *e = m;
-                }
-            }
+        for (i, out) in results.iter().enumerate() {
+            let Some((run, probes)) = out else { continue };
+            let metrics = decode(probes, run);
+            fold_best(&mut best, feats, i, &metrics);
         }
 
         // Regret guard: re-admit near-miss predictions (and any trial of a
@@ -769,7 +986,8 @@ impl<'g> Astra<'g> {
                 s.is_some()
                     && fs.as_ref().is_some_and(|fs| {
                         fs.iter().any(|vf| {
-                            best.get(&vf.vidx).is_none_or(|&b| vf.pred <= b * (1.0 + margin))
+                            best.get(&vf.vidx)
+                                .is_none_or(|&(b, _)| vf.pred <= b * (1.0 + margin))
                         })
                     })
             })
@@ -788,13 +1006,14 @@ impl<'g> Astra<'g> {
         }
 
         let mut outs = Vec::with_capacity(slots.len());
-        for (slot, res) in slots.into_iter().zip(results) {
+        for (i, (slot, res)) in slots.into_iter().zip(results).enumerate() {
             outs.push(match res {
                 Some((r, p)) => BatchOutcome::Measured(r, p),
                 None if slot.is_some() => {
                     stats.pruned += 1;
                     BatchOutcome::Pruned
                 }
+                None if vetoed[i] => BatchOutcome::BoundPruned,
                 None => BatchOutcome::Invalid,
             });
         }
@@ -823,6 +1042,60 @@ impl<'g> Astra<'g> {
         }
         self.verify_cache.insert(key, clean);
         clean
+    }
+
+    /// Statically lints a candidate's emitted schedule the first time its
+    /// plan key and placement are seen, caching the verdict. Only
+    /// error-severity findings (`lint-mem-capacity`) reject a plan;
+    /// advisories never block exploration. With [`AstraOptions::lint`]
+    /// off this is always `true` and free.
+    fn lint_candidate(&mut self, cfg: &ExecConfig, units: &[Unit], sched: &Schedule) -> bool {
+        if !self.opts.lint {
+            return true;
+        }
+        let key = (PlanCache::key(&self.ctx, cfg), cfg.placement.clone());
+        if let Some(&clean) = self.lint_cache.get(&key) {
+            return clean;
+        }
+        let report =
+            crate::verify::lint_plan(&self.ctx, cfg, units, sched, &self.lint_topology(), 1);
+        let clean = report.errors() == 0;
+        if !clean {
+            self.lint_rejects += 1;
+        }
+        self.lint_cache.insert(key, clean);
+        clean
+    }
+
+    /// Admission control for one prepared candidate: the static verifier
+    /// (hazards) then the static linter (resources). Rejections from
+    /// either quarantine the candidate before it simulates.
+    fn admit_candidate(&mut self, cfg: &ExecConfig, units: &[Unit], sched: &Schedule) -> bool {
+        self.verify_candidate(cfg, units, sched) && self.lint_candidate(cfg, units, sched)
+    }
+
+    /// The topology candidate lints and floors evaluate against: the real
+    /// node topology when placement search is active, else the plain
+    /// device wrapped as a single-device node.
+    fn lint_topology(&self) -> Topology {
+        match self.topo {
+            Some(t) => t.clone(),
+            None => Topology::single(self.dev.clone()),
+        }
+    }
+
+    /// Applies redundant-sync elision to an emitted schedule when
+    /// [`AstraOptions::elide_syncs`] is on (counting the removed waits);
+    /// a no-op pass-through otherwise. Elision preserves the verifier's
+    /// verdict and the engine's simulated cost bit-for-bit, so it is
+    /// applied after admission and before the trial runs.
+    fn maybe_elide(&mut self, sched: Schedule) -> Schedule {
+        if !self.opts.elide_syncs {
+            return sched;
+        }
+        let (out, n) = astra_lint::elide_redundant_syncs(&sched);
+        self.syncs_elided += n as u64;
+        out
     }
 
     /// One simulated mini-batch through the sim cache: probe, run
@@ -899,6 +1172,8 @@ impl<'g> Astra<'g> {
         let groups0 = self.prefix_groups;
         let verified0 = self.plans_verified;
         let rejects0 = self.verify_rejects;
+        let lint_rejects0 = self.lint_rejects;
+        let syncs_elided0 = self.syncs_elided;
         let pred_upd0 = self.pruner.updates();
         let pred_err0 = self.pruner.abs_err_ns;
         let pred_errn0 = self.pruner.err_samples;
@@ -937,10 +1212,11 @@ impl<'g> Astra<'g> {
                 if cfg.placement.is_single() { partition.as_ref() } else { None };
             let (sched, _) =
                 emit_schedule(&self.ctx, &cfg, &units, playoff_partition, &ProbeSpec::none());
-            if !self.verify_candidate(&cfg, &units, &sched) {
+            if !self.admit_candidate(&cfg, &units, &sched) {
                 stats.quarantined += 1;
                 continue;
             }
+            let sched = self.maybe_elide(sched);
             let salt = self.fault_seq;
             self.fault_seq += 1;
             let (r, runs, spent) = self.measured_run(&sched, salt, &mut stats)?;
@@ -956,8 +1232,13 @@ impl<'g> Astra<'g> {
             }
         }
 
-        let (steady_ns, best, super_epochs, device_utilization) =
-            best_overall.expect("at least one strategy explored");
+        let Some((steady_ns, best, super_epochs, device_utilization)) = best_overall else {
+            return Err(AstraError::AllPlansRejected(format!(
+                "{} verify reject(s), {} lint reject(s) across {strategies} strategies",
+                self.verify_rejects - rejects0,
+                self.lint_rejects - lint_rejects0,
+            )));
+        };
         let cost_per_throughput = match self.topo {
             Some(t) => t.total_cost() * steady_ns,
             None => steady_ns,
@@ -983,6 +1264,9 @@ impl<'g> Astra<'g> {
             quarantined: stats.quarantined,
             plans_verified: self.plans_verified - verified0,
             verify_rejects: self.verify_rejects - rejects0,
+            lint_rejects: self.lint_rejects - lint_rejects0,
+            syncs_elided: self.syncs_elided - syncs_elided0,
+            bound_pruned: stats.bound_pruned,
             sim_cache_hits: self.sim_cache.hits() - sim_hits0,
             sim_cache_misses: self.sim_cache.misses() - sim_misses0,
             resumed_fraction: {
@@ -1068,7 +1352,8 @@ impl<'g> Astra<'g> {
             vec![UpdateNode::var("placement".to_owned(), candidates.len())],
         ));
         let sync_bytes = gradient_sync_bytes(self.ctx.graph);
-        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut best_measured: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        let bound_topo = self.opts.bound_prune.then(|| self.lint_topology());
 
         loop {
             let batch = tree.lookahead(LOOKAHEAD_TRIALS);
@@ -1104,13 +1389,28 @@ impl<'g> Astra<'g> {
                 };
                 let (sched, probes) =
                     emit_schedule(&self.ctx, c, units_run, None, &ProbeSpec::none());
-                if alloc_fault.is_none() && !self.verify_candidate(c, units_run, &sched) {
+                if alloc_fault.is_none() && !self.admit_candidate(c, units_run, &sched) {
                     stats.quarantined += 1;
                     prepared.push(None);
                     continue;
                 }
-                prepared.push(Some(Prepared { sched, probes, salt }));
+                prepared.push(Some(Prepared { sched: self.maybe_elide(sched), probes, salt }));
             }
+
+            // Whole-run lower bound per candidate: the placement metric is
+            // the mini-batch time itself, so the critical-path floor over
+            // the emitted wiring bounds it directly.
+            let bounds: Vec<Vec<(usize, f64)>> = match &bound_topo {
+                Some(t) => prepared
+                    .iter()
+                    .map(|p| {
+                        p.as_ref().map_or(Vec::new(), |p| {
+                            vec![(0, astra_lint::critical_path_floor(&p.sched, t, &|_, _| None))]
+                        })
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
 
             let fp_self = self.topo_fp();
             let mut feats: BatchFeats = cfgs
@@ -1134,7 +1434,7 @@ impl<'g> Astra<'g> {
                 "place",
                 prepared,
                 &mut feats,
-                &best_measured,
+                DominanceCtx { bounds: &bounds, prior_best: &best_measured },
                 |_, r| vec![(0, r.total_ns)],
                 stats,
             )?;
@@ -1148,7 +1448,7 @@ impl<'g> Astra<'g> {
                         tree.poison("placement");
                         continue;
                     }
-                    BatchOutcome::Pruned => {
+                    BatchOutcome::Pruned | BatchOutcome::BoundPruned => {
                         for vf in feats[bi].iter().flatten() {
                             tree.record(&vf.var, vf.pred);
                         }
@@ -1173,8 +1473,11 @@ impl<'g> Astra<'g> {
                         if let Some(vf) = feats[bi].iter().flatten().next() {
                             self.pruner.observe("place", &vf.feat, vf.pred, total);
                         }
-                        let e = best_measured.entry(0).or_insert(f64::INFINITY);
-                        *e = e.min(total);
+                        let choice = asg["placement"];
+                        let e = best_measured.entry(0).or_insert((f64::INFINITY, choice));
+                        if total < e.0 {
+                            *e = (total, choice);
+                        }
                         break true;
                     }
                     if attempt >= MAX_FAULT_RETRIES {
@@ -1193,6 +1496,7 @@ impl<'g> Astra<'g> {
                     };
                     let (sched, _) =
                         emit_schedule(&self.ctx, &cfgs[bi], units_r, None, &ProbeSpec::none());
+                    let sched = self.maybe_elide(sched);
                     let r = self.sim_run(&sched, rsalt)?;
                     total = r.total_ns;
                     faulted = r.faults.any();
@@ -1276,7 +1580,8 @@ impl<'g> Astra<'g> {
                 si_vidx.insert(si, vidx);
             }
         }
-        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut best_measured: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        let bound_topo = self.opts.bound_prune.then(|| self.lint_topology());
 
         // A valid candidate's harvested measurements, computed on a worker.
         struct Outcome {
@@ -1357,11 +1662,11 @@ impl<'g> Astra<'g> {
                         // Fragmented (fault-degraded) geometries skip the
                         // verifier: their placements differ from the clean
                         // plan the cached verdict would be keyed on.
-                        if alloc_fault.is_none() && !self.verify_candidate(c, &u, &sched) {
+                        if alloc_fault.is_none() && !self.admit_candidate(c, &u, &sched) {
                             stats.quarantined += 1;
                             None
                         } else {
-                            Some(Prepared { sched, probes, salt })
+                            Some(Prepared { sched: self.maybe_elide(sched), probes, salt })
                         }
                     }
                 };
@@ -1376,6 +1681,31 @@ impl<'g> Astra<'g> {
                     }
                 }
                 m
+            };
+
+            // Per-set metric floors: the probe-region floor scaled by the
+            // same block count the measured metric is scaled by.
+            let bounds: Vec<Vec<(usize, f64)>> = match &bound_topo {
+                Some(t) => prepared
+                    .iter()
+                    .map(|p| {
+                        p.as_ref().map_or(Vec::new(), |p| {
+                            let regions: Vec<_> =
+                                p.probes.set_regions.iter().map(|&(_, _, s, e)| (s, e)).collect();
+                            let floors =
+                                astra_lint::region_floors(&p.sched, &regions, t, &|_, _| None);
+                            p.probes
+                                .set_regions
+                                .iter()
+                                .zip(floors)
+                                .filter_map(|(&(si, nb, _, _), f)| {
+                                    si_vidx.get(&si).map(|&v| (v, f * nb as f64))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect(),
+                None => Vec::new(),
             };
 
             // Per-trial predictor features: one entry per explored set,
@@ -1414,7 +1744,7 @@ impl<'g> Astra<'g> {
                 "fuse",
                 prepared,
                 &mut feats,
-                &best_measured,
+                DominanceCtx { bounds: &bounds, prior_best: &best_measured },
                 |probes, r| {
                     set_metrics_of(probes, r)
                         .into_iter()
@@ -1439,9 +1769,10 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    BatchOutcome::Pruned => {
-                        // Inherit predicted set metrics; the regret guard
-                        // keeps them strictly above the measured best.
+                    BatchOutcome::Pruned | BatchOutcome::BoundPruned => {
+                        // Inherit predicted set metrics (or proven floors);
+                        // either way every recorded value is strictly above
+                        // the committed measured best.
                         for vf in feats[bi].iter().flatten() {
                             tree.record(&vf.var, vf.pred);
                         }
@@ -1492,8 +1823,11 @@ impl<'g> Astra<'g> {
                             {
                                 let vf = &fs[v];
                                 self.pruner.observe("fuse", &vf.feat, vf.pred, metric);
-                                let e = best_measured.entry(v).or_insert(f64::INFINITY);
-                                *e = e.min(metric);
+                                let e =
+                                    best_measured.entry(v).or_insert((f64::INFINITY, vf.choice));
+                                if metric < e.0 {
+                                    *e = (metric, vf.choice);
+                                }
                             }
                         }
                         break true;
@@ -1522,6 +1856,7 @@ impl<'g> Astra<'g> {
                         Some(u) => {
                             let (sched, probes) =
                                 emit_schedule(&self.ctx, &cfgs[bi], &u, None, &ProbeSpec::fusion_sets());
+                            let sched = self.maybe_elide(sched);
                             let r = self.sim_run(&sched, rsalt)?;
                             o = Outcome {
                                 total_ns: r.total_ns,
@@ -1591,7 +1926,8 @@ impl<'g> Astra<'g> {
         // Realized GEMM shape → active-variable index for the predictor.
         let shape_vidx: BTreeMap<GemmShape, usize> =
             explored.iter().enumerate().map(|(v, s)| (*s, v)).collect();
-        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut best_measured: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        let bound_topo = self.opts.bound_prune.then(|| self.lint_topology());
 
         struct Outcome {
             total_ns: f64,
@@ -1644,12 +1980,12 @@ impl<'g> Astra<'g> {
                 };
                 let (sched, probes) =
                     emit_schedule(&self.ctx, c, units, None, &ProbeSpec::gemm_shapes());
-                if alloc_fault.is_none() && !self.verify_candidate(c, units, &sched) {
+                if alloc_fault.is_none() && !self.admit_candidate(c, units, &sched) {
                     stats.quarantined += 1;
                     prepared.push(None);
                     continue;
                 }
-                prepared.push(Some(Prepared { sched, probes, salt }));
+                prepared.push(Some(Prepared { sched: self.maybe_elide(sched), probes, salt }));
             }
 
             let shape_metrics_of = |probes: &Probes, r: &RunResult| -> Vec<(GemmShape, f64)> {
@@ -1660,6 +1996,30 @@ impl<'g> Astra<'g> {
                     }
                 }
                 m
+            };
+
+            // Per-shape metric floors over the probe regions.
+            let bounds: Vec<Vec<(usize, f64)>> = match &bound_topo {
+                Some(t) => prepared
+                    .iter()
+                    .map(|p| {
+                        p.as_ref().map_or(Vec::new(), |p| {
+                            let regions: Vec<_> =
+                                p.probes.shape_regions.iter().map(|&(_, s, e)| (s, e)).collect();
+                            let floors =
+                                astra_lint::region_floors(&p.sched, &regions, t, &|_, _| None);
+                            p.probes
+                                .shape_regions
+                                .iter()
+                                .zip(floors)
+                                .filter_map(|(&(sh, _, _), f)| {
+                                    shape_vidx.get(&sh).map(|&v| (v, f))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect(),
+                None => Vec::new(),
             };
 
             // Per-trial predictor features: one entry per explored shape,
@@ -1689,7 +2049,7 @@ impl<'g> Astra<'g> {
                 "kern",
                 prepared,
                 &mut feats,
-                &best_measured,
+                DominanceCtx { bounds: &bounds, prior_best: &best_measured },
                 |probes, r| {
                     shape_metrics_of(probes, r)
                         .into_iter()
@@ -1711,9 +2071,10 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    BatchOutcome::Pruned => {
-                        // Inherit predicted per-shape metrics; the regret
-                        // guard keeps them strictly above the measured best.
+                    BatchOutcome::Pruned | BatchOutcome::BoundPruned => {
+                        // Inherit predicted per-shape metrics (or proven
+                        // floors); every recorded value is strictly above
+                        // the committed measured best.
                         for vf in feats[bi].iter().flatten() {
                             tree.record(&vf.var, vf.pred);
                         }
@@ -1755,8 +2116,11 @@ impl<'g> Astra<'g> {
                             {
                                 let vf = &fs[v];
                                 self.pruner.observe("kern", &vf.feat, vf.pred, metric);
-                                let e = best_measured.entry(v).or_insert(f64::INFINITY);
-                                *e = e.min(metric);
+                                let e =
+                                    best_measured.entry(v).or_insert((f64::INFINITY, vf.choice));
+                                if metric < e.0 {
+                                    *e = (metric, vf.choice);
+                                }
                             }
                         }
                         break true;
@@ -1777,6 +2141,7 @@ impl<'g> Astra<'g> {
                     };
                     let (sched, probes) =
                         emit_schedule(&self.ctx, &cfgs[bi], units_r, None, &ProbeSpec::gemm_shapes());
+                    let sched = self.maybe_elide(sched);
                     let r = self.sim_run(&sched, rsalt)?;
                     o = Outcome {
                         total_ns: r.total_ns,
@@ -1856,7 +2221,8 @@ impl<'g> Astra<'g> {
             units.iter().map(|u| (u.id, u.flops)).collect();
         let id_vidx: BTreeMap<String, usize> =
             epoch_opts.keys().enumerate().map(|(v, id)| (id.clone(), v)).collect();
-        let mut best_measured: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut best_measured: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+        let bound_topo = self.opts.bound_prune.then(|| self.lint_topology());
 
         let apply = |cfg: &mut ExecConfig, asg: &BTreeMap<String, usize>| {
             cfg.streams.clear();
@@ -1917,12 +2283,12 @@ impl<'g> Astra<'g> {
                 };
                 let (sched, probes) =
                     emit_schedule(&self.ctx, c, units_run, Some(&partition), &probe_spec);
-                if alloc_fault.is_none() && !self.verify_candidate(c, units_run, &sched) {
+                if alloc_fault.is_none() && !self.admit_candidate(c, units_run, &sched) {
                     stats.quarantined += 1;
                     prepared.push(None);
                     continue;
                 }
-                prepared.push(Some(Prepared { sched, probes, salt }));
+                prepared.push(Some(Prepared { sched: self.maybe_elide(sched), probes, salt }));
             }
 
             // Epoch metric: time from super-epoch start to the last kernel
@@ -1988,11 +2354,43 @@ impl<'g> Astra<'g> {
                 }));
             }
 
+            // Epoch metric floors: the epoch's span floor — the longest
+            // happens-before path from the super-epoch start record to any
+            // of the epoch's per-stream end records under per-command
+            // duration floors (see [`astra_lint::span_floors`]). The
+            // measured metric is a max over those end records, so one
+            // reachable end already bounds it from below.
+            let bounds: Vec<Vec<(usize, f64)>> = match &bound_topo {
+                Some(t) => prepared
+                    .iter()
+                    .map(|p| {
+                        p.as_ref().map_or(Vec::new(), |p| {
+                            let mut vidxs = Vec::new();
+                            let mut spans = Vec::new();
+                            for id in &active {
+                                let (sei, ei) = id_pos[*id];
+                                let start = p.probes.se_starts.get(&sei);
+                                let ends = p.probes.epoch_ends.get(&(sei, ei));
+                                let (Some(&start), Some(ends)) = (start, ends) else {
+                                    continue;
+                                };
+                                vidxs.push(id_vidx[*id]);
+                                spans.push((start, ends.as_slice()));
+                            }
+                            let floors =
+                                astra_lint::span_floors(&p.sched, &spans, t, &|_, _| None);
+                            vidxs.into_iter().zip(floors).collect()
+                        })
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+
             let outcomes = self.run_batch_predicted(
                 "epoch",
                 prepared,
                 &mut feats,
-                &best_measured,
+                DominanceCtx { bounds: &bounds, prior_best: &best_measured },
                 |probes, r| {
                     epoch_metrics_of(probes, r)
                         .into_iter()
@@ -2014,7 +2412,7 @@ impl<'g> Astra<'g> {
                         }
                         continue;
                     }
-                    BatchOutcome::Pruned => {
+                    BatchOutcome::Pruned | BatchOutcome::BoundPruned => {
                         // Inherit predicted epoch metrics for the batch's
                         // active variables; the regret guard keeps them
                         // strictly above the measured best.
@@ -2058,8 +2456,12 @@ impl<'g> Astra<'g> {
                             {
                                 let vf = &fs[slot];
                                 self.pruner.observe("epoch", &vf.feat, vf.pred, metric);
-                                let e = best_measured.entry(vf.vidx).or_insert(f64::INFINITY);
-                                *e = e.min(metric);
+                                let e = best_measured
+                                    .entry(vf.vidx)
+                                    .or_insert((f64::INFINITY, vf.choice));
+                                if metric < e.0 {
+                                    *e = (metric, vf.choice);
+                                }
                             } else if self.opts.predictor {
                                 // Frozen epochs train the model too — their
                                 // metrics are committed anyway, and the extra
@@ -2096,6 +2498,7 @@ impl<'g> Astra<'g> {
                     };
                     let (sched, probes) =
                         emit_schedule(&self.ctx, &cfgs[bi], units_r, Some(&partition), &probe_spec);
+                    let sched = self.maybe_elide(sched);
                     let r = self.sim_run(&sched, rsalt)?;
                     o = Outcome {
                         total_ns: r.total_ns,
@@ -2290,6 +2693,123 @@ mod tests {
         assert_eq!((r_off.plans_verified, r_off.verify_rejects), (0, 0));
         assert_eq!(r_off.steady_ns, r.steady_ns, "verification must not change the outcome");
         assert_eq!(r_off.configs_explored, r.configs_explored);
+    }
+
+    #[test]
+    fn sync_elision_is_cost_invariant_and_counted() {
+        let built = tiny(Model::SubLstm);
+        let dev = DeviceSpec::p100();
+        let base = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), ..Default::default() },
+        )
+        .optimize()
+        .expect("baseline optimization");
+        let elided = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), elide_syncs: true, ..Default::default() },
+        )
+        .optimize()
+        .expect("elided optimization");
+        assert_eq!(base.syncs_elided, 0, "elision off must count nothing");
+        assert!(elided.syncs_elided > 0, "multi-stream schedules carry redundant waits");
+        assert_eq!(
+            elided.steady_ns, base.steady_ns,
+            "elision must keep the simulated cost bit-identical"
+        );
+        assert_eq!(elided.best, base.best, "elision must not change the winning plan");
+        assert_eq!(elided.verify_rejects, 0, "elided schedules stay verify-clean");
+    }
+
+    #[test]
+    fn bound_pruning_preserves_the_final_plan() {
+        let built = tiny(Model::MiLstm);
+        let dev = DeviceSpec::p100();
+        let base = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fk(), ..Default::default() },
+        )
+        .optimize()
+        .expect("baseline optimization");
+        let bp = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fk(), bound_prune: true, ..Default::default() },
+        )
+        .optimize()
+        .expect("bound-pruned optimization");
+        assert_eq!(base.bound_pruned, 0, "pruning off must count nothing");
+        assert!(bp.bound_pruned > 0, "some chunk choices must be provably dominated");
+        assert_eq!(bp.steady_ns, base.steady_ns, "the veto must not change the outcome");
+        assert_eq!(bp.best, base.best, "the veto must not change the winning plan");
+        assert!(
+            bp.configs_explored < base.configs_explored,
+            "vetoed trials must not simulate ({} vs {})",
+            bp.configs_explored,
+            base.configs_explored
+        );
+    }
+
+    #[test]
+    fn bound_pruning_self_disables_under_subunit_stragglers() {
+        // A straggler factor < 1 speeds kernels up, breaking the floors'
+        // soundness precondition — the veto must not fire at all.
+        let built = tiny(Model::SubLstm);
+        let dev = DeviceSpec::p100();
+        let faults = FaultPlan {
+            straggler_prob: 0.2,
+            straggler_factor: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::f(), bound_prune: true, faults, ..Default::default() },
+        );
+        let r = astra.optimize().expect("optimization succeeds");
+        assert_eq!(r.bound_pruned, 0, "unsound floors must never veto");
+    }
+
+    #[test]
+    fn over_capacity_plans_are_lint_rejected() {
+        let built = tiny(Model::SubLstm);
+        let mut dev = DeviceSpec::p100();
+        dev.mem_bytes = 1024; // nothing fits in 1 KiB
+        let mut astra = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::f(), ..Default::default() },
+        );
+        let err = astra.optimize().expect_err("over-capacity plans must be rejected");
+        assert!(
+            matches!(err, AstraError::AllPlansRejected(_)),
+            "expected AllPlansRejected, got {err:?}"
+        );
+
+        // Lint off: the driver happily simulates the oversized plan (the
+        // simulator itself has no capacity model) and reports zero lint
+        // counters.
+        let mut off = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::f(), lint: false, ..Default::default() },
+        );
+        let r = off.optimize().expect("lint off admits everything");
+        assert_eq!(r.lint_rejects, 0);
+    }
+
+    #[test]
+    fn lint_counters_are_zero_on_clean_defaults() {
+        let built = tiny(Model::SubLstm);
+        let dev = DeviceSpec::p100();
+        let mut astra = Astra::new(&built.graph, &dev, AstraOptions::default());
+        let r = astra.optimize().expect("optimization succeeds");
+        assert_eq!(r.lint_rejects, 0, "zoo-sized plans fit comfortably");
+        assert_eq!(r.syncs_elided, 0, "elision is off by default");
+        assert_eq!(r.bound_pruned, 0, "bound pruning is off by default");
     }
 
     #[test]

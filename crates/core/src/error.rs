@@ -10,6 +10,10 @@ pub enum AstraError {
     Gpu(astra_gpu::GpuError),
     /// The graph violates an assumption of the enumerator.
     Enumeration(String),
+    /// Every candidate plan was rejected before simulation (static
+    /// verification or lint) — typically a model whose peak live memory
+    /// exceeds every device's capacity under every allocation strategy.
+    AllPlansRejected(String),
 }
 
 impl fmt::Display for AstraError {
@@ -17,6 +21,9 @@ impl fmt::Display for AstraError {
         match self {
             AstraError::Gpu(e) => write!(f, "gpu simulation failed: {e}"),
             AstraError::Enumeration(why) => write!(f, "enumeration failed: {why}"),
+            AstraError::AllPlansRejected(why) => {
+                write!(f, "every candidate plan was rejected: {why}")
+            }
         }
     }
 }
@@ -25,7 +32,7 @@ impl Error for AstraError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AstraError::Gpu(e) => Some(e),
-            AstraError::Enumeration(_) => None,
+            AstraError::Enumeration(_) | AstraError::AllPlansRejected(_) => None,
         }
     }
 }

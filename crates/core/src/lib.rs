@@ -83,4 +83,4 @@ pub use recompute::{explore_recompute, peak_activation_bytes, RecomputePoint, Re
 pub use simcache::{
     plan_prefix_batch, GroupShard, KeyCtx, PrefixPlan, SimCache, TrialBase, HIT_DEPTH_BUCKETS,
 };
-pub use verify::{access_table, verify_plan, REPLICA_BUF_STRIDE};
+pub use verify::{access_table, lint_plan, verify_plan, REPLICA_BUF_STRIDE};

@@ -138,6 +138,7 @@ fn device_fingerprint(dev: &DeviceSpec) -> u64 {
     ] {
         fold(v.to_bits());
     }
+    fold(dev.mem_bytes);
     h
 }
 

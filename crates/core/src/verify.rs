@@ -102,6 +102,36 @@ pub fn verify_plan(
     astra_verify::verify(sched, Some(&access), Some(&plan), &VerifyOptions { workers })
 }
 
+/// Statically lints one candidate plan (see [`astra_lint::lint`]): peak
+/// live memory per device against `topo`'s capacities, redundant event
+/// waits, and the critical-path lower bound. Buffer sizes come from the
+/// allocation plan `cfg`'s strategy produces; per-device replica ids
+/// (offset by [`REPLICA_BUF_STRIDE`]) resolve to their base buffer's
+/// placement, so a replicated buffer is charged its placed size on every
+/// device holding a copy.
+pub fn lint_plan(
+    ctx: &PlanContext<'_>,
+    cfg: &ExecConfig,
+    units: &[Unit],
+    sched: &Schedule,
+    topo: &astra_gpu::Topology,
+    workers: usize,
+) -> astra_lint::LintReport {
+    let plan = build_allocation_plan(ctx, cfg);
+    let access = access_table(units, sched);
+    let buf_bytes = |b: BufId| {
+        let base = BufId(b.0 % REPLICA_BUF_STRIDE);
+        plan.placement(base).map_or(0, |p| p.bytes)
+    };
+    astra_lint::lint(
+        sched,
+        topo,
+        Some(&access),
+        Some(&buf_bytes),
+        &astra_lint::LintOptions { workers },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,60 @@
+//! Zoo-wide property: redundant-sync elision keeps every model's
+//! exploration verify-clean and its simulated engine cost bit-identical,
+//! so `--elide-syncs` can never change which plan wins or what it costs.
+
+use astra_core::{Astra, AstraOptions, Dims};
+use astra_gpu::DeviceSpec;
+use astra_models::Model;
+
+fn tiny(model: Model) -> astra_models::BuiltModel {
+    let mut c = model.default_config(8);
+    c.hidden = 64;
+    c.input = 64;
+    c.vocab = 128;
+    c.seq_len = 3;
+    c.layers = c.layers.min(2);
+    model.build(&c)
+}
+
+#[test]
+fn sync_elision_is_invariant_across_the_zoo() {
+    let dev = DeviceSpec::p100();
+    let mut any_elided = false;
+    for model in Model::all() {
+        let built = tiny(model);
+        let base = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), ..Default::default() },
+        )
+        .optimize()
+        .unwrap_or_else(|e| panic!("{model:?} baseline failed: {e}"));
+        let elided = Astra::new(
+            &built.graph,
+            &dev,
+            AstraOptions { dims: Dims::fks(), elide_syncs: true, ..Default::default() },
+        )
+        .optimize()
+        .unwrap_or_else(|e| panic!("{model:?} elided failed: {e}"));
+
+        assert_eq!(base.syncs_elided, 0, "{model:?}: elision off must count nothing");
+        assert_eq!(
+            elided.steady_ns, base.steady_ns,
+            "{model:?}: elision must keep the simulated cost bit-identical"
+        );
+        assert_eq!(
+            elided.best, base.best,
+            "{model:?}: elision must not change the winning plan"
+        );
+        assert_eq!(
+            elided.verify_rejects, 0,
+            "{model:?}: elided schedules must stay verify-clean"
+        );
+        assert_eq!(
+            elided.lint_rejects, 0,
+            "{model:?}: elided schedules must stay lint-clean"
+        );
+        any_elided |= elided.syncs_elided > 0;
+    }
+    assert!(any_elided, "at least one zoo model must carry redundant waits");
+}

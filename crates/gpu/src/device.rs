@@ -54,6 +54,10 @@ pub struct DeviceSpec {
     /// Penalty for a synchronous host round trip (ns). Used to model XLA's
     /// embedding pathology where lookups bounce between CPU and GPU.
     pub host_roundtrip_ns: f64,
+    /// Device memory capacity in bytes (HBM size). The static linter's
+    /// peak-memory accounting rejects plans whose live placed buffers
+    /// exceed this on any device.
+    pub mem_bytes: u64,
 }
 
 impl DeviceSpec {
@@ -74,6 +78,7 @@ impl DeviceSpec {
             stream_sync_cost_ns: 800.0,
             barrier_sync_cost_ns: 3_000.0,
             host_roundtrip_ns: 60_000.0,
+            mem_bytes: 16 * (1 << 30),
         }
     }
 
@@ -93,6 +98,7 @@ impl DeviceSpec {
             stream_sync_cost_ns: 800.0,
             barrier_sync_cost_ns: 3_000.0,
             host_roundtrip_ns: 60_000.0,
+            mem_bytes: 32 * (1 << 30),
         }
     }
 
@@ -148,5 +154,11 @@ mod tests {
     #[test]
     fn default_is_p100() {
         assert_eq!(DeviceSpec::default(), DeviceSpec::p100());
+    }
+
+    #[test]
+    fn memory_capacities_match_the_parts() {
+        assert_eq!(DeviceSpec::p100().mem_bytes, 16 << 30);
+        assert_eq!(DeviceSpec::v100().mem_bytes, 32 << 30);
     }
 }

@@ -188,6 +188,7 @@ impl Topology {
             ] {
                 h = fold_hash(h, f.to_bits());
             }
+            h = fold_hash(h, d.mem_bytes);
         }
         h = fold_hash(h, fnv1a(self.link.name.as_bytes()));
         h = fold_hash(h, self.link.gbps.to_bits());

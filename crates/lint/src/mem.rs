@@ -1,0 +1,122 @@
+//! Liveness-based peak-memory accounting.
+//!
+//! A buffer is live from its first to its last accessing command (in
+//! dispatch order); it is charged to the device of the stream that first
+//! touches it (replica footprints arrive with per-device buffer ids from
+//! the emitter, so one buffer never spans devices). The sweep accumulates
+//! live bytes per device and records each device's peak and the command at
+//! which it is first reached.
+
+use std::collections::BTreeMap;
+
+use astra_gpu::{BufId, Schedule};
+use astra_verify::AccessTable;
+
+/// Result of one peak-memory sweep.
+pub(crate) struct MemScan {
+    /// Peak live bytes per device.
+    pub peaks: Vec<u64>,
+    /// Command index at which each device's peak is first reached.
+    pub peak_cmd: Vec<Option<usize>>,
+}
+
+impl MemScan {
+    /// A scan with nothing to charge (no footprints or byte sizes).
+    pub fn empty(num_devices: usize) -> MemScan {
+        MemScan { peaks: vec![0; num_devices], peak_cmd: vec![None; num_devices] }
+    }
+}
+
+/// Live interval of one buffer.
+struct Interval {
+    first: usize,
+    last: usize,
+    device: usize,
+    bytes: u64,
+}
+
+pub(crate) fn scan(
+    sched: &Schedule,
+    access: &AccessTable,
+    buf_bytes: &dyn Fn(BufId) -> u64,
+    num_devices: usize,
+) -> MemScan {
+    // BTreeMap keeps the interval iteration deterministic regardless of
+    // how buffer ids hash.
+    let mut intervals: BTreeMap<BufId, Interval> = BTreeMap::new();
+    for i in 0..sched.cmds().len() {
+        let Some(view) = access.get(i) else { continue };
+        let dev = crate::device_of(sched, i).unwrap_or(0);
+        for &b in view.reads.iter().chain(view.writes) {
+            intervals
+                .entry(b)
+                .and_modify(|iv| iv.last = i)
+                .or_insert(Interval { first: i, last: i, device: dev, bytes: buf_bytes(b) });
+        }
+    }
+
+    let n = sched.cmds().len();
+    let mut alloc_at: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut free_at: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for iv in intervals.values() {
+        alloc_at[iv.first].push((iv.device, iv.bytes));
+        free_at[iv.last].push((iv.device, iv.bytes));
+    }
+
+    let mut live = vec![0u64; num_devices];
+    let mut scan = MemScan::empty(num_devices);
+    for i in 0..n {
+        for &(d, b) in &alloc_at[i] {
+            live[d] += b;
+        }
+        for (d, l) in live.iter().enumerate() {
+            if *l > scan.peaks[d] {
+                scan.peaks[d] = *l;
+                scan.peak_cmd[d] = Some(i);
+            }
+        }
+        for &(d, b) in &free_at[i] {
+            live[d] -= b;
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_gpu::{KernelDesc, StreamId};
+    use astra_verify::Access;
+
+    fn copy() -> KernelDesc {
+        KernelDesc::MemCopy { bytes: 1.0 }
+    }
+
+    #[test]
+    fn peak_counts_overlapping_lifetimes_only() {
+        // b0 live over cmds 0..=1, b1 live over 1..=2: peak is both at cmd 1.
+        let mut s = Schedule::new(1);
+        let a = s.launch(StreamId(0), copy());
+        let b = s.launch(StreamId(0), copy());
+        let c = s.launch(StreamId(0), copy());
+        let mut t = AccessTable::new(s.cmds().len());
+        t.set(a, Access { reads: vec![], writes: vec![BufId(0)] });
+        t.set(b, Access { reads: vec![BufId(0)], writes: vec![BufId(1)] });
+        t.set(c, Access { reads: vec![BufId(1)], writes: vec![] });
+        let scan = scan(&s, &t, &|_| 100, 1);
+        assert_eq!(scan.peaks, vec![200]);
+        assert_eq!(scan.peak_cmd, vec![Some(b)]);
+    }
+
+    #[test]
+    fn charges_follow_the_first_touching_device() {
+        let mut s = Schedule::with_devices(2, vec![0, 1]);
+        let a = s.launch(StreamId(0), copy());
+        let b = s.launch(StreamId(1), copy());
+        let mut t = AccessTable::new(s.cmds().len());
+        t.set(a, Access { reads: vec![], writes: vec![BufId(0)] });
+        t.set(b, Access { reads: vec![], writes: vec![BufId(1)] });
+        let scan = scan(&s, &t, &|bid| if bid == BufId(0) { 64 } else { 32 }, 2);
+        assert_eq!(scan.peaks, vec![64, 32]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Negative suite: every `lint-*` rule id fires on a purpose-built
+//! schedule — and every report is bit-identical at any worker count.
+
+use astra_gpu::{BufId, DeviceSpec, KernelDesc, Schedule, StreamId, Topology};
+use astra_lint::{lint, LintOptions, LintReport};
+use astra_verify::AccessTable;
+
+fn copy(bytes: f64) -> KernelDesc {
+    KernelDesc::MemCopy { bytes }
+}
+
+fn small_device(mem_bytes: u64) -> Topology {
+    let mut d = DeviceSpec::p100();
+    d.mem_bytes = mem_bytes;
+    Topology::single(d)
+}
+
+/// Lints at one and four workers, asserts the rendered and JSON reports
+/// are bit-identical, and returns the single-worker report.
+fn lint_invariant(
+    sched: &Schedule,
+    topo: &Topology,
+    access: Option<&AccessTable>,
+    buf_bytes: Option<&dyn Fn(BufId) -> u64>,
+) -> LintReport {
+    let one = lint(sched, topo, access, buf_bytes, &LintOptions { workers: 1 });
+    let four = lint(sched, topo, access, buf_bytes, &LintOptions { workers: 4 });
+    assert_eq!(one.render(), four.render(), "report must not depend on worker count");
+    assert_eq!(one.to_json(), four.to_json(), "JSON must not depend on worker count");
+    one
+}
+
+#[test]
+fn lint_mem_capacity_fires_on_an_oversubscribed_device() {
+    let mut s = Schedule::new(1);
+    s.launch(StreamId(0), copy(1.0));
+    let mut access = AccessTable::new(s.cmds().len());
+    // Two 600-byte buffers live at the same command on a 1000-byte device.
+    let a = access.intern_slices(&[BufId(0), BufId(1)], &[]);
+    access.assign(0, a);
+    let topo = small_device(1000);
+    let report =
+        lint_invariant(&s, &topo, Some(&access), Some(&|_| 600));
+    assert_eq!(report.errors(), 1, "over-capacity must be an error");
+    assert!(!report.is_clean());
+    assert_eq!(report.peak_bytes, vec![1200]);
+    assert!(report.render().contains("lint-mem-capacity"), "{}", report.render());
+}
+
+#[test]
+fn lint_mem_occupancy_warns_above_ninety_percent() {
+    let mut s = Schedule::new(1);
+    s.launch(StreamId(0), copy(1.0));
+    let mut access = AccessTable::new(s.cmds().len());
+    let a = access.intern_slices(&[BufId(0)], &[]);
+    access.assign(0, a);
+    let topo = small_device(1000);
+    // 950 of 1000 bytes: above the 90% advisory line, below capacity.
+    let report = lint_invariant(&s, &topo, Some(&access), Some(&|_| 950));
+    assert_eq!(report.errors(), 0, "occupancy is advisory, not an error");
+    assert!(report.is_clean());
+    assert!(report.render().contains("lint-mem-occupancy"), "{}", report.render());
+}
+
+#[test]
+fn lint_redundant_sync_fires_on_a_stream_order_implied_wait() {
+    let mut s = Schedule::new(2);
+    s.launch(StreamId(0), copy(1.0));
+    let e_same = s.record(StreamId(0));
+    s.launch(StreamId(1), copy(1.0));
+    let e_cross = s.record(StreamId(1));
+    // The same-stream wait is implied by FIFO order; the cross-stream one
+    // is load-bearing and keeps the list non-empty (the pass never empties
+    // a wait list, so a lone implied wait would be kept, not reported).
+    s.launch_after(StreamId(0), copy(1.0), vec![e_same, e_cross]);
+    let topo = Topology::single(DeviceSpec::p100());
+    let report = lint_invariant(&s, &topo, None, None);
+    assert_eq!(report.errors(), 0, "redundant syncs are advisories");
+    assert_eq!(report.redundant_waits.len(), 1);
+    assert!(report.render().contains("lint-redundant-sync"), "{}", report.render());
+}
+
+#[test]
+fn a_clean_schedule_reports_nothing() {
+    let mut s = Schedule::new(2);
+    s.launch(StreamId(0), copy(1.0));
+    let e = s.record(StreamId(0));
+    // Cross-stream wait with no other ordering: genuinely necessary.
+    s.launch_after(StreamId(1), copy(1.0), vec![e]);
+    let mut access = AccessTable::new(s.cmds().len());
+    let a = access.intern_slices(&[BufId(0)], &[]);
+    access.assign(0, a);
+    let topo = small_device(1 << 20);
+    let report = lint_invariant(&s, &topo, Some(&access), Some(&|_| 64));
+    assert!(report.is_clean());
+    assert!(report.redundant_waits.is_empty());
+    for rule in ["lint-mem-capacity", "lint-mem-occupancy", "lint-redundant-sync"] {
+        assert!(!report.render().contains(rule), "unexpected {rule}: {}", report.render());
+    }
+    assert!(report.critical_path_floor_ns > 0.0);
+}

@@ -17,11 +17,14 @@
 
 use std::collections::HashMap;
 
-use astra_gpu::{Cmd, Schedule};
+use astra_gpu::{Cmd, EventId, Schedule};
 
 /// The happens-before relation of one schedule, with transitive
 /// reachability precomputed (unless the graph is cyclic).
-pub(crate) struct HbGraph {
+///
+/// Public so downstream analyses (astra-lint) can reuse the exact relation
+/// the verifier checks against instead of re-deriving it.
+pub struct HbGraph {
     n: usize,
     words: usize,
     /// `reach[i*words..]` is the bitset of nodes reachable from `i`
@@ -33,18 +36,46 @@ pub(crate) struct HbGraph {
     cycle_residue: Vec<usize>,
 }
 
-/// Calls `f(u, v)` for every happens-before edge `u -> v` of the schedule:
-/// stream program order, barrier/host-sync joins, record→wait wiring (the
-/// record of an event precedes every launch or transfer waiting on it,
-/// regardless of dispatch-order index), and all-reduce rendezvous joins
-/// (every member's stream predecessor precedes every member's completion —
-/// the release fires at the last arrival, so crossed group orders become
-/// graph cycles). Iterated twice — once to size the CSR arrays, once to
-/// fill them — so it must be deterministic, which it is.
+/// Why one happens-before edge exists. Consumers that must treat event
+/// waits specially (redundant-sync detection elides exactly the
+/// [`HbEdge::Wait`] edges that other edges already imply) get the kind
+/// alongside each edge from [`happens_before_edges`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbEdge {
+    /// FIFO program order between two commands on the same stream.
+    StreamOrder,
+    /// A barrier or host sync joining every stream's chain.
+    SyncJoin,
+    /// Record→wait wiring: the record of this event precedes the waiter.
+    Wait(EventId),
+    /// All-reduce rendezvous: a member's stream predecessor precedes every
+    /// other member's completion.
+    Rendezvous,
+}
+
+/// Calls `f(u, v, kind)` for every happens-before edge `u -> v` of the
+/// schedule, in a deterministic order: stream program order, barrier/
+/// host-sync joins, record→wait wiring (the record of an event precedes
+/// every launch or transfer waiting on it, regardless of dispatch-order
+/// index), and all-reduce rendezvous joins (every member's stream
+/// predecessor precedes every member's completion — the release fires at
+/// the last arrival, so crossed group orders become graph cycles).
+///
+/// This is the exact edge set [`HbGraph`] is built from; astra-lint's
+/// critical-path and redundant-sync analyses consume it so the two crates
+/// can never disagree about the relation.
+pub fn happens_before_edges(sched: &Schedule, f: impl FnMut(usize, usize, HbEdge)) {
+    for_each_edge(sched, &crate::checks::records_by_event(sched), f);
+}
+
+/// [`happens_before_edges`] against a precomputed record-index map
+/// ([`crate::checks::records_by_event`]). Iterated twice by the graph
+/// builder — once to size the CSR arrays, once to fill them — so it must
+/// be deterministic, which it is.
 fn for_each_edge(
     sched: &Schedule,
     records: &HashMap<u32, Vec<usize>>,
-    mut f: impl FnMut(usize, usize),
+    mut f: impl FnMut(usize, usize, HbEdge),
 ) {
     let cmds = sched.cmds();
 
@@ -76,26 +107,26 @@ fn for_each_edge(
         match cmd {
             Cmd::Launch { stream, waits, .. } | Cmd::Transfer { stream, waits, .. } => {
                 if let Some(p) = last_in_stream[stream.0] {
-                    f(p, i);
+                    f(p, i, HbEdge::StreamOrder);
                 }
                 last_in_stream[stream.0] = Some(i);
                 for w in waits {
                     if let Some(recs) = records.get(&w.0) {
                         for &r in recs {
-                            f(r, i);
+                            f(r, i, HbEdge::Wait(*w));
                         }
                     }
                 }
             }
             Cmd::Record { stream, .. } => {
                 if let Some(p) = last_in_stream[stream.0] {
-                    f(p, i);
+                    f(p, i, HbEdge::StreamOrder);
                 }
                 last_in_stream[stream.0] = Some(i);
             }
             Cmd::AllReduce { stream, group, .. } => {
                 if let Some(p) = last_in_stream[stream.0] {
-                    f(p, i);
+                    f(p, i, HbEdge::StreamOrder);
                 }
                 last_in_stream[stream.0] = Some(i);
                 // A member completes only when every member has arrived;
@@ -104,7 +135,7 @@ fn for_each_edge(
                 for &m in &members[group] {
                     if m != i {
                         if let Some(p) = pred[m] {
-                            f(p, i);
+                            f(p, i, HbEdge::Rendezvous);
                         }
                     }
                 }
@@ -112,7 +143,7 @@ fn for_each_edge(
             Cmd::Barrier | Cmd::HostSync => {
                 for slot in &mut last_in_stream {
                     if let Some(p) = *slot {
-                        f(p, i);
+                        f(p, i, HbEdge::SyncJoin);
                     }
                     *slot = Some(i);
                 }
@@ -122,9 +153,11 @@ fn for_each_edge(
 }
 
 impl HbGraph {
-    /// Builds the graph and (if acyclic) its transitive closure.
-    #[cfg(test)]
-    pub(crate) fn build(sched: &Schedule) -> HbGraph {
+    /// Builds the graph and (if acyclic) its transitive closure. This is
+    /// the entry point for external consumers (astra-lint); the verifier
+    /// itself uses `HbGraph::build_with` to share the record map and
+    /// skip the closure when nothing needs it.
+    pub fn build(sched: &Schedule) -> HbGraph {
         HbGraph::build_with(sched, true, &crate::checks::records_by_event(sched))
     }
 
@@ -147,7 +180,7 @@ impl HbGraph {
         // duplicate edges are harmless.
         let mut deg = vec![0u32; n];
         let mut indeg = vec![0u32; n];
-        for_each_edge(sched, records, |u, v| {
+        for_each_edge(sched, records, |u, v, _| {
             deg[u] += 1;
             indeg[v] += 1;
         });
@@ -157,7 +190,7 @@ impl HbGraph {
         }
         let mut adj = vec![0u32; off[n] as usize];
         let mut cursor: Vec<u32> = off[..n].to_vec();
-        for_each_edge(sched, records, |u, v| {
+        for_each_edge(sched, records, |u, v, _| {
             adj[cursor[u] as usize] = v as u32;
             cursor[u] += 1;
         });
@@ -206,7 +239,7 @@ impl HbGraph {
     }
 
     /// Whether the graph has a cycle (mutually waiting streams).
-    pub(crate) fn is_cyclic(&self) -> bool {
+    pub fn is_cyclic(&self) -> bool {
         !self.cycle_residue.is_empty()
     }
 
@@ -217,7 +250,7 @@ impl HbGraph {
 
     /// Whether a happens-before path orders `i` and `j` (either direction).
     /// Only meaningful on acyclic graphs.
-    pub(crate) fn ordered(&self, i: usize, j: usize) -> bool {
+    pub fn ordered(&self, i: usize, j: usize) -> bool {
         debug_assert!(!self.is_cyclic());
         debug_assert!(i < self.n && j < self.n);
         self.reaches(i, j) || self.reaches(j, i)
@@ -225,8 +258,9 @@ impl HbGraph {
 
     /// Whether a happens-before path runs `from` → `to` (direction matters;
     /// the device-aliasing check needs writer-before-reader specifically).
-    /// Only meaningful on acyclic graphs with the closure built.
-    pub(crate) fn reaches(&self, from: usize, to: usize) -> bool {
+    /// Only meaningful on acyclic graphs with the closure built. `reaches`
+    /// excludes the node itself: `reaches(i, i)` is `false`.
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
         self.reach[from * self.words + to / 64] & (1u64 << (to % 64)) != 0
     }
 }

@@ -61,6 +61,7 @@ mod parse;
 mod report;
 
 pub use access::{Access, AccessRef, AccessTable, AccessView};
+pub use hb::{happens_before_edges, HbEdge, HbGraph};
 pub use parse::parse_rendered;
 pub use report::{Diagnostic, RuleId, Severity, VerifyReport};
 

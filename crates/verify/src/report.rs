@@ -1,5 +1,14 @@
 //! Structured diagnostics: rule ids, severities, and the report the
 //! verifier returns, with stable text and JSON renderings.
+//!
+//! # Rule-id namespaces
+//!
+//! Historic verifier rules carry bare kebab-case ids (`cross-stream-raw`,
+//! `event-cycle`, ...); those ids are stable and must never change. Rules
+//! contributed by the static linter (`astra-lint`) live in the `lint-*`
+//! namespace (`lint-mem-capacity`, `lint-mem-occupancy`,
+//! `lint-redundant-sync`) so reports from the two passes can be told apart
+//! even when mixed in one stream of diagnostics.
 
 use std::fmt;
 
@@ -55,6 +64,17 @@ pub enum RuleId {
     /// with no interposed transfer between them — device memories are not
     /// coherent, so the consumer reads a stale replica.
     DeviceAliasing,
+    /// Lint: a device's live placed buffers exceed its memory capacity at
+    /// some point of the schedule — the plan would OOM and must not be
+    /// simulated or executed.
+    LintMemCapacity,
+    /// Lint: peak live memory on a device exceeds 90% of its capacity.
+    /// Executable, but one allocator hiccup away from an OOM.
+    LintMemOccupancy,
+    /// Lint: an event wait whose ordering is already implied by other
+    /// happens-before edges (transitive reduction removes it). Harmless but
+    /// costs a cross-stream sync penalty at issue time.
+    LintRedundantSync,
 }
 
 impl RuleId {
@@ -75,6 +95,9 @@ impl RuleId {
             RuleId::TransferBeforeProduce => "transfer-before-produce",
             RuleId::LinkDeadlock => "link-deadlock",
             RuleId::DeviceAliasing => "device-aliasing",
+            RuleId::LintMemCapacity => "lint-mem-capacity",
+            RuleId::LintMemOccupancy => "lint-mem-occupancy",
+            RuleId::LintRedundantSync => "lint-redundant-sync",
         }
     }
 
@@ -91,8 +114,12 @@ impl RuleId {
             | RuleId::PlacementOverlap
             | RuleId::TransferBeforeProduce
             | RuleId::LinkDeadlock
-            | RuleId::DeviceAliasing => Severity::Error,
-            RuleId::OrphanBarrier | RuleId::DeadCode => Severity::Warning,
+            | RuleId::DeviceAliasing
+            | RuleId::LintMemCapacity => Severity::Error,
+            RuleId::OrphanBarrier
+            | RuleId::DeadCode
+            | RuleId::LintMemOccupancy
+            | RuleId::LintRedundantSync => Severity::Warning,
             RuleId::UnwaitedEvent => Severity::Info,
         }
     }
@@ -152,14 +179,17 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    pub(crate) fn new(rule: RuleId, cmds: Vec<usize>, labels: Vec<String>, message: String) -> Self {
+    /// Builds a diagnostic for `rule`; the severity is derived from the
+    /// rule. Public so downstream passes (astra-lint) can emit findings
+    /// through the same rendering machinery.
+    pub fn new(rule: RuleId, cmds: Vec<usize>, labels: Vec<String>, message: String) -> Self {
         Diagnostic { rule, severity: rule.severity(), cmds, labels, message }
     }
 
     /// Canonical sort key: first offending command, then rule, then the
     /// full command list — the report order is independent of how many
     /// worker threads scanned for hazards.
-    pub(crate) fn sort_key(&self) -> (usize, RuleId, Vec<usize>) {
+    pub fn sort_key(&self) -> (usize, RuleId, Vec<usize>) {
         (self.cmds.first().copied().unwrap_or(usize::MAX), self.rule, self.cmds.clone())
     }
 }
@@ -347,6 +377,9 @@ mod tests {
             RuleId::TransferBeforeProduce,
             RuleId::LinkDeadlock,
             RuleId::DeviceAliasing,
+            RuleId::LintMemCapacity,
+            RuleId::LintMemOccupancy,
+            RuleId::LintRedundantSync,
         ];
         let ids: std::collections::HashSet<_> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len());

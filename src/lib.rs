@@ -9,6 +9,8 @@
 //! * [`exec`] — lowering and the native / cuDNN-like / XLA-like baselines.
 //! * [`core`] — the Astra enumerator + custom wirer.
 //! * [`verify`] — static schedule verifier (happens-before hazard analysis).
+//! * [`lint`] — static resource/performance linter (peak memory, redundant
+//!   syncs, critical-path lower bounds).
 //! * [`predict`] — online-learned cost model pruning the candidate space.
 //! * [`distrib`] — adaptive data-parallel scaling (the paper's §3.4 extension).
 //!
@@ -36,6 +38,7 @@ pub use astra_distrib as distrib;
 pub use astra_exec as exec;
 pub use astra_gpu as gpu;
 pub use astra_ir as ir;
+pub use astra_lint as lint;
 pub use astra_models as models;
 pub use astra_predict as predict;
 pub use astra_verify as verify;
