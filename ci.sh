@@ -135,6 +135,73 @@ if [[ "$(field "$bp_off" bound_pruned)" != 0 || "$(field "$bp_off" syncs_elided)
 fi
 echo "lint gate: zoo clean, capacity rejected, $bp_pruned of $((bp_sim + bp_pruned)) trials bound-pruned, plan unchanged"
 
+echo "== durability gate (crash-resume bit-identity, corruption quarantine) =="
+# A run interrupted at an arbitrary byte of its store writes must resume
+# from the surviving files to the bit-identical plan, and a flipped
+# journal byte must be caught by fsck and quarantined by recovery without
+# the optimizer losing the plan or the unaffected keys.
+bool_field() { printf '%s' "$1" | grep -o "\"$2\":\(true\|false\)" | head -1 | cut -d: -f2; }
+plan_field() { printf '%s' "$1" | grep -o '"best_plan":"[^"]*"' | head -1; }
+st_args=(optimize --model scrnn --batch 8 --dims fk --json)
+st_dir=$(mktemp -d) && cr_dir=$(mktemp -d)
+ref_json=$(./target/release/astra-cli "${st_args[@]}")
+cold_json=$(./target/release/astra-cli "${st_args[@]}" --store "$st_dir")
+if [[ "$(field "$cold_json" steady_ns)" != "$(field "$ref_json" steady_ns)" \
+   || "$(plan_field "$cold_json")" != "$(plan_field "$ref_json")" ]]; then
+    echo "ci: FAIL — storing warm state changed the plan" >&2
+    exit 1
+fi
+# Crash the store mid-run (the optimize itself must still succeed), then
+# resume against whatever survived.
+ASTRA_STORE_CRASH_AFTER=4096 ./target/release/astra-cli "${st_args[@]}" --store "$cr_dir" >/dev/null
+resumed_json=$(./target/release/astra-cli "${st_args[@]}" --store "$cr_dir")
+if [[ "$(bool_field "$resumed_json" warm_start)" != "true" ]]; then
+    echo "ci: FAIL — resumed run did not warm-start from the crashed store" >&2
+    exit 1
+fi
+if [[ "$(field "$resumed_json" steady_ns)" != "$(field "$ref_json" steady_ns)" \
+   || "$(plan_field "$resumed_json")" != "$(plan_field "$ref_json")" ]]; then
+    echo "ci: FAIL — crash-resume changed the plan" >&2
+    exit 1
+fi
+# Flip one journal byte: fsck must flag it (nonzero exit), optimize must
+# quarantine it, keep the unaffected keys, and land on the same plan.
+journal="$st_dir/journal.astra"
+jlen=$(wc -c < "$journal") && joff=$((jlen / 2))
+jbyte=$(od -An -tu1 -j "$joff" -N1 "$journal" | tr -d ' ')
+printf "\\$(printf '%03o' $(( (jbyte + 1) % 256 )))" \
+    | dd of="$journal" bs=1 seek="$joff" count=1 conv=notrunc status=none
+if ./target/release/astra-cli store fsck --dir "$st_dir" >/dev/null 2>&1; then
+    echo "ci: FAIL — fsck passed a store with a flipped journal byte" >&2
+    exit 1
+fi
+flip_json=$(./target/release/astra-cli "${st_args[@]}" --store "$st_dir")
+if [[ "$(field "$flip_json" store_corrupt_records)" == 0 \
+   || "$(field "$flip_json" store_loaded_keys)" == 0 \
+   || "$(field "$flip_json" steady_ns)" != "$(field "$ref_json" steady_ns)" ]]; then
+    echo "ci: FAIL — corrupt journal byte not quarantined cleanly" >&2
+    exit 1
+fi
+./target/release/astra-cli store fsck --dir "$st_dir" >/dev/null   # clean after recovery
+# Maintenance commands work and a compacted store still resumes identically.
+./target/release/astra-cli store stats --dir "$st_dir" >/dev/null
+./target/release/astra-cli store compact --dir "$st_dir" >/dev/null
+post_json=$(./target/release/astra-cli "${st_args[@]}" --store "$st_dir")
+if [[ "$(bool_field "$post_json" warm_start)" != "true" \
+   || "$(field "$post_json" steady_ns)" != "$(field "$ref_json" steady_ns)" \
+   || "$(plan_field "$post_json")" != "$(plan_field "$ref_json")" ]]; then
+    echo "ci: FAIL — compacted store does not resume to the same plan" >&2
+    exit 1
+fi
+# With no store configured every store field must be zero/false.
+if [[ "$(bool_field "$ref_json" warm_start)" != "false" \
+   || "$(field "$ref_json" store_journal_appends)" != 0 ]]; then
+    echo "ci: FAIL — store counters must be zero/false without --store" >&2
+    exit 1
+fi
+rm -rf "$st_dir" "$cr_dir"
+echo "durability gate: crash-resume and corruption quarantine hold, plans bit-identical"
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

@@ -9,6 +9,7 @@
 //! astra-cli verify   --fixtures tests/golden          # verify rendered fixtures
 //! astra-cli lint     --model sublstm --streams 4      # static resource & perf lint
 //! astra-cli lint     --fixtures tests/golden          # lint rendered fixtures
+//! astra-cli store    stats --dir .astra-store         # persistent-store maintenance
 //! astra-cli models                                    # list available models
 //! ```
 //!
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "scaling" => cmd_scaling(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "store" => cmd_store(&args[1..]),
         "models" => {
             for m in Model::all() {
                 println!(
@@ -91,6 +93,13 @@ commands:
                               exceeds the measured best (default off); composes with the
                               predictor and preserves the final plan bit-identically
             [--json]          print the optimization report as JSON instead of text
+            [--store <dir>]   persist warm exploration state (profile samples, verdicts,
+                              quarantine marks, predictor weights, full-run sim memos) in a
+                              crash-safe on-disk store; an interrupted run resumes from the
+                              store and produces the bit-identical final plan
+            [--warm-index]    also seed the profile index and predictor weights from the
+                              store; steers the search (faster, but no bit-identity claim
+                              against a cold run)
             [--devices <n|list>] [--topology nvlink|pcie3|ethernet]
                               explore placements on a simulated multi-device node: a count
                               (`--devices 4`) means that many copies of the base device, a
@@ -125,6 +134,10 @@ commands:
             --fixtures <dir> [--json] [--workers <n>]
                               lint rendered schedule fixtures (no footprints: sync
                               redundancy and the critical-path floor only)
+  store     stats   --dir <d> [--json]          record counts, file sizes, corruption history
+            compact --dir <d> [--json]          fold the journal into the snapshot atomically
+            fsck    --dir <d> [--json]          read-only integrity check; exits nonzero if
+                                                any record is torn, corrupt, or undecodable
   models                                        list the model zoo
 
 models: scrnn, milstm, sublstm, stackedlstm, gnmt, rhn";
@@ -277,6 +290,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let bound_prune = parse_on_off(&opts, "--bound-prune", false)?;
     let elide_syncs = opts.flag("--elide-syncs");
     let node = parse_node(&opts, &dev)?;
+    let store_dir = opts.get("--store").map(std::path::PathBuf::from);
+    let store_on = store_dir.is_some();
+    let warm_index = opts.flag("--warm-index");
+    if warm_index && !store_on {
+        return Err("--warm-index requires --store (see `astra-cli help`)".to_owned());
+    }
     let options = AstraOptions {
         dims,
         num_streams,
@@ -289,6 +308,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         lint,
         elide_syncs,
         bound_prune,
+        store_dir,
+        warm_index,
         ..Default::default()
     };
     let mut astra = match &node {
@@ -316,6 +337,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         }
     }
     let r = astra.optimize().map_err(|e| e.to_string())?;
+    if let Some(e) = astra.store_error() {
+        eprintln!("warning: store not persisting ({e}); this run is cold");
+    }
     if json {
         println!("{}", report_json(&r, node.as_ref()));
         return Ok(());
@@ -353,6 +377,16 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         r.predictor_updates,
         r.predicted_vs_measured_mae / 1e3
     );
+    if store_on {
+        println!(
+            "store: warm start {} — {} record(s) loaded, {} corrupt; {} journal append(s), {} compaction(s)",
+            r.warm_start,
+            r.store_loaded_keys,
+            r.store_corrupt_records,
+            r.store_journal_appends,
+            r.store_compactions
+        );
+    }
     if let Some(topo) = &node {
         println!(
             "placement: {} ({} candidate(s) explored)",
@@ -407,6 +441,12 @@ fn report_json(r: &astra_core::Report, node: Option<&astra_gpu::Topology>) -> St
         format!("\"lint_rejects\":{}", r.lint_rejects),
         format!("\"syncs_elided\":{}", r.syncs_elided),
         format!("\"bound_pruned\":{}", r.bound_pruned),
+        format!("\"warm_start\":{}", r.warm_start),
+        format!("\"store_loaded_keys\":{}", r.store_loaded_keys),
+        format!("\"store_corrupt_records\":{}", r.store_corrupt_records),
+        format!("\"store_journal_appends\":{}", r.store_journal_appends),
+        format!("\"store_compactions\":{}", r.store_compactions),
+        format!("\"best_plan\":{}", json_string(&r.best.summary())),
     ];
     if let Some(topo) = node {
         f.push(format!("\"placement\":\"{}\"", r.best.placement.label()));
@@ -417,6 +457,123 @@ fn report_json(r: &astra_core::Report, node: Option<&astra_gpu::Topology>) -> St
         f.push(format!("\"num_devices\":{}", topo.num_devices()));
     }
     format!("{{{}}}", f.join(","))
+}
+
+/// Renders `s` as a JSON string literal (escaping quotes, backslashes,
+/// and control characters — plan summaries are plain ASCII but the
+/// escaper doesn't assume that).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `astra-cli store <stats|compact|fsck> --dir <d>` — maintenance commands
+/// for the persistent warm-state store `optimize --store` writes.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first().map(String::as_str) else {
+        return Err("store needs an action: stats, compact, or fsck".to_owned());
+    };
+    let opts = Opts(&args[1..]);
+    let json = opts.flag("--json");
+    let dir = std::path::PathBuf::from(
+        opts.get("--dir").ok_or("--dir is required (the --store directory)")?,
+    );
+    match action {
+        "compact" => {
+            let (loaded, kept) =
+                astra_core::compact_store(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            if json {
+                println!(
+                    "{{\"records_loaded\":{loaded},\"records_in_snapshot\":{kept}}}"
+                );
+            } else {
+                println!(
+                    "compacted {}: {loaded} record(s) folded into {kept} snapshot record(s)",
+                    dir.display()
+                );
+            }
+            Ok(())
+        }
+        "stats" | "fsck" => {
+            let report =
+                astra_store::fsck(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            if json {
+                let counts: Vec<String> = report
+                    .counts
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":{v}"))
+                    .collect();
+                let corrupt: Vec<String> = report
+                    .corrupt
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            "{{\"file\":{},\"offset\":{},\"fatal\":{},\"reason\":{}}}",
+                            json_string(&d.file),
+                            d.offset,
+                            d.fatal,
+                            json_string(&d.reason)
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"records\":{},\"bytes\":{},\"counts\":{{{}}},\"corrupt\":[{}],\"quarantined_lines\":{}}}",
+                    report.total_records(),
+                    report.bytes,
+                    counts.join(","),
+                    corrupt.join(","),
+                    report.quarantined_lines
+                );
+            } else {
+                println!(
+                    "{}: {} record(s), {} byte(s)",
+                    dir.display(),
+                    report.total_records(),
+                    report.bytes
+                );
+                for (kind, n) in &report.counts {
+                    println!("  {kind:<16} {n}");
+                }
+                for d in &report.corrupt {
+                    println!(
+                        "  CORRUPT {} at offset {} ({}{})",
+                        d.file,
+                        d.offset,
+                        d.reason,
+                        if d.fatal { "; scan stopped here" } else { "" }
+                    );
+                }
+                if report.quarantined_lines > 0 {
+                    println!(
+                        "  {} record(s) quarantined by past recoveries (store.corrupt)",
+                        report.quarantined_lines
+                    );
+                }
+            }
+            if action == "fsck" && !report.corrupt.is_empty() {
+                return Err(format!(
+                    "{}: {} corrupt record(s) found",
+                    dir.display(),
+                    report.corrupt.len()
+                ));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown store action '{other}' (stats|compact|fsck)")),
+    }
 }
 
 /// One verified plan for the `verify` report: where it came from and what

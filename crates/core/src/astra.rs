@@ -29,11 +29,13 @@ use astra_gpu::{
 };
 use astra_ir::Graph;
 use astra_predict::{FeatureVec, PredEntry};
+use astra_store::{StoreOptions, VerdictKind};
 
 use crate::adaptive::{ExploreMode, UpdateNode, UpdateTree};
 use crate::enumerate::epochs::{epoch_choices, partition_units, EpochAssignment, Partition};
 use crate::error::AstraError;
 use crate::parallel::{effective_workers, parallel_map, WorkerPool};
+use crate::persist::{DriverStore, WarmState};
 use crate::plan::{
     bind_libs, build_units_fragmented, emit_schedule, epoch_features, fusion_features,
     gradient_sync_bytes, kernel_features, placement_candidates, placement_features,
@@ -76,6 +78,17 @@ fn is_outlier(index: &ProfileIndex, key: &ProfileKey, metric: f64) -> bool {
         Some(best) if best > 0.0 => metric > best * OUTLIER_FACTOR,
         _ => false,
     }
+}
+
+/// Synthetic [`ProfileKey`] naming one quarantined *candidate*: the full
+/// assignment over every variable the trial explored, one rendered key per
+/// context slot. Quarantine marks must identify the candidate, not its
+/// individual per-variable keys — per-variable marks from two different
+/// quarantined candidates could otherwise combine to falsely match a
+/// never-quarantined third combination.
+fn quarantine_id(phase: &str, keys: impl IntoIterator<Item = ProfileKey>) -> ProfileKey {
+    let contexts: Vec<String> = keys.into_iter().map(|k| k.to_string()).collect();
+    ProfileKey::from_parts(contexts, format!("quarantine:{phase}"), 0)
 }
 
 /// Running totals for one [`Astra::optimize`] call, threaded through every
@@ -403,6 +416,32 @@ pub struct AstraOptions {
     /// Probability that an otherwise-pruned trial is simulated anyway
     /// (drawn from a fixed-seed deterministic RNG).
     pub predictor_epsilon: f64,
+    /// Directory of the crash-safe on-disk store for warm exploration
+    /// state (see [`astra_store`]). When set, the optimizer loads
+    /// persisted full-run memos, verify/lint verdicts, and fault-matched
+    /// quarantine marks before `optimize` — all outcome-invariant, so an
+    /// interrupted run resumed against the same store produces the
+    /// bit-identical final plan — and journals new state during the run.
+    /// `None` (the default) disables persistence entirely and reports
+    /// zeroed store counters. A store that fails to *open* degrades to
+    /// `None` behavior (see [`Astra::store_error`]); a store that fails
+    /// mid-run stops journaling but never fails the optimization.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Whether loaded profile samples and predictor weights also seed the
+    /// in-memory exploration state. These steer the search (index hits
+    /// skip measurements, warm models prune from the first batch), so the
+    /// resulting plan may legitimately differ from a cold run's — this is
+    /// cross-session warm-starting, not crash-resume, and carries no
+    /// bit-identity claim. Off by default; requires `store_dir`.
+    pub warm_index: bool,
+    /// Write-fault injection for the store: after this many bytes of
+    /// store writes, the store behaves as if the process was killed
+    /// mid-write — the partial write is truncated at the boundary and
+    /// everything after is dropped. This is the crash-recovery test
+    /// harness ([`astra_store::StoreOptions::fail_after_bytes`]); when
+    /// set it overrides the `ASTRA_STORE_CRASH_AFTER` environment hook
+    /// the CLI gates use. The optimization itself always completes.
+    pub store_crash_after: Option<u64>,
 }
 
 impl Default for AstraOptions {
@@ -423,6 +462,9 @@ impl Default for AstraOptions {
             predictor: true,
             predictor_top_k: 2,
             predictor_epsilon: 0.1,
+            store_dir: None,
+            warm_index: false,
+            store_crash_after: None,
         }
     }
 }
@@ -529,6 +571,26 @@ pub struct Report {
     /// scored and simulated this run (0 when none were, or with the
     /// predictor off).
     pub predicted_vs_measured_mae: f64,
+    /// Whether this optimizer started from a non-empty persistent store
+    /// ([`AstraOptions::store_dir`] set and at least one record loaded).
+    /// `false` with the store off or on a fresh (cold) store.
+    pub warm_start: bool,
+    /// Clean records loaded from the store at open. Zero with the store
+    /// off.
+    pub store_loaded_keys: u64,
+    /// Records the store quarantined at open — torn tails, checksum or
+    /// decode failures, version mismatches, plus records that decoded but
+    /// failed domain validation. Each one degrades exactly its own key to
+    /// a cold start; unaffected keys load normally. Zero with the store
+    /// off.
+    pub store_corrupt_records: u64,
+    /// Records appended to the store's journal during this `optimize`
+    /// call (samples, verdicts, quarantine marks, memos, predictor
+    /// snapshots). Zero with the store off.
+    pub store_journal_appends: u64,
+    /// Snapshot compactions performed during this `optimize` call. Zero
+    /// with the store off.
+    pub store_compactions: u64,
 }
 
 impl Report {
@@ -587,6 +649,32 @@ pub struct Astra<'g> {
     /// profile index, so steady-state re-exploration prunes from the first
     /// batch.
     pruner: Pruner,
+    /// The persistent warm-state store, when [`AstraOptions::store_dir`]
+    /// is set and the directory opened cleanly. All journaling is a no-op
+    /// when `None`.
+    store: Option<DriverStore>,
+    /// Why the configured store could not be opened, if it couldn't; the
+    /// optimizer then runs exactly as if `store_dir` were `None`.
+    store_error: Option<String>,
+    /// Whether the store loaded at least one record at open.
+    warm_start: bool,
+    /// Clean records loaded at open.
+    store_loaded: u64,
+    /// Records quarantined at open (store-level corruption plus
+    /// domain-validation drops).
+    store_corrupt: u64,
+    /// Persisted verifier verdicts by plan fingerprint: consulted on a
+    /// `verify_cache` miss before running the verifier, never mutated
+    /// after load.
+    warm_verify: HashMap<u64, bool>,
+    /// Persisted linter verdicts, keyed like `warm_verify`.
+    warm_lint: HashMap<u64, bool>,
+    /// Persisted quarantine marks whose fault fingerprint matches this
+    /// optimizer's fault plan: candidates measured under these keys are
+    /// poisoned without re-probing (the fault plan is deterministic, so
+    /// they would exhaust their retries again). Marks earned under other
+    /// fault plans are ignored at load.
+    warm_quarantine: HashSet<ProfileKey>,
 }
 
 impl<'g> Astra<'g> {
@@ -631,7 +719,7 @@ impl<'g> Astra<'g> {
         index: ProfileIndex,
     ) -> Self {
         let pruner = Pruner::new(opts.predictor, opts.predictor_top_k, opts.predictor_epsilon);
-        Astra {
+        let mut astra = Astra {
             ctx,
             dev,
             topo: None,
@@ -649,7 +737,90 @@ impl<'g> Astra<'g> {
             pool: None,
             prefix_groups: 0,
             pruner,
+            store: None,
+            store_error: None,
+            warm_start: false,
+            store_loaded: 0,
+            store_corrupt: 0,
+            warm_verify: HashMap::new(),
+            warm_lint: HashMap::new(),
+            warm_quarantine: HashSet::new(),
+        };
+        if let Some(dir) = astra.opts.store_dir.clone() {
+            let mut sopts = StoreOptions::from_env();
+            if astra.opts.store_crash_after.is_some() {
+                sopts.fail_after_bytes = astra.opts.store_crash_after;
+            }
+            match DriverStore::open(&dir, &sopts) {
+                Ok((store, warm)) => astra.install_warm(store, warm),
+                Err(e) => astra.store_error = Some(format!("{}: {e}", dir.display())),
+            }
         }
+        astra
+    }
+
+    /// Applies a freshly opened store's warm state: memos, verdicts, and
+    /// fault-matched quarantine marks always (outcome-invariant — they
+    /// change wall-clock, never the decision sequence); the profile index
+    /// and predictor weights only under [`AstraOptions::warm_index`]
+    /// (they steer the search).
+    fn install_warm(&mut self, store: DriverStore, warm: WarmState) {
+        self.store_loaded = warm.loaded_records;
+        self.store_corrupt = warm.corrupt_records;
+        self.warm_start = warm.loaded_records > 0;
+        for (key, ck) in warm.memos {
+            self.sim_cache.seed(key, ck);
+        }
+        self.warm_verify = warm.verify;
+        self.warm_lint = warm.lint;
+        let fault_fp = self.fault_fp();
+        for (key, fp) in warm.quarantine {
+            if fp == fault_fp {
+                self.warm_quarantine.insert(key);
+            }
+        }
+        if self.opts.warm_index {
+            for (key, stats) in warm.index.iter() {
+                // Measurements handed in via `with_index` outrank the
+                // store's: the caller's index is this session's truth.
+                if !self.index.contains(key) {
+                    self.index.insert_stats(key.clone(), *stats);
+                }
+            }
+            for (kind, state) in &warm.predictors {
+                // Phase kinds are a closed set; records from a future
+                // vocabulary are ignored rather than guessed at.
+                for known in ["fuse", "kern", "epoch", "place"] {
+                    if kind == known {
+                        self.pruner.import_model(known, state);
+                    }
+                }
+            }
+        }
+        self.store = Some(store);
+    }
+
+    /// This optimizer's fault-plan fingerprint as persisted in quarantine
+    /// records (0 when fault injection is off, matching the sim-cache
+    /// key normalization).
+    fn fault_fp(&self) -> u64 {
+        if self.opts.faults.is_none() {
+            0
+        } else {
+            self.opts.faults.fingerprint()
+        }
+    }
+
+    /// Why the store configured via [`AstraOptions::store_dir`] is not
+    /// (or is no longer) persisting: the open failure if it never opened,
+    /// or the first journaling error if it degraded mid-run. The
+    /// optimizer still works — it simply runs cold / stops journaling —
+    /// but callers that asked for persistence deserve to know they
+    /// aren't getting it.
+    pub fn store_error(&self) -> Option<&str> {
+        self.store_error
+            .as_deref()
+            .or_else(|| self.store.as_ref().and_then(DriverStore::degraded))
     }
 
     /// Consumes the optimizer and returns its profile index (to thread into
@@ -706,7 +877,35 @@ impl<'g> Astra<'g> {
             return;
         }
         let ctx = self.key_ctx();
+        if let Some(store) = self.store.as_mut() {
+            // Journal under exactly the key the cache will file them by;
+            // only full-run memos stick (mid-run captures export nothing).
+            for ck in &captured {
+                store.journal_memo(&ctx.key(ck.prefix_hash(), salt), ck);
+            }
+        }
         self.sim_cache.absorb_ctx(&ctx, salt, captured);
+    }
+
+    /// Commits one measurement: profile index always, store journal when
+    /// persistence is on.
+    fn commit_sample(&mut self, key: &ProfileKey, value_ns: f64) {
+        self.index.record(key, value_ns);
+        if let Some(store) = self.store.as_mut() {
+            store.journal_sample(key, value_ns);
+        }
+    }
+
+    /// Persists a retry-exhaustion quarantine mark for `key` under this
+    /// run's fault fingerprint, so a future run against the same store and
+    /// fault plan poisons the candidate without burning the retry budget
+    /// again. Deliberately does *not* touch `warm_quarantine`: within the
+    /// writing run, behavior stays identical to a store-less run.
+    fn journal_quarantine(&mut self, key: &ProfileKey) {
+        let fault_fp = self.fault_fp();
+        if let Some(store) = self.store.as_mut() {
+            store.journal_quarantine(key, fault_fp);
+        }
     }
 
     /// Runs one prepared lookahead batch cache-aware and returns the
@@ -791,6 +990,11 @@ impl<'g> Astra<'g> {
         results.resize_with(slots.len(), || Ok(None));
         for (shard, runs) in outs {
             if use_cache {
+                if let Some(store) = self.store.as_mut() {
+                    for (key, ck) in shard.entries() {
+                        store.journal_memo(key, ck);
+                    }
+                }
                 self.sim_cache.merge_shard(shard);
             }
             for (i, res) in runs {
@@ -1033,6 +1237,15 @@ impl<'g> Astra<'g> {
         if let Some(&clean) = self.verify_cache.get(&key) {
             return clean;
         }
+        // Persisted verdicts answer before the verifier runs: the analysis
+        // is a pure function of the plan, so a stored verdict is as good
+        // as a fresh one (and costs nothing). Counters track verifier
+        // *executions*, so a warm hit moves none of them.
+        let fp = key.0.fingerprint(&key.1);
+        if let Some(&clean) = self.warm_verify.get(&fp) {
+            self.verify_cache.insert(key, clean);
+            return clean;
+        }
         let workers = self.workers();
         let report = crate::verify::verify_plan(&self.ctx, cfg, units, sched, workers);
         self.plans_verified += 1;
@@ -1041,6 +1254,9 @@ impl<'g> Astra<'g> {
             self.verify_rejects += 1;
         }
         self.verify_cache.insert(key, clean);
+        if let Some(store) = self.store.as_mut() {
+            store.journal_verdict(VerdictKind::Verify, fp, clean);
+        }
         clean
     }
 
@@ -1057,6 +1273,11 @@ impl<'g> Astra<'g> {
         if let Some(&clean) = self.lint_cache.get(&key) {
             return clean;
         }
+        let fp = key.0.fingerprint(&key.1);
+        if let Some(&clean) = self.warm_lint.get(&fp) {
+            self.lint_cache.insert(key, clean);
+            return clean;
+        }
         let report =
             crate::verify::lint_plan(&self.ctx, cfg, units, sched, &self.lint_topology(), 1);
         let clean = report.errors() == 0;
@@ -1064,6 +1285,9 @@ impl<'g> Astra<'g> {
             self.lint_rejects += 1;
         }
         self.lint_cache.insert(key, clean);
+        if let Some(store) = self.store.as_mut() {
+            store.journal_verdict(VerdictKind::Lint, fp, clean);
+        }
         clean
     }
 
@@ -1177,6 +1401,8 @@ impl<'g> Astra<'g> {
         let pred_upd0 = self.pruner.updates();
         let pred_err0 = self.pruner.abs_err_ns;
         let pred_errn0 = self.pruner.err_samples;
+        let journal0 = self.store.as_ref().map_or(0, DriverStore::journal_appends);
+        let compact0 = self.store.as_ref().map_or(0, DriverStore::compactions);
 
         let dims = self.opts.dims;
         let strategies = if dims.alloc { self.ctx.alloc.strategies.len() } else { 1 };
@@ -1243,6 +1469,12 @@ impl<'g> Astra<'g> {
             Some(t) => t.total_cost() * steady_ns,
             None => steady_ns,
         };
+        // Seal the run: flush learned predictor snapshots and compact when
+        // the journal has grown past the auto-compaction threshold. Store
+        // trouble degrades to a cold cache, never to a failed optimize.
+        if let Some(store) = self.store.as_mut() {
+            store.finish_run(self.pruner.export_models());
+        }
         Ok(Report {
             native_ns,
             steady_ns,
@@ -1295,6 +1527,19 @@ impl<'g> Astra<'g> {
                     (self.pruner.abs_err_ns - pred_err0) / n as f64
                 }
             },
+            warm_start: self.warm_start,
+            store_loaded_keys: self.store_loaded,
+            store_corrupt_records: self.store_corrupt,
+            store_journal_appends: self
+                .store
+                .as_ref()
+                .map_or(0, DriverStore::journal_appends)
+                .saturating_sub(journal0),
+            store_compactions: self
+                .store
+                .as_ref()
+                .map_or(0, DriverStore::compactions)
+                .saturating_sub(compact0),
         })
     }
 
@@ -1456,6 +1701,15 @@ impl<'g> Astra<'g> {
                     }
                     BatchOutcome::Measured(r, p) => (r, p),
                 };
+                let pkey = key_for(asg["placement"]);
+                if self.warm_quarantine.contains(&pkey) {
+                    // Persisted mark under this exact fault plan: the
+                    // failures are deterministic, so skip the retry budget
+                    // and poison directly.
+                    stats.quarantined += 1;
+                    tree.poison("placement");
+                    continue;
+                }
                 let mut total = r.total_ns;
                 let mut faulted = r.faults.any();
                 let mut attempt = 0u32;
@@ -1465,11 +1719,10 @@ impl<'g> Astra<'g> {
                     if faulted {
                         stats.fault_events += 1;
                     }
-                    let suspect =
-                        faulted || is_outlier(&self.index, &key_for(asg["placement"]), total);
+                    let suspect = faulted || is_outlier(&self.index, &pkey, total);
                     if !suspect {
                         tree.record("placement", total);
-                        self.index.record(&key_for(asg["placement"]), total);
+                        self.commit_sample(&pkey, total);
                         if let Some(vf) = feats[bi].iter().flatten().next() {
                             self.pruner.observe("place", &vf.feat, vf.pred, total);
                         }
@@ -1504,6 +1757,7 @@ impl<'g> Astra<'g> {
                 if !committed {
                     stats.quarantined += 1;
                     tree.poison("placement");
+                    self.journal_quarantine(&pkey);
                 }
             }
         }
@@ -1785,6 +2039,17 @@ impl<'g> Astra<'g> {
                         set_metrics: set_metrics_of(&probes, &r),
                     },
                 };
+                let qid = quarantine_id(
+                    "fuse",
+                    explored_sets.iter().map(|(id, _, ctx_dep)| key_for(id, *ctx_dep, asg[id])),
+                );
+                if self.warm_quarantine.contains(&qid) {
+                    stats.quarantined += 1;
+                    for (set_id, _, _) in &explored_sets {
+                        tree.poison(set_id);
+                    }
+                    continue;
+                }
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -1815,8 +2080,8 @@ impl<'g> Astra<'g> {
                             if let Some((_, _, ctx_dep)) =
                                 explored_sets.iter().find(|(id, _, _)| id == set_id)
                             {
-                                self.index
-                                    .record(&key_for(set_id, *ctx_dep, asg[set_id]), metric);
+                                let key = key_for(set_id, *ctx_dep, asg[set_id]);
+                                self.commit_sample(&key, metric);
                             }
                             if let (Some(&v), Some(fs)) =
                                 (si_vidx.get(&si), feats[bi].as_ref())
@@ -1876,6 +2141,7 @@ impl<'g> Astra<'g> {
                     for (set_id, _, _) in &explored_sets {
                         tree.poison(set_id);
                     }
+                    self.journal_quarantine(&qid);
                 }
             }
         }
@@ -2087,6 +2353,17 @@ impl<'g> Astra<'g> {
                         shape_metrics: shape_metrics_of(&probes, &r),
                     },
                 };
+                let qid = quarantine_id(
+                    "kern",
+                    explored.iter().map(|shape| key_for(shape, asg[&format!("{shape}")])),
+                );
+                if self.warm_quarantine.contains(&qid) {
+                    stats.quarantined += 1;
+                    for shape in &explored {
+                        tree.poison(&format!("{shape}"));
+                    }
+                    continue;
+                }
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -2109,7 +2386,8 @@ impl<'g> Astra<'g> {
                             let id = format!("{shape}");
                             tree.record(&id, metric);
                             if explored.contains(&shape) {
-                                self.index.record(&key_for(&shape, asg[&id]), metric);
+                                let key = key_for(&shape, asg[&id]);
+                                self.commit_sample(&key, metric);
                             }
                             if let (Some(&v), Some(fs)) =
                                 (shape_vidx.get(&shape), feats[bi].as_ref())
@@ -2155,6 +2433,7 @@ impl<'g> Astra<'g> {
                     for shape in &explored {
                         tree.poison(&format!("{shape}"));
                     }
+                    self.journal_quarantine(&qid);
                 }
             }
         }
@@ -2428,6 +2707,26 @@ impl<'g> Astra<'g> {
                         epoch_metrics: epoch_metrics_of(&probes, &r),
                     },
                 };
+                let qid = quarantine_id(
+                    "epoch",
+                    active.iter().map(|id| {
+                        let mut key = ProfileKey::entity(format!("epoch:{id}"), asg[*id]);
+                        if let Some(c) = strat_ctx {
+                            key = key.in_context(c.to_owned());
+                        }
+                        if let Some(b) = &self.opts.key_context {
+                            key = key.in_context(b.clone());
+                        }
+                        key
+                    }),
+                );
+                if self.warm_quarantine.contains(&qid) {
+                    stats.quarantined += 1;
+                    for id in epoch_opts.keys() {
+                        tree.poison(id);
+                    }
+                    continue;
+                }
                 let mut attempt = 0u32;
                 let committed = loop {
                     stats.trials += 1;
@@ -2450,7 +2749,7 @@ impl<'g> Astra<'g> {
                             if let Some(b) = &self.opts.key_context {
                                 key = key.in_context(b.clone());
                             }
-                            self.index.record(&key, metric);
+                            self.commit_sample(&key, metric);
                             if let (Some(&slot), Some(fs)) =
                                 (active_slot.get(&(sei, ei)), feats[bi].as_ref())
                             {
@@ -2512,6 +2811,7 @@ impl<'g> Astra<'g> {
                     for id in epoch_opts.keys() {
                         tree.poison(id);
                     }
+                    self.journal_quarantine(&qid);
                 }
             }
         }

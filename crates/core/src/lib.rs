@@ -26,6 +26,11 @@
 //!   merged back deterministically at the batch barrier.
 //! * [`explore_recompute`] — the §3.4 recompute-for-memory adaptation,
 //!   backed by a liveness analysis ([`peak_activation_bytes`]).
+//! * [`AstraOptions::store_dir`] / [`compact_store`] — crash-safe
+//!   persistence of warm exploration state (profile samples, verdicts,
+//!   quarantine marks, predictor weights, full-run memos) via
+//!   `astra-store`; an interrupted `optimize` resumed against the same
+//!   store produces the bit-identical final plan.
 //! * [`fusion_features`] / [`kernel_features`] / [`epoch_features`] /
 //!   [`placement_features`] — plan feature extraction for the in-tree
 //!   learned cost model (`astra-predict`), which prunes each lookahead
@@ -60,6 +65,7 @@ mod bucketing;
 pub mod enumerate;
 mod error;
 mod parallel;
+mod persist;
 mod plan;
 mod predictor;
 mod profile;
@@ -72,6 +78,7 @@ pub use astra::{Astra, AstraOptions, Dims, Report};
 pub use bucketing::{optimize_bucketed, BucketedReport};
 pub use error::AstraError;
 pub use parallel::{effective_workers, parallel_map, WorkerPool};
+pub use persist::compact_store;
 pub use plan::{
     bind_libs, build_allocation_plan, build_units, build_units_fragmented, emit_schedule,
     epoch_features, flop_balanced_cuts, fusion_features, gradient_sync_bytes, kernel_features,

@@ -1,0 +1,722 @@
+//! Edge conversions between the driver's warm exploration state and
+//! [`astra_store`]'s plain-data records, plus [`DriverStore`] — the handle
+//! [`crate::Astra`] loads from before `optimize` and journals through
+//! during it.
+//!
+//! `astra-store` deliberately knows nothing about Astra's domain types:
+//! its records are strings, integers, and floats. Everything
+//! domain-shaped — [`ProfileKey`]s, `SimCache` keys, engine memos,
+//! cost-model snapshots — crosses the boundary here, in both directions,
+//! so a codec change and a domain change can never silently disagree
+//! (the conversions in this module are the single meeting point).
+//!
+//! [`DriverStore`] also owns the *authoritative persisted state*: the
+//! loaded records folded into typed structures, extended by every journal
+//! append. Compaction snapshots that state rather than re-reading the
+//! files, so a compacted store is exactly the fold of everything written
+//! — loaded or journaled — with samples collapsed into running stats and
+//! superseded predictor snapshots dropped.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+use astra_gpu::{
+    ClockMode, EngineCheckpoint, EventId, FaultSummary, KernelSpan, MemoParts, RunResult,
+    StreamId,
+};
+use astra_predict::CostModelState;
+use astra_store::{
+    MemoKey, MemoRec, MemoSpan, PredictorRec, ProfileSampleRec, ProfileStatsRec, QuarantineRec,
+    Record, Store, StoreOptions, VerdictKind, VerdictRec,
+};
+
+use crate::profile::{ProfileIndex, ProfileKey, SampleStats};
+use crate::simcache::SimKey;
+
+/// Auto-compaction threshold: when a run ends with at least this many
+/// journal appends since the last compaction, the journal is folded into
+/// the snapshot. High enough that short runs never pay the rewrite, low
+/// enough that the journal cannot grow without bound across sessions.
+const AUTO_COMPACT_APPENDS: u64 = 4096;
+
+/// Quarantine identity as persisted: the profile key's structural triple
+/// plus the fault-plan fingerprint the failures happened under.
+type QuarantineId = (Vec<String>, String, u64, u64);
+
+fn clock_parts(clock: ClockMode) -> (u8, u64) {
+    match clock {
+        ClockMode::Fixed => (0, 0),
+        ClockMode::Autoboost { seed } => (1, seed),
+    }
+}
+
+fn clock_from_parts(tag: u8, seed: u64) -> Option<ClockMode> {
+    match tag {
+        0 => Some(ClockMode::Fixed),
+        1 => Some(ClockMode::Autoboost { seed }),
+        _ => None,
+    }
+}
+
+fn memo_key(key: &SimKey) -> MemoKey {
+    let (clock_tag, clock_seed) = clock_parts(key.clock);
+    MemoKey {
+        prefix_hash: key.prefix_hash,
+        device: key.device,
+        clock_tag,
+        clock_seed,
+        fault_fp: key.fault,
+        salt: key.salt,
+    }
+}
+
+/// Journal form of one profile observation.
+pub(crate) fn sample_record(key: &ProfileKey, value_ns: f64) -> Record {
+    Record::ProfileSample(ProfileSampleRec {
+        contexts: key.contexts().to_vec(),
+        entity: key.entity_name().to_owned(),
+        choice: key.choice() as u64,
+        value_ns,
+    })
+}
+
+/// Snapshot form of one profile key's running stats.
+fn stats_record(key: &ProfileKey, stats: &SampleStats) -> Record {
+    let (count, mean, m2, min) = stats.raw();
+    Record::ProfileStats(ProfileStatsRec {
+        contexts: key.contexts().to_vec(),
+        entity: key.entity_name().to_owned(),
+        choice: key.choice() as u64,
+        count,
+        mean,
+        m2,
+        min,
+    })
+}
+
+fn quarantine_record(key: &ProfileKey, fault_fp: u64) -> Record {
+    Record::Quarantine(QuarantineRec {
+        contexts: key.contexts().to_vec(),
+        entity: key.entity_name().to_owned(),
+        choice: key.choice() as u64,
+        fault_fp,
+    })
+}
+
+fn predictor_record(kind: &str, state: &CostModelState) -> Record {
+    Record::Predictor(PredictorRec {
+        kind: kind.to_owned(),
+        weights: state.weights.clone(),
+        bias: state.bias,
+        updates: state.updates,
+        t_min: state.t_min,
+        t_max: state.t_max,
+    })
+}
+
+fn key_from_parts(contexts: Vec<String>, entity: String, choice: u64) -> Option<ProfileKey> {
+    Some(ProfileKey::from_parts(contexts, entity, usize::try_from(choice).ok()?))
+}
+
+/// Converts a full-run engine memo into its persisted record. Interns span
+/// labels first-appearance order into the record's string table.
+fn memo_record(key: &SimKey, parts: &MemoParts) -> Record {
+    let mut labels: Vec<String> = Vec::new();
+    let mut label_idx: HashMap<&str, u32> = HashMap::new();
+    let mut spans = Vec::with_capacity(parts.result.spans.len());
+    for s in &parts.result.spans {
+        let label = match label_idx.get(&*s.label) {
+            Some(&i) => i,
+            None => {
+                let i = u32::try_from(labels.len()).expect("span label table fits u32");
+                labels.push(s.label.to_string());
+                label_idx.insert(&s.label, i);
+                i
+            }
+        };
+        spans.push(MemoSpan {
+            label,
+            stream: s.stream.0 as u64,
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+            cmd_idx: s.cmd_idx as u64,
+        });
+    }
+    Record::Memo(Box::new(MemoRec {
+        key: memo_key(key),
+        cmd_idx: parts.cmd_idx as u64,
+        num_streams: parts.num_streams as u64,
+        cpu_ns: parts.cpu_ns,
+        barrier_seq: parts.barrier_seq as u64,
+        now: parts.now,
+        events: parts.events.iter().map(|&(EventId(e), t)| (e, t)).collect(),
+        barrier_arrivals: parts
+            .barrier_arrivals
+            .iter()
+            .map(|(id, arr)| {
+                (*id as u64, arr.iter().map(|&(s, t)| (s as u64, t)).collect())
+            })
+            .collect(),
+        barrier_expect: parts
+            .barrier_expect
+            .iter()
+            .map(|&(id, n)| (id as u64, n as u64))
+            .collect(),
+        ar_arrivals: parts
+            .ar_arrivals
+            .iter()
+            .map(|(id, arr)| {
+                (
+                    *id,
+                    arr.iter().map(|&(s, t, b, c)| (s as u64, t, b, c as u64)).collect(),
+                )
+            })
+            .collect(),
+        rates: parts.rates.clone(),
+        rates_dirty: parts.rates_dirty,
+        clock_rng_state: parts.clock_rng_state,
+        total_ns: parts.result.total_ns,
+        event_ns: parts.result.event_ns.iter().map(|(&EventId(e), &t)| (e, t)).collect(),
+        num_launches: parts.result.num_launches as u64,
+        num_records: parts.result.num_records as u64,
+        profiling_overhead_ns: parts.result.profiling_overhead_ns,
+        faults: [
+            parts.result.faults.timing_spikes,
+            parts.result.faults.launch_retries,
+            parts.result.faults.alloc_retries,
+            parts.result.faults.straggler_streams,
+        ],
+        labels,
+        spans,
+    }))
+}
+
+/// Rebuilds a cache-ready checkpoint from a persisted memo. `None` means
+/// the record is domain-invalid (unknown clock tag, label index out of
+/// range, counts that don't fit) — the caller drops it, degrading that
+/// key to a cold start.
+fn memo_from_record(rec: &MemoRec) -> Option<(SimKey, EngineCheckpoint)> {
+    let clock = clock_from_parts(rec.key.clock_tag, rec.key.clock_seed)?;
+    let key = SimKey {
+        prefix_hash: rec.key.prefix_hash,
+        device: rec.key.device,
+        clock,
+        fault: rec.key.fault_fp,
+        salt: rec.key.salt,
+    };
+    let labels: Vec<Arc<str>> =
+        rec.labels.iter().map(|l| Arc::from(l.as_str())).collect();
+    let mut spans = Vec::with_capacity(rec.spans.len());
+    for s in &rec.spans {
+        spans.push(KernelSpan {
+            label: Arc::clone(labels.get(s.label as usize)?),
+            stream: StreamId(usize::try_from(s.stream).ok()?),
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+            cmd_idx: usize::try_from(s.cmd_idx).ok()?,
+        });
+    }
+    let mut barrier_arrivals = Vec::with_capacity(rec.barrier_arrivals.len());
+    for (id, arr) in &rec.barrier_arrivals {
+        let mut out = Vec::with_capacity(arr.len());
+        for &(s, t) in arr {
+            out.push((usize::try_from(s).ok()?, t));
+        }
+        barrier_arrivals.push((usize::try_from(*id).ok()?, out));
+    }
+    let mut barrier_expect = Vec::with_capacity(rec.barrier_expect.len());
+    for &(id, n) in &rec.barrier_expect {
+        barrier_expect.push((usize::try_from(id).ok()?, usize::try_from(n).ok()?));
+    }
+    let mut ar_arrivals = Vec::with_capacity(rec.ar_arrivals.len());
+    for (id, arr) in &rec.ar_arrivals {
+        let mut out = Vec::with_capacity(arr.len());
+        for &(s, t, b, c) in arr {
+            out.push((usize::try_from(s).ok()?, t, b, usize::try_from(c).ok()?));
+        }
+        ar_arrivals.push((*id, out));
+    }
+    let result = RunResult {
+        total_ns: rec.total_ns,
+        event_ns: rec.event_ns.iter().map(|&(e, t)| (EventId(e), t)).collect(),
+        spans,
+        num_launches: usize::try_from(rec.num_launches).ok()?,
+        num_records: usize::try_from(rec.num_records).ok()?,
+        profiling_overhead_ns: rec.profiling_overhead_ns,
+        faults: FaultSummary {
+            timing_spikes: rec.faults[0],
+            launch_retries: rec.faults[1],
+            alloc_retries: rec.faults[2],
+            straggler_streams: rec.faults[3],
+        },
+    };
+    let parts = MemoParts {
+        cmd_idx: usize::try_from(rec.cmd_idx).ok()?,
+        prefix_hash: rec.key.prefix_hash,
+        num_streams: usize::try_from(rec.num_streams).ok()?,
+        cpu_ns: rec.cpu_ns,
+        barrier_seq: usize::try_from(rec.barrier_seq).ok()?,
+        now: rec.now,
+        events: rec.events.iter().map(|&(e, t)| (EventId(e), t)).collect(),
+        barrier_arrivals,
+        barrier_expect,
+        ar_arrivals,
+        rates: rec.rates.clone(),
+        rates_dirty: rec.rates_dirty,
+        clock_mode: clock,
+        clock_rng_state: rec.clock_rng_state,
+        result,
+    };
+    Some((key, EngineCheckpoint::from_memo(parts)))
+}
+
+/// Everything a warm store start hands the driver, already converted to
+/// domain types. Which parts the driver *applies* is its policy call:
+/// memos, verdicts, and fault-matched quarantine marks are
+/// outcome-invariant (they change wall-clock, never the decision
+/// sequence), while the profile index and predictor weights steer the
+/// search and are only applied under `warm_index`.
+pub(crate) struct WarmState {
+    /// Persisted full-run memos under their exact cache keys.
+    pub memos: Vec<(SimKey, Arc<EngineCheckpoint>)>,
+    /// Verifier verdicts by plan fingerprint.
+    pub verify: HashMap<u64, bool>,
+    /// Linter verdicts by plan fingerprint.
+    pub lint: HashMap<u64, bool>,
+    /// Quarantine marks with the fault fingerprint they were earned under.
+    pub quarantine: Vec<(ProfileKey, u64)>,
+    /// The persisted profile index (stats snapshots replayed, then journal
+    /// samples on top, in record order).
+    pub index: ProfileIndex,
+    /// Latest persisted cost-model snapshot per phase kind.
+    pub predictors: Vec<(String, CostModelState)>,
+    /// Clean records loaded and interpreted.
+    pub loaded_records: u64,
+    /// Records quarantined by the store (torn/corrupt/version-mismatch)
+    /// plus records that decoded but failed domain validation.
+    pub corrupt_records: u64,
+}
+
+/// The driver's handle on one on-disk store: the [`Store`] itself plus the
+/// authoritative fold of everything in it.
+#[derive(Debug)]
+pub(crate) struct DriverStore {
+    store: Store,
+    /// Persisted profile state: loaded records replayed, plus every sample
+    /// journaled through this handle.
+    profile: ProfileIndex,
+    /// Persisted verdicts keyed `(kind tag, plan fingerprint)`.
+    verdicts: BTreeMap<(u8, u64), bool>,
+    /// Persisted quarantine marks.
+    quarantine: BTreeSet<QuarantineId>,
+    /// Latest cost-model snapshot per phase kind.
+    predictors: BTreeMap<String, CostModelState>,
+    /// Every persisted memo record, keyed for dedupe and kept whole so
+    /// compaction never depends on what the in-memory cache has evicted.
+    memos: BTreeMap<MemoKey, Record>,
+    /// First journaling I/O error, if any: the store degrades to inert
+    /// (appends become no-ops) rather than failing the optimization.
+    degraded: Option<String>,
+}
+
+impl DriverStore {
+    /// Opens (creating if absent) the store under `dir`, recovering from
+    /// any crash artifacts, and folds the loaded records into a
+    /// [`WarmState`].
+    pub fn open(dir: &Path, opts: &StoreOptions) -> std::io::Result<(DriverStore, WarmState)> {
+        let (store, records) = Store::open(dir, opts)?;
+        let mut ds = DriverStore {
+            store,
+            profile: ProfileIndex::new(),
+            verdicts: BTreeMap::new(),
+            quarantine: BTreeSet::new(),
+            predictors: BTreeMap::new(),
+            memos: BTreeMap::new(),
+            degraded: None,
+        };
+        let mut warm = WarmState {
+            memos: Vec::new(),
+            verify: HashMap::new(),
+            lint: HashMap::new(),
+            quarantine: Vec::new(),
+            index: ProfileIndex::new(),
+            predictors: Vec::new(),
+            loaded_records: 0,
+            corrupt_records: ds.store.load_summary().corrupt_records,
+        };
+        for rec in &records {
+            if ds.fold(rec, Some(&mut warm)) {
+                warm.loaded_records += 1;
+            } else {
+                warm.corrupt_records += 1;
+            }
+        }
+        warm.index = ds.profile.clone();
+        warm.predictors =
+            ds.predictors.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        Ok((ds, warm))
+    }
+
+    /// Folds one record into the authoritative state (and, on load, the
+    /// warm-state view). Returns `false` for records that decode but fail
+    /// domain validation.
+    fn fold(&mut self, rec: &Record, warm: Option<&mut WarmState>) -> bool {
+        match rec {
+            Record::ProfileSample(r) => {
+                let Some(key) =
+                    key_from_parts(r.contexts.clone(), r.entity.clone(), r.choice)
+                else {
+                    return false;
+                };
+                if !r.value_ns.is_finite() {
+                    return false;
+                }
+                self.profile.record(&key, r.value_ns);
+            }
+            Record::ProfileStats(r) => {
+                let Some(key) =
+                    key_from_parts(r.contexts.clone(), r.entity.clone(), r.choice)
+                else {
+                    return false;
+                };
+                let Some(stats) = SampleStats::from_raw(r.count, r.mean, r.m2, r.min)
+                else {
+                    return false;
+                };
+                self.profile.insert_stats(key, stats);
+            }
+            Record::Verdict(r) => {
+                let tag = verdict_tag(r.kind);
+                self.verdicts.insert((tag, r.plan_fp), r.clean);
+                if let Some(warm) = warm {
+                    match r.kind {
+                        VerdictKind::Verify => warm.verify.insert(r.plan_fp, r.clean),
+                        VerdictKind::Lint => warm.lint.insert(r.plan_fp, r.clean),
+                    };
+                }
+            }
+            Record::Quarantine(r) => {
+                let Some(key) =
+                    key_from_parts(r.contexts.clone(), r.entity.clone(), r.choice)
+                else {
+                    return false;
+                };
+                self.quarantine.insert((
+                    r.contexts.clone(),
+                    r.entity.clone(),
+                    r.choice,
+                    r.fault_fp,
+                ));
+                if let Some(warm) = warm {
+                    warm.quarantine.push((key, r.fault_fp));
+                }
+            }
+            Record::Predictor(r) => {
+                let state = CostModelState {
+                    weights: r.weights.clone(),
+                    bias: r.bias,
+                    updates: r.updates,
+                    t_min: r.t_min,
+                    t_max: r.t_max,
+                };
+                self.predictors.insert(r.kind.clone(), state);
+            }
+            Record::Memo(r) => {
+                let Some((key, ck)) = memo_from_record(r) else {
+                    return false;
+                };
+                self.memos.insert(r.key.clone(), rec.clone());
+                if let Some(warm) = warm {
+                    warm.memos.push((key, Arc::new(ck)));
+                }
+            }
+        }
+        true
+    }
+
+    fn append(&mut self, rec: &Record) {
+        if self.degraded.is_some() {
+            return;
+        }
+        if let Err(e) = self.store.append(rec) {
+            self.degraded = Some(e.to_string());
+        }
+    }
+
+    /// Journals one committed profile sample.
+    pub fn journal_sample(&mut self, key: &ProfileKey, value_ns: f64) {
+        self.profile.record(key, value_ns);
+        self.append(&sample_record(key, value_ns));
+    }
+
+    /// Journals one fresh verify/lint verdict (deduped: re-deriving an
+    /// already-persisted verdict appends nothing).
+    pub fn journal_verdict(&mut self, kind: VerdictKind, plan_fp: u64, clean: bool) {
+        let tag = verdict_tag(kind);
+        if self.verdicts.insert((tag, plan_fp), clean) == Some(clean) {
+            return;
+        }
+        self.append(&Record::Verdict(VerdictRec { kind, plan_fp, clean }));
+    }
+
+    /// Journals one quarantine mark (deduped per key and fault profile).
+    pub fn journal_quarantine(&mut self, key: &ProfileKey, fault_fp: u64) {
+        let id = (
+            key.contexts().to_vec(),
+            key.entity_name().to_owned(),
+            key.choice() as u64,
+            fault_fp,
+        );
+        if !self.quarantine.insert(id) {
+            return;
+        }
+        self.append(&quarantine_record(key, fault_fp));
+    }
+
+    /// Journals a captured checkpoint if it exports as a full-run memo and
+    /// its key isn't persisted yet. Mid-run and faulted checkpoints are
+    /// silently skipped — callers feed every capture through.
+    pub fn journal_memo(&mut self, key: &SimKey, ck: &EngineCheckpoint) {
+        let mkey = memo_key(key);
+        if self.memos.contains_key(&mkey) {
+            return;
+        }
+        let Some(parts) = ck.export_memo() else { return };
+        let rec = memo_record(key, &parts);
+        self.append(&rec);
+        self.memos.insert(mkey, rec);
+    }
+
+    /// End-of-run bookkeeping: snapshot changed predictor models, flush
+    /// the journal to disk, and fold it into the snapshot if it has grown
+    /// past the auto-compaction threshold.
+    pub fn finish_run(&mut self, models: Vec<(&'static str, CostModelState)>) {
+        for (kind, state) in models {
+            if self.predictors.get(kind) == Some(&state) {
+                continue;
+            }
+            self.append(&predictor_record(kind, &state));
+            self.predictors.insert(kind.to_owned(), state);
+        }
+        if self.degraded.is_none() {
+            if let Err(e) = self.store.sync() {
+                self.degraded = Some(e.to_string());
+            }
+        }
+        if self.store.journal_appends() >= AUTO_COMPACT_APPENDS {
+            self.compact();
+        }
+    }
+
+    /// Rewrites the snapshot from the authoritative in-memory fold and
+    /// truncates the journal (atomically — a crash leaves the old state).
+    pub fn compact(&mut self) {
+        if self.degraded.is_some() {
+            return;
+        }
+        let records = self.snapshot_records();
+        if let Err(e) = self.store.compact(&records) {
+            self.degraded = Some(e.to_string());
+        }
+    }
+
+    /// The compacted record set: profile stats (samples folded), verdicts,
+    /// quarantine marks, predictor snapshots, memos — each group in its
+    /// deterministic key order.
+    pub fn snapshot_records(&self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for (key, stats) in self.profile.iter() {
+            out.push(stats_record(key, stats));
+        }
+        for (&(tag, plan_fp), &clean) in &self.verdicts {
+            let kind = if tag == 0 { VerdictKind::Verify } else { VerdictKind::Lint };
+            out.push(Record::Verdict(VerdictRec { kind, plan_fp, clean }));
+        }
+        for (contexts, entity, choice, fault_fp) in &self.quarantine {
+            out.push(Record::Quarantine(QuarantineRec {
+                contexts: contexts.clone(),
+                entity: entity.clone(),
+                choice: *choice,
+                fault_fp: *fault_fp,
+            }));
+        }
+        for (kind, state) in &self.predictors {
+            out.push(predictor_record(kind, state));
+        }
+        out.extend(self.memos.values().cloned());
+        out
+    }
+
+    /// Journal appends since open (or the last compaction).
+    pub fn journal_appends(&self) -> u64 {
+        self.store.journal_appends()
+    }
+
+    /// Compactions performed through this handle.
+    pub fn compactions(&self) -> u64 {
+        self.store.compactions()
+    }
+
+    /// First journaling error, if the store has degraded to inert.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+}
+
+/// Opens the store at `dir`, recovers whatever survives, and compacts the
+/// full fold into the snapshot — the `astra-cli store compact` entry
+/// point. Returns `(records_loaded, records_in_snapshot)`: loaded counts
+/// every clean record replayed, the snapshot count is smaller when
+/// samples fold into stats or duplicate marks collapse.
+///
+/// # Errors
+///
+/// Real I/O failures opening or rewriting the store files.
+pub fn compact_store(dir: &Path) -> std::io::Result<(u64, u64)> {
+    let (mut ds, warm) = DriverStore::open(dir, &StoreOptions::default())?;
+    let snapshot_len = ds.snapshot_records().len() as u64;
+    ds.compact();
+    if let Some(e) = ds.degraded.as_deref() {
+        return Err(std::io::Error::other(e.to_owned()));
+    }
+    Ok((warm.loaded_records, snapshot_len))
+}
+
+fn verdict_tag(kind: VerdictKind) -> u8 {
+    match kind {
+        VerdictKind::Verify => 0,
+        VerdictKind::Lint => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_gpu::{
+        DeviceSpec, Engine, FaultPlan, GemmLibrary, GemmShape, KernelDesc, Schedule,
+    };
+
+    fn finished_checkpoint(clock: ClockMode) -> EngineCheckpoint {
+        let dev = DeviceSpec::v100();
+        let mut sched = Schedule::new(2);
+        let g = GemmShape::new(64, 256, 256);
+        sched.launch(StreamId(0), KernelDesc::Gemm { shape: g, lib: GemmLibrary::CublasLike });
+        sched.launch(StreamId(1), KernelDesc::Gemm { shape: g, lib: GemmLibrary::OaiWide });
+        sched.mark_boundary();
+        let (_, mut cks) = Engine::with_faults(&dev, clock, FaultPlan::none(), 0)
+            .run_incremental(&sched, None, &[sched.cmds().len()])
+            .expect("clean run");
+        cks.remove(0)
+    }
+
+    #[test]
+    fn memo_roundtrips_through_the_record_form() {
+        for clock in [ClockMode::Fixed, ClockMode::Autoboost { seed: 9 }] {
+            let ck = finished_checkpoint(clock);
+            let key = SimKey {
+                prefix_hash: ck.prefix_hash(),
+                device: 0xD1CE,
+                clock,
+                fault: 0,
+                salt: 0,
+            };
+            let parts = ck.export_memo().expect("finished checkpoint exports");
+            let rec = memo_record(&key, &parts);
+            let Record::Memo(mrec) = &rec else { panic!("memo record") };
+            let (key2, ck2) = memo_from_record(mrec).expect("valid memo loads");
+            assert_eq!(key2, key);
+            let parts2 = ck2.export_memo().expect("rebuilt checkpoint re-exports");
+            assert_eq!(
+                parts.result.total_ns.to_bits(),
+                parts2.result.total_ns.to_bits(),
+                "memoized result survives the record form bit-exactly"
+            );
+            assert_eq!(parts.result.spans.len(), parts2.result.spans.len());
+            assert_eq!(parts.events, parts2.events);
+            assert_eq!(parts.clock_rng_state, parts2.clock_rng_state);
+            // Encoding the rebuilt memo reproduces the identical record.
+            assert_eq!(memo_record(&key2, &parts2), rec);
+        }
+    }
+
+    #[test]
+    fn invalid_memo_records_are_dropped_not_trusted() {
+        let ck = finished_checkpoint(ClockMode::Fixed);
+        let key = SimKey {
+            prefix_hash: ck.prefix_hash(),
+            device: 1,
+            clock: ClockMode::Fixed,
+            fault: 0,
+            salt: 0,
+        };
+        let parts = ck.export_memo().unwrap();
+        let Record::Memo(mut rec) = memo_record(&key, &parts) else { panic!() };
+        rec.key.clock_tag = 7;
+        assert!(memo_from_record(&rec).is_none(), "unknown clock tag");
+        rec.key.clock_tag = 0;
+        if let Some(s) = rec.spans.first_mut() {
+            s.label = 99;
+            assert!(memo_from_record(&rec).is_none(), "label index out of range");
+        }
+    }
+
+    #[test]
+    fn driver_store_folds_loads_and_compacts_losslessly() {
+        let dir = std::env::temp_dir().join(format!(
+            "astra-driverstore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions::default();
+
+        let key_a = ProfileKey::entity("fuse:0", 1).in_context("alloc:0");
+        let key_b = ProfileKey::entity("kern:gemm", 2);
+        {
+            let (mut ds, warm) = DriverStore::open(&dir, &opts).unwrap();
+            assert_eq!(warm.loaded_records, 0);
+            ds.journal_sample(&key_a, 100.0);
+            ds.journal_sample(&key_a, 90.0);
+            ds.journal_sample(&key_b, 55.5);
+            ds.journal_verdict(VerdictKind::Verify, 42, true);
+            ds.journal_verdict(VerdictKind::Verify, 42, true); // deduped
+            ds.journal_verdict(VerdictKind::Lint, 43, false);
+            ds.journal_quarantine(&key_b, 7);
+            ds.journal_quarantine(&key_b, 7); // deduped
+            let ck = finished_checkpoint(ClockMode::Fixed);
+            let skey = SimKey {
+                prefix_hash: ck.prefix_hash(),
+                device: 5,
+                clock: ClockMode::Fixed,
+                fault: 0,
+                salt: 0,
+            };
+            ds.journal_memo(&skey, &ck);
+            ds.journal_memo(&skey, &ck); // deduped
+            assert_eq!(ds.journal_appends(), 7);
+            ds.finish_run(Vec::new());
+        }
+        let warm1 = {
+            let (mut ds, warm) = DriverStore::open(&dir, &opts).unwrap();
+            assert_eq!(warm.corrupt_records, 0);
+            assert_eq!(warm.index.get(&key_a), Some(90.0));
+            assert_eq!(warm.index.stats(&key_a).map(SampleStats::count), Some(2));
+            assert_eq!(warm.verify.get(&42), Some(&true));
+            assert_eq!(warm.lint.get(&43), Some(&false));
+            assert_eq!(warm.quarantine.len(), 1);
+            assert_eq!(warm.memos.len(), 1);
+            ds.compact();
+            warm
+        };
+        // After compaction the fold is unchanged (samples became stats).
+        let (_, warm2) = DriverStore::open(&dir, &opts).unwrap();
+        assert_eq!(warm2.index, warm1.index);
+        assert_eq!(warm2.verify, warm1.verify);
+        assert_eq!(warm2.lint, warm1.lint);
+        assert_eq!(warm2.quarantine, warm1.quarantine);
+        assert_eq!(warm2.memos.len(), warm1.memos.len());
+        assert_eq!(warm2.corrupt_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -222,6 +222,29 @@ impl ExecConfig {
         self.chunks.get(set_id).copied().unwrap_or((1, 1))
     }
 
+    /// A canonical one-line rendering of every adaptive-variable binding.
+    /// Two configs render equal iff they are the same plan (all maps are
+    /// ordered), so the durability gates can compare final plans as
+    /// strings across processes.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "chunks[");
+        for (i, (id, (r, c))) in self.chunks.iter().enumerate() {
+            let _ = write!(s, "{}{id}={r}x{c}", if i > 0 { "," } else { "" });
+        }
+        let _ = write!(s, "] libs[");
+        for (i, (shape, lib)) in self.libs.iter().enumerate() {
+            let _ = write!(s, "{}{shape:?}={lib:?}", if i > 0 { "," } else { "" });
+        }
+        let _ = write!(s, "] strategy={} streams={} bind[", self.strategy, self.num_streams);
+        for (i, (u, st)) in self.streams.iter().enumerate() {
+            let _ = write!(s, "{}{u:?}={st}", if i > 0 { "," } else { "" });
+        }
+        let _ = write!(s, "] place={}", self.placement.label());
+        s
+    }
+
     /// The library for a shape (default cuBLAS-like).
     pub fn lib_for(&self, shape: GemmShape) -> GemmLibrary {
         self.libs.get(&shape).copied().unwrap_or(astra_exec::DEFAULT_GEMM_LIB)
@@ -698,6 +721,49 @@ fn build_units_with(
 pub struct PlanKey {
     chunks: Vec<(usize, usize)>,
     strategy: usize,
+}
+
+impl PlanKey {
+    /// A stable 64-bit fingerprint of this structural key under a
+    /// placement — the persisted identity of a verifier/linter verdict.
+    /// FNV-1a over a canonical byte rendering, so it is stable across
+    /// processes and builds (unlike `Hash` output, which the std hasher
+    /// never pins down). Distinct plans colliding is possible in
+    /// principle (2⁻⁶⁴-scale) and costs at most one wrong cached verdict
+    /// in a warm store, never a wrong measurement.
+    pub fn fingerprint(&self, placement: &DevicePlacement) -> u64 {
+        let mut bytes = Vec::with_capacity(16 * self.chunks.len() + 32);
+        let put = |v: u64, bytes: &mut Vec<u8>| bytes.extend_from_slice(&v.to_le_bytes());
+        put(self.chunks.len() as u64, &mut bytes);
+        for &(r, c) in &self.chunks {
+            put(r as u64, &mut bytes);
+            put(c as u64, &mut bytes);
+        }
+        put(self.strategy as u64, &mut bytes);
+        match placement {
+            DevicePlacement::Single => put(0, &mut bytes),
+            DevicePlacement::DataParallel { shares } => {
+                put(1, &mut bytes);
+                put(shares.len() as u64, &mut bytes);
+                for &s in shares {
+                    put(u64::from(s), &mut bytes);
+                }
+            }
+            DevicePlacement::ModelParallel { cuts } => {
+                put(2, &mut bytes);
+                put(cuts.len() as u64, &mut bytes);
+                for &c in cuts {
+                    put(c as u64, &mut bytes);
+                }
+            }
+        }
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
 }
 
 /// The schedule cache: memoizes [`build_units`] across trial

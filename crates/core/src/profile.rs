@@ -58,6 +58,20 @@ impl ProfileKey {
     pub fn choice(&self) -> usize {
         self.choice
     }
+
+    /// The context prefixes, outermost first. With
+    /// [`ProfileKey::entity_name`] and [`ProfileKey::choice`] this exposes
+    /// the full structural triple, so the store can persist keys without a
+    /// lossy textual mangle (entity names may contain the separators).
+    pub fn contexts(&self) -> &[String] {
+        &self.contexts
+    }
+
+    /// Rebuilds a key from its structural triple — the inverse of the
+    /// accessors, used when loading persisted profile records.
+    pub fn from_parts(contexts: Vec<String>, entity: String, choice: usize) -> Self {
+        ProfileKey { contexts, entity, choice }
+    }
 }
 
 impl std::fmt::Display for ProfileKey {
@@ -128,6 +142,22 @@ impl SampleStats {
             (self.m2 / self.count as f64).max(0.0)
         }
     }
+
+    /// The raw Welford accumulator `(count, mean, m2, min)`, for lossless
+    /// persistence. Restored by [`SampleStats::from_raw`].
+    pub fn raw(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min)
+    }
+
+    /// Rebuilds stats from a persisted accumulator. Returns `None` for a
+    /// zero count (stats exist only for measured keys) or non-finite
+    /// fields — a corrupt snapshot must not poison decisions.
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64) -> Option<Self> {
+        if count == 0 || !mean.is_finite() || !m2.is_finite() || !min.is_finite() {
+            return None;
+        }
+        Some(SampleStats { count, mean, m2, min })
+    }
 }
 
 /// The measurement store: key → per-key [`SampleStats`].
@@ -197,6 +227,18 @@ impl ProfileIndex {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Iterates every `(key, stats)` pair in key order, for snapshotting.
+    pub fn iter(&self) -> impl Iterator<Item = (&ProfileKey, &SampleStats)> {
+        self.map.iter()
+    }
+
+    /// Installs snapshotted stats for `key`, replacing whatever is there —
+    /// the load path for compacted [`SampleStats`] records. Journal-form
+    /// single samples go through [`ProfileIndex::record`] instead.
+    pub fn insert_stats(&mut self, key: ProfileKey, stats: SampleStats) {
+        self.map.insert(key, stats);
     }
 }
 

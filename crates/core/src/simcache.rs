@@ -105,14 +105,15 @@ const MAX_CAPTURES_PER_GROUP_RUN: usize = 12;
 pub const HIT_DEPTH_BUCKETS: usize = 8;
 
 /// Identity of a checkpointed simulation state (see the module docs for
-/// what each component pins down).
+/// what each component pins down). Crate-visible so the persistence glue
+/// can journal cache entries under exactly the key the cache uses.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SimKey {
-    prefix_hash: u64,
-    device: u64,
-    clock: ClockMode,
-    fault: u64,
-    salt: u64,
+pub(crate) struct SimKey {
+    pub(crate) prefix_hash: u64,
+    pub(crate) device: u64,
+    pub(crate) clock: ClockMode,
+    pub(crate) fault: u64,
+    pub(crate) salt: u64,
 }
 
 /// Stable fingerprint of a device's timing-relevant parameters.
@@ -186,7 +187,7 @@ impl KeyCtx {
         ctx
     }
 
-    fn key(&self, prefix_hash: u64, salt: u64) -> SimKey {
+    pub(crate) fn key(&self, prefix_hash: u64, salt: u64) -> SimKey {
         SimKey {
             prefix_hash,
             device: self.device,
@@ -426,6 +427,14 @@ impl SimCache {
         }
     }
 
+    /// Seeds one persisted checkpoint under its exact stored key, without
+    /// touching the hit/miss counters — warm-start loading is not probing.
+    /// FIFO age follows seeding order, so a loaded store fills the cache
+    /// exactly as the writing run's absorbs did.
+    pub(crate) fn seed(&mut self, key: SimKey, ck: Arc<EngineCheckpoint>) {
+        self.insert(key, ck);
+    }
+
     fn insert(&mut self, key: SimKey, ck: Arc<EngineCheckpoint>) {
         if self.map.contains_key(&key) {
             return;
@@ -633,6 +642,12 @@ impl GroupShard {
             self.index.insert(key.clone(), self.local.len());
             self.local.push((key, Arc::new(ck)));
         }
+    }
+
+    /// The shard's captures in insertion order, for the persistence glue
+    /// to journal before the shard merges into the shared cache.
+    pub(crate) fn entries(&self) -> &[(SimKey, Arc<EngineCheckpoint>)] {
+        &self.local
     }
 
     /// Checkpoints captured by this group so far.

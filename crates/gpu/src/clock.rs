@@ -65,6 +65,28 @@ impl Clock {
         self.mode
     }
 
+    /// The jitter RNG's current position, or `None` under
+    /// [`ClockMode::Fixed`]. Together with [`Clock::mode`] this captures the
+    /// clock's full state for persistence; feed it back through
+    /// [`Clock::from_parts`] to rebuild a clock that continues the same
+    /// jitter stream.
+    pub fn rng_state(&self) -> Option<u64> {
+        self.rng.as_ref().map(Rng64::state)
+    }
+
+    /// Rebuilds a clock at an exact position: `mode` plus the RNG state a
+    /// prior [`Clock::rng_state`] returned. A `None` state under autoboost
+    /// falls back to a fresh seed-derived RNG (the state a clock has before
+    /// its first draw).
+    pub fn from_parts(mode: ClockMode, rng_state: Option<u64>) -> Self {
+        let rng = match (mode, rng_state) {
+            (ClockMode::Fixed, _) => None,
+            (ClockMode::Autoboost { .. }, Some(s)) => Some(Rng64::from_state(s)),
+            (ClockMode::Autoboost { seed }, None) => Some(Rng64::new(seed)),
+        };
+        Clock { mode, rng }
+    }
+
     /// Stable fingerprint of the clock's *full* state: mode plus the jitter
     /// RNG's current position. Two clocks with equal fingerprints produce
     /// bit-identical jitter streams from here on — the property checkpoint

@@ -262,7 +262,7 @@ impl SpanLog {
 
 /// One all-reduce rendezvous arrival: stream, arrival time, payload bytes,
 /// originating command index.
-type ArArrival = (usize, f64, u64, usize);
+pub type ArArrival = (usize, f64, u64, usize);
 
 /// One stream's state inside an [`EngineCheckpoint`]: the queued items
 /// (schedule borrows replaced by command indices) and the in-flight item.
@@ -326,6 +326,114 @@ impl EngineCheckpoint {
     pub fn span_count(&self) -> usize {
         self.spans.len() + self.result.spans.len()
     }
+
+    /// Exports a *full-run memo* checkpoint as plain persistable data.
+    ///
+    /// Only checkpoints captured at the end of a schedule qualify: every
+    /// stream drained (no queued or in-flight items), the span log already
+    /// flattened into `result`, and no live fault injector (fault state is
+    /// mid-stream RNG position plus straggler assignments, which are cheap
+    /// to rebuild but meaningless across fault-plan changes — faulted memos
+    /// are simply not persisted). Returns `None` for anything else, so a
+    /// caller can feed every checkpoint through and persist what sticks.
+    pub fn export_memo(&self) -> Option<MemoParts> {
+        let drained = self
+            .streams
+            .iter()
+            .all(|s| s.queue.is_empty() && s.active.is_none());
+        if !drained || self.chaos.is_some() || self.spans.len() != 0 {
+            return None;
+        }
+        Some(MemoParts {
+            cmd_idx: self.cmd_idx,
+            prefix_hash: self.prefix_hash,
+            num_streams: self.num_streams,
+            cpu_ns: self.cpu_ns,
+            barrier_seq: self.barrier_seq,
+            now: self.now,
+            events: self.events.clone(),
+            barrier_arrivals: self.barrier_arrivals.clone(),
+            barrier_expect: self.barrier_expect.clone(),
+            ar_arrivals: self.ar_arrivals.clone(),
+            rates: self.rates.clone(),
+            rates_dirty: self.rates_dirty,
+            clock_mode: self.clock.mode(),
+            clock_rng_state: self.clock.rng_state(),
+            result: self.result.clone(),
+        })
+    }
+
+    /// Rebuilds a checkpoint from persisted [`MemoParts`]. The inverse of
+    /// [`EngineCheckpoint::export_memo`]: the reconstructed checkpoint is
+    /// behaviorally identical to the original — resuming any schedule from
+    /// it (including the full-run short-circuit) produces bit-identical
+    /// results, because every field a resume reads is restored exactly and
+    /// the fields a memo cannot carry (queues, in-flight items, fault
+    /// state, the incremental span log) were empty by construction.
+    pub fn from_memo(parts: MemoParts) -> EngineCheckpoint {
+        EngineCheckpoint {
+            cmd_idx: parts.cmd_idx,
+            prefix_hash: parts.prefix_hash,
+            num_streams: parts.num_streams,
+            cpu_ns: parts.cpu_ns,
+            barrier_seq: parts.barrier_seq,
+            now: parts.now,
+            events: parts.events,
+            barrier_arrivals: parts.barrier_arrivals,
+            barrier_expect: parts.barrier_expect,
+            ar_arrivals: parts.ar_arrivals,
+            streams: (0..parts.num_streams)
+                .map(|_| StreamCkpt { queue: Vec::new(), active: None })
+                .collect(),
+            rates: parts.rates,
+            rates_dirty: parts.rates_dirty,
+            clock: Clock::from_parts(parts.clock_mode, parts.clock_rng_state),
+            chaos: None,
+            spans: SpanLog { chunks: Vec::new(), tail: Vec::new() },
+            result: parts.result,
+        }
+    }
+}
+
+/// The persistable payload of a finished-run [`EngineCheckpoint`]: every
+/// field a resume can read, as plain owned data with public fields, so a
+/// storage layer can encode it without this crate knowing the codec.
+///
+/// Produced by [`EngineCheckpoint::export_memo`] (which refuses mid-run or
+/// faulted checkpoints) and consumed by [`EngineCheckpoint::from_memo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoParts {
+    /// Command index of the capture boundary (the schedule length).
+    pub cmd_idx: usize,
+    /// Prefix hash of the capture boundary.
+    pub prefix_hash: u64,
+    /// Stream count of the capturing schedule.
+    pub num_streams: usize,
+    /// Dispatcher clock at capture time.
+    pub cpu_ns: f64,
+    /// Barriers dispatched so far.
+    pub barrier_seq: usize,
+    /// Device clock at capture time.
+    pub now: f64,
+    /// Fired events, key-sorted.
+    pub events: Vec<(EventId, f64)>,
+    /// Barrier rendezvous arrivals, id-sorted (drained barriers included —
+    /// the engine never prunes them, and a faithful memo doesn't either).
+    pub barrier_arrivals: Vec<(usize, Vec<(usize, f64)>)>,
+    /// Expected arrival count per barrier, id-sorted.
+    pub barrier_expect: Vec<(usize, usize)>,
+    /// All-reduce rendezvous arrivals ([`ArArrival`]), group-sorted.
+    pub ar_arrivals: Vec<(u32, Vec<ArArrival>)>,
+    /// Cached per-stream execution rates.
+    pub rates: Vec<f64>,
+    /// Whether the rate cache needs recomputing on resume.
+    pub rates_dirty: bool,
+    /// Clock mode of the capturing engine.
+    pub clock_mode: ClockMode,
+    /// Jitter RNG position at capture, `None` under a fixed clock.
+    pub clock_rng_state: Option<u64>,
+    /// The complete run result, spans included.
+    pub result: RunResult,
 }
 
 /// Executes [`Schedule`]s against a [`DeviceSpec`] under a [`ClockMode`].
@@ -1714,6 +1822,40 @@ mod tests {
             Engine::new(&dev).run_incremental(&s, Some(&cks[0]), &[full]).unwrap();
         assert_eq!(plain, replayed);
         assert!(again.is_empty(), "a memo replay captures nothing new");
+    }
+
+    #[test]
+    fn memo_export_roundtrips_bit_identically() {
+        let dev = DeviceSpec::p100();
+        let s = segmented_schedule();
+        let full = s.cmds().len();
+        for mode in [ClockMode::Fixed, ClockMode::Autoboost { seed: 11 }] {
+            let (plain, cks) =
+                Engine::with_clock(&dev, mode).run_incremental(&s, None, &[full]).unwrap();
+            let parts = cks[0].export_memo().expect("finished clean memo exports");
+            let back = EngineCheckpoint::from_memo(parts.clone());
+            assert_eq!(back.export_memo().as_ref(), Some(&parts), "export is stable");
+            let (replayed, _) = Engine::with_clock(&dev, mode)
+                .run_incremental(&s, Some(&back), &[])
+                .unwrap();
+            assert_eq!(plain, replayed, "reconstructed memo replays the run exactly");
+        }
+    }
+
+    #[test]
+    fn memo_export_refuses_midrun_and_faulted_checkpoints() {
+        let dev = DeviceSpec::p100();
+        let s = segmented_schedule();
+        let full = s.cmds().len();
+        let mid = s.boundaries().iter().map(|&(i, _)| i).find(|&i| i > 0 && i < full);
+        if let Some(mid) = mid {
+            let (_, cks) = Engine::new(&dev).run_incremental(&s, None, &[mid]).unwrap();
+            assert!(cks[0].export_memo().is_none(), "mid-run checkpoints don't export");
+        }
+        let (_, cks) = Engine::with_faults(&dev, ClockMode::Fixed, FaultPlan::chaos(5), 1)
+            .run_incremental(&s, None, &[full])
+            .unwrap();
+        assert!(cks[0].export_memo().is_none(), "faulted checkpoints don't export");
     }
 
     #[test]

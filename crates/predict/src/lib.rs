@@ -38,5 +38,5 @@ mod model;
 mod policy;
 
 pub use feature::{FeatureVec, FEATURE_DIM};
-pub use model::CostModel;
+pub use model::{CostModel, CostModelState};
 pub use policy::{select_trials, PredEntry, PrunePolicy};

@@ -1,0 +1,294 @@
+//! Hand-rolled binary codec primitives.
+//!
+//! Everything the store writes goes through [`Encoder`] and comes back
+//! through [`Decoder`]: little-endian fixed-width integers, bit-exact
+//! `f64`s, length-prefixed UTF-8 strings, and length-prefixed sequences.
+//! No serde, no varints, no surprises — the format is simple enough to
+//! audit with `xxd` and stable enough to version with a single byte.
+
+use std::fmt;
+
+/// Checksum/decode failure. Carries enough context for the quarantine
+/// sidecar to say *why* a record was rejected, not just that it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the read needed.
+        want: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An unknown record type tag.
+    BadTag(u8),
+    /// A known record type at an unknown version.
+    BadVersion {
+        /// The record's type tag.
+        tag: u8,
+        /// The version byte found.
+        version: u8,
+    },
+    /// A sequence length field implies more data than the record holds.
+    BadLength(u64),
+    /// The record decoded cleanly but left unread bytes behind.
+    Trailing(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { want, have } => {
+                write!(f, "truncated: wanted {want} bytes, had {have}")
+            }
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            CodecError::BadVersion { tag, version } => {
+                write!(f, "record tag {tag} at unsupported version {version}")
+            }
+            CodecError::BadLength(n) => write!(f, "implausible sequence length {n}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after record body"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash — the frame checksum. Not cryptographic; it exists to
+/// catch torn writes and bit rot, and its 8-byte state keeps the codec
+/// dependency-free.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append-only byte sink with typed write methods.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the on-disk format is
+    /// pointer-width-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes a sequence length prefix (callers then write each element).
+    pub fn seq(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+}
+
+/// Cursor over encoded bytes with typed read methods. Every read is
+/// bounds-checked and returns [`CodecError::Truncated`] rather than
+/// panicking — corrupt input is an expected condition here.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors if any bytes remain — a well-formed record consumes exactly
+    /// its payload.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { want: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::BadLength(v))
+    }
+
+    /// Reads an `f64` bit-exactly.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool (any nonzero byte is `true`).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads a sequence length prefix, rejecting lengths that cannot fit in
+    /// the remaining bytes at `min_elem_bytes` per element.
+    pub fn seq(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        // A value whose bits exercise the full mantissa.
+        let dense = std::f64::consts::PI * 1e9 + 1.0 / 3.0;
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.usize(12345);
+        e.f64(-0.0);
+        e.f64(dense);
+        e.bool(true);
+        e.bool(false);
+        e.str("héllo ∆ world");
+        e.str("");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0_f64).to_bits());
+        assert_eq!(d.f64().unwrap().to_bits(), dense.to_bits());
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "héllo ∆ world");
+        assert_eq!(d.str().unwrap(), "");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Encoder::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert!(matches!(d.u64(), Err(CodecError::Truncated { want: 8, have: 5 })));
+    }
+
+    #[test]
+    fn implausible_string_length_is_rejected() {
+        let mut e = Encoder::new();
+        e.u32(1_000_000); // claims a megabyte follows
+        e.u8(1);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.str(), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        e.u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        d.u8().unwrap();
+        assert!(matches!(d.finish(), Err(CodecError::Trailing(1))));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`lint`] — static resource/performance linter (peak memory, redundant
 //!   syncs, critical-path lower bounds).
 //! * [`predict`] — online-learned cost model pruning the candidate space.
+//! * [`store`] — crash-safe on-disk store for warm exploration state
+//!   (journaled writes, corruption quarantine, crash-resume).
 //! * [`distrib`] — adaptive data-parallel scaling (the paper's §3.4 extension).
 //!
 //! ## Quickstart
@@ -41,4 +43,5 @@ pub use astra_ir as ir;
 pub use astra_lint as lint;
 pub use astra_models as models;
 pub use astra_predict as predict;
+pub use astra_store as store;
 pub use astra_verify as verify;

@@ -1,0 +1,263 @@
+//! Crash-safety of the persistent warm-state store (`--store`).
+//!
+//! The headline contract: an `optimize` run that dies at *any byte
+//! boundary* of its store writes can be resumed against the surviving
+//! files and produces the bit-identical final plan the uninterrupted run
+//! produces — at any worker count. Corruption costs only the affected
+//! records: a flipped journal byte is quarantined with diagnostics while
+//! every unaffected key keeps warming the next run. With no store
+//! configured, every store-related report field is exactly zero/false.
+
+use std::path::{Path, PathBuf};
+
+use astra::core::{Astra, AstraOptions, Dims, Report};
+use astra::gpu::{DeviceSpec, FaultPlan};
+use astra::models::{Model, ModelConfig};
+use astra::store;
+
+/// A deliberately small workload: big enough to exercise fusion + kernel
+/// exploration (verdicts, samples, memos all get journaled), small enough
+/// that the crash-point sweep stays fast in debug builds.
+fn tiny() -> astra::models::BuiltModel {
+    let cfg =
+        ModelConfig { seq_len: 2, hidden: 32, input: 32, vocab: 64, ..ModelConfig::ptb(8) };
+    Model::Scrnn.build(&cfg)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("astra-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+struct RunSpec {
+    dir: Option<PathBuf>,
+    crash_after: Option<u64>,
+    workers: usize,
+    faults: FaultPlan,
+}
+
+impl RunSpec {
+    fn cold(workers: usize) -> RunSpec {
+        RunSpec { dir: None, crash_after: None, workers, faults: FaultPlan::none() }
+    }
+
+    fn stored(dir: &Path, workers: usize) -> RunSpec {
+        RunSpec {
+            dir: Some(dir.to_path_buf()),
+            crash_after: None,
+            workers,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+fn run(built: &astra::models::BuiltModel, spec: &RunSpec) -> Report {
+    let dev = DeviceSpec::p100();
+    let mut astra = Astra::new(
+        &built.graph,
+        &dev,
+        AstraOptions {
+            dims: Dims::fk(),
+            workers: spec.workers,
+            faults: spec.faults,
+            store_dir: spec.dir.clone(),
+            store_crash_after: spec.crash_after,
+            ..Default::default()
+        },
+    );
+    let report = astra.optimize().expect("optimize completes regardless of store state");
+    assert!(astra.store_error().is_none(), "store degraded: {:?}", astra.store_error());
+    report
+}
+
+/// The crash-resume identity: every decision-relevant field of the two
+/// reports is bit-equal (counters that only describe wall-clock work —
+/// retries, cache hits, journal appends — are allowed to differ).
+fn assert_same_plan(a: &Report, b: &Report, what: &str) {
+    assert_eq!(a.native_ns.to_bits(), b.native_ns.to_bits(), "{what}: native_ns drifted");
+    assert_eq!(a.steady_ns.to_bits(), b.steady_ns.to_bits(), "{what}: steady_ns drifted");
+    assert_eq!(a.best.summary(), b.best.summary(), "{what}: chosen plan drifted");
+}
+
+#[test]
+fn store_off_reports_all_zeroes() {
+    let built = tiny();
+    let r = run(&built, &RunSpec::cold(1));
+    assert!(!r.warm_start, "no store, no warm start");
+    assert_eq!(r.store_loaded_keys, 0);
+    assert_eq!(r.store_corrupt_records, 0);
+    assert_eq!(r.store_journal_appends, 0);
+    assert_eq!(r.store_compactions, 0);
+}
+
+#[test]
+fn cold_store_run_is_bit_identical_to_storeless_and_warms_the_next() {
+    let built = tiny();
+    let dir = tmpdir("warm");
+    let reference = run(&built, &RunSpec::cold(1));
+
+    let cold = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&reference, &cold, "cold store run vs storeless");
+    assert!(!cold.warm_start, "first run against an empty store is cold");
+    assert_eq!(cold.store_loaded_keys, 0);
+    assert!(cold.store_journal_appends > 0, "a cold run must journal its discoveries");
+
+    let warm = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&reference, &warm, "warm store run vs storeless");
+    assert!(warm.warm_start);
+    assert!(warm.store_loaded_keys > 0);
+    assert_eq!(warm.store_corrupt_records, 0);
+    // Persisted verdicts short-circuit the verifier: the warm run decides
+    // identically without re-analyzing a single plan.
+    assert_eq!(warm.plans_verified, 0, "warm verdicts must skip verifier executions");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_crash_point_resumes_to_the_bit_identical_plan() {
+    let built = tiny();
+    let reference = run(&built, &RunSpec::cold(1));
+
+    // Learn the total store footprint of an uninterrupted run, then cut
+    // the write stream at boundaries spread across it (plus the edges:
+    // nothing-written and one-byte-short).
+    let probe = tmpdir("crash-probe");
+    run(&built, &RunSpec::stored(&probe, 1));
+    let total = std::fs::metadata(probe.join("journal.astra")).unwrap().len();
+    std::fs::remove_dir_all(&probe).unwrap();
+    assert!(total > 0);
+
+    let cuts = [0, 1, total / 5, 2 * total / 5, 3 * total / 5, 4 * total / 5, total - 1];
+    for (i, &cut) in cuts.iter().enumerate() {
+        let dir = tmpdir(&format!("crash-{i}"));
+        // The interrupted run: the store dies mid-write, the optimization
+        // itself still completes and still finds the same plan.
+        let crashed = run(
+            &built,
+            &RunSpec {
+                dir: Some(dir.clone()),
+                crash_after: Some(cut),
+                workers: if i % 2 == 0 { 1 } else { 4 },
+                faults: FaultPlan::none(),
+            },
+        );
+        assert_same_plan(&reference, &crashed, &format!("crashed run, cut={cut}"));
+
+        // Resume against whatever survived — at workers 1 and 4.
+        for workers in [1, 4] {
+            let resumed = run(&built, &RunSpec::stored(&dir, workers));
+            assert_same_plan(
+                &reference,
+                &resumed,
+                &format!("resumed run, cut={cut}, workers={workers}"),
+            );
+            // At most the one torn-tail record may be lost per recovery;
+            // after it is scrubbed the store must load clean.
+            assert!(resumed.store_corrupt_records <= 1, "cut={cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn flipped_journal_byte_is_quarantined_without_losing_unaffected_keys() {
+    let built = tiny();
+    let dir = tmpdir("flip");
+    let reference = run(&built, &RunSpec::cold(1));
+    let cold = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&reference, &cold, "cold run before corruption");
+
+    // Flip one byte in the middle of the journal.
+    let journal = dir.join("journal.astra");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    // fsck sees exactly the corruption, read-only.
+    let report = store::fsck(&dir).unwrap();
+    assert_eq!(report.corrupt.len(), 1, "one flipped byte, one corrupt record");
+    assert!(report.corrupt[0].reason.contains("checksum"), "{}", report.corrupt[0].reason);
+
+    // The resumed run quarantines the record, reports it, keeps every
+    // unaffected key, and still lands on the bit-identical plan.
+    let resumed = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&reference, &resumed, "resumed run after corruption");
+    assert!(resumed.warm_start);
+    assert_eq!(resumed.store_corrupt_records, 1);
+    assert!(resumed.store_loaded_keys > 0, "unaffected records keep warming the run");
+
+    // Recovery scrubbed the journal and journaled the diagnostic: the
+    // store is clean again and the sidecar remembers what was lost.
+    let report = store::fsck(&dir).unwrap();
+    assert!(report.corrupt.is_empty(), "recovery rewrote the corrupt journal");
+    assert_eq!(report.quarantined_lines, 1);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_preserves_the_resumed_plan() {
+    let built = tiny();
+    let dir = tmpdir("compact");
+    let reference = run(&built, &RunSpec::cold(1));
+    run(&built, &RunSpec::stored(&dir, 1));
+
+    let (loaded, kept) = astra::core::compact_store(&dir).unwrap();
+    assert!(loaded > 0);
+    assert!(kept > 0);
+    assert!(kept <= loaded, "compaction folds samples into stats, never grows");
+    assert_eq!(std::fs::metadata(dir.join("journal.astra")).unwrap().len(), 8, "journal reset to magic");
+
+    let resumed = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&reference, &resumed, "resumed run after compaction");
+    assert!(resumed.warm_start);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn persisted_quarantine_marks_skip_the_retry_budget_under_the_same_faults() {
+    let built = tiny();
+    let dir = tmpdir("quarantine");
+    // Seed 120 is one of the few whose chaos draws exhaust a retry budget
+    // on this tiny workload (4 consecutive suspect measurements), so a
+    // quarantine mark actually gets journaled.
+    let faults = FaultPlan::chaos(120);
+    let spec = |dir: Option<&Path>| RunSpec {
+        dir: dir.map(Path::to_path_buf),
+        crash_after: None,
+        workers: 1,
+        faults,
+    };
+
+    let reference = run(&built, &spec(None));
+    let cold = run(&built, &spec(Some(&dir)));
+    assert_same_plan(&reference, &cold, "faulted cold store run vs storeless");
+    assert!(cold.quarantined > 0, "chaos must quarantine something or this test is vacuous");
+    let fsck = store::fsck(&dir).unwrap();
+    assert!(fsck.counts.get("quarantine").copied().unwrap_or(0) > 0, "marks persisted");
+
+    // The returning job hits the persisted marks: same plan, bit-identical,
+    // but the doomed candidates are poisoned without burning retries.
+    let warm = run(&built, &spec(Some(&dir)));
+    assert_same_plan(&reference, &warm, "faulted warm store run vs storeless");
+    assert!(warm.quarantined >= cold.quarantined, "marks still counted as quarantined");
+    assert!(
+        warm.retries < cold.retries,
+        "persisted marks must skip re-probing (warm {} vs cold {} retries)",
+        warm.retries,
+        cold.retries
+    );
+
+    // Marks are scoped to the fault plan that earned them: a clean run
+    // against the same store ignores them and matches its own reference.
+    let clean_ref = run(&built, &RunSpec::cold(1));
+    let clean_warm = run(&built, &RunSpec::stored(&dir, 1));
+    assert_same_plan(&clean_ref, &clean_warm, "clean run over a faulted store");
+    assert_eq!(clean_warm.quarantined, 0, "fault-scoped marks must not leak into clean runs");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
